@@ -1,0 +1,71 @@
+//! Scaling benchmark across the number of cuts `K`: the exact
+//! reconstruction cost grows with the number of settings/terms; the
+//! golden reduction changes the base of the exponent (4→3 terms, 6→4
+//! preparations — paper §II-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcut_circuit::ansatz::MultiCutAnsatz;
+use qcut_core::basis::BasisPlan;
+use qcut_core::fragment::Fragmenter;
+use qcut_core::reconstruction::{
+    contract, exact_downstream_tensor, exact_upstream_tensor,
+};
+use qcut_math::Pauli;
+
+fn bench_exact_reconstruction_vs_cuts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_vs_K");
+    group.sample_size(10);
+    for k in 1..=3usize {
+        let (circuit, spec) = MultiCutAnsatz::new(k, 11).build();
+        let frags = Fragmenter::fragment(&circuit, &spec).unwrap();
+
+        for (label, plan) in [
+            ("standard", BasisPlan::standard(k)),
+            (
+                "all_golden",
+                BasisPlan::with_neglected(vec![Some(Pauli::Y); k]),
+            ),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                b.iter(|| {
+                    let up = exact_upstream_tensor(&frags.upstream, &plan);
+                    let down = exact_downstream_tensor(&frags.downstream, &plan);
+                    contract(&frags, &plan, &up, &down)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_contraction_only_vs_cuts(c: &mut Criterion) {
+    // Isolates the contraction (the 4^K vs 3^K part) from fragment
+    // simulation.
+    let mut group = c.benchmark_group("contraction_only_vs_K");
+    group.sample_size(20);
+    for k in 1..=3usize {
+        let (circuit, spec) = MultiCutAnsatz::new(k, 11).build();
+        let frags = Fragmenter::fragment(&circuit, &spec).unwrap();
+        for (label, plan) in [
+            ("standard", BasisPlan::standard(k)),
+            (
+                "all_golden",
+                BasisPlan::with_neglected(vec![Some(Pauli::Y); k]),
+            ),
+        ] {
+            let up = exact_upstream_tensor(&frags.upstream, &plan);
+            let down = exact_downstream_tensor(&frags.downstream, &plan);
+            group.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                b.iter(|| contract(&frags, &plan, &up, &down))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_reconstruction_vs_cuts,
+    bench_contraction_only_vs_cuts
+);
+criterion_main!(benches);

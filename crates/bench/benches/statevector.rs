@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the simulation substrate: gate kernels, circuit
+//! execution, sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcut_circuit::circuit::Circuit;
+use qcut_circuit::gate::Gate;
+use qcut_circuit::random::{random_circuit, RandomCircuitConfig};
+use qcut_sim::density::DensityMatrix;
+use qcut_sim::noise::KrausChannel;
+use qcut_sim::statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_single_gate_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_gate");
+    for n in [8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::new("h_on_middle", n), &n, |b, &n| {
+            let mut sv = StateVector::zero_state(n);
+            let h = Gate::H.matrix();
+            b.iter(|| sv.apply_one_qubit(&h, n / 2));
+        });
+        group.bench_with_input(BenchmarkId::new("cx_adjacent", n), &n, |b, &n| {
+            let mut sv = StateVector::zero_state(n);
+            let cx = Gate::Cx.matrix();
+            b.iter(|| sv.apply_two_qubit(&cx, n / 2, n / 2 + 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_circuit_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_circuit");
+    for n in [5usize, 7, 10] {
+        let circuit = random_circuit(
+            n,
+            RandomCircuitConfig {
+                depth: 10,
+                two_qubit_prob: 0.5,
+            },
+            42,
+        );
+        group.bench_with_input(BenchmarkId::new("random_depth10", n), &circuit, |b, circ| {
+            b.iter(|| StateVector::from_circuit(circ));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    let mut circuit = Circuit::new(7);
+    for q in 0..7 {
+        circuit.h(q);
+    }
+    let sv = StateVector::from_circuit(&circuit);
+    for shots in [1000u64, 10_000] {
+        group.bench_with_input(BenchmarkId::new("shots", shots), &shots, |b, &shots| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sv.sample(shots, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_density_noise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_matrix");
+    let depol = KrausChannel::depolarizing(0.01);
+    let depol2 = KrausChannel::depolarizing_two(0.01);
+    for n in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("kraus_1q", n), &n, |b, &n| {
+            let mut dm = DensityMatrix::zero_state(n);
+            b.iter(|| dm.apply_kraus_one(depol.operators(), n / 2));
+        });
+        group.bench_with_input(BenchmarkId::new("kraus_2q", n), &n, |b, &n| {
+            let mut dm = DensityMatrix::zero_state(n);
+            b.iter(|| dm.apply_kraus_two(depol2.operators(), 0, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_gate_kernels,
+    bench_circuit_execution,
+    bench_sampling,
+    bench_density_noise
+);
+criterion_main!(benches);

@@ -1,0 +1,402 @@
+//! Circuit families from the paper.
+//!
+//! * [`three_qubit_example`] — the §II-A example: `ρ = U23 U12 |000><000| …`
+//!   with a cut on the middle wire between the two blocks (paper Fig. 1).
+//! * [`GoldenAnsatz`] — the §III experimental workload (paper Fig. 2): an
+//!   odd-width circuit split into an upstream block `U1` and a downstream
+//!   block `U2` sharing one wire, with rotation layers of random angles in
+//!   `[0, 6.28]`, *designed* so the shared wire is a golden cutting point
+//!   for the Pauli-Y basis.
+//! * [`MultiCutAnsatz`] — our extension for the multi-cut scaling ablation:
+//!   `K` independent real upstream blocks, each feeding one cut into a
+//!   common downstream block, making every cut independently golden.
+//!
+//! ## How the golden point is designed in
+//!
+//! The paper states (§III) that its ansatz makes "the contribution of the
+//! first fragment … conditioned on observing each eigenstate of the Pauli Y
+//! operator" cancel. The concrete mechanism we use (documented in
+//! DESIGN.md): the upstream block contains only gates with **real**
+//! matrices, so the pre-cut state has real amplitudes; for any real state ρ
+//! and real observable Π, `tr((Π ⊗ Y) ρ) = 0` identically because `Π ⊗ Y`
+//! is purely imaginary and Hermitian (hence antisymmetric). The paper's RX
+//! layers (complex matrices) are kept on the downstream side, where they
+//! cannot disturb the upstream cancellation.
+
+use crate::circuit::Circuit;
+use crate::cut::{CutLocation, CutSpec};
+use crate::random::{
+    random_circuit_with, random_real_circuit_with, rx_layer, ry_layer, RandomCircuitConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's three-qubit example (Fig. 1): `U12` on qubits (0, 1), `U23`
+/// on qubits (1, 2), cut on the wire of qubit 1 between them.
+///
+/// Returns `(circuit, cut)`. `u12` and `u23` are appended as arbitrary
+/// 2-qubit blocks; pass e.g. Haar-random unitaries or structured circuits.
+pub fn three_qubit_example(u12: &Circuit, u23: &Circuit) -> (Circuit, CutSpec) {
+    assert_eq!(u12.num_qubits(), 2, "U12 must be a 2-qubit circuit");
+    assert_eq!(u23.num_qubits(), 2, "U23 must be a 2-qubit circuit");
+    assert!(
+        u12.instructions().iter().any(|i| i.acts_on(1)),
+        "U12 must touch the shared qubit"
+    );
+    assert!(
+        u23.instructions().iter().any(|i| i.acts_on(0)),
+        "U23 must touch the shared qubit"
+    );
+    let mut c = Circuit::new(3);
+    c.extend_mapped(u12, &[0, 1]);
+    let ops_on_shared_wire = c
+        .instructions()
+        .iter()
+        .filter(|i| i.acts_on(1))
+        .count();
+    c.extend_mapped(u23, &[1, 2]);
+    let cut = CutSpec::single(1, ops_on_shared_wire - 1);
+    (c, cut)
+}
+
+/// The paper's Fig. 2 workload family: odd width `n`, upstream fragment on
+/// qubits `0..=n/2` (sizes 3 for n=5, 4 for n=7), downstream fragment on
+/// qubits `n/2..n`, single cut on the shared qubit `n/2`.
+#[derive(Debug, Clone, Copy)]
+pub struct GoldenAnsatz {
+    /// Total circuit width (odd, ≥ 3). The paper uses 5 and 7.
+    pub width: usize,
+    /// Workload seed — each seed is one random "trial" circuit.
+    pub seed: u64,
+    /// Depth of the random blocks `U1` and `U2`.
+    pub block_depth: usize,
+}
+
+impl GoldenAnsatz {
+    /// Standard configuration matching the paper's circuits ("only a few
+    /// gates in each", §III-A).
+    pub fn new(width: usize, seed: u64) -> Self {
+        assert!(width >= 3 && width % 2 == 1, "width must be odd and >= 3");
+        GoldenAnsatz {
+            width,
+            seed,
+            block_depth: 2,
+        }
+    }
+
+    /// The qubit whose wire is cut (the one shared by `U1` and `U2`).
+    pub fn cut_qubit(&self) -> usize {
+        self.width / 2
+    }
+
+    /// Qubits of the upstream fragment (including the cut qubit).
+    pub fn upstream_qubits(&self) -> Vec<usize> {
+        (0..=self.cut_qubit()).collect()
+    }
+
+    /// Qubits of the downstream fragment (including the cut qubit).
+    pub fn downstream_qubits(&self) -> Vec<usize> {
+        (self.cut_qubit()..self.width).collect()
+    }
+
+    /// Builds the circuit and its cut.
+    ///
+    /// Layout (little-endian qubit order, cut qubit `m = width/2`):
+    ///
+    /// ```text
+    /// q0   ─[RY]─┐        ┌──────────
+    /// ...        │ U1real │              (upstream: real gates only)
+    /// qm   ─[RY]─┘        └──✂──[RX]─┐        ┌───
+    /// ...                            │ U2rand │     (downstream: any gates)
+    /// qn-1 ──────────────────[RX]────┘        └───
+    /// ```
+    pub fn build(&self) -> (Circuit, CutSpec) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let m = self.cut_qubit();
+        let up = self.upstream_qubits();
+        let down = self.downstream_qubits();
+        let mut c = Circuit::new(self.width);
+
+        // Upstream: RY layer (real analogue of the paper's rotation layer)
+        // then an entangling chain (guarantees the fragment is connected)
+        // then a random real block U1.
+        ry_layer(&mut c, &up, &mut rng);
+        for w in up.windows(2) {
+            c.cx(w[0], w[1]);
+        }
+        let u1 = random_real_circuit_with(
+            up.len(),
+            RandomCircuitConfig {
+                depth: self.block_depth,
+                two_qubit_prob: 0.5,
+            },
+            &mut rng,
+        );
+        c.extend_mapped(&u1, &up);
+
+        // The cut sits after the last upstream instruction on wire m.
+        let cut_pos = c.instructions().iter().filter(|i| i.acts_on(m)).count() - 1;
+
+        // Downstream: the paper's RX layer with θ ~ U[0, 6.28], an
+        // entangling chain, and a random (unrestricted) block U2.
+        rx_layer(&mut c, &down, &mut rng);
+        for w in down.windows(2) {
+            c.cx(w[0], w[1]);
+        }
+        let u2 = random_circuit_with(
+            down.len(),
+            RandomCircuitConfig {
+                depth: self.block_depth,
+                two_qubit_prob: 0.5,
+            },
+            &mut rng,
+        );
+        c.extend_mapped(&u2, &down);
+
+        (c, CutSpec::single(m, cut_pos))
+    }
+}
+
+/// Multi-cut extension: `K` independent upstream blocks, each real and each
+/// feeding exactly one cut wire into a shared downstream block. Because the
+/// upstream state is a tensor product of real blocks, *every* cut is
+/// independently golden for the Y basis — any Pauli string with a Y at any
+/// cut position has vanishing upstream coefficient.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiCutAnsatz {
+    /// Number of cuts `K ≥ 1`.
+    pub num_cuts: usize,
+    /// Qubits per upstream block (each block's last qubit is its cut wire).
+    pub block_width: usize,
+    /// Extra downstream-only qubits (fresh wires).
+    pub downstream_extra: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Depth of the random sub-blocks.
+    pub block_depth: usize,
+    /// When `false`, upstream blocks use unrestricted gates — no golden
+    /// structure. Useful as the negative control in detection tests.
+    pub golden: bool,
+}
+
+impl MultiCutAnsatz {
+    /// A compact default: blocks of 2 qubits, one fresh downstream qubit.
+    pub fn new(num_cuts: usize, seed: u64) -> Self {
+        assert!(num_cuts >= 1, "need at least one cut");
+        MultiCutAnsatz {
+            num_cuts,
+            block_width: 2,
+            downstream_extra: 1,
+            seed,
+            block_depth: 2,
+            golden: true,
+        }
+    }
+
+    /// Total circuit width.
+    pub fn width(&self) -> usize {
+        self.num_cuts * self.block_width + self.downstream_extra
+    }
+
+    /// The cut qubits, one per upstream block, in cut-index order.
+    pub fn cut_qubits(&self) -> Vec<usize> {
+        (0..self.num_cuts)
+            .map(|k| k * self.block_width + self.block_width - 1)
+            .collect()
+    }
+
+    /// Builds the circuit and its cuts.
+    pub fn build(&self) -> (Circuit, CutSpec) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.width();
+        let mut c = Circuit::new(n);
+        let cfg = RandomCircuitConfig {
+            depth: self.block_depth,
+            two_qubit_prob: 0.5,
+        };
+
+        let mut cuts = Vec::with_capacity(self.num_cuts);
+        for k in 0..self.num_cuts {
+            let base = k * self.block_width;
+            let qubits: Vec<usize> = (base..base + self.block_width).collect();
+            ry_layer(&mut c, &qubits, &mut rng);
+            for w in qubits.windows(2) {
+                c.cx(w[0], w[1]);
+            }
+            let block = if self.golden {
+                random_real_circuit_with(qubits.len(), cfg, &mut rng)
+            } else {
+                random_circuit_with(qubits.len(), cfg, &mut rng)
+            };
+            c.extend_mapped(&block, &qubits);
+            let cut_wire = qubits[self.block_width - 1];
+            let pos = c
+                .instructions()
+                .iter()
+                .filter(|i| i.acts_on(cut_wire))
+                .count()
+                - 1;
+            cuts.push(CutLocation::new(cut_wire, pos));
+        }
+
+        // Downstream block: the K cut wires plus the fresh qubits.
+        let mut down: Vec<usize> = self.cut_qubits();
+        down.extend(self.num_cuts * self.block_width..n);
+        rx_layer(&mut c, &down, &mut rng);
+        for w in down.windows(2) {
+            c.cx(w[0], w[1]);
+        }
+        let u2 = random_circuit_with(down.len(), cfg, &mut rng);
+        c.extend_mapped(&u2, &down);
+
+        (c, CutSpec::new(cuts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcut_math::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn haar_block(seed: u64) -> Circuit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = Circuit::new(2);
+        c.unitary2(haar_unitary(4, &mut rng), 0, 1);
+        c
+    }
+
+    #[test]
+    fn three_qubit_example_is_valid() {
+        let (c, cut) = three_qubit_example(&haar_block(1), &haar_block(2));
+        assert_eq!(c.num_qubits(), 3);
+        let (edges, mask) = cut.validate(&c).unwrap();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].qubit, 1);
+        assert_eq!(mask, vec![true, false]);
+    }
+
+    #[test]
+    fn golden_ansatz_five_qubits_validates() {
+        for seed in 0..10 {
+            let a = GoldenAnsatz::new(5, seed);
+            let (c, cut) = a.build();
+            assert_eq!(c.num_qubits(), 5);
+            let (edges, mask) = cut.validate(&c).expect("ansatz must be cuttable");
+            assert_eq!(edges[0].qubit, 2);
+            // Upstream instructions are exactly those acting only on 0..=2.
+            for (i, inst) in c.instructions().iter().enumerate() {
+                let all_up = inst.qubits.iter().all(|&q| q <= 2);
+                let any_down = inst.qubits.iter().any(|&q| q > 2);
+                if mask[i] {
+                    assert!(all_up, "upstream instruction {i} uses a downstream qubit");
+                } else {
+                    // Downstream instructions touch only qubits >= 2.
+                    assert!(
+                        inst.qubits.iter().all(|&q| q >= 2),
+                        "downstream instruction {i} reaches back upstream"
+                    );
+                }
+                let _ = any_down;
+            }
+        }
+    }
+
+    #[test]
+    fn golden_ansatz_seven_qubits_validates() {
+        let a = GoldenAnsatz::new(7, 3);
+        assert_eq!(a.cut_qubit(), 3);
+        assert_eq!(a.upstream_qubits(), vec![0, 1, 2, 3]);
+        assert_eq!(a.downstream_qubits(), vec![3, 4, 5, 6]);
+        let (c, cut) = a.build();
+        cut.validate(&c).expect("7-qubit ansatz must be cuttable");
+    }
+
+    #[test]
+    fn golden_ansatz_upstream_is_real() {
+        // Every instruction on the upstream side must have a real matrix —
+        // the designed golden-Y mechanism.
+        for seed in 0..10 {
+            let (c, cut) = GoldenAnsatz::new(5, seed).build();
+            let (_, mask) = cut.validate(&c).unwrap();
+            for (i, inst) in c.instructions().iter().enumerate() {
+                if mask[i] {
+                    assert!(inst.gate.is_real(), "upstream gate {} is complex", inst.gate);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn golden_ansatz_downstream_uses_rx() {
+        let (c, cut) = GoldenAnsatz::new(5, 0).build();
+        let (_, mask) = cut.validate(&c).unwrap();
+        let has_rx_downstream = c
+            .instructions()
+            .iter()
+            .enumerate()
+            .any(|(i, inst)| !mask[i] && matches!(inst.gate, crate::gate::Gate::Rx(_)));
+        assert!(has_rx_downstream, "paper's RX layer missing downstream");
+    }
+
+    #[test]
+    fn golden_ansatz_is_seed_deterministic() {
+        let (a1, _) = GoldenAnsatz::new(5, 7).build();
+        let (a2, _) = GoldenAnsatz::new(5, 7).build();
+        assert_eq!(a1, a2);
+        let (b, _) = GoldenAnsatz::new(5, 8).build();
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_width_rejected() {
+        GoldenAnsatz::new(4, 0);
+    }
+
+    #[test]
+    fn multi_cut_ansatz_validates_for_various_k() {
+        for k in 1..=3 {
+            let (c, cut) = MultiCutAnsatz::new(k, 11).build();
+            assert_eq!(cut.num_cuts(), k);
+            let (edges, _) = cut.validate(&c).unwrap_or_else(|e| {
+                panic!("multi-cut ansatz K={k} failed validation: {e}")
+            });
+            assert_eq!(edges.len(), k);
+        }
+    }
+
+    #[test]
+    fn multi_cut_upstream_blocks_are_real_when_golden() {
+        let (c, cut) = MultiCutAnsatz::new(2, 5).build();
+        let (_, mask) = cut.validate(&c).unwrap();
+        for (i, inst) in c.instructions().iter().enumerate() {
+            if mask[i] {
+                assert!(inst.gate.is_real());
+            }
+        }
+    }
+
+    #[test]
+    fn non_golden_multi_cut_still_validates() {
+        let mut a = MultiCutAnsatz::new(2, 5);
+        a.golden = false;
+        let (c, cut) = a.build();
+        cut.validate(&c).expect("non-golden variant must still bipartition");
+    }
+
+    #[test]
+    fn multi_cut_geometry() {
+        let a = MultiCutAnsatz {
+            num_cuts: 3,
+            block_width: 2,
+            downstream_extra: 2,
+            seed: 0,
+            block_depth: 1,
+            golden: true,
+        };
+        assert_eq!(a.width(), 8);
+        assert_eq!(a.cut_qubits(), vec![1, 3, 5]);
+    }
+}

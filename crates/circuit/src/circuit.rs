@@ -1,0 +1,434 @@
+//! The circuit IR: an ordered list of gate applications on `n` qubits.
+//!
+//! Deliberately simple — cutting operates on the instruction list and on
+//! per-wire timelines (see [`crate::dag`]), and the simulators consume the
+//! instruction stream directly.
+
+use crate::gate::Gate;
+use qcut_math::Matrix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One gate application: a gate plus the qubits it acts on.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Instruction {
+    /// The gate.
+    pub gate: Gate,
+    /// Qubit operands; `qubits.len() == gate.arity()`. For controlled gates
+    /// the first entry is the control.
+    pub qubits: Vec<usize>,
+}
+
+impl Instruction {
+    /// Creates an instruction, validating arity.
+    pub fn new(gate: Gate, qubits: Vec<usize>) -> Self {
+        assert_eq!(
+            qubits.len(),
+            gate.arity(),
+            "gate {gate} expects {} qubits, got {}",
+            gate.arity(),
+            qubits.len()
+        );
+        if qubits.len() == 2 {
+            assert_ne!(qubits[0], qubits[1], "two-qubit gate on identical qubits");
+        }
+        Instruction { gate, qubits }
+    }
+
+    /// True if this instruction touches `qubit`.
+    pub fn acts_on(&self, qubit: usize) -> bool {
+        self.qubits.contains(&qubit)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ", self.gate)?;
+        let qs: Vec<String> = self.qubits.iter().map(|q| format!("q{q}")).collect();
+        write!(f, "{}", qs.join(", "))
+    }
+}
+
+/// A quantum circuit: `num_qubits` wires and an ordered instruction list.
+/// All qubits start in `|0>`; measurement is implicit (the simulators and
+/// backends measure every qubit in the computational basis at the end).
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: usize,
+    instructions: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// An empty circuit on `n` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The instruction list in program order.
+    #[inline]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True when the circuit has no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Appends a gate application.
+    ///
+    /// # Panics
+    /// Panics if any operand is out of range or the arity is wrong.
+    pub fn push(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
+        for &q in qubits {
+            assert!(
+                q < self.num_qubits,
+                "qubit {q} out of range for {}-qubit circuit",
+                self.num_qubits
+            );
+        }
+        self.instructions.push(Instruction::new(gate, qubits.to_vec()));
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Builder conveniences (chainable).
+    // ------------------------------------------------------------------
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::H, &[q])
+    }
+    /// Pauli-X on `q`.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::X, &[q])
+    }
+    /// Pauli-Y on `q`.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Y, &[q])
+    }
+    /// Pauli-Z on `q`.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Z, &[q])
+    }
+    /// S gate on `q`.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::S, &[q])
+    }
+    /// S† gate on `q`.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Sdg, &[q])
+    }
+    /// T gate on `q`.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::T, &[q])
+    }
+    /// RX rotation on `q`.
+    pub fn rx(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push(Gate::Rx(theta), &[q])
+    }
+    /// RY rotation on `q`.
+    pub fn ry(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push(Gate::Ry(theta), &[q])
+    }
+    /// RZ rotation on `q`.
+    pub fn rz(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push(Gate::Rz(theta), &[q])
+    }
+    /// CNOT with `control`, `target`.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Gate::Cx, &[control, target])
+    }
+    /// CZ on `(a, b)`.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::Cz, &[a, b])
+    }
+    /// SWAP on `(a, b)`.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::Swap, &[a, b])
+    }
+    /// Arbitrary 1-qubit unitary on `q`.
+    pub fn unitary1(&mut self, m: Matrix, q: usize) -> &mut Self {
+        assert!(m.is_unitary(1e-8), "unitary1 matrix is not unitary");
+        self.push(Gate::Unitary1(m), &[q])
+    }
+    /// Arbitrary 2-qubit unitary on `(a, b)` (a = bit 0 of the matrix index).
+    pub fn unitary2(&mut self, m: Matrix, a: usize, b: usize) -> &mut Self {
+        assert!(m.is_unitary(1e-8), "unitary2 matrix is not unitary");
+        self.push(Gate::Unitary2(m), &[a, b])
+    }
+
+    // ------------------------------------------------------------------
+    // Composition and transformation.
+    // ------------------------------------------------------------------
+
+    /// Appends all instructions of `other` (same qubit indices).
+    ///
+    /// # Panics
+    /// Panics if `other` uses more qubits than `self`.
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "cannot extend a {}-qubit circuit with a {}-qubit circuit",
+            self.num_qubits,
+            other.num_qubits
+        );
+        self.instructions.extend(other.instructions.iter().cloned());
+        self
+    }
+
+    /// Appends `other` with all its qubit indices shifted by `offset`.
+    pub fn extend_shifted(&mut self, other: &Circuit, offset: usize) -> &mut Self {
+        assert!(
+            other.num_qubits + offset <= self.num_qubits,
+            "shifted circuit does not fit"
+        );
+        for inst in &other.instructions {
+            let qubits: Vec<usize> = inst.qubits.iter().map(|q| q + offset).collect();
+            self.instructions.push(Instruction::new(inst.gate.clone(), qubits));
+        }
+        self
+    }
+
+    /// Appends `other` with qubits remapped through `map` (`map[i]` = new
+    /// index of `other`'s qubit `i`).
+    pub fn extend_mapped(&mut self, other: &Circuit, map: &[usize]) -> &mut Self {
+        assert_eq!(map.len(), other.num_qubits, "qubit map length mismatch");
+        for inst in &other.instructions {
+            let qubits: Vec<usize> = inst.qubits.iter().map(|q| map[*q]).collect();
+            for &q in &qubits {
+                assert!(q < self.num_qubits, "mapped qubit {q} out of range");
+            }
+            self.instructions.push(Instruction::new(inst.gate.clone(), qubits));
+        }
+        self
+    }
+
+    /// The adjoint circuit (reversed instruction order, each gate inverted).
+    pub fn adjoint(&self) -> Circuit {
+        let mut out = Circuit::new(self.num_qubits);
+        for inst in self.instructions.iter().rev() {
+            out.instructions
+                .push(Instruction::new(inst.gate.adjoint(), inst.qubits.clone()));
+        }
+        out
+    }
+
+    /// Full unitary matrix of the circuit (`2^n × 2^n`). Intended for tests
+    /// and small fragments only — O(4^n) memory.
+    pub fn unitary(&self) -> Matrix {
+        let dim = 1usize << self.num_qubits;
+        let mut u = Matrix::identity(dim);
+        for inst in &self.instructions {
+            let g = inst.gate.matrix();
+            let full = match inst.qubits.len() {
+                1 => Matrix::embed_one_qubit(&g, self.num_qubits, inst.qubits[0]),
+                2 => Matrix::embed_two_qubit(&g, self.num_qubits, inst.qubits[0], inst.qubits[1]),
+                _ => unreachable!("gates are 1- or 2-qubit"),
+            };
+            u = full.matmul(&u);
+        }
+        u
+    }
+
+    /// Circuit depth: the longest chain of instructions sharing wires.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for inst in &self.instructions {
+            let l = inst.qubits.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
+            for &q in &inst.qubits {
+                level[q] = l;
+            }
+            depth = depth.max(l);
+        }
+        depth
+    }
+
+    /// Number of two-qubit instructions.
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.qubits.len() == 2).count()
+    }
+
+    /// Per-wire instruction indices: `timeline[q]` lists the indices of
+    /// instructions acting on qubit `q`, in program order.
+    pub fn wire_timelines(&self) -> Vec<Vec<usize>> {
+        let mut tl = vec![Vec::new(); self.num_qubits];
+        for (i, inst) in self.instructions.iter().enumerate() {
+            for &q in &inst.qubits {
+                tl[q].push(i);
+            }
+        }
+        tl
+    }
+
+    /// True when every gate in the circuit has a real matrix (the circuit
+    /// then maps real states to real states — the golden-Y mechanism).
+    pub fn is_real(&self) -> bool {
+        self.instructions.iter().all(|i| i.gate.is_real())
+    }
+
+    /// Qubits with at least one instruction.
+    pub fn active_qubits(&self) -> Vec<usize> {
+        let mut active = vec![false; self.num_qubits];
+        for inst in &self.instructions {
+            for &q in &inst.qubits {
+                active[q] = true;
+            }
+        }
+        (0..self.num_qubits).filter(|&q| active[q]).collect()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit({} qubits, {} gates):", self.num_qubits, self.len())?;
+        for inst in &self.instructions {
+            writeln!(f, "  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcut_math::{c64, TOL_STRICT};
+
+    #[test]
+    fn builder_chains_and_counts() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).rz(0.5, 2);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+        assert_eq!(c.depth(), 4); // h -> cx01 -> cx12 -> rz (all chained on shared wires)
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_rejects_out_of_range_qubit() {
+        Circuit::new(2).h(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical qubits")]
+    fn push_rejects_duplicate_operands() {
+        Circuit::new(2).cx(1, 1);
+    }
+
+    #[test]
+    fn bell_circuit_unitary() {
+        use qcut_math::Complex;
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let u = c.unitary();
+        // U|00> = (|00> + |11>)/√2
+        let v = u.matvec(&[Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ZERO]);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(v[0].approx_eq(c64(s, 0.0), TOL_STRICT));
+        assert!(v[3].approx_eq(c64(s, 0.0), TOL_STRICT));
+        assert!(v[1].abs() < TOL_STRICT && v[2].abs() < TOL_STRICT);
+    }
+
+    #[test]
+    fn adjoint_composes_to_identity() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(1).cx(0, 1).rz(0.37, 0).s(1);
+        let mut both = c.clone();
+        both.extend(&c.adjoint());
+        let u = both.unitary();
+        assert!(u.approx_eq(&Matrix::identity(4), 1e-9));
+    }
+
+    #[test]
+    fn extend_shifted_remaps_qubits() {
+        let mut inner = Circuit::new(2);
+        inner.cx(0, 1);
+        let mut outer = Circuit::new(4);
+        outer.extend_shifted(&inner, 2);
+        assert_eq!(outer.instructions()[0].qubits, vec![2, 3]);
+    }
+
+    #[test]
+    fn extend_mapped_remaps_arbitrarily() {
+        let mut inner = Circuit::new(2);
+        inner.cx(0, 1).h(0);
+        let mut outer = Circuit::new(3);
+        outer.extend_mapped(&inner, &[2, 0]);
+        assert_eq!(outer.instructions()[0].qubits, vec![2, 0]);
+        assert_eq!(outer.instructions()[1].qubits, vec![2]);
+    }
+
+    #[test]
+    fn unitary_respects_gate_order() {
+        // X then H differs from H then X.
+        let mut xh = Circuit::new(1);
+        xh.x(0).h(0);
+        let mut hx = Circuit::new(1);
+        hx.h(0).x(0);
+        assert!(xh.unitary().max_abs_diff(&hx.unitary()) > 0.1);
+        // And matches the matrix product H * X (applied right-to-left).
+        let want = Gate::H.matrix().matmul(&Gate::X.matrix());
+        assert!(xh.unitary().approx_eq(&want, TOL_STRICT));
+    }
+
+    #[test]
+    fn wire_timelines_track_instruction_indices() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).h(1);
+        let tl = c.wire_timelines();
+        assert_eq!(tl[0], vec![0, 1]);
+        assert_eq!(tl[1], vec![1, 2, 3]);
+        assert_eq!(tl[2], vec![2]);
+    }
+
+    #[test]
+    fn is_real_classification() {
+        let mut real = Circuit::new(2);
+        real.h(0).ry(0.4, 1).cx(0, 1).cz(0, 1);
+        assert!(real.is_real());
+        let mut complex = real.clone();
+        complex.rx(0.1, 0);
+        assert!(!complex.is_real());
+    }
+
+    #[test]
+    fn active_qubits_skips_idle_wires() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 2);
+        assert_eq!(c.active_qubits(), vec![0, 2]);
+    }
+
+    #[test]
+    fn depth_of_parallel_gates_is_one() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2);
+        assert_eq!(c.depth(), 1);
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let text = c.to_string();
+        assert!(text.contains("h q0"));
+        assert!(text.contains("cx q0, q1"));
+    }
+}

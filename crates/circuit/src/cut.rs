@@ -1,0 +1,209 @@
+//! Cut specifications: *where* a circuit is cut.
+//!
+//! A [`CutLocation`] names one severed wire segment — "the wire of qubit
+//! `q`, after the `after_op`-th instruction touching that wire". A
+//! [`CutSpec`] is a set of such locations that together must bipartition the
+//! circuit (validated here via [`CircuitDag::bipartition`]). The machinery
+//! that *uses* cuts (fragment extraction, tomography, reconstruction) lives
+//! in `qcut-core`; this module only defines and validates locations so the
+//! ansatz generators can return them alongside the circuits they build.
+
+use crate::circuit::Circuit;
+use crate::dag::{CircuitDag, WireEdge};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One wire cut: after the `after_op`-th (0-based) instruction on `qubit`'s
+/// wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CutLocation {
+    /// The qubit whose wire is severed.
+    pub qubit: usize,
+    /// 0-based index into the wire's instruction timeline; the cut sits
+    /// between this instruction and the next one on the same wire.
+    pub after_op: usize,
+}
+
+impl CutLocation {
+    /// Convenience constructor.
+    pub fn new(qubit: usize, after_op: usize) -> Self {
+        CutLocation { qubit, after_op }
+    }
+}
+
+impl fmt::Display for CutLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cut(q{} after op #{})", self.qubit, self.after_op)
+    }
+}
+
+/// A set of cuts that bipartitions a circuit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CutSpec {
+    cuts: Vec<CutLocation>,
+}
+
+/// Why a [`CutSpec`] failed validation against a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CutError {
+    /// The spec has no cuts.
+    Empty,
+    /// Two cuts target the same wire; a bipartition severs each wire at
+    /// most once.
+    DuplicateWire(usize),
+    /// No wire edge exists at the named location (qubit idle, or position
+    /// past the last instruction on the wire).
+    NoSuchEdge(CutLocation),
+    /// Removing the cut edges does not produce a clean upstream/downstream
+    /// split (still connected, a component plays both roles, or a component
+    /// touches no cut).
+    NotABipartition,
+}
+
+impl fmt::Display for CutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CutError::Empty => write!(f, "cut specification is empty"),
+            CutError::DuplicateWire(q) => {
+                write!(f, "wire of qubit {q} is cut more than once; a bipartition cuts each wire at most once")
+            }
+            CutError::NoSuchEdge(loc) => write!(
+                f,
+                "{loc}: no wire segment there (qubit idle or position past the wire's last gate)"
+            ),
+            CutError::NotABipartition => write!(
+                f,
+                "cuts do not bipartition the circuit into an upstream and a downstream side \
+                 (check connectivity and cut positions)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CutError {}
+
+impl CutSpec {
+    /// A spec with a single cut.
+    pub fn single(qubit: usize, after_op: usize) -> Self {
+        CutSpec {
+            cuts: vec![CutLocation::new(qubit, after_op)],
+        }
+    }
+
+    /// A spec from explicit locations.
+    pub fn new(cuts: Vec<CutLocation>) -> Self {
+        CutSpec { cuts }
+    }
+
+    /// The cut locations, in the order given (this order defines the cut
+    /// index `k ∈ [K]` used by tomography and reconstruction).
+    pub fn cuts(&self) -> &[CutLocation] {
+        &self.cuts
+    }
+
+    /// Number of cuts, `K`.
+    pub fn num_cuts(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Resolves the locations to wire edges and checks they bipartition the
+    /// circuit. Returns `(edges, upstream_mask)` with one mask entry per
+    /// instruction (`true` = upstream fragment).
+    pub fn validate(&self, circuit: &Circuit) -> Result<(Vec<WireEdge>, Vec<bool>), CutError> {
+        if self.cuts.is_empty() {
+            return Err(CutError::Empty);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for loc in &self.cuts {
+            if !seen.insert(loc.qubit) {
+                return Err(CutError::DuplicateWire(loc.qubit));
+            }
+        }
+        let dag = CircuitDag::new(circuit);
+        let mut edges = Vec::with_capacity(self.cuts.len());
+        for loc in &self.cuts {
+            let edge = dag
+                .edge_at(loc.qubit, loc.after_op)
+                .ok_or(CutError::NoSuchEdge(*loc))?;
+            edges.push(edge);
+        }
+        let mask = dag.bipartition(&edges).ok_or(CutError::NotABipartition)?;
+        Ok((edges, mask))
+    }
+}
+
+impl fmt::Display for CutSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CutSpec[")?;
+        for (i, c) in self.cuts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2);
+        c
+    }
+
+    #[test]
+    fn valid_single_cut() {
+        let spec = CutSpec::single(1, 0);
+        let (edges, mask) = spec.validate(&chain()).unwrap();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(mask, vec![true, false]);
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        let spec = CutSpec::new(vec![]);
+        assert_eq!(spec.validate(&chain()), Err(CutError::Empty));
+    }
+
+    #[test]
+    fn duplicate_wire_rejected() {
+        let spec = CutSpec::new(vec![CutLocation::new(1, 0), CutLocation::new(1, 1)]);
+        assert_eq!(spec.validate(&chain()), Err(CutError::DuplicateWire(1)));
+    }
+
+    #[test]
+    fn missing_edge_rejected() {
+        let spec = CutSpec::single(0, 5);
+        assert_eq!(
+            spec.validate(&chain()),
+            Err(CutError::NoSuchEdge(CutLocation::new(0, 5)))
+        );
+    }
+
+    #[test]
+    fn non_bipartition_rejected() {
+        // Extra (0,2) gate keeps the halves connected after the cut.
+        let mut c = chain();
+        c.cx(0, 2);
+        let spec = CutSpec::single(1, 0);
+        assert_eq!(spec.validate(&c), Err(CutError::NotABipartition));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let spec = CutSpec::single(2, 3);
+        let s = spec.to_string();
+        assert!(s.contains("q2"));
+        assert!(s.contains("#3"));
+    }
+
+    #[test]
+    fn error_messages_are_actionable() {
+        assert!(CutError::DuplicateWire(4).to_string().contains("qubit 4"));
+        assert!(CutError::NotABipartition.to_string().contains("bipartition"));
+    }
+}

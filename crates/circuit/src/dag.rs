@@ -1,0 +1,324 @@
+//! Wire-level dependency analysis.
+//!
+//! Cutting a circuit means severing a *wire segment* — the edge between two
+//! consecutive instructions on one qubit. This module exposes the circuit as
+//! per-wire timelines plus an instruction-level dependency graph so the
+//! fragmenter (in `qcut-core`) can check that a set of cuts really
+//! bipartitions the circuit with all severed edges pointing downstream.
+
+use crate::circuit::Circuit;
+
+/// Dependency view of a circuit: per-wire timelines and instruction edges.
+#[derive(Debug, Clone)]
+pub struct CircuitDag {
+    num_qubits: usize,
+    num_instructions: usize,
+    /// `timelines[q]` = instruction indices touching qubit `q`, in order.
+    timelines: Vec<Vec<usize>>,
+    /// Wire edges `(qubit, from_instruction, to_instruction)` between
+    /// consecutive instructions on the same wire.
+    wire_edges: Vec<WireEdge>,
+}
+
+/// An edge between two consecutive instructions on one wire. `position` is
+/// the index of `from` within the wire's timeline, i.e. the edge sits
+/// *after* the `position`-th instruction on that qubit (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WireEdge {
+    /// The qubit whose wire carries this edge.
+    pub qubit: usize,
+    /// Upstream instruction index.
+    pub from: usize,
+    /// Downstream instruction index.
+    pub to: usize,
+    /// Position of `from` in the wire timeline of `qubit`.
+    pub position: usize,
+}
+
+impl CircuitDag {
+    /// Builds the dependency view of `circuit`.
+    pub fn new(circuit: &Circuit) -> Self {
+        let timelines = circuit.wire_timelines();
+        let mut wire_edges = Vec::new();
+        for (q, tl) in timelines.iter().enumerate() {
+            for (pos, w) in tl.windows(2).enumerate() {
+                wire_edges.push(WireEdge {
+                    qubit: q,
+                    from: w[0],
+                    to: w[1],
+                    position: pos,
+                });
+            }
+        }
+        CircuitDag {
+            num_qubits: circuit.num_qubits(),
+            num_instructions: circuit.len(),
+            timelines,
+            wire_edges,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of instructions.
+    pub fn num_instructions(&self) -> usize {
+        self.num_instructions
+    }
+
+    /// Per-wire instruction timelines.
+    pub fn timelines(&self) -> &[Vec<usize>] {
+        &self.timelines
+    }
+
+    /// All wire edges.
+    pub fn wire_edges(&self) -> &[WireEdge] {
+        &self.wire_edges
+    }
+
+    /// The wire edge sitting after the `position`-th instruction on `qubit`,
+    /// if any.
+    pub fn edge_at(&self, qubit: usize, position: usize) -> Option<WireEdge> {
+        self.wire_edges
+            .iter()
+            .copied()
+            .find(|e| e.qubit == qubit && e.position == position)
+    }
+
+    /// Partitions instruction indices into connected components of the
+    /// dependency graph **after removing the given wire edges**. Returns a
+    /// component id per instruction (ids are arbitrary but contiguous
+    /// starting at 0).
+    pub fn components_without(&self, removed: &[WireEdge]) -> Vec<usize> {
+        let n = self.num_instructions;
+        let mut dsu = DisjointSet::new(n);
+        for e in &self.wire_edges {
+            if !removed.contains(e) {
+                dsu.union(e.from, e.to);
+            }
+        }
+        dsu.component_ids()
+    }
+
+    /// Bipartition check: with the given wire edges removed, can the
+    /// remaining connected components be split into an *upstream* and a
+    /// *downstream* side such that every removed edge points upstream →
+    /// downstream?
+    ///
+    /// Multiple components per side are allowed — a product-structured
+    /// upstream (several disconnected real blocks, one per cut) is exactly
+    /// what makes several cuts *independently* golden. A component is
+    /// upstream if it contains a `from` endpoint, downstream if it contains
+    /// a `to` endpoint; a component containing both kinds, or touching no
+    /// removed edge at all, makes the split ill-defined and yields `None`.
+    ///
+    /// Returns a per-instruction mask (`true` = upstream) on success.
+    pub fn bipartition(&self, removed: &[WireEdge]) -> Option<Vec<bool>> {
+        if removed.is_empty() {
+            return None;
+        }
+        let comp = self.components_without(removed);
+        let num_comp = comp.iter().copied().max().map_or(0, |m| m + 1);
+        // Side per component: None = unassigned, Some(true) = upstream.
+        let mut side: Vec<Option<bool>> = vec![None; num_comp];
+        for e in removed {
+            for (inst, want_up) in [(e.from, true), (e.to, false)] {
+                let c = comp[inst];
+                match side[c] {
+                    None => side[c] = Some(want_up),
+                    Some(s) if s != want_up => return None, // both roles
+                    _ => {}
+                }
+            }
+        }
+        if side.iter().any(|s| s.is_none()) {
+            return None; // a component touches no cut — side is ambiguous
+        }
+        Some(comp.iter().map(|&c| side[c] == Some(true)).collect())
+    }
+}
+
+/// Minimal union-find with path halving.
+struct DisjointSet {
+    parent: Vec<usize>,
+}
+
+impl DisjointSet {
+    fn new(n: usize) -> Self {
+        DisjointSet {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    /// Contiguous component ids in first-appearance order.
+    fn component_ids(&mut self) -> Vec<usize> {
+        let n = self.parent.len();
+        let mut ids = vec![usize::MAX; n];
+        let mut next = 0;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let r = self.find(i);
+            if ids[r] == usize::MAX {
+                ids[r] = next;
+                next += 1;
+            }
+            out.push(ids[r]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    /// The paper's Fig. 1 shape: U12 on (0,1), U23 on (1,2); the wire of
+    /// qubit 1 between them is the cut.
+    fn three_qubit_chain() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1); // inst 0 = "U12"
+        c.cx(1, 2); // inst 1 = "U23"
+        c
+    }
+
+    #[test]
+    fn wire_edges_enumerate_consecutive_pairs() {
+        let dag = CircuitDag::new(&three_qubit_chain());
+        assert_eq!(dag.wire_edges().len(), 1);
+        let e = dag.wire_edges()[0];
+        assert_eq!((e.qubit, e.from, e.to, e.position), (1, 0, 1, 0));
+    }
+
+    #[test]
+    fn edge_at_finds_position() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(0).h(0);
+        let dag = CircuitDag::new(&c);
+        assert_eq!(dag.edge_at(0, 0).unwrap().from, 0);
+        assert_eq!(dag.edge_at(0, 1).unwrap().from, 1);
+        assert!(dag.edge_at(0, 2).is_none());
+        assert!(dag.edge_at(1, 0).is_none());
+    }
+
+    #[test]
+    fn removing_the_cut_edge_bipartitions() {
+        let dag = CircuitDag::new(&three_qubit_chain());
+        let cut = dag.edge_at(1, 0).unwrap();
+        let part = dag.bipartition(&[cut]).unwrap();
+        assert_eq!(part, vec![true, false]); // inst 0 upstream, inst 1 downstream
+    }
+
+    #[test]
+    fn connected_circuit_without_cuts_is_single_component() {
+        let dag = CircuitDag::new(&three_qubit_chain());
+        let comp = dag.components_without(&[]);
+        assert!(comp.iter().all(|&c| c == comp[0]));
+    }
+
+    #[test]
+    fn bipartition_fails_when_not_disconnecting() {
+        // Two gates on (0,1) and (1,2) plus another (0,2) gate that keeps
+        // the halves connected even after cutting wire 1.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2).cx(0, 2);
+        let dag = CircuitDag::new(&c);
+        let cut = dag.edge_at(1, 0).unwrap();
+        assert!(dag.bipartition(&[cut]).is_none());
+    }
+
+    #[test]
+    fn bipartition_fails_on_back_and_forth_cuts() {
+        // Cutting both edges of a three-gate chain on one wire creates three
+        // components — not a bipartition.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2).cx(1, 0);
+        let dag = CircuitDag::new(&c);
+        let e0 = dag.edge_at(1, 0).unwrap();
+        let e1 = dag.edge_at(1, 1).unwrap();
+        assert!(dag.bipartition(&[e0, e1]).is_none());
+    }
+
+    #[test]
+    fn two_cut_bipartition_succeeds() {
+        // f1 = gates on (0,1); f2 = gates on (2,3); wires 0 and 1 both cross.
+        let mut c = Circuit::new(4);
+        c.cx(0, 1); // upstream
+        c.cx(2, 3); // downstream-only gate
+        c.cx(0, 2); // downstream, pulls wire 0 across
+        c.cx(1, 3); // downstream, pulls wire 1 across
+        let dag = CircuitDag::new(&c);
+        let c0 = dag.edge_at(0, 0).unwrap();
+        let c1 = dag.edge_at(1, 0).unwrap();
+        let part = dag.bipartition(&[c0, c1]).unwrap();
+        assert_eq!(part, vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn disconnected_pair_without_removed_edges_is_not_bipartition() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1);
+        let dag = CircuitDag::new(&c);
+        assert!(dag.bipartition(&[]).is_none());
+    }
+
+    #[test]
+    fn product_structured_upstream_is_accepted() {
+        // Two independent upstream blocks (0,1) and (2,3), each feeding one
+        // cut into a common downstream block — the independently-golden
+        // multi-cut layout.
+        let mut c = Circuit::new(4);
+        c.cx(0, 1); // upstream block A (inst 0)
+        c.cx(2, 3); // upstream block B (inst 1)
+        c.cx(1, 3); // downstream joins both cut wires (inst 2)
+        let dag = CircuitDag::new(&c);
+        let cut_a = dag.edge_at(1, 0).unwrap();
+        let cut_b = dag.edge_at(3, 0).unwrap();
+        let part = dag.bipartition(&[cut_a, cut_b]).unwrap();
+        assert_eq!(part, vec![true, true, false]);
+    }
+
+    #[test]
+    fn component_with_both_roles_is_rejected() {
+        // One component is both the source of cut 1 and the sink of cut 2.
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).cx(0, 1).h(0).h(1);
+        let dag = CircuitDag::new(&c);
+        // Cut wire 0 after inst 0 (edge 0->2) and wire 1 after inst 2
+        // (edge 2->4): the middle component {2} would be downstream of the
+        // first cut and upstream of the second.
+        let e0 = dag.edge_at(0, 0).unwrap();
+        let e1 = dag.edge_at(1, 1).unwrap();
+        assert!(dag.bipartition(&[e0, e1]).is_none());
+    }
+
+    #[test]
+    fn free_component_is_rejected() {
+        // Qubit 2's lone H belongs to neither side of the cut.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        c.h(1);
+        c.h(2);
+        let dag = CircuitDag::new(&c);
+        let cut = dag.edge_at(1, 0).unwrap();
+        assert!(dag.bipartition(&[cut]).is_none());
+    }
+}

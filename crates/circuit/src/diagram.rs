@@ -1,0 +1,125 @@
+//! ASCII circuit diagrams, with optional cut markers.
+//!
+//! Rendering is column-per-instruction (no gate packing) — simple, always
+//! correct, and good enough for the example binaries and debugging output.
+
+use crate::circuit::Circuit;
+use crate::cut::CutSpec;
+
+/// Renders a circuit as an ASCII diagram. One column per instruction; wires
+/// run left to right, qubit 0 on top.
+pub fn render(circuit: &Circuit) -> String {
+    render_with_cuts(circuit, None)
+}
+
+/// Renders a circuit with `✂` markers at the cut locations.
+pub fn render_with_cuts(circuit: &Circuit, cuts: Option<&CutSpec>) -> String {
+    let n = circuit.num_qubits();
+    if n == 0 {
+        return String::new();
+    }
+
+    // Per-qubit op counters to locate cut positions while scanning.
+    let mut ops_seen = vec![0usize; n];
+    // (qubit -> set of positions to mark)
+    let mut cut_marks: Vec<Vec<usize>> = vec![Vec::new(); n];
+    if let Some(spec) = cuts {
+        for c in spec.cuts() {
+            if c.qubit < n {
+                cut_marks[c.qubit].push(c.after_op);
+            }
+        }
+    }
+
+    let mut rows: Vec<String> = (0..n).map(|q| format!("q{q:<2}: ")).collect();
+
+    for inst in circuit.instructions() {
+        let label = inst.gate.name();
+        let width = label.len().max(3) + 2;
+        for (q, row) in rows.iter_mut().enumerate() {
+            let cell = if inst.qubits.len() == 1 && inst.qubits[0] == q {
+                center(&format!("[{label}]"), width + 2)
+            } else if inst.qubits.len() == 2 && inst.qubits[0] == q {
+                center(&format!("({label}", ), width + 2).replace('(', "●").replacen('●', "●─", 1)
+            } else if inst.qubits.len() == 2 && inst.qubits[1] == q {
+                center(&format!("[{label}]"), width + 2)
+            } else {
+                "─".repeat(width + 2)
+            };
+            row.push_str(&cell);
+        }
+        // Advance wire counters and inject cut markers.
+        for &q in &inst.qubits {
+            if cut_marks[q].contains(&ops_seen[q]) {
+                rows[q].push_str("─✂─");
+                for (other, row) in rows.iter_mut().enumerate() {
+                    if other != q && !inst.qubits.contains(&other) {
+                        // keep columns aligned on other wires
+                        row.push_str("───");
+                    } else if other != q {
+                        row.push_str("───");
+                    }
+                }
+            }
+            ops_seen[q] += 1;
+        }
+    }
+
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&r);
+        out.push('\n');
+    }
+    out
+}
+
+fn center(s: &str, width: usize) -> String {
+    if s.len() >= width {
+        return s.to_string();
+    }
+    let pad = width - s.len();
+    let left = pad / 2;
+    let right = pad - left;
+    format!("{}{}{}", "─".repeat(left), s, "─".repeat(right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::CutSpec;
+
+    #[test]
+    fn renders_one_row_per_qubit() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(0.5, 2);
+        let d = render(&c);
+        assert_eq!(d.lines().count(), 3);
+        assert!(d.contains("[h]"));
+        assert!(d.contains("q0"));
+        assert!(d.contains("q2"));
+    }
+
+    #[test]
+    fn marks_cut_position() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2);
+        let spec = CutSpec::single(1, 0);
+        let d = render_with_cuts(&c, Some(&spec));
+        assert!(d.contains('✂'), "diagram missing cut marker:\n{d}");
+    }
+
+    #[test]
+    fn empty_circuit_renders_bare_wires() {
+        let c = Circuit::new(2);
+        let d = render(&c);
+        assert_eq!(d.lines().count(), 2);
+    }
+
+    #[test]
+    fn two_qubit_gate_shows_control_dot() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let d = render(&c);
+        assert!(d.contains('●'), "control dot missing:\n{d}");
+    }
+}

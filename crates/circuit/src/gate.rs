@@ -1,0 +1,446 @@
+//! Gate definitions.
+//!
+//! The gate alphabet covers what Qiskit's `random_circuit()` draws from
+//! (1-qubit Cliffords, rotations, U3, and the common 2-qubit entanglers)
+//! plus arbitrary `Unitary1`/`Unitary2` matrices so fragments can carry
+//! Haar-random blocks.
+//!
+//! Qubit-ordering convention (used across the whole workspace): **qubit 0 is
+//! the least-significant bit** of a computational basis index. A 2-qubit
+//! gate applied to `(a, b)` uses `a` as bit 0 and `b` as bit 1 of its 4×4
+//! matrix index.
+
+use qcut_math::{c64, Complex, Matrix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A quantum gate. Rotation angles are in radians.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Gate {
+    /// Identity (useful as an explicit no-op / barrier marker in tests).
+    I,
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate `S = diag(1, i)`.
+    S,
+    /// Inverse phase gate `S† = diag(1, -i)`.
+    Sdg,
+    /// T gate `diag(1, e^{iπ/4})`.
+    T,
+    /// T† gate.
+    Tdg,
+    /// Square root of X.
+    Sx,
+    /// Rotation about X: `e^{-iθX/2}`.
+    Rx(f64),
+    /// Rotation about Y: `e^{-iθY/2}` (real matrix).
+    Ry(f64),
+    /// Rotation about Z: `e^{-iθZ/2}`.
+    Rz(f64),
+    /// Phase rotation `diag(1, e^{iθ})`.
+    Phase(f64),
+    /// General single-qubit gate `U3(θ, φ, λ)` (Qiskit convention).
+    U3(f64, f64, f64),
+    /// Arbitrary single-qubit unitary.
+    Unitary1(#[serde(skip, default = "identity2")] Matrix),
+    /// Controlled-X (CNOT). Control = first qubit of the instruction.
+    Cx,
+    /// Controlled-Y.
+    Cy,
+    /// Controlled-Z (symmetric).
+    Cz,
+    /// Controlled-H.
+    Ch,
+    /// SWAP.
+    Swap,
+    /// Controlled RX.
+    Crx(f64),
+    /// Controlled RY.
+    Cry(f64),
+    /// Controlled RZ.
+    Crz(f64),
+    /// Controlled phase.
+    CPhase(f64),
+    /// Arbitrary two-qubit unitary.
+    Unitary2(#[serde(skip, default = "identity4")] Matrix),
+}
+
+fn identity2() -> Matrix {
+    Matrix::identity(2)
+}
+
+fn identity4() -> Matrix {
+    Matrix::identity(4)
+}
+
+impl Gate {
+    /// Number of qubits this gate acts on (1 or 2).
+    pub fn arity(&self) -> usize {
+        match self {
+            Gate::I
+            | Gate::H
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::Sx
+            | Gate::Rx(_)
+            | Gate::Ry(_)
+            | Gate::Rz(_)
+            | Gate::Phase(_)
+            | Gate::U3(..)
+            | Gate::Unitary1(_) => 1,
+            _ => 2,
+        }
+    }
+
+    /// The gate's unitary matrix (2×2 or 4×4 depending on arity).
+    ///
+    /// For controlled gates, the control is bit 0 and the target bit 1,
+    /// matching the `(control, target)` argument order of the circuit
+    /// builder methods.
+    pub fn matrix(&self) -> Matrix {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        match self {
+            Gate::I => Matrix::identity(2),
+            Gate::H => Matrix::from_real(2, 2, &[s, s, s, -s]),
+            Gate::X => Matrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]),
+            Gate::Y => Matrix::two_by_two(
+                Complex::ZERO,
+                c64(0.0, -1.0),
+                c64(0.0, 1.0),
+                Complex::ZERO,
+            ),
+            Gate::Z => Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0]),
+            Gate::S => Matrix::two_by_two(Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::I),
+            Gate::Sdg => {
+                Matrix::two_by_two(Complex::ONE, Complex::ZERO, Complex::ZERO, c64(0.0, -1.0))
+            }
+            Gate::T => Matrix::two_by_two(
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4),
+            ),
+            Gate::Tdg => Matrix::two_by_two(
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::from_polar(1.0, -std::f64::consts::FRAC_PI_4),
+            ),
+            Gate::Sx => Matrix::from_rows(
+                2,
+                2,
+                vec![c64(0.5, 0.5), c64(0.5, -0.5), c64(0.5, -0.5), c64(0.5, 0.5)],
+            ),
+            Gate::Rx(t) => {
+                let (c, sn) = ((t / 2.0).cos(), (t / 2.0).sin());
+                Matrix::two_by_two(c64(c, 0.0), c64(0.0, -sn), c64(0.0, -sn), c64(c, 0.0))
+            }
+            Gate::Ry(t) => {
+                let (c, sn) = ((t / 2.0).cos(), (t / 2.0).sin());
+                Matrix::from_real(2, 2, &[c, -sn, sn, c])
+            }
+            Gate::Rz(t) => Matrix::two_by_two(
+                Complex::from_polar(1.0, -t / 2.0),
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::from_polar(1.0, t / 2.0),
+            ),
+            Gate::Phase(t) => Matrix::two_by_two(
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::from_polar(1.0, *t),
+            ),
+            Gate::U3(theta, phi, lam) => {
+                let (ct, st) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                Matrix::from_rows(
+                    2,
+                    2,
+                    vec![
+                        c64(ct, 0.0),
+                        -Complex::from_polar(st, *lam),
+                        Complex::from_polar(st, *phi),
+                        Complex::from_polar(ct, phi + lam),
+                    ],
+                )
+            }
+            Gate::Unitary1(m) => m.clone(),
+            Gate::Cx => controlled(&Gate::X.matrix()),
+            Gate::Cy => controlled(&Gate::Y.matrix()),
+            Gate::Cz => controlled(&Gate::Z.matrix()),
+            Gate::Ch => controlled(&Gate::H.matrix()),
+            Gate::Swap => Matrix::from_real(
+                4,
+                4,
+                &[
+                    1.0, 0.0, 0.0, 0.0, //
+                    0.0, 0.0, 1.0, 0.0, //
+                    0.0, 1.0, 0.0, 0.0, //
+                    0.0, 0.0, 0.0, 1.0,
+                ],
+            ),
+            Gate::Crx(t) => controlled(&Gate::Rx(*t).matrix()),
+            Gate::Cry(t) => controlled(&Gate::Ry(*t).matrix()),
+            Gate::Crz(t) => controlled(&Gate::Rz(*t).matrix()),
+            Gate::CPhase(t) => controlled(&Gate::Phase(*t).matrix()),
+            Gate::Unitary2(m) => m.clone(),
+        }
+    }
+
+    /// The inverse gate (adjoint).
+    pub fn adjoint(&self) -> Gate {
+        match self {
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::Sx => Gate::Unitary1(Gate::Sx.matrix().adjoint()),
+            Gate::Rx(t) => Gate::Rx(-t),
+            Gate::Ry(t) => Gate::Ry(-t),
+            Gate::Rz(t) => Gate::Rz(-t),
+            Gate::Phase(t) => Gate::Phase(-t),
+            Gate::U3(theta, phi, lam) => Gate::U3(-theta, -lam, -phi),
+            Gate::Unitary1(m) => Gate::Unitary1(m.adjoint()),
+            Gate::Crx(t) => Gate::Crx(-t),
+            Gate::Cry(t) => Gate::Cry(-t),
+            Gate::Crz(t) => Gate::Crz(-t),
+            Gate::CPhase(t) => Gate::CPhase(-t),
+            Gate::Unitary2(m) => Gate::Unitary2(m.adjoint()),
+            // Self-inverse gates.
+            g => g.clone(),
+        }
+    }
+
+    /// Whether the gate's matrix has purely real entries. Circuits made
+    /// entirely of real gates produce real-amplitude states, which is the
+    /// mechanism behind the paper's designed golden cutting point (the Y
+    /// expectation of any real state vanishes identically).
+    pub fn is_real(&self) -> bool {
+        match self {
+            Gate::I | Gate::H | Gate::X | Gate::Z | Gate::Ry(_) | Gate::Cx | Gate::Cz
+            | Gate::Ch | Gate::Swap | Gate::Cry(_) => true,
+            Gate::Unitary1(m) | Gate::Unitary2(m) => m.is_real(1e-12),
+            _ => false,
+        }
+    }
+
+    /// Short mnemonic for diagrams and reports.
+    pub fn name(&self) -> String {
+        match self {
+            Gate::I => "i".into(),
+            Gate::H => "h".into(),
+            Gate::X => "x".into(),
+            Gate::Y => "y".into(),
+            Gate::Z => "z".into(),
+            Gate::S => "s".into(),
+            Gate::Sdg => "sdg".into(),
+            Gate::T => "t".into(),
+            Gate::Tdg => "tdg".into(),
+            Gate::Sx => "sx".into(),
+            Gate::Rx(t) => format!("rx({t:.3})"),
+            Gate::Ry(t) => format!("ry({t:.3})"),
+            Gate::Rz(t) => format!("rz({t:.3})"),
+            Gate::Phase(t) => format!("p({t:.3})"),
+            Gate::U3(a, b, c) => format!("u3({a:.3},{b:.3},{c:.3})"),
+            Gate::Unitary1(_) => "u1q".into(),
+            Gate::Cx => "cx".into(),
+            Gate::Cy => "cy".into(),
+            Gate::Cz => "cz".into(),
+            Gate::Ch => "ch".into(),
+            Gate::Swap => "swap".into(),
+            Gate::Crx(t) => format!("crx({t:.3})"),
+            Gate::Cry(t) => format!("cry({t:.3})"),
+            Gate::Crz(t) => format!("crz({t:.3})"),
+            Gate::CPhase(t) => format!("cp({t:.3})"),
+            Gate::Unitary2(_) => "u2q".into(),
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Builds `|0><0| ⊗ I + |1><1| ⊗ U` with control = bit 0, target = bit 1.
+fn controlled(u: &Matrix) -> Matrix {
+    let mut m = Matrix::identity(4);
+    // Basis index = (target_bit << 1) | control_bit. Control active on
+    // indices 1 (t=0,c=1) and 3 (t=1,c=1).
+    m[(1, 1)] = u[(0, 0)];
+    m[(1, 3)] = u[(0, 1)];
+    m[(3, 1)] = u[(1, 0)];
+    m[(3, 3)] = u[(1, 1)];
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcut_math::TOL_STRICT;
+
+    fn all_fixed_gates() -> Vec<Gate> {
+        vec![
+            Gate::I,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Sx,
+            Gate::Rx(0.7),
+            Gate::Ry(-1.2),
+            Gate::Rz(2.5),
+            Gate::Phase(0.4),
+            Gate::U3(0.3, 1.1, -0.8),
+            Gate::Cx,
+            Gate::Cy,
+            Gate::Cz,
+            Gate::Ch,
+            Gate::Swap,
+            Gate::Crx(0.9),
+            Gate::Cry(1.4),
+            Gate::Crz(-0.6),
+            Gate::CPhase(2.2),
+        ]
+    }
+
+    #[test]
+    fn every_gate_is_unitary() {
+        for g in all_fixed_gates() {
+            assert!(g.matrix().is_unitary(TOL_STRICT), "{g} not unitary");
+        }
+    }
+
+    #[test]
+    fn arity_matches_matrix_dimension() {
+        for g in all_fixed_gates() {
+            let m = g.matrix();
+            assert_eq!(m.rows(), 1 << g.arity(), "{g}");
+        }
+    }
+
+    #[test]
+    fn adjoint_inverts() {
+        for g in all_fixed_gates() {
+            let prod = g.matrix().matmul(&g.adjoint().matrix());
+            let id = Matrix::identity(prod.rows());
+            assert!(prod.approx_eq(&id, TOL_STRICT), "{g}");
+        }
+    }
+
+    #[test]
+    fn hadamard_conjugates_z_to_x() {
+        let h = Gate::H.matrix();
+        let hzh = h.matmul(&Gate::Z.matrix()).matmul(&h);
+        assert!(hzh.approx_eq(&Gate::X.matrix(), TOL_STRICT));
+    }
+
+    #[test]
+    fn s_squared_is_z_and_t_squared_is_s() {
+        let s2 = Gate::S.matrix().pow(2);
+        assert!(s2.approx_eq(&Gate::Z.matrix(), TOL_STRICT));
+        let t2 = Gate::T.matrix().pow(2);
+        assert!(t2.approx_eq(&Gate::S.matrix(), TOL_STRICT));
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        let sx2 = Gate::Sx.matrix().pow(2);
+        assert!(sx2.approx_eq(&Gate::X.matrix(), TOL_STRICT));
+    }
+
+    #[test]
+    fn rotations_at_pi_match_paulis_up_to_phase() {
+        // R_a(π) = -i σ_a
+        for (rot, pauli) in [
+            (Gate::Rx(std::f64::consts::PI), Gate::X),
+            (Gate::Ry(std::f64::consts::PI), Gate::Y),
+            (Gate::Rz(std::f64::consts::PI), Gate::Z),
+        ] {
+            let want = pauli.matrix().scale(c64(0.0, -1.0));
+            assert!(rot.matrix().approx_eq(&want, TOL_STRICT), "{rot}");
+        }
+    }
+
+    #[test]
+    fn u3_special_cases() {
+        // U3(θ, -π/2, π/2) = RX(θ); U3(θ, 0, 0) = RY(θ).
+        let th = 0.83;
+        let rx = Gate::U3(th, -std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2);
+        assert!(rx.matrix().approx_eq(&Gate::Rx(th).matrix(), TOL_STRICT));
+        let ry = Gate::U3(th, 0.0, 0.0);
+        assert!(ry.matrix().approx_eq(&Gate::Ry(th).matrix(), TOL_STRICT));
+    }
+
+    #[test]
+    fn cx_truth_table() {
+        let cx = Gate::Cx.matrix();
+        // index = target<<1 | control
+        // control=0 states unchanged:
+        assert_eq!(cx[(0, 0)], Complex::ONE); // |00> -> |00>
+        assert_eq!(cx[(2, 2)], Complex::ONE); // t=1,c=0 unchanged
+        // control=1 flips target:
+        assert_eq!(cx[(3, 1)], Complex::ONE); // c=1,t=0 -> c=1,t=1
+        assert_eq!(cx[(1, 3)], Complex::ONE);
+    }
+
+    #[test]
+    fn swap_exchanges_bits() {
+        let sw = Gate::Swap.matrix();
+        // |01> (idx 1) <-> |10> (idx 2)
+        assert_eq!(sw[(2, 1)], Complex::ONE);
+        assert_eq!(sw[(1, 2)], Complex::ONE);
+        assert_eq!(sw[(0, 0)], Complex::ONE);
+        assert_eq!(sw[(3, 3)], Complex::ONE);
+    }
+
+    #[test]
+    fn real_gate_classification() {
+        assert!(Gate::H.is_real());
+        assert!(Gate::Ry(0.3).is_real());
+        assert!(Gate::Cx.is_real());
+        assert!(!Gate::Rx(0.3).is_real());
+        assert!(!Gate::S.is_real());
+        assert!(!Gate::Y.is_real());
+        assert!(Gate::Unitary1(Matrix::identity(2)).is_real());
+    }
+
+    #[test]
+    fn real_gates_have_real_matrices() {
+        for g in all_fixed_gates() {
+            if g.is_real() {
+                assert!(g.matrix().is_real(1e-12), "{g} claims real but is not");
+            }
+        }
+    }
+
+    #[test]
+    fn cz_is_symmetric_in_its_qubits() {
+        let cz = Gate::Cz.matrix();
+        // CZ = diag(1,1,1,-1) regardless of which qubit is "control".
+        let want = Matrix::from_real(
+            4,
+            4,
+            &[
+                1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, -1.0,
+            ],
+        );
+        assert!(cz.approx_eq(&want, TOL_STRICT));
+    }
+}

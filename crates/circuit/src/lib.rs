@@ -1,0 +1,50 @@
+//! # qcut-circuit
+//!
+//! Quantum circuit IR for the `qcut` workspace: gates, circuits, wire-level
+//! dependency analysis, cut specifications, random circuit generation
+//! (mirroring Qiskit's `random_circuit()`), and the paper's circuit
+//! families — the Fig. 1 three-qubit example, the Fig. 2 golden ansatz, and
+//! a multi-cut extension.
+//!
+//! Conventions used across the workspace:
+//!
+//! * **Little-endian qubits** — qubit 0 is the least-significant bit of a
+//!   computational-basis index.
+//! * All qubits start in `|0>`; backends measure every qubit in the
+//!   computational basis at the end.
+//! * A *cut* severs the wire segment after the `k`-th instruction on one
+//!   qubit's timeline ([`cut::CutLocation`]).
+//!
+//! ```
+//! use qcut_circuit::prelude::*;
+//!
+//! // The paper's 5-qubit golden ansatz (Fig. 2).
+//! let (circuit, cut) = GoldenAnsatz::new(5, 42).build();
+//! assert_eq!(circuit.num_qubits(), 5);
+//! cut.validate(&circuit).expect("designed to be cuttable");
+//! ```
+
+pub mod ansatz;
+pub mod circuit;
+pub mod cut;
+pub mod dag;
+pub mod diagram;
+pub mod gate;
+pub mod qasm;
+pub mod random;
+
+/// Common re-exports.
+pub mod prelude {
+    pub use crate::ansatz::{three_qubit_example, GoldenAnsatz, MultiCutAnsatz};
+    pub use crate::circuit::{Circuit, Instruction};
+    pub use crate::cut::{CutError, CutLocation, CutSpec};
+    pub use crate::dag::{CircuitDag, WireEdge};
+    pub use crate::diagram::{render, render_with_cuts};
+    pub use crate::gate::Gate;
+    pub use crate::qasm::{to_qasm, QasmError};
+    pub use crate::random::{
+        random_circuit, random_real_circuit, rx_layer, ry_layer, RandomCircuitConfig,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,143 @@
+//! OpenQASM 2.0 export.
+//!
+//! Lets circuits (and cut fragments) leave the workspace for inspection in
+//! standard tooling. Only export is provided — the library generates its
+//! own workloads, so an importer would be dead code; arbitrary `Unitary1/2`
+//! gates have no faithful QASM 2.0 spelling and are rejected with a clear
+//! error.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use std::fmt::Write as _;
+
+/// Errors raised during export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QasmError {
+    /// The circuit contains a raw-matrix gate with no QASM 2.0 spelling.
+    UnsupportedGate {
+        /// Instruction index.
+        index: usize,
+        /// Gate mnemonic.
+        gate: String,
+    },
+}
+
+impl std::fmt::Display for QasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QasmError::UnsupportedGate { index, gate } => write!(
+                f,
+                "instruction #{index} ({gate}) has no OpenQASM 2.0 representation; \
+                 decompose raw-matrix gates before exporting"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+/// Serialises a circuit to OpenQASM 2.0 with a final full-register
+/// measurement (the workspace's implicit measurement convention).
+pub fn to_qasm(circuit: &Circuit) -> Result<String, QasmError> {
+    let n = circuit.num_qubits();
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{n}];\ncreg c[{n}];");
+
+    for (index, inst) in circuit.instructions().iter().enumerate() {
+        let q = &inst.qubits;
+        let line = match &inst.gate {
+            Gate::I => format!("id q[{}];", q[0]),
+            Gate::H => format!("h q[{}];", q[0]),
+            Gate::X => format!("x q[{}];", q[0]),
+            Gate::Y => format!("y q[{}];", q[0]),
+            Gate::Z => format!("z q[{}];", q[0]),
+            Gate::S => format!("s q[{}];", q[0]),
+            Gate::Sdg => format!("sdg q[{}];", q[0]),
+            Gate::T => format!("t q[{}];", q[0]),
+            Gate::Tdg => format!("tdg q[{}];", q[0]),
+            Gate::Sx => format!("sx q[{}];", q[0]),
+            Gate::Rx(a) => format!("rx({a}) q[{}];", q[0]),
+            Gate::Ry(a) => format!("ry({a}) q[{}];", q[0]),
+            Gate::Rz(a) => format!("rz({a}) q[{}];", q[0]),
+            Gate::Phase(a) => format!("p({a}) q[{}];", q[0]),
+            Gate::U3(t, p, l) => format!("u3({t},{p},{l}) q[{}];", q[0]),
+            Gate::Cx => format!("cx q[{}],q[{}];", q[0], q[1]),
+            Gate::Cy => format!("cy q[{}],q[{}];", q[0], q[1]),
+            Gate::Cz => format!("cz q[{}],q[{}];", q[0], q[1]),
+            Gate::Ch => format!("ch q[{}],q[{}];", q[0], q[1]),
+            Gate::Swap => format!("swap q[{}],q[{}];", q[0], q[1]),
+            Gate::Crx(a) => format!("crx({a}) q[{}],q[{}];", q[0], q[1]),
+            Gate::Cry(a) => format!("cry({a}) q[{}],q[{}];", q[0], q[1]),
+            Gate::Crz(a) => format!("crz({a}) q[{}],q[{}];", q[0], q[1]),
+            Gate::CPhase(a) => format!("cp({a}) q[{}],q[{}];", q[0], q[1]),
+            Gate::Unitary1(_) | Gate::Unitary2(_) => {
+                return Err(QasmError::UnsupportedGate {
+                    index,
+                    gate: inst.gate.name(),
+                })
+            }
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    let _ = writeln!(out, "measure q -> c;");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcut_math::Matrix;
+
+    #[test]
+    fn exports_common_gates() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(0.5, 2).swap(1, 2).t(0);
+        let qasm = to_qasm(&c).unwrap();
+        assert!(qasm.starts_with("OPENQASM 2.0;"));
+        assert!(qasm.contains("qreg q[3];"));
+        assert!(qasm.contains("h q[0];"));
+        assert!(qasm.contains("cx q[0],q[1];"));
+        assert!(qasm.contains("rz(0.5) q[2];"));
+        assert!(qasm.contains("swap q[1],q[2];"));
+        assert!(qasm.ends_with("measure q -> c;\n"));
+    }
+
+    #[test]
+    fn gate_count_matches_line_count() {
+        let mut c = Circuit::new(2);
+        c.h(0).s(1).sdg(0).cx(0, 1).cz(1, 0);
+        let qasm = to_qasm(&c).unwrap();
+        // header (2) + qreg + creg + 5 gates + measure = 10 lines.
+        assert_eq!(qasm.lines().count(), 10);
+    }
+
+    #[test]
+    fn raw_unitary_rejected_with_index() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.unitary1(Matrix::identity(2), 0);
+        let err = to_qasm(&c).unwrap_err();
+        assert_eq!(
+            err,
+            QasmError::UnsupportedGate {
+                index: 1,
+                gate: "u1q".into()
+            }
+        );
+        assert!(err.to_string().contains("#1"));
+    }
+
+    #[test]
+    fn ansatz_exports_cleanly() {
+        // The golden ansatz uses only named gates, so it round-trips to
+        // QASM (useful for cross-checking against Qiskit).
+        use crate::ansatz::GoldenAnsatz;
+        let (c, _) = GoldenAnsatz::new(5, 3).build();
+        let qasm = to_qasm(&c).unwrap();
+        assert!(qasm.contains("qreg q[5];"));
+        assert!(qasm.contains("rx("));
+        assert!(qasm.contains("ry("));
+    }
+}

@@ -1,0 +1,278 @@
+//! Random circuit generation, mirroring Qiskit's `random_circuit()` which
+//! the paper uses for the `U1`/`U2` blocks of its ansatz (§III).
+//!
+//! Two flavours:
+//!
+//! * [`random_circuit`] — unrestricted gate alphabet (rotations, Cliffords,
+//!   T, controlled gates), like Qiskit's generator;
+//! * [`random_real_circuit`] — only gates with real matrices (H, X, Z, RY,
+//!   CX, CZ, CRY, SWAP). Circuits from this family map real states to real
+//!   states, which *designs in* a golden cutting point for the Y basis:
+//!   `tr((Π_b ⊗ Y) ρ) = 0` for every real ρ (paper §II-A mechanism (ii)).
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for the random circuit generators.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomCircuitConfig {
+    /// Number of layers; each layer covers all qubits with a random mix of
+    /// 1- and 2-qubit gates.
+    pub depth: usize,
+    /// Probability that a pair of adjacent free qubits receives a 2-qubit
+    /// gate within a layer.
+    pub two_qubit_prob: f64,
+}
+
+impl Default for RandomCircuitConfig {
+    fn default() -> Self {
+        RandomCircuitConfig {
+            depth: 3,
+            two_qubit_prob: 0.5,
+        }
+    }
+}
+
+/// Generates a Qiskit-style random circuit on `num_qubits` qubits.
+///
+/// Layer structure: qubits are visited in a random order; with probability
+/// `two_qubit_prob` a qubit is paired with another free qubit for a 2-qubit
+/// gate, otherwise it receives a random 1-qubit gate.
+pub fn random_circuit(num_qubits: usize, config: RandomCircuitConfig, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_circuit_with(num_qubits, config, &mut rng)
+}
+
+/// Like [`random_circuit`] but drawing from a caller-supplied RNG.
+pub fn random_circuit_with<R: Rng + ?Sized>(
+    num_qubits: usize,
+    config: RandomCircuitConfig,
+    rng: &mut R,
+) -> Circuit {
+    build_layers(num_qubits, config, rng, &one_qubit_gate, &two_qubit_gate)
+}
+
+/// Generates a random circuit using only real-matrix gates.
+pub fn random_real_circuit(num_qubits: usize, config: RandomCircuitConfig, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_real_circuit_with(num_qubits, config, &mut rng)
+}
+
+/// Like [`random_real_circuit`] but drawing from a caller-supplied RNG.
+pub fn random_real_circuit_with<R: Rng + ?Sized>(
+    num_qubits: usize,
+    config: RandomCircuitConfig,
+    rng: &mut R,
+) -> Circuit {
+    build_layers(
+        num_qubits,
+        config,
+        rng,
+        &one_qubit_real_gate,
+        &two_qubit_real_gate,
+    )
+}
+
+/// A layer of RX rotations with angles drawn uniformly from `[0, 6.28]` —
+/// the "collections of RX gates" in the paper's §III workload.
+pub fn rx_layer<R: Rng + ?Sized>(circuit: &mut Circuit, qubits: &[usize], rng: &mut R) {
+    for &q in qubits {
+        // The paper specifies the interval [0, 6.28] literally (§III); keep
+        // it rather than substituting TAU.
+        #[allow(clippy::approx_constant)]
+        circuit.rx(rng.gen_range(0.0..6.28), q);
+    }
+}
+
+/// A layer of RY rotations (the real-gate analogue of [`rx_layer`], used on
+/// the upstream side of the golden ansatz so real amplitudes are preserved).
+pub fn ry_layer<R: Rng + ?Sized>(circuit: &mut Circuit, qubits: &[usize], rng: &mut R) {
+    for &q in qubits {
+        // Same literal interval as the paper's RX layer.
+        #[allow(clippy::approx_constant)]
+        circuit.ry(rng.gen_range(0.0..6.28), q);
+    }
+}
+
+fn build_layers<R: Rng + ?Sized>(
+    num_qubits: usize,
+    config: RandomCircuitConfig,
+    rng: &mut R,
+    one_q: &dyn Fn(&mut R) -> Gate,
+    two_q: &dyn Fn(&mut R) -> Gate,
+) -> Circuit {
+    let mut circuit = Circuit::new(num_qubits);
+    for _ in 0..config.depth {
+        // Random visitation order (Fisher–Yates).
+        let mut order: Vec<usize> = (0..num_qubits).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let mut used = vec![false; num_qubits];
+        let mut idx = 0;
+        while idx < order.len() {
+            let q = order[idx];
+            idx += 1;
+            if used[q] {
+                continue;
+            }
+            // Try to pair with the next unused qubit in the order.
+            let partner = order[idx..].iter().copied().find(|&p| !used[p]);
+            if let Some(p) = partner {
+                if num_qubits > 1 && rng.gen_bool(config.two_qubit_prob) {
+                    used[q] = true;
+                    used[p] = true;
+                    circuit.push(two_q(rng), &[q, p]);
+                    continue;
+                }
+            }
+            used[q] = true;
+            circuit.push(one_q(rng), &[q]);
+        }
+    }
+    circuit
+}
+
+fn one_qubit_gate<R: Rng + ?Sized>(rng: &mut R) -> Gate {
+    let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+    match rng.gen_range(0..10) {
+        0 => Gate::H,
+        1 => Gate::X,
+        2 => Gate::Y,
+        3 => Gate::Z,
+        4 => Gate::S,
+        5 => Gate::T,
+        6 => Gate::Rx(theta),
+        7 => Gate::Ry(theta),
+        8 => Gate::Rz(theta),
+        _ => Gate::U3(
+            theta,
+            rng.gen_range(0.0..std::f64::consts::TAU),
+            rng.gen_range(0.0..std::f64::consts::TAU),
+        ),
+    }
+}
+
+fn two_qubit_gate<R: Rng + ?Sized>(rng: &mut R) -> Gate {
+    let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+    match rng.gen_range(0..6) {
+        0 => Gate::Cx,
+        1 => Gate::Cz,
+        2 => Gate::Swap,
+        3 => Gate::Crx(theta),
+        4 => Gate::Crz(theta),
+        _ => Gate::CPhase(theta),
+    }
+}
+
+fn one_qubit_real_gate<R: Rng + ?Sized>(rng: &mut R) -> Gate {
+    let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+    match rng.gen_range(0..5) {
+        0 => Gate::H,
+        1 => Gate::X,
+        2 => Gate::Z,
+        _ => Gate::Ry(theta),
+    }
+}
+
+fn two_qubit_real_gate<R: Rng + ?Sized>(rng: &mut R) -> Gate {
+    let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+    match rng.gen_range(0..4) {
+        0 => Gate::Cx,
+        1 => Gate::Cz,
+        2 => Gate::Cry(theta),
+        _ => Gate::Swap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_depth() {
+        let c = random_circuit(4, RandomCircuitConfig { depth: 5, two_qubit_prob: 0.5 }, 1);
+        // Every layer touches every qubit, so depth >= requested layers is
+        // not guaranteed (gates can commute visually) but instruction count
+        // is at least ceil(n/2) per layer and at most n per layer.
+        assert!(c.len() >= 5 * 2 && c.len() <= 5 * 4);
+        assert_eq!(c.num_qubits(), 4);
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let cfg = RandomCircuitConfig::default();
+        let a = random_circuit(5, cfg, 99);
+        let b = random_circuit(5, cfg, 99);
+        assert_eq!(a, b);
+        let c = random_circuit(5, cfg, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn circuits_are_unitary() {
+        for seed in 0..5 {
+            let c = random_circuit(3, RandomCircuitConfig::default(), seed);
+            assert!(c.unitary().is_unitary(1e-9), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn real_circuits_are_real() {
+        for seed in 0..10 {
+            let c = random_real_circuit(4, RandomCircuitConfig::default(), seed);
+            assert!(c.is_real(), "seed {seed} produced a non-real gate");
+            assert!(c.unitary().is_real(1e-12), "seed {seed} unitary not real");
+        }
+    }
+
+    #[test]
+    fn unrestricted_circuits_eventually_use_complex_gates() {
+        let found_complex = (0..20).any(|seed| {
+            !random_circuit(4, RandomCircuitConfig { depth: 6, two_qubit_prob: 0.3 }, seed)
+                .is_real()
+        });
+        assert!(found_complex, "20 seeds never produced a complex gate");
+    }
+
+    #[test]
+    fn two_qubit_prob_zero_gives_only_single_qubit_gates() {
+        let c = random_circuit(4, RandomCircuitConfig { depth: 4, two_qubit_prob: 0.0 }, 3);
+        assert_eq!(c.two_qubit_gate_count(), 0);
+        assert_eq!(c.len(), 16); // every qubit gets a 1q gate per layer
+    }
+
+    #[test]
+    fn two_qubit_prob_one_maximises_pairs() {
+        let c = random_circuit(4, RandomCircuitConfig { depth: 1, two_qubit_prob: 1.0 }, 4);
+        assert_eq!(c.two_qubit_gate_count(), 2); // 4 qubits = 2 pairs
+    }
+
+    #[test]
+    fn rx_layer_targets_given_qubits() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Circuit::new(5);
+        rx_layer(&mut c, &[1, 3], &mut rng);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.instructions()[0].qubits, vec![1]);
+        assert_eq!(c.instructions()[1].qubits, vec![3]);
+        assert!(matches!(c.instructions()[0].gate, Gate::Rx(_)));
+    }
+
+    #[test]
+    fn ry_layer_is_real() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Circuit::new(3);
+        ry_layer(&mut c, &[0, 1, 2], &mut rng);
+        assert!(c.is_real());
+    }
+
+    #[test]
+    fn single_qubit_circuit_generation_works() {
+        let c = random_circuit(1, RandomCircuitConfig { depth: 3, two_qubit_prob: 0.9 }, 5);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.two_qubit_gate_count(), 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Shot allocation across tomography settings.
+//!
+//! The paper uses a uniform budget (1000 or 10 000 shots per subcircuit).
+//! Uniform is not variance-optimal: the upstream `Z` setting feeds *two*
+//! reconstruction strings per cut (`I` and `Z`), and downstream
+//! preparations are reused by every string whose prep pair contains them,
+//! so settings differ in how many contraction terms consume their data.
+//! [`ShotAllocation::WeightedByUsage`] splits a total budget
+//! proportionally to that usage count; the ablation benches compare it
+//! against the paper's uniform scheme.
+
+use crate::basis::{encode_meas, encode_prep, BasisPlan};
+use crate::tomography::ExperimentPlan;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How to distribute shots over the subcircuit settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShotAllocation {
+    /// The paper's scheme: the same budget for every setting.
+    Uniform {
+        /// Shots per subcircuit.
+        shots_per_setting: u64,
+    },
+    /// A fixed total budget divided evenly (rounded down, remainder to the
+    /// earliest settings).
+    TotalBudget {
+        /// Total shots across all subcircuits.
+        total: u64,
+    },
+    /// A fixed total budget divided proportionally to how many
+    /// reconstruction terms consume each setting's data.
+    WeightedByUsage {
+        /// Total shots across all subcircuits.
+        total: u64,
+    },
+}
+
+/// Concrete per-setting shot counts, aligned with an [`ExperimentPlan`]'s
+/// variant order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShotSchedule {
+    /// Shots for each upstream variant.
+    pub upstream: Vec<u64>,
+    /// Shots for each downstream variant.
+    pub downstream: Vec<u64>,
+}
+
+impl ShotSchedule {
+    /// Total shots in the schedule.
+    pub fn total(&self) -> u64 {
+        self.upstream.iter().sum::<u64>() + self.downstream.iter().sum::<u64>()
+    }
+
+    /// Smallest per-setting budget (0 means a starved setting — invalid
+    /// for reconstruction).
+    pub fn min_shots(&self) -> u64 {
+        self.upstream
+            .iter()
+            .chain(&self.downstream)
+            .copied()
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+/// How many reconstruction strings read each upstream setting and how many
+/// signed prep combinations read each downstream preparation.
+pub fn usage_counts(plan: &BasisPlan) -> (HashMap<u64, u64>, HashMap<u64, u64>) {
+    let mut upstream: HashMap<u64, u64> = HashMap::new();
+    let mut downstream: HashMap<u64, u64> = HashMap::new();
+    let num_cuts = plan.num_cuts();
+    for m in plan.all_recon_strings() {
+        *upstream.entry(encode_meas(&plan.setting_for(&m))).or_insert(0) += 1;
+        // Each string consumes 2^K prep combinations.
+        let pairs: Vec<_> = (0..num_cuts).map(|k| plan.prep_pair(k, m[k])).collect();
+        for combo in 0..(1usize << num_cuts) {
+            let states: Vec<_> = pairs
+                .iter()
+                .enumerate()
+                .map(|(k, pair)| pair[(combo >> k) & 1].0)
+                .collect();
+            *downstream.entry(encode_prep(&states)).or_insert(0) += 1;
+        }
+    }
+    (upstream, downstream)
+}
+
+/// Builds the concrete schedule for a plan and allocation policy.
+///
+/// # Panics
+/// Panics if a total budget is too small to give every setting at least
+/// one shot.
+pub fn schedule(
+    basis: &BasisPlan,
+    experiment: &ExperimentPlan,
+    allocation: ShotAllocation,
+) -> ShotSchedule {
+    let n_up = experiment.upstream.len();
+    let n_down = experiment.downstream.len();
+    let n_total = n_up + n_down;
+    match allocation {
+        ShotAllocation::Uniform { shots_per_setting } => ShotSchedule {
+            upstream: vec![shots_per_setting; n_up],
+            downstream: vec![shots_per_setting; n_down],
+        },
+        ShotAllocation::TotalBudget { total } => {
+            assert!(
+                total >= n_total as u64,
+                "budget {total} cannot cover {n_total} settings"
+            );
+            let base = total / n_total as u64;
+            let mut rem = (total % n_total as u64) as usize;
+            let mut give = |n: usize| -> Vec<u64> {
+                (0..n)
+                    .map(|_| {
+                        base + if rem > 0 {
+                            rem -= 1;
+                            1
+                        } else {
+                            0
+                        }
+                    })
+                    .collect()
+            };
+            let upstream = give(n_up);
+            let downstream = give(n_down);
+            ShotSchedule {
+                upstream,
+                downstream,
+            }
+        }
+        ShotAllocation::WeightedByUsage { total } => {
+            assert!(
+                total >= n_total as u64,
+                "budget {total} cannot cover {n_total} settings"
+            );
+            let (up_usage, down_usage) = usage_counts(basis);
+            let up_w: Vec<f64> = experiment
+                .upstream
+                .iter()
+                .map(|v| up_usage.get(&encode_meas(&v.setting)).copied().unwrap_or(1) as f64)
+                .collect();
+            let down_w: Vec<f64> = experiment
+                .downstream
+                .iter()
+                .map(|v| {
+                    down_usage
+                        .get(&encode_prep(&v.preparation))
+                        .copied()
+                        .unwrap_or(1) as f64
+                })
+                .collect();
+            let weight_sum: f64 = up_w.iter().chain(&down_w).sum();
+            // Reserve one shot per setting, distribute the rest by weight.
+            let spare = total - n_total as u64;
+            let alloc = |w: &[f64]| -> Vec<u64> {
+                w.iter()
+                    .map(|wi| 1 + (spare as f64 * wi / weight_sum).floor() as u64)
+                    .collect()
+            };
+            ShotSchedule {
+                upstream: alloc(&up_w),
+                downstream: alloc(&down_w),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::Fragmenter;
+    use qcut_circuit::ansatz::GoldenAnsatz;
+    use qcut_math::Pauli;
+
+    fn plan_pair(golden: bool) -> (BasisPlan, ExperimentPlan) {
+        let (c, spec) = GoldenAnsatz::new(5, 1).build();
+        let frags = Fragmenter::fragment(&c, &spec).unwrap();
+        let basis = if golden {
+            BasisPlan::with_neglected(vec![Some(Pauli::Y)])
+        } else {
+            BasisPlan::standard(1)
+        };
+        let experiment = ExperimentPlan::build(&frags, &basis);
+        (basis, experiment)
+    }
+
+    #[test]
+    fn uniform_schedule_matches_paper() {
+        let (basis, experiment) = plan_pair(false);
+        let s = schedule(
+            &basis,
+            &experiment,
+            ShotAllocation::Uniform {
+                shots_per_setting: 1000,
+            },
+        );
+        assert_eq!(s.upstream, vec![1000; 3]);
+        assert_eq!(s.downstream, vec![1000; 6]);
+        assert_eq!(s.total(), 9000);
+    }
+
+    #[test]
+    fn total_budget_is_exactly_spent() {
+        let (basis, experiment) = plan_pair(false);
+        let s = schedule(&basis, &experiment, ShotAllocation::TotalBudget { total: 9005 });
+        assert_eq!(s.total(), 9005);
+        // No setting starves and the split is near-even.
+        assert!(s.min_shots() >= 1000);
+        assert!(s.upstream.iter().chain(&s.downstream).all(|&n| n <= 1002));
+    }
+
+    #[test]
+    fn usage_counts_single_cut() {
+        // Standard single cut: Z setting feeds I and Z strings (2), X and Y
+        // feed one each; preps: Zp/Zm serve I and Z strings × 2 combos = 4
+        // reads... concretely: each of the 4 strings reads 2 preps.
+        let basis = BasisPlan::standard(1);
+        let (up, down) = usage_counts(&basis);
+        use crate::basis::MeasBasis;
+        assert_eq!(up[&encode_meas(&[MeasBasis::Z])], 2);
+        assert_eq!(up[&encode_meas(&[MeasBasis::X])], 1);
+        assert_eq!(up[&encode_meas(&[MeasBasis::Y])], 1);
+        // Total downstream reads = 4 strings × 2 preps = 8.
+        let total: u64 = down.values().sum();
+        assert_eq!(total, 8);
+        // Zp is read by I and Z -> 2; Xp only by X -> 1.
+        use qcut_math::PrepState;
+        assert_eq!(down[&encode_prep(&[PrepState::Zp])], 2);
+        assert_eq!(down[&encode_prep(&[PrepState::Xp])], 1);
+    }
+
+    #[test]
+    fn weighted_schedule_favours_z_setting() {
+        let (basis, experiment) = plan_pair(false);
+        let s = schedule(
+            &basis,
+            &experiment,
+            ShotAllocation::WeightedByUsage { total: 90_000 },
+        );
+        // Find the Z setting's index.
+        use crate::basis::MeasBasis;
+        let z_idx = experiment
+            .upstream
+            .iter()
+            .position(|v| v.setting == vec![MeasBasis::Z])
+            .unwrap();
+        let x_idx = experiment
+            .upstream
+            .iter()
+            .position(|v| v.setting == vec![MeasBasis::X])
+            .unwrap();
+        assert!(
+            s.upstream[z_idx] > s.upstream[x_idx],
+            "Z setting should get more shots: {:?}",
+            s.upstream
+        );
+        // Budget approximately spent (floor rounding loses < n_settings).
+        assert!(s.total() <= 90_000);
+        assert!(s.total() >= 90_000 - 9);
+    }
+
+    #[test]
+    fn weighted_schedule_on_golden_plan() {
+        let (basis, experiment) = plan_pair(true);
+        let s = schedule(
+            &basis,
+            &experiment,
+            ShotAllocation::WeightedByUsage { total: 60_000 },
+        );
+        assert_eq!(s.upstream.len(), 2);
+        assert_eq!(s.downstream.len(), 4);
+        assert!(s.min_shots() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn starved_budget_rejected() {
+        let (basis, experiment) = plan_pair(false);
+        schedule(&basis, &experiment, ShotAllocation::TotalBudget { total: 5 });
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type of the cutting pipeline.
+
+use crate::fragment::FragmentError;
+use qcut_circuit::cut::CutError;
+use qcut_device::backend::BackendError;
+use std::fmt;
+
+/// Anything that can go wrong between "here is a circuit and a cut" and
+/// "here is the reconstructed distribution".
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The cut specification is invalid for this circuit.
+    Cut(CutError),
+    /// Fragment extraction failed.
+    Fragment(FragmentError),
+    /// A backend job failed.
+    Backend(BackendError),
+    /// Online detection ran out of shot budget without reaching a verdict
+    /// for the named cut.
+    DetectionUndecided {
+        /// Index of the cut that could not be decided.
+        cut: usize,
+        /// Shots spent per setting before giving up.
+        shots_spent: u64,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Cut(e) => write!(f, "cut validation failed: {e}"),
+            PipelineError::Fragment(e) => write!(f, "fragmenting failed: {e}"),
+            PipelineError::Backend(e) => write!(f, "backend error: {e}"),
+            PipelineError::DetectionUndecided { cut, shots_spent } => write!(
+                f,
+                "online golden detection undecided for cut {cut} after {shots_spent} \
+                 shots/setting; raise max_shots, loosen epsilon, or fall back to \
+                 GoldenPolicy::Disabled"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<CutError> for PipelineError {
+    fn from(e: CutError) -> Self {
+        PipelineError::Cut(e)
+    }
+}
+
+impl From<FragmentError> for PipelineError {
+    fn from(e: FragmentError) -> Self {
+        PipelineError::Fragment(e)
+    }
+}
+
+impl From<BackendError> for PipelineError {
+    fn from(e: BackendError) -> Self {
+        PipelineError::Backend(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_actionable() {
+        let e = PipelineError::DetectionUndecided {
+            cut: 2,
+            shots_spent: 9000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cut 2"));
+        assert!(s.contains("9000"));
+        assert!(s.contains("max_shots"));
+    }
+
+    #[test]
+    fn conversions_wrap() {
+        let e: PipelineError = CutError::Empty.into();
+        assert!(matches!(e, PipelineError::Cut(CutError::Empty)));
+        let e: PipelineError = BackendError::NoShots.into();
+        assert!(matches!(e, PipelineError::Backend(BackendError::NoShots)));
+    }
+}

@@ -1,0 +1,230 @@
+//! Running an [`ExperimentPlan`] on a backend and collecting fragment data.
+//!
+//! Fragments "can be simulated independently … run fragments in parallel"
+//! (paper §II-A): all subcircuit variants are submitted as one batch and
+//! executed through the device crate's parallel executor.
+
+use crate::basis::{encode_meas, encode_prep};
+use crate::tomography::ExperimentPlan;
+use qcut_device::backend::{Backend, BackendError};
+use qcut_device::executor::{run_parallel, run_sequential, Job};
+use qcut_sim::counts::Counts;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Measured counts for every subcircuit variant of one cut circuit.
+#[derive(Debug, Clone)]
+pub struct FragmentData {
+    /// Upstream counts keyed by [`encode_meas`] of the setting.
+    pub upstream: HashMap<u64, Counts>,
+    /// Downstream counts keyed by [`encode_prep`] of the preparation.
+    pub downstream: HashMap<u64, Counts>,
+    /// Shots used per setting.
+    pub shots_per_setting: u64,
+    /// Number of subcircuits executed.
+    pub subcircuits: usize,
+    /// Total shots across all subcircuits.
+    pub total_shots: u64,
+    /// Sum of simulated device time over all jobs (the Fig. 5 quantity).
+    pub simulated_device_time: Duration,
+    /// Host CPU time spent inside backend runs (summed over jobs).
+    pub host_time: Duration,
+}
+
+impl FragmentData {
+    /// Counts for one upstream setting.
+    pub fn upstream_counts(&self, setting_key: u64) -> Option<&Counts> {
+        self.upstream.get(&setting_key)
+    }
+
+    /// Counts for one downstream preparation.
+    pub fn downstream_counts(&self, prep_key: u64) -> Option<&Counts> {
+        self.downstream.get(&prep_key)
+    }
+
+    /// Merges shot data from a second gathering pass (same plan): counts
+    /// accumulate, budgets add up. Used by online detection's sequential
+    /// batches.
+    pub fn merge(&mut self, other: &FragmentData) {
+        for (k, c) in &other.upstream {
+            self.upstream
+                .entry(*k)
+                .and_modify(|mine| mine.merge(c))
+                .or_insert_with(|| c.clone());
+        }
+        for (k, c) in &other.downstream {
+            self.downstream
+                .entry(*k)
+                .and_modify(|mine| mine.merge(c))
+                .or_insert_with(|| c.clone());
+        }
+        self.shots_per_setting += other.shots_per_setting;
+        self.total_shots += other.total_shots;
+        self.simulated_device_time += other.simulated_device_time;
+        self.host_time += other.host_time;
+        self.subcircuits = self.upstream.len() + self.downstream.len();
+    }
+}
+
+/// Executes every variant of `plan` for `shots_per_setting` shots each.
+///
+/// `parallel` selects rayon fan-out vs sequential execution (the paper's
+/// device runs are sequential on a single QPU; classical simulation can
+/// fan out).
+pub fn gather<B: Backend + ?Sized>(
+    backend: &B,
+    plan: &ExperimentPlan,
+    shots_per_setting: u64,
+    parallel: bool,
+) -> Result<FragmentData, BackendError> {
+    let schedule = crate::allocation::ShotSchedule {
+        upstream: vec![shots_per_setting; plan.upstream.len()],
+        downstream: vec![shots_per_setting; plan.downstream.len()],
+    };
+    gather_scheduled(backend, plan, &schedule, parallel)
+}
+
+/// Like [`gather`] but with explicit per-setting shot counts (see
+/// [`crate::allocation`] for budget policies).
+pub fn gather_scheduled<B: Backend + ?Sized>(
+    backend: &B,
+    plan: &ExperimentPlan,
+    schedule: &crate::allocation::ShotSchedule,
+    parallel: bool,
+) -> Result<FragmentData, BackendError> {
+    assert_eq!(schedule.upstream.len(), plan.upstream.len(), "schedule arity");
+    assert_eq!(
+        schedule.downstream.len(),
+        plan.downstream.len(),
+        "schedule arity"
+    );
+    let mut jobs = Vec::with_capacity(plan.num_subcircuits());
+    for (i, v) in plan.upstream.iter().enumerate() {
+        jobs.push(Job {
+            circuit: v.circuit.clone(),
+            shots: schedule.upstream[i],
+            tag: i,
+        });
+    }
+    for (i, v) in plan.downstream.iter().enumerate() {
+        jobs.push(Job {
+            circuit: v.circuit.clone(),
+            shots: schedule.downstream[i],
+            tag: plan.upstream.len() + i,
+        });
+    }
+
+    let batch = if parallel {
+        run_parallel(backend, &jobs)
+    } else {
+        run_sequential(backend, &jobs)
+    };
+
+    let mut upstream = HashMap::with_capacity(plan.upstream.len());
+    let mut downstream = HashMap::with_capacity(plan.downstream.len());
+    let mut host_time = Duration::ZERO;
+    let mut results = batch.results.into_iter();
+
+    for v in &plan.upstream {
+        let r = results.next().expect("result per job")?;
+        host_time += r.host_duration;
+        upstream.insert(encode_meas(&v.setting), r.counts);
+    }
+    for v in &plan.downstream {
+        let r = results.next().expect("result per job")?;
+        host_time += r.host_duration;
+        downstream.insert(encode_prep(&v.preparation), r.counts);
+    }
+
+    let subcircuits = plan.num_subcircuits();
+    let total_shots = schedule.total();
+    Ok(FragmentData {
+        upstream,
+        downstream,
+        // Nominal per-setting budget: exact under uniform schedules, the
+        // mean otherwise.
+        shots_per_setting: total_shots / subcircuits.max(1) as u64,
+        subcircuits,
+        total_shots,
+        simulated_device_time: batch.total_simulated,
+        host_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::BasisPlan;
+    use crate::fragment::Fragmenter;
+    use qcut_circuit::ansatz::GoldenAnsatz;
+    use qcut_device::ideal::IdealBackend;
+    use qcut_math::Pauli;
+
+    fn plan_for(seed: u64, golden: bool) -> ExperimentPlan {
+        let (c, spec) = GoldenAnsatz::new(5, seed).build();
+        let frags = Fragmenter::fragment(&c, &spec).unwrap();
+        let basis = if golden {
+            BasisPlan::with_neglected(vec![Some(Pauli::Y)])
+        } else {
+            BasisPlan::standard(1)
+        };
+        ExperimentPlan::build(&frags, &basis)
+    }
+
+    #[test]
+    fn gather_fills_every_setting() {
+        let backend = IdealBackend::new(3);
+        let plan = plan_for(0, false);
+        let data = gather(&backend, &plan, 500, true).unwrap();
+        assert_eq!(data.upstream.len(), 3);
+        assert_eq!(data.downstream.len(), 6);
+        assert_eq!(data.subcircuits, 9);
+        assert_eq!(data.total_shots, 4500);
+        for c in data.upstream.values().chain(data.downstream.values()) {
+            assert_eq!(c.total(), 500);
+        }
+    }
+
+    #[test]
+    fn golden_gather_skips_y_settings() {
+        let backend = IdealBackend::new(3);
+        let plan = plan_for(0, true);
+        let data = gather(&backend, &plan, 500, true).unwrap();
+        assert_eq!(data.subcircuits, 6);
+        assert_eq!(data.total_shots, 3000);
+    }
+
+    #[test]
+    fn sequential_and_parallel_produce_same_shape() {
+        let plan = plan_for(1, false);
+        let b1 = IdealBackend::new(9);
+        let b2 = IdealBackend::new(9);
+        let par = gather(&b1, &plan, 100, true).unwrap();
+        let seq = gather(&b2, &plan, 100, false).unwrap();
+        assert_eq!(par.upstream.len(), seq.upstream.len());
+        assert_eq!(par.downstream.len(), seq.downstream.len());
+        assert_eq!(par.total_shots, seq.total_shots);
+    }
+
+    #[test]
+    fn capacity_error_propagates() {
+        let backend = IdealBackend::new(0).with_capacity(2);
+        let plan = plan_for(0, false); // 3-qubit fragments
+        let err = gather(&backend, &plan, 10, true).unwrap_err();
+        assert!(matches!(err, BackendError::CircuitTooWide { .. }));
+    }
+
+    #[test]
+    fn merge_accumulates_budgets() {
+        let backend = IdealBackend::new(3);
+        let plan = plan_for(0, false);
+        let mut a = gather(&backend, &plan, 200, true).unwrap();
+        let b = gather(&backend, &plan, 300, true).unwrap();
+        a.merge(&b);
+        assert_eq!(a.shots_per_setting, 500);
+        assert_eq!(a.total_shots, 4500);
+        for c in a.upstream.values() {
+            assert_eq!(c.total(), 500);
+        }
+    }
+}

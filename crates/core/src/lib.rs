@@ -1,0 +1,92 @@
+//! # qcut-core
+//!
+//! The paper's contribution: quantum circuit cutting with **golden cutting
+//! points** — neglecting basis elements whose upstream coefficients vanish
+//! (Chen, Hansen, et al., IPPS 2023, arXiv:2304.04093).
+//!
+//! The crate implements, from the cut specification down to the final
+//! distribution:
+//!
+//! * [`fragment`] — bipartitioning a circuit along validated wire cuts;
+//! * [`basis`] — the measurement/preparation/reconstruction enumerations
+//!   and how golden cuts shrink them (`3→2`, `6→4`, `4→3` per cut);
+//! * [`tomography`] — concrete subcircuit variants;
+//! * [`execution`] — parallel fragment data gathering on any backend;
+//! * [`reconstruction`] — the tensor contraction of paper Eq. 13/14, plus
+//!   exact (infinite-shot) variants used for verification and detection;
+//! * [`golden`] — a-priori, exact, and online golden-point detection
+//!   (the latter realising the paper's §IV future work);
+//! * [`sic`] — the SIC-basis preparation alternative discussed in §II-B;
+//! * [`pipeline`] — the one-call API: [`pipeline::CutExecutor`].
+//!
+//! ```
+//! use qcut_circuit::ansatz::GoldenAnsatz;
+//! use qcut_core::golden::GoldenPolicy;
+//! use qcut_core::pipeline::{CutExecutor, ExecutionOptions};
+//! use qcut_device::ideal::IdealBackend;
+//! use qcut_math::Pauli;
+//!
+//! let (circuit, cut) = GoldenAnsatz::new(5, 42).build();
+//! let backend = IdealBackend::new(7);
+//! let executor = CutExecutor::new(&backend);
+//! let run = executor
+//!     .run(
+//!         &circuit,
+//!         &cut,
+//!         GoldenPolicy::KnownAPriori(vec![(0, Pauli::Y)]),
+//!         &ExecutionOptions { shots_per_setting: 2000, ..Default::default() },
+//!     )
+//!     .unwrap();
+//! assert_eq!(run.report.subcircuits_executed, 6); // not 9: Y neglected
+//! ```
+
+pub mod allocation;
+pub mod basis;
+pub mod error;
+pub mod execution;
+pub mod fragment;
+pub mod golden;
+pub mod observable;
+pub mod pipeline;
+pub mod reconstruction;
+pub mod report;
+pub mod sic;
+pub mod tomography;
+pub mod variance;
+
+/// Cut specification types, re-exported from `qcut-circuit` for
+/// convenience (they live there so ansatz generators can return them).
+pub mod cut {
+    pub use qcut_circuit::cut::{CutError, CutLocation, CutSpec};
+}
+
+/// Common re-exports.
+pub mod prelude {
+    pub use crate::allocation::{schedule, usage_counts, ShotAllocation, ShotSchedule};
+    pub use crate::basis::{BasisPlan, MeasBasis};
+    pub use crate::cut::{CutError, CutLocation, CutSpec};
+    pub use crate::error::PipelineError;
+    pub use crate::execution::{gather, gather_scheduled, FragmentData};
+    pub use crate::fragment::{Fragment, FragmentError, FragmentRole, Fragmenter, Fragments};
+    pub use crate::golden::{
+        ExactDetector, GoldenPolicy, GoldenVerdict, OnlineConfig, OnlineDetector,
+    };
+    pub use crate::observable::{
+        diagonalize_pauli, pauli_expectation, DiagonalObservable, PauliSumObservable,
+    };
+    pub use crate::pipeline::{
+        CutExecutor, CutRun, ExecutionOptions, PostProcess, ReconstructionMethod, UncutRun,
+    };
+    pub use crate::reconstruction::{
+        contract, downstream_tensor, exact_reconstruct, reconstruct, upstream_tensor,
+        CoefficientTensor,
+    };
+    pub use crate::report::{RunReport, UncutReport};
+    pub use crate::sic::{gather_sic, sic_downstream_tensor, SicData, SicFrame};
+    pub use crate::variance::{
+        empirical_variance, reconstruction_variance, variance_from_tensors, ReconstructionError,
+    };
+    pub use crate::tomography::ExperimentPlan;
+}
+
+pub use prelude::*;

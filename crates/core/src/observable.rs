@@ -1,0 +1,346 @@
+//! Observable expectations through the cutting pipeline (paper Eq. 14).
+//!
+//! The paper's formalism targets `tr(Oρ)` for observables that factor
+//! across the bipartition. Two routes are provided:
+//!
+//! * **Diagonal observables** (`O = Σ_b w(b) |b><b|`, e.g. the bitstring
+//!   projectors `Π_b` of §III, Ising energies, Hamming weights): evaluated
+//!   directly on the reconstructed distribution.
+//! * **Arbitrary Pauli-string observables** `<P₁ ⊗ … ⊗ P_n>`: realised by
+//!   appending the basis-change rotations to the *end* of the circuit
+//!   before cutting, which diagonalises the observable without moving any
+//!   cut location, then reading the signed sum off the reconstructed
+//!   distribution.
+//!
+//! A subtlety worth noting (and tested): appending a `Y`-basis rotation on
+//! an *upstream output* qubit makes the upstream state complex, which can
+//! destroy a designed golden point. Using a detection policy
+//! (`GoldenPolicy::detect_exact()` / `DetectOnline`) instead of
+//! `KnownAPriori` handles this automatically — the detector re-examines
+//! the rotated circuit.
+
+use crate::error::PipelineError;
+use crate::golden::GoldenPolicy;
+use crate::pipeline::{CutExecutor, ExecutionOptions};
+use qcut_circuit::circuit::Circuit;
+use qcut_circuit::cut::CutSpec;
+use qcut_device::backend::Backend;
+use qcut_math::{Pauli, PauliString};
+use qcut_sim::basis_change::append_basis_rotation;
+use qcut_stats::distribution::Distribution;
+
+/// A diagonal observable: a weight per computational-basis outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagonalObservable {
+    num_bits: usize,
+    weights: Vec<f64>,
+}
+
+impl DiagonalObservable {
+    /// From explicit per-outcome weights (`len == 2^num_bits`).
+    pub fn from_weights(num_bits: usize, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), 1 << num_bits, "weight vector length");
+        DiagonalObservable { num_bits, weights }
+    }
+
+    /// The projector `Π_b = |b><b|` (the paper's §III observable family).
+    pub fn projector(num_bits: usize, bits: u64) -> Self {
+        let mut weights = vec![0.0; 1 << num_bits];
+        weights[bits as usize] = 1.0;
+        DiagonalObservable { num_bits, weights }
+    }
+
+    /// A Z-type Pauli string (diagonal): weight `(−1)^{popcount(b & mask)}`.
+    pub fn z_string(num_bits: usize, mask: u64) -> Self {
+        let weights = (0..(1u64 << num_bits))
+            .map(|b| if (b & mask).count_ones().is_multiple_of(2) { 1.0 } else { -1.0 })
+            .collect();
+        DiagonalObservable { num_bits, weights }
+    }
+
+    /// Hamming-weight observable `Σ_i (1−Z_i)/2`.
+    pub fn hamming_weight(num_bits: usize) -> Self {
+        let weights = (0..(1u64 << num_bits))
+            .map(|b| b.count_ones() as f64)
+            .collect();
+        DiagonalObservable { num_bits, weights }
+    }
+
+    /// Nearest-neighbour Ising energy `Σ_i J · z_i z_{i+1}` with
+    /// `z = ±1` spins read from the bits.
+    pub fn ising_chain(num_bits: usize, coupling: f64) -> Self {
+        let spin = |b: u64, i: usize| if (b >> i) & 1 == 0 { 1.0 } else { -1.0 };
+        let weights = (0..(1u64 << num_bits))
+            .map(|b| {
+                (0..num_bits.saturating_sub(1))
+                    .map(|i| coupling * spin(b, i) * spin(b, i + 1))
+                    .sum()
+            })
+            .collect();
+        DiagonalObservable { num_bits, weights }
+    }
+
+    /// Number of bits.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Expectation under a distribution: `Σ_b w(b) p(b)`.
+    pub fn expectation(&self, dist: &Distribution) -> f64 {
+        assert_eq!(dist.num_bits(), self.num_bits, "bit width mismatch");
+        self.weights
+            .iter()
+            .zip(dist.values())
+            .map(|(w, p)| w * p)
+            .sum()
+    }
+}
+
+/// Appends the rotations that diagonalise `pauli` onto `circuit`, returning
+/// the rotated circuit and the sign mask of the now-diagonal observable.
+/// Cut locations are unaffected (rotations go after every existing gate).
+pub fn diagonalize_pauli(circuit: &Circuit, pauli: &PauliString) -> (Circuit, u64) {
+    assert_eq!(
+        pauli.len(),
+        circuit.num_qubits(),
+        "observable width mismatch"
+    );
+    let mut rotated = circuit.clone();
+    let mut mask = 0u64;
+    for (q, p) in pauli.paulis().iter().enumerate() {
+        if *p != Pauli::I {
+            append_basis_rotation(&mut rotated, *p, q);
+            mask |= 1 << q;
+        }
+    }
+    (rotated, mask)
+}
+
+/// Measures `<P>` for an arbitrary Pauli string through the cutting
+/// pipeline: rotate, cut, reconstruct, take the signed sum.
+pub fn pauli_expectation<B: Backend + ?Sized>(
+    executor: &CutExecutor<'_, B>,
+    circuit: &Circuit,
+    cut: &CutSpec,
+    policy: GoldenPolicy,
+    options: &ExecutionOptions,
+    pauli: &PauliString,
+) -> Result<f64, PipelineError> {
+    let (rotated, mask) = diagonalize_pauli(circuit, pauli);
+    let run = executor.run(&rotated, cut, policy, options)?;
+    Ok(DiagonalObservable::z_string(circuit.num_qubits(), mask).expectation(&run.distribution))
+}
+
+/// A Hermitian observable as a real combination of Pauli strings.
+#[derive(Debug, Clone)]
+pub struct PauliSumObservable {
+    terms: Vec<(f64, PauliString)>,
+}
+
+impl PauliSumObservable {
+    /// Builds from `(coefficient, string)` terms.
+    pub fn new(terms: Vec<(f64, PauliString)>) -> Self {
+        assert!(!terms.is_empty(), "observable needs at least one term");
+        let n = terms[0].1.len();
+        assert!(
+            terms.iter().all(|(_, s)| s.len() == n),
+            "all terms must act on the same register"
+        );
+        PauliSumObservable { terms }
+    }
+
+    /// The terms.
+    pub fn terms(&self) -> &[(f64, PauliString)] {
+        &self.terms
+    }
+
+    /// Measures the expectation by running the pipeline once per
+    /// non-identity term (identity terms contribute their coefficient
+    /// directly).
+    pub fn measure<B: Backend + ?Sized>(
+        &self,
+        executor: &CutExecutor<'_, B>,
+        circuit: &Circuit,
+        cut: &CutSpec,
+        policy: &GoldenPolicy,
+        options: &ExecutionOptions,
+    ) -> Result<f64, PipelineError> {
+        let mut total = 0.0;
+        for (coeff, string) in &self.terms {
+            if string.weight() == 0 {
+                total += coeff;
+                continue;
+            }
+            total +=
+                coeff * pauli_expectation(executor, circuit, cut, policy.clone(), options, string)?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcut_circuit::ansatz::GoldenAnsatz;
+    use qcut_device::ideal::IdealBackend;
+    use qcut_sim::statevector::StateVector;
+
+    fn exact_expectation(circuit: &Circuit, pauli: &PauliString) -> f64 {
+        StateVector::from_circuit(circuit).expectation_pauli(pauli)
+    }
+
+    #[test]
+    fn projector_expectation_is_probability() {
+        let d = Distribution::from_values(2, vec![0.1, 0.2, 0.3, 0.4]);
+        let proj = DiagonalObservable::projector(2, 0b10);
+        assert!((proj.expectation(&d) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_string_signs() {
+        let o = DiagonalObservable::z_string(2, 0b01);
+        let d = Distribution::from_values(2, vec![0.5, 0.5, 0.0, 0.0]);
+        // <Z_0> = p(even bit0) - p(odd bit0) = 0.5 - 0.5 = 0.
+        assert!(o.expectation(&d).abs() < 1e-12);
+        let point = Distribution::point_mass(2, 0b01);
+        assert_eq!(o.expectation(&point), -1.0);
+    }
+
+    #[test]
+    fn hamming_and_ising_weights() {
+        let h = DiagonalObservable::hamming_weight(3);
+        let d = Distribution::point_mass(3, 0b101);
+        assert_eq!(h.expectation(&d), 2.0);
+        let ising = DiagonalObservable::ising_chain(3, 1.0);
+        // spins for 0b101: z0=-1, z1=+1, z2=-1: energy = (-1)(1) + (1)(-1) = -2.
+        assert_eq!(ising.expectation(&d), -2.0);
+    }
+
+    #[test]
+    fn diagonalize_appends_without_moving_cuts() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 3).build();
+        let p = PauliString::parse("XZIIY").unwrap();
+        let (rotated, mask) = diagonalize_pauli(&circuit, &p);
+        assert!(rotated.len() > circuit.len());
+        // X on qubit 4, Z on qubit 3, Y on qubit 0 => mask bits {4, 0}... Z
+        // needs no rotation but *is* part of the sign mask.
+        assert_eq!(mask, (1 << 4) | (1 << 3) | (1 << 0));
+        // Cut still validates on the rotated circuit.
+        cut.validate(&rotated).expect("cut must survive rotation");
+    }
+
+    #[test]
+    fn pauli_expectation_matches_statevector() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 11).build();
+        let backend = IdealBackend::new(5);
+        let executor = CutExecutor::new(&backend);
+        let options = ExecutionOptions {
+            shots_per_setting: 40_000,
+            ..Default::default()
+        };
+        for label in ["ZIIII", "IIZZI", "XIIII", "IIIZX"] {
+            let p = PauliString::parse(label).unwrap();
+            let want = exact_expectation(&circuit, &p);
+            let got = pauli_expectation(
+                &executor,
+                &circuit,
+                &cut,
+                GoldenPolicy::Disabled,
+                &options,
+                &p,
+            )
+            .unwrap();
+            assert!(
+                (got - want).abs() < 0.05,
+                "<{label}>: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn golden_detection_survives_observable_rotations() {
+        // A Y-observable on a *downstream* qubit keeps the upstream golden;
+        // exact detection still neglects Y at the cut.
+        let (circuit, cut) = GoldenAnsatz::new(5, 13).build();
+        let mut p = PauliString::identity(5);
+        p.set(4, Pauli::Y); // downstream output
+        let backend = IdealBackend::new(7);
+        let executor = CutExecutor::new(&backend);
+        let options = ExecutionOptions {
+            shots_per_setting: 30_000,
+            ..Default::default()
+        };
+        let want = exact_expectation(&circuit, &p);
+        let got = pauli_expectation(
+            &executor,
+            &circuit,
+            &cut,
+            GoldenPolicy::detect_exact(),
+            &options,
+            &p,
+        )
+        .unwrap();
+        assert!((got - want).abs() < 0.05, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn y_observable_on_upstream_output_breaks_known_a_priori_golden() {
+        // The documented subtlety: a Y rotation on an upstream output makes
+        // the upstream complex. Exact detection correctly *refuses* to
+        // neglect Y in that case (on generic seeds), while the rotated
+        // expectation still reconstructs correctly without neglect.
+        use crate::basis::BasisPlan;
+        use crate::fragment::Fragmenter;
+        use crate::reconstruction::exact_upstream_tensor;
+
+        let mut found_breaking_seed = false;
+        for seed in 0..10 {
+            let (circuit, cut) = GoldenAnsatz::new(5, seed).build();
+            let mut p = PauliString::identity(5);
+            p.set(0, Pauli::Y); // upstream output qubit
+            let (rotated, _) = diagonalize_pauli(&circuit, &p);
+            let frags = Fragmenter::fragment(&rotated, &cut).unwrap();
+            let up = exact_upstream_tensor(&frags.upstream, &BasisPlan::standard(1));
+            if up.max_abs(&[Pauli::Y]) > 1e-6 {
+                found_breaking_seed = true;
+                break;
+            }
+        }
+        assert!(
+            found_breaking_seed,
+            "expected some seed where the Y rotation destroys the golden point"
+        );
+    }
+
+    #[test]
+    fn pauli_sum_observable_measures_linearly() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 17).build();
+        let obs = PauliSumObservable::new(vec![
+            (0.5, PauliString::identity(5)),
+            (1.0, PauliString::parse("IIIZI").unwrap()),
+            (-2.0, PauliString::parse("ZIIII").unwrap()),
+        ]);
+        let backend = IdealBackend::new(9);
+        let executor = CutExecutor::new(&backend);
+        let options = ExecutionOptions {
+            shots_per_setting: 40_000,
+            ..Default::default()
+        };
+        let got = obs
+            .measure(&executor, &circuit, &cut, &GoldenPolicy::Disabled, &options)
+            .unwrap();
+        let sv = StateVector::from_circuit(&circuit);
+        let want = 0.5 + sv.expectation_pauli(&PauliString::parse("IIIZI").unwrap())
+            - 2.0 * sv.expectation_pauli(&PauliString::parse("ZIIII").unwrap());
+        assert!((got - want).abs() < 0.08, "got {got}, want {want}");
+    }
+
+    #[test]
+    #[should_panic(expected = "same register")]
+    fn mixed_width_terms_rejected() {
+        PauliSumObservable::new(vec![
+            (1.0, PauliString::identity(3)),
+            (1.0, PauliString::identity(4)),
+        ]);
+    }
+}

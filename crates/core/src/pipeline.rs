@@ -1,0 +1,439 @@
+//! The high-level cutting pipeline: circuit + cut + policy → reconstructed
+//! distribution + accounting.
+//!
+//! ```text
+//! CutExecutor::run
+//!   ├─ validate & fragment the circuit
+//!   ├─ resolve the golden policy into a BasisPlan
+//!   │    (a priori / exact simulation / online sequential detection)
+//!   ├─ build the ExperimentPlan (subcircuit variants)
+//!   ├─ gather fragment data on the backend (parallel)
+//!   ├─ reconstruct (tensor contraction, Eq. 14)
+//!   └─ post-process the quasi-distribution
+//! ```
+
+use crate::basis::BasisPlan;
+use crate::error::PipelineError;
+use crate::execution::gather;
+use crate::fragment::{Fragmenter, Fragments};
+use crate::golden::{
+    resolve_static_policy, GoldenPolicy, GoldenVerdict, OnlineConfig, OnlineDetector,
+};
+use crate::reconstruction::{contract, downstream_tensor, upstream_tensor};
+use crate::report::{RunReport, UncutReport};
+use crate::sic::{gather_sic, sic_downstream_tensor};
+use crate::tomography::{build_upstream_circuit, ExperimentPlan};
+use qcut_circuit::circuit::Circuit;
+use qcut_circuit::cut::CutSpec;
+use qcut_device::backend::Backend;
+use qcut_stats::distribution::Distribution;
+use std::time::Instant;
+
+/// Downstream preparation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReconstructionMethod {
+    /// Pauli eigenstate preparations: `6^{K_r} 4^{K_g}` subcircuits
+    /// (the paper's scheme; golden cuts shrink it).
+    #[default]
+    Eigenstate,
+    /// SIC preparations: always `4^K` subcircuits, linear solve during
+    /// assembly (paper §II-B's alternative).
+    Sic,
+}
+
+/// Post-processing applied to the reconstructed quasi-distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PostProcess {
+    /// Return the raw quasi-distribution (may have negative entries).
+    Raw,
+    /// Clip negatives and renormalise.
+    #[default]
+    ClipRenormalize,
+    /// Euclidean projection onto the probability simplex.
+    SimplexProjection,
+}
+
+/// Knobs for one pipeline run.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionOptions {
+    /// Shots for every subcircuit setting (the paper uses 1 000 for the
+    /// runtime experiments and 10 000 for the accuracy experiment).
+    pub shots_per_setting: u64,
+    /// Downstream preparation scheme.
+    pub method: ReconstructionMethod,
+    /// Post-processing step.
+    pub postprocess: PostProcess,
+    /// Fan subcircuits out over the rayon pool.
+    pub parallel: bool,
+}
+
+impl Default for ExecutionOptions {
+    fn default() -> Self {
+        ExecutionOptions {
+            shots_per_setting: 1000,
+            method: ReconstructionMethod::Eigenstate,
+            postprocess: PostProcess::ClipRenormalize,
+            parallel: true,
+        }
+    }
+}
+
+/// Result of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct CutRun {
+    /// Reconstructed distribution over the full circuit's qubits.
+    pub distribution: Distribution,
+    /// Accounting (settings, shots, timings).
+    pub report: RunReport,
+}
+
+/// Result of an uncut reference run.
+#[derive(Debug, Clone)]
+pub struct UncutRun {
+    /// Measured distribution.
+    pub distribution: Distribution,
+    /// Accounting.
+    pub report: UncutReport,
+}
+
+/// The high-level executor bound to one backend.
+pub struct CutExecutor<'b, B: Backend + ?Sized> {
+    backend: &'b B,
+}
+
+impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
+    /// Binds an executor to a backend.
+    pub fn new(backend: &'b B) -> Self {
+        CutExecutor { backend }
+    }
+
+    /// Runs the full pipeline.
+    pub fn run(
+        &self,
+        circuit: &Circuit,
+        cut: &CutSpec,
+        policy: GoldenPolicy,
+        options: &ExecutionOptions,
+    ) -> Result<CutRun, PipelineError> {
+        let fragments = Fragmenter::fragment(circuit, cut)?;
+
+        // Resolve the golden policy.
+        let detect_started = Instant::now();
+        let mut detection_shots = 0u64;
+        let plan = match resolve_static_policy(&policy, &fragments.upstream, fragments.num_cuts) {
+            Some(plan) => plan,
+            None => {
+                let GoldenPolicy::DetectOnline(config) = &policy else {
+                    unreachable!("only the online policy resolves dynamically");
+                };
+                self.detect_online(&fragments, *config, &mut detection_shots)?
+            }
+        };
+        let detection_seconds = detect_started.elapsed().as_secs_f64();
+
+        // Gather fragment data.
+        let gather_started = Instant::now();
+        let (data, sic_data) = match options.method {
+            ReconstructionMethod::Eigenstate => {
+                let experiment = ExperimentPlan::build(&fragments, &plan);
+                let data = gather(
+                    self.backend,
+                    &experiment,
+                    options.shots_per_setting,
+                    options.parallel,
+                )?;
+                (data, None)
+            }
+            ReconstructionMethod::Sic => {
+                // Upstream is unchanged; downstream uses SIC preparations.
+                let experiment = ExperimentPlan::build(&fragments, &plan);
+                let upstream_only = ExperimentPlan {
+                    upstream: experiment.upstream,
+                    downstream: Vec::new(),
+                };
+                let data = gather(
+                    self.backend,
+                    &upstream_only,
+                    options.shots_per_setting,
+                    options.parallel,
+                )?;
+                let sic = gather_sic(
+                    self.backend,
+                    &fragments.downstream,
+                    fragments.num_cuts,
+                    options.shots_per_setting,
+                    options.parallel,
+                )?;
+                (data, Some(sic))
+            }
+        };
+        let gather_seconds = gather_started.elapsed().as_secs_f64();
+
+        // Reconstruct.
+        let recon_started = Instant::now();
+        let up = upstream_tensor(&fragments.upstream, &plan, &data);
+        let down = match &sic_data {
+            None => downstream_tensor(&fragments.downstream, &plan, &data),
+            Some(sic) => sic_downstream_tensor(&fragments.downstream, &plan, sic),
+        };
+        let raw = contract(&fragments, &plan, &up, &down);
+        let distribution = match options.postprocess {
+            PostProcess::Raw => raw,
+            PostProcess::ClipRenormalize => raw.clip_renormalize(),
+            PostProcess::SimplexProjection => raw.project_to_simplex(),
+        };
+        let reconstruct_seconds = recon_started.elapsed().as_secs_f64();
+
+        // Accounting.
+        let (downstream_settings, extra_sim_time, extra_shots) = match &sic_data {
+            None => (data.downstream.len(), 0.0, 0),
+            Some(sic) => (
+                sic.subcircuits,
+                sic.simulated_device_time.as_secs_f64(),
+                sic.subcircuits as u64 * sic.shots_per_setting,
+            ),
+        };
+        let report = RunReport {
+            num_cuts: fragments.num_cuts,
+            neglected: plan.neglected().to_vec(),
+            upstream_settings: data.upstream.len(),
+            downstream_settings,
+            subcircuits_executed: data.upstream.len() + downstream_settings,
+            total_shots: data.upstream.len() as u64 * options.shots_per_setting
+                + if sic_data.is_none() {
+                    data.downstream.len() as u64 * options.shots_per_setting
+                } else {
+                    extra_shots
+                },
+            reconstruction_terms: plan.all_recon_strings().len(),
+            simulated_device_seconds: data.simulated_device_time.as_secs_f64() + extra_sim_time,
+            gather_seconds,
+            reconstruct_seconds,
+            detection_shots,
+            detection_seconds,
+        };
+        Ok(CutRun {
+            distribution,
+            report,
+        })
+    }
+
+    /// Runs the uncut circuit directly (the reference arm of Fig. 3).
+    pub fn run_uncut(&self, circuit: &Circuit, shots: u64) -> Result<UncutRun, PipelineError> {
+        let started = Instant::now();
+        let result = self.backend.run(circuit, shots)?;
+        Ok(UncutRun {
+            distribution: result.counts.to_distribution(),
+            report: UncutReport {
+                shots,
+                simulated_device_seconds: result.simulated_duration.as_secs_f64(),
+                host_seconds: started.elapsed().as_secs_f64(),
+            },
+        })
+    }
+
+    /// Online golden detection: batches of upstream measurements per cut
+    /// until every cut reaches a verdict (paper §IV).
+    fn detect_online(
+        &self,
+        fragments: &Fragments,
+        config: OnlineConfig,
+        detection_shots: &mut u64,
+    ) -> Result<BasisPlan, PipelineError> {
+        let num_cuts = fragments.num_cuts;
+        let mut plan = BasisPlan::standard(num_cuts);
+        for cut in 0..num_cuts {
+            let mut detector = OnlineDetector::new(&fragments.upstream, cut, num_cuts, config);
+            loop {
+                match detector.verdict() {
+                    GoldenVerdict::Golden => {
+                        plan.neglect(cut, config.candidate);
+                        break;
+                    }
+                    GoldenVerdict::NotGolden => break,
+                    GoldenVerdict::Undecided => {
+                        if detector.exhausted() {
+                            return Err(PipelineError::DetectionUndecided {
+                                cut,
+                                shots_spent: detector.min_shots(),
+                            });
+                        }
+                        for setting in detector.required_settings() {
+                            let circuit = build_upstream_circuit(&fragments.upstream, &setting);
+                            let result = self.backend.run(&circuit, config.batch_shots)?;
+                            *detection_shots += config.batch_shots;
+                            detector.feed(&setting, &result.counts);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcut_circuit::ansatz::GoldenAnsatz;
+    use qcut_device::ideal::IdealBackend;
+    use qcut_math::Pauli;
+    use qcut_sim::statevector::StateVector;
+    use qcut_stats::distance::total_variation_distance;
+
+    fn truth(circuit: &Circuit) -> Distribution {
+        let sv = StateVector::from_circuit(circuit);
+        Distribution::from_values(circuit.num_qubits(), sv.probabilities())
+    }
+
+    fn options(shots: u64) -> ExecutionOptions {
+        ExecutionOptions {
+            shots_per_setting: shots,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn standard_run_reconstructs_the_circuit() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 1).build();
+        let backend = IdealBackend::new(3);
+        let exec = CutExecutor::new(&backend);
+        let run = exec
+            .run(&circuit, &cut, GoldenPolicy::Disabled, &options(20_000))
+            .unwrap();
+        assert_eq!(run.report.subcircuits_executed, 9);
+        assert_eq!(run.report.reconstruction_terms, 4);
+        let d = total_variation_distance(&run.distribution, &truth(&circuit));
+        assert!(d < 0.05, "reconstruction off by {d}");
+    }
+
+    #[test]
+    fn golden_run_matches_standard_with_fewer_subcircuits() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 2).build();
+        let backend = IdealBackend::new(4);
+        let exec = CutExecutor::new(&backend);
+        let golden = exec
+            .run(
+                &circuit,
+                &cut,
+                GoldenPolicy::KnownAPriori(vec![(0, Pauli::Y)]),
+                &options(20_000),
+            )
+            .unwrap();
+        assert_eq!(golden.report.subcircuits_executed, 6);
+        assert_eq!(golden.report.reconstruction_terms, 3);
+        assert_eq!(golden.report.total_shots, 6 * 20_000);
+        let d = total_variation_distance(&golden.distribution, &truth(&circuit));
+        assert!(d < 0.05, "golden reconstruction off by {d}");
+    }
+
+    #[test]
+    fn exact_detection_policy_discovers_y() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 3).build();
+        let backend = IdealBackend::new(5);
+        let exec = CutExecutor::new(&backend);
+        let run = exec
+            .run(&circuit, &cut, GoldenPolicy::detect_exact(), &options(10_000))
+            .unwrap();
+        assert!(run.report.neglected[0].contains(&Pauli::Y));
+        assert_eq!(run.report.subcircuits_executed, 6);
+    }
+
+    #[test]
+    fn online_detection_policy_works_end_to_end() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 4).build();
+        let backend = IdealBackend::new(6);
+        let exec = CutExecutor::new(&backend);
+        let config = OnlineConfig {
+            epsilon: 0.08,
+            batch_shots: 3000,
+            ..OnlineConfig::default()
+        };
+        let run = exec
+            .run(
+                &circuit,
+                &cut,
+                GoldenPolicy::DetectOnline(config),
+                &options(10_000),
+            )
+            .unwrap();
+        assert!(run.report.neglected[0].contains(&Pauli::Y));
+        assert!(run.report.detection_shots > 0);
+        let d = total_variation_distance(&run.distribution, &truth(&circuit));
+        assert!(d < 0.06, "online-detected reconstruction off by {d}");
+    }
+
+    #[test]
+    fn sic_method_reconstructs() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 5).build();
+        let backend = IdealBackend::new(7);
+        let exec = CutExecutor::new(&backend);
+        let opts = ExecutionOptions {
+            shots_per_setting: 40_000,
+            method: ReconstructionMethod::Sic,
+            ..Default::default()
+        };
+        let run = exec
+            .run(&circuit, &cut, GoldenPolicy::Disabled, &opts)
+            .unwrap();
+        // 3 upstream + 4 SIC preparations.
+        assert_eq!(run.report.subcircuits_executed, 7);
+        let d = total_variation_distance(&run.distribution, &truth(&circuit));
+        assert!(d < 0.06, "SIC reconstruction off by {d}");
+    }
+
+    #[test]
+    fn postprocess_raw_preserves_quasi_character() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 6).build();
+        let backend = IdealBackend::new(8);
+        let exec = CutExecutor::new(&backend);
+        let opts = ExecutionOptions {
+            shots_per_setting: 500, // deliberately noisy
+            postprocess: PostProcess::Raw,
+            ..Default::default()
+        };
+        let run = exec
+            .run(&circuit, &cut, GoldenPolicy::Disabled, &opts)
+            .unwrap();
+        // Mass ≈ 1 but entries may dip negative; clipping fixes it.
+        assert!((run.distribution.total_mass() - 1.0).abs() < 0.05);
+        let clipped = run.distribution.clip_renormalize();
+        assert!(clipped.is_proper(1e-9));
+    }
+
+    #[test]
+    fn uncut_reference_run() {
+        let (circuit, _) = GoldenAnsatz::new(5, 7).build();
+        let backend = IdealBackend::new(9);
+        let exec = CutExecutor::new(&backend);
+        let run = exec.run_uncut(&circuit, 30_000).unwrap();
+        let d = total_variation_distance(&run.distribution, &truth(&circuit));
+        assert!(d < 0.03);
+        assert_eq!(run.report.shots, 30_000);
+    }
+
+    #[test]
+    fn invalid_cut_is_reported() {
+        let (circuit, _) = GoldenAnsatz::new(5, 0).build();
+        let backend = IdealBackend::new(0);
+        let exec = CutExecutor::new(&backend);
+        let bad = CutSpec::single(0, 99);
+        let err = exec
+            .run(&circuit, &bad, GoldenPolicy::Disabled, &options(100))
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Fragment(_)));
+    }
+
+    #[test]
+    fn report_timing_fields_are_populated() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 8).build();
+        let backend = IdealBackend::new(10);
+        let exec = CutExecutor::new(&backend);
+        let run = exec
+            .run(&circuit, &cut, GoldenPolicy::Disabled, &options(1000))
+            .unwrap();
+        assert!(run.report.gather_seconds > 0.0);
+        assert!(run.report.reconstruct_seconds >= 0.0);
+        assert!(run.report.total_host_seconds() > 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Run reports: everything the paper's figures plot.
+
+use qcut_math::Pauli;
+use serde::{Deserialize, Serialize};
+
+/// Accounting of one cut-circuit execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Number of cuts `K`.
+    pub num_cuts: usize,
+    /// Neglected bases per cut (empty = regular cut).
+    pub neglected: Vec<Vec<Pauli>>,
+    /// Upstream measurement settings executed.
+    pub upstream_settings: usize,
+    /// Downstream preparations executed.
+    pub downstream_settings: usize,
+    /// Total subcircuits executed (`upstream + downstream`; the quantity
+    /// the golden method shrinks 9 → 6 per cut).
+    pub subcircuits_executed: usize,
+    /// Total shots across all subcircuits (Fig. 5's 4.5e5 → 3.0e5).
+    pub total_shots: u64,
+    /// Terms in the reconstruction contraction (`4^{K_r} 3^{K_g}`).
+    pub reconstruction_terms: usize,
+    /// Simulated device occupation time in seconds (Fig. 5's wall time).
+    pub simulated_device_seconds: f64,
+    /// Host time gathering fragment data (classical simulation cost).
+    pub gather_seconds: f64,
+    /// Host time spent in classical reconstruction.
+    pub reconstruct_seconds: f64,
+    /// Extra shots spent by online golden detection (0 otherwise).
+    pub detection_shots: u64,
+    /// Host time spent detecting golden points.
+    pub detection_seconds: f64,
+}
+
+impl RunReport {
+    /// Total end-to-end host seconds (gather + reconstruct + detection) —
+    /// the Fig. 4 quantity.
+    pub fn total_host_seconds(&self) -> f64 {
+        self.gather_seconds + self.reconstruct_seconds + self.detection_seconds
+    }
+
+    /// Number of golden cuts in this run.
+    pub fn num_golden(&self) -> usize {
+        self.neglected.iter().filter(|n| !n.is_empty()).count()
+    }
+}
+
+/// Report for an uncut reference execution (the Fig. 3 baseline arm).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UncutReport {
+    /// Shots executed.
+    pub shots: u64,
+    /// Simulated device seconds.
+    pub simulated_device_seconds: f64,
+    /// Host seconds.
+    pub host_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let r = RunReport {
+            num_cuts: 1,
+            neglected: vec![vec![Pauli::Y]],
+            upstream_settings: 2,
+            downstream_settings: 4,
+            subcircuits_executed: 6,
+            total_shots: 6000,
+            reconstruction_terms: 3,
+            simulated_device_seconds: 12.6,
+            gather_seconds: 0.5,
+            reconstruct_seconds: 0.1,
+            detection_shots: 0,
+            detection_seconds: 0.0,
+        };
+        assert!((r.total_host_seconds() - 0.6).abs() < 1e-12);
+        assert_eq!(r.num_golden(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! The backend abstraction: anything that can run a circuit for a number
+//! of shots and return counts.
+//!
+//! Two implementations ship with the workspace: [`crate::ideal::IdealBackend`]
+//! (the Aer-simulator stand-in) and [`crate::noisy::NoisyBackend`] (the
+//! simulated IBM device). Backends are `Sync` so fragment tomography can
+//! fan out over a rayon pool.
+
+use crate::timing::TimingModel;
+use qcut_circuit::circuit::Circuit;
+use qcut_sim::counts::Counts;
+use std::fmt;
+use std::time::Duration;
+
+/// Result of one circuit execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionResult {
+    /// Measured bitstring histogram (all qubits, computational basis).
+    pub counts: Counts,
+    /// *Simulated* device occupation time — what a real device would have
+    /// spent on this job according to the backend's [`TimingModel`]. This
+    /// is the quantity behind the paper's Fig. 5 wall-times.
+    pub simulated_duration: Duration,
+    /// Actual host CPU time spent simulating.
+    pub host_duration: Duration,
+}
+
+/// Errors a backend can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The circuit does not fit on the device.
+    CircuitTooWide {
+        /// Requested width.
+        circuit: usize,
+        /// Device capacity.
+        device: usize,
+    },
+    /// Zero shots requested.
+    NoShots,
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::CircuitTooWide { circuit, device } => write!(
+                f,
+                "circuit needs {circuit} qubits but the device has only {device} \
+                 (this is exactly the situation circuit cutting addresses)"
+            ),
+            BackendError::NoShots => write!(f, "shots must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// A quantum execution backend.
+pub trait Backend: Sync {
+    /// Human-readable backend name.
+    fn name(&self) -> &str;
+
+    /// Device qubit capacity.
+    fn num_qubits(&self) -> usize;
+
+    /// The backend's timing model (used to account simulated wall time).
+    fn timing(&self) -> &TimingModel;
+
+    /// Runs `circuit` for `shots` shots, measuring every qubit in the
+    /// computational basis.
+    fn run(&self, circuit: &Circuit, shots: u64) -> Result<ExecutionResult, BackendError>;
+
+    /// Validates a job without running it.
+    fn check(&self, circuit: &Circuit, shots: u64) -> Result<(), BackendError> {
+        if circuit.num_qubits() > self.num_qubits() {
+            return Err(BackendError::CircuitTooWide {
+                circuit: circuit.num_qubits(),
+                device: self.num_qubits(),
+            });
+        }
+        if shots == 0 {
+            return Err(BackendError::NoShots);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_mention_sizes() {
+        let e = BackendError::CircuitTooWide { circuit: 9, device: 5 };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('5'));
+        assert!(BackendError::NoShots.to_string().contains("positive"));
+    }
+}

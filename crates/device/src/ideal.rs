@@ -1,0 +1,150 @@
+//! Ideal (noiseless) backend — the workspace's Qiskit-Aer stand-in.
+//!
+//! Runs circuits on the state-vector simulator and samples shot noise
+//! multinomially. Deterministic given the constructor seed: each job draws
+//! a fresh sub-seed from an atomic counter, so results are reproducible
+//! regardless of the order in which parallel jobs are scheduled *per job
+//! index*, and two backends with the same seed produce the same stream.
+
+use crate::backend::{Backend, BackendError, ExecutionResult};
+use crate::timing::TimingModel;
+use qcut_circuit::circuit::Circuit;
+use qcut_sim::statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Noiseless state-vector backend with shot sampling.
+#[derive(Debug)]
+pub struct IdealBackend {
+    name: String,
+    capacity: usize,
+    seed: u64,
+    job_counter: AtomicU64,
+    timing: TimingModel,
+}
+
+impl IdealBackend {
+    /// A 32-qubit-capacity ideal backend.
+    pub fn new(seed: u64) -> Self {
+        IdealBackend {
+            name: "aer_like_ideal".to_string(),
+            capacity: 32,
+            seed,
+            job_counter: AtomicU64::new(0),
+            timing: TimingModel::instantaneous(),
+        }
+    }
+
+    /// Sets an explicit capacity (for tests exercising the too-wide error).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Attaches a timing model (e.g. to make the ideal backend report
+    /// device-like durations in runtime experiments).
+    pub fn with_timing(mut self, timing: TimingModel) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    fn next_job_seed(&self) -> u64 {
+        let job = self.job_counter.fetch_add(1, Ordering::Relaxed);
+        // SplitMix-style mixing of (seed, job index).
+        let mut z = self.seed ^ job.wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Backend for IdealBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.capacity
+    }
+
+    fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    fn run(&self, circuit: &Circuit, shots: u64) -> Result<ExecutionResult, BackendError> {
+        self.check(circuit, shots)?;
+        let started = Instant::now();
+        let sv = StateVector::from_circuit(circuit);
+        let mut rng = StdRng::seed_from_u64(self.next_job_seed());
+        let counts = sv.sample(shots, &mut rng);
+        Ok(ExecutionResult {
+            counts,
+            simulated_duration: self.timing.job_duration_as_duration(circuit, shots),
+            host_duration: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c
+    }
+
+    #[test]
+    fn runs_and_returns_all_shots() {
+        let b = IdealBackend::new(1);
+        let r = b.run(&bell(), 5000).unwrap();
+        assert_eq!(r.counts.total(), 5000);
+        // Bell state: only 00 and 11.
+        assert_eq!(r.counts.get(0b01), 0);
+        assert_eq!(r.counts.get(0b10), 0);
+        let p00 = r.counts.probability(0b00);
+        assert!((p00 - 0.5).abs() < 0.05, "p00 = {p00}");
+    }
+
+    #[test]
+    fn rejects_oversized_circuits() {
+        let b = IdealBackend::new(0).with_capacity(1);
+        let err = b.run(&bell(), 100).unwrap_err();
+        assert!(matches!(err, BackendError::CircuitTooWide { circuit: 2, device: 1 }));
+    }
+
+    #[test]
+    fn rejects_zero_shots() {
+        let b = IdealBackend::new(0);
+        assert_eq!(b.run(&bell(), 0).unwrap_err(), BackendError::NoShots);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let b1 = IdealBackend::new(77);
+        let b2 = IdealBackend::new(77);
+        let r1 = b1.run(&bell(), 100).unwrap();
+        let r2 = b2.run(&bell(), 100).unwrap();
+        assert_eq!(r1.counts, r2.counts);
+        // Second job differs from the first (fresh sub-seed).
+        let r1b = b1.run(&bell(), 100).unwrap();
+        assert_ne!(r1.counts, r1b.counts);
+    }
+
+    #[test]
+    fn simulated_duration_uses_timing_model() {
+        let t = TimingModel {
+            gate_1q: 0.0,
+            gate_2q: 0.0,
+            readout: 0.0,
+            rep_delay: 0.0,
+            job_overhead: 1.5,
+        };
+        let b = IdealBackend::new(0).with_timing(t);
+        let r = b.run(&bell(), 10).unwrap();
+        assert!((r.simulated_duration.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,44 @@
+//! # qcut-device
+//!
+//! Simulated quantum execution backends for the `qcut` workspace:
+//!
+//! * [`backend::Backend`] — the execution trait (run a circuit, get counts
+//!   plus simulated device time);
+//! * [`ideal::IdealBackend`] — noiseless state-vector backend (the paper's
+//!   Aer simulator [27]);
+//! * [`noisy::NoisyBackend`] — density-matrix backend with depolarizing +
+//!   thermal + readout noise and an IBM-like timing model (the substitute
+//!   for the paper's 5- and 7-qubit IBM devices [28], see DESIGN.md §4);
+//! * [`presets`] — ready-made `ibm_5q` / `ibm_7q` / `aer_like` devices;
+//! * [`executor`] — parallel fan-out of tomography jobs (rayon) and a
+//!   crossbeam worker-pool dispatch queue.
+//!
+//! ```
+//! use qcut_device::prelude::*;
+//! use qcut_circuit::circuit::Circuit;
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1);
+//! let backend = aer_like(7);
+//! let result = backend.run(&bell, 1000).unwrap();
+//! assert_eq!(result.counts.total(), 1000);
+//! ```
+
+pub mod backend;
+pub mod executor;
+pub mod ideal;
+pub mod noisy;
+pub mod presets;
+pub mod timing;
+
+/// Common re-exports.
+pub mod prelude {
+    pub use crate::backend::{Backend, BackendError, ExecutionResult};
+    pub use crate::executor::{run_parallel, run_sequential, BatchResult, Job, JobQueue};
+    pub use crate::ideal::IdealBackend;
+    pub use crate::noisy::NoisyBackend;
+    pub use crate::presets::{aer_like, ibm_5q, ibm_7q, very_noisy};
+    pub use crate::timing::TimingModel;
+}
+
+pub use prelude::*;

@@ -1,0 +1,286 @@
+//! Noisy backend — the workspace's substitute for the paper's IBM
+//! superconducting devices (see DESIGN.md §4 for the substitution
+//! argument).
+//!
+//! Evolution is exact density-matrix simulation with the configured
+//! [`NoiseModel`]: after every gate a depolarizing channel plus optional
+//! thermal relaxation is applied to the operand qubits; at measurement the
+//! readout confusion matrix acts on the outcome probabilities, and shots
+//! are sampled from the corrupted distribution.
+
+use crate::backend::{Backend, BackendError, ExecutionResult};
+use crate::timing::TimingModel;
+use qcut_circuit::circuit::Circuit;
+use qcut_math::Matrix;
+use qcut_sim::counts::sample_counts;
+use qcut_sim::density::DensityMatrix;
+use qcut_sim::noise::{KrausChannel, NoiseModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Density-matrix backend with gate noise, thermal relaxation and readout
+/// error.
+pub struct NoisyBackend {
+    name: String,
+    capacity: usize,
+    noise: NoiseModel,
+    timing: TimingModel,
+    seed: u64,
+    job_counter: AtomicU64,
+    /// Pre-built thermal channels (1q and 2q gate durations).
+    thermal_1q: Option<KrausChannel>,
+    thermal_2q: Option<KrausChannel>,
+}
+
+impl NoisyBackend {
+    /// Builds a noisy backend.
+    pub fn new(
+        name: impl Into<String>,
+        capacity: usize,
+        noise: NoiseModel,
+        timing: TimingModel,
+        seed: u64,
+    ) -> Self {
+        let (thermal_1q, thermal_2q) = match noise.thermal {
+            Some(spec) => (
+                Some(KrausChannel::thermal_relaxation(
+                    spec.t1, spec.t2, spec.time_1q,
+                )),
+                Some(KrausChannel::thermal_relaxation(
+                    spec.t1, spec.t2, spec.time_2q,
+                )),
+            ),
+            None => (None, None),
+        };
+        NoisyBackend {
+            name: name.into(),
+            capacity,
+            noise,
+            timing,
+            seed,
+            job_counter: AtomicU64::new(0),
+            thermal_1q,
+            thermal_2q,
+        }
+    }
+
+    /// The backend's noise model.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    fn next_job_seed(&self) -> u64 {
+        let job = self.job_counter.fetch_add(1, Ordering::Relaxed);
+        let mut z = self.seed ^ job.wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Exact noisy output distribution (before shot sampling): density
+    /// matrix evolution + readout confusion. Exposed for tests and for
+    /// infinite-shot analyses.
+    pub fn exact_probabilities(&self, circuit: &Circuit) -> Vec<f64> {
+        let mut dm = DensityMatrix::zero_state(circuit.num_qubits());
+        for inst in circuit.instructions() {
+            dm.apply_instruction(inst);
+            match inst.qubits.len() {
+                1 => {
+                    if let Some(ch) = &self.noise.one_qubit {
+                        dm.apply_kraus_one(ch.operators(), inst.qubits[0]);
+                    }
+                    if let Some(th) = &self.thermal_1q {
+                        dm.apply_kraus_one(th.operators(), inst.qubits[0]);
+                    }
+                }
+                2 => {
+                    if let Some(ch) = &self.noise.two_qubit {
+                        dm.apply_kraus_two(ch.operators(), inst.qubits[0], inst.qubits[1]);
+                    }
+                    if let Some(th) = &self.thermal_2q {
+                        // Thermal relaxation acts independently per qubit.
+                        dm.apply_kraus_one(th.operators(), inst.qubits[0]);
+                        dm.apply_kraus_one(th.operators(), inst.qubits[1]);
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        dm.renormalize();
+        let probs = dm.probabilities();
+        self.noise
+            .readout
+            .apply_to_probs(&probs, circuit.num_qubits())
+    }
+}
+
+impl Backend for NoisyBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.capacity
+    }
+
+    fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    fn run(&self, circuit: &Circuit, shots: u64) -> Result<ExecutionResult, BackendError> {
+        self.check(circuit, shots)?;
+        let started = Instant::now();
+        let probs = self.exact_probabilities(circuit);
+        let mut rng = StdRng::seed_from_u64(self.next_job_seed());
+        let counts = sample_counts(circuit.num_qubits(), &probs, shots, &mut rng);
+        Ok(ExecutionResult {
+            counts,
+            simulated_duration: self.timing.job_duration_as_duration(circuit, shots),
+            host_duration: started.elapsed(),
+        })
+    }
+}
+
+/// A helper used by tests: the exact (infinite-shot) distribution of the
+/// noiseless circuit, for comparing noise magnitudes.
+pub fn ideal_probabilities(circuit: &Circuit) -> Vec<f64> {
+    use qcut_sim::statevector::StateVector;
+    StateVector::from_circuit(circuit).probabilities()
+}
+
+/// Total-variation distance between two probability vectors (test helper).
+pub fn tvd(a: &[f64], b: &[f64]) -> f64 {
+    0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+}
+
+#[allow(dead_code)]
+fn _assert_traits()
+where
+    NoisyBackend: Sync,
+{
+    // NoisyBackend must stay Sync for rayon fan-out; Matrix is only used
+    // behind &self.
+    let _ = std::mem::size_of::<Matrix>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcut_sim::noise::{ReadoutError, ThermalSpec};
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c
+    }
+
+    fn noisy(seed: u64) -> NoisyBackend {
+        NoisyBackend::new(
+            "test_noisy",
+            5,
+            NoiseModel::depolarizing(0.002, 0.02, 0.02),
+            TimingModel::ibm_like(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn noise_perturbs_but_does_not_destroy() {
+        let b = noisy(1);
+        let noisy_probs = b.exact_probabilities(&bell());
+        let ideal = ideal_probabilities(&bell());
+        let d = tvd(&noisy_probs, &ideal);
+        assert!(d > 1e-4, "noise had no effect (tvd = {d})");
+        assert!(d < 0.2, "noise destroyed the state (tvd = {d})");
+        // Forbidden outcomes now have small but nonzero probability.
+        assert!(noisy_probs[0b01] > 0.0);
+    }
+
+    #[test]
+    fn probabilities_remain_normalised() {
+        let b = noisy(2);
+        let probs = b.exact_probabilities(&bell());
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(probs.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn thermal_relaxation_biases_toward_ground() {
+        let model = NoiseModel {
+            one_qubit: None,
+            two_qubit: None,
+            thermal: Some(ThermalSpec {
+                t1: 10e-6,
+                t2: 10e-6,
+                time_1q: 2e-6, // exaggerated: 20% of T1 per gate
+                time_2q: 4e-6,
+            }),
+            readout: ReadoutError::none(),
+        };
+        let b = NoisyBackend::new("thermal", 2, model, TimingModel::ibm_like(), 0);
+        let mut c = Circuit::new(1);
+        c.x(0); // |1>
+        let probs = b.exact_probabilities(&c);
+        assert!(probs[0] > 0.15, "expected decay toward |0>, got {probs:?}");
+        assert!(probs[1] < 0.85);
+    }
+
+    #[test]
+    fn readout_error_flips_deterministic_outcomes() {
+        let model = NoiseModel {
+            one_qubit: None,
+            two_qubit: None,
+            thermal: None,
+            readout: ReadoutError::symmetric(0.05),
+        };
+        let b = NoisyBackend::new("ro", 1, model, TimingModel::ibm_like(), 0);
+        let c = Circuit::new(1); // |0> always
+        let probs = b.exact_probabilities(&c);
+        assert!((probs[1] - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_samples_and_accounts_time() {
+        let b = noisy(3);
+        let r = b.run(&bell(), 1000).unwrap();
+        assert_eq!(r.counts.total(), 1000);
+        // ibm_like: 2 s job overhead dominates.
+        let t = r.simulated_duration.as_secs_f64();
+        assert!(t > 1.85 && t < 2.4, "simulated duration {t}");
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let r1 = noisy(9).run(&bell(), 200).unwrap();
+        let r2 = noisy(9).run(&bell(), 200).unwrap();
+        assert_eq!(r1.counts, r2.counts);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let b = noisy(0);
+        let mut wide = Circuit::new(6);
+        wide.h(0);
+        assert!(matches!(
+            b.run(&wide, 10),
+            Err(BackendError::CircuitTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn noiseless_model_matches_ideal_simulator() {
+        let b = NoisyBackend::new(
+            "clean",
+            4,
+            NoiseModel::noiseless(),
+            TimingModel::instantaneous(),
+            0,
+        );
+        let probs = b.exact_probabilities(&bell());
+        let ideal = ideal_probabilities(&bell());
+        assert!(tvd(&probs, &ideal) < 1e-10);
+    }
+}

@@ -1,0 +1,71 @@
+//! Tolerance constants and floating-point comparison helpers shared by the
+//! workspace's numerical code and tests.
+
+/// Default absolute tolerance for exact-arithmetic identities checked in
+/// floating point (unitarity, trace preservation, ...).
+pub const TOL_STRICT: f64 = 1e-10;
+
+/// Tolerance for quantities that accumulate round-off across a simulation
+/// (multi-gate state evolution, reconstruction sums).
+pub const TOL_ACCUM: f64 = 1e-7;
+
+/// Tolerance for deciding that a measured/simulated coefficient is "zero"
+/// when detecting golden cutting points exactly (paper Eq. 15).
+pub const TOL_GOLDEN: f64 = 1e-9;
+
+/// Absolute approximate equality.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Relative-or-absolute approximate equality: passes when the difference is
+/// within `tol` absolutely or within `tol * max(|a|, |b|)` relatively.
+#[inline]
+pub fn approx_eq_rel(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+/// Asserts two slices are element-wise approximately equal.
+///
+/// # Panics
+/// Panics with a descriptive message on the first mismatch.
+pub fn assert_slices_close(a: &[f64], b: &[f64], tol: f64) {
+    assert_eq!(a.len(), b.len(), "slice length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            approx_eq(*x, *y, tol),
+            "slices differ at index {i}: {x} vs {y} (tol {tol})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_comparison() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-10));
+        assert!(!approx_eq(1.0, 1.1, 1e-10));
+    }
+
+    #[test]
+    fn relative_comparison_scales() {
+        assert!(approx_eq_rel(1e9, 1e9 + 10.0, 1e-6));
+        assert!(!approx_eq_rel(1.0, 2.0, 1e-6));
+        assert!(approx_eq_rel(0.0, 1e-12, 1e-10));
+    }
+
+    #[test]
+    fn slice_assertion_passes_on_close_slices() {
+        assert_slices_close(&[1.0, 2.0], &[1.0 + 1e-12, 2.0 - 1e-12], 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "slices differ at index 1")]
+    fn slice_assertion_panics_with_index() {
+        assert_slices_close(&[1.0, 2.0], &[1.0, 3.0], 1e-10);
+    }
+}

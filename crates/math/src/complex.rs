@@ -1,0 +1,378 @@
+//! Double-precision complex numbers.
+//!
+//! The offline dependency set has no complex-number crate, so `qcut` carries
+//! its own minimal-but-complete implementation. Only the operations the rest
+//! of the workspace needs are provided; all of them are `#[inline]` because
+//! they sit inside the state-vector hot loops.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor: `c64(re, im)`.
+#[inline(always)]
+pub const fn c64(re: f64, im: f64) -> Complex {
+    Complex { re, im }
+}
+
+impl Complex {
+    /// Additive identity.
+    pub const ZERO: Complex = c64(0.0, 0.0);
+    /// Multiplicative identity.
+    pub const ONE: Complex = c64(1.0, 0.0);
+    /// The imaginary unit `i`.
+    pub const I: Complex = c64(0.0, 1.0);
+
+    /// Builds a complex number from its real part (imaginary part zero).
+    #[inline(always)]
+    pub const fn from_re(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+
+    /// Builds `r * e^{iθ}` from polar coordinates.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        c64(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        c64(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|^2`. Cheaper than [`Complex::abs`]; preferred in
+    /// probability computations.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Principal argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Returns non-finite components when `self` is
+    /// zero, mirroring `f64` division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        c64(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Multiplies by the imaginary unit (`z ↦ iz`) without a full complex
+    /// multiply — used by the Pauli-Y kernels.
+    #[inline(always)]
+    pub fn mul_i(self) -> Self {
+        c64(-self.im, self.re)
+    }
+
+    /// Multiplies by `-i` (`z ↦ -iz`).
+    #[inline(always)]
+    pub fn mul_neg_i(self) -> Self {
+        c64(self.im, -self.re)
+    }
+
+    /// Scales by a real factor.
+    #[inline(always)]
+    pub fn scale(self, k: f64) -> Self {
+        c64(self.re * k, self.im * k)
+    }
+
+    /// Fused multiply-accumulate: `self + a * b`. The compiler can vectorise
+    /// this form better than the operator chain in the matrix kernels.
+    #[inline(always)]
+    pub fn mul_add(self, a: Complex, b: Complex) -> Self {
+        c64(
+            self.re + a.re * b.re - a.im * b.im,
+            self.im + a.re * b.im + a.im * b.re,
+        )
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Approximate equality with absolute tolerance `tol` on both components.
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl fmt::Debug for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::from_re(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn add(self, rhs: Complex) -> Complex {
+        c64(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn sub(self, rhs: Complex) -> Complex {
+        c64(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn mul(self, rhs: Complex) -> Complex {
+        c64(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w == z * w⁻¹
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline(always)]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn div(self, rhs: f64) -> Complex {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn neg(self) -> Complex {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex> for Complex {
+    fn sum<I: Iterator<Item = &'a Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn constructors_and_constants() {
+        assert_eq!(Complex::ZERO, c64(0.0, 0.0));
+        assert_eq!(Complex::ONE, c64(1.0, 0.0));
+        assert_eq!(Complex::I, c64(0.0, 1.0));
+        assert_eq!(Complex::from(2.5), c64(2.5, 0.0));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = c64(1.25, -0.5);
+        assert!((z + Complex::ZERO).approx_eq(z, TOL));
+        assert!((z * Complex::ONE).approx_eq(z, TOL));
+        assert!((z - z).approx_eq(Complex::ZERO, TOL));
+        assert!((z * z.inv()).approx_eq(Complex::ONE, TOL));
+        assert!((z / z).approx_eq(Complex::ONE, TOL));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((Complex::I * Complex::I).approx_eq(c64(-1.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn mul_i_shortcuts_match_full_multiply() {
+        let z = c64(0.3, -1.7);
+        assert!(z.mul_i().approx_eq(z * Complex::I, TOL));
+        assert!(z.mul_neg_i().approx_eq(z * c64(0.0, -1.0), TOL));
+    }
+
+    #[test]
+    fn conjugation_and_modulus() {
+        let z = c64(3.0, 4.0);
+        assert_eq!(z.conj(), c64(3.0, -4.0));
+        assert!((z.abs() - 5.0).abs() < TOL);
+        assert!((z.norm_sqr() - 25.0).abs() < TOL);
+        assert!(((z * z.conj()).re - z.norm_sqr()).abs() < TOL);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.abs() - 2.0).abs() < TOL);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_3).abs() < TOL);
+    }
+
+    #[test]
+    fn exponential_of_i_pi_is_minus_one() {
+        let z = c64(0.0, std::f64::consts::PI).exp();
+        assert!(z.approx_eq(c64(-1.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[c64(2.0, 3.0), c64(-1.0, 0.5), c64(0.0, -4.0)] {
+            let r = z.sqrt();
+            assert!((r * r).approx_eq(z, 1e-10), "sqrt failed for {z}");
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_operators() {
+        let a = c64(0.2, 0.9);
+        let b = c64(-1.1, 0.4);
+        let acc = c64(5.0, -2.0);
+        assert!(acc.mul_add(a, b).approx_eq(acc + a * b, TOL));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let zs = vec![c64(1.0, 1.0), c64(2.0, -3.0), c64(-0.5, 0.5)];
+        let s: Complex = zs.iter().sum();
+        assert!(s.approx_eq(c64(2.5, -1.5), TOL));
+        let s2: Complex = zs.into_iter().sum();
+        assert!(s2.approx_eq(c64(2.5, -1.5), TOL));
+    }
+
+    #[test]
+    fn display_formats_sign_correctly() {
+        assert_eq!(format!("{}", c64(1.0, 2.0)), "1.000000+2.000000i");
+        assert_eq!(format!("{}", c64(1.0, -2.0)), "1.000000-2.000000i");
+    }
+
+    #[test]
+    fn assign_operators() {
+        let mut z = c64(1.0, 1.0);
+        z += c64(1.0, 0.0);
+        assert_eq!(z, c64(2.0, 1.0));
+        z -= c64(0.0, 1.0);
+        assert_eq!(z, c64(2.0, 0.0));
+        z *= c64(0.0, 1.0);
+        assert_eq!(z, c64(0.0, 2.0));
+        z *= 2.0;
+        assert_eq!(z, c64(0.0, 4.0));
+        z /= c64(0.0, 4.0);
+        assert!(z.approx_eq(Complex::ONE, TOL));
+    }
+}

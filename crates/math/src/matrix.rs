@@ -1,0 +1,550 @@
+//! Dense complex matrices in row-major order.
+//!
+//! Circuit-cutting workloads only need small dense matrices (gate matrices
+//! are 2×2 or 4×4; fragment density matrices top out at `2^n × 2^n` for
+//! n ≤ ~12), so a straightforward row-major `Vec<Complex>` with cache-friendly
+//! `ikj`-ordered multiplication is the right tool — no sparse or blocked
+//! machinery.
+
+use crate::complex::{c64, Complex};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense complex matrix (row-major storage).
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major slice of complex entries.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<Complex>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from real row-major entries.
+    pub fn from_real(rows: usize, cols: usize, data: &[f64]) -> Self {
+        Self::from_rows(rows, cols, data.iter().map(|&x| c64(x, 0.0)).collect())
+    }
+
+    /// Convenience constructor for a 2×2 matrix.
+    pub fn two_by_two(a: Complex, b: Complex, c: Complex, d: Complex) -> Self {
+        Self::from_rows(2, 2, vec![a, b, c, d])
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex] {
+        &mut self.data
+    }
+
+    /// Returns one row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Complex] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose (Hermitian adjoint), `A†`.
+    pub fn adjoint(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Entry-wise complex conjugate.
+    pub fn conj(&self) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Matrix trace.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> Complex {
+        assert!(self.is_square(), "trace of a non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, k: Complex) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * k).collect(),
+        }
+    }
+
+    /// Matrix product `self * rhs` with cache-friendly `ikj` loop order.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == Complex::ZERO {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o = o.mul_add(a, r);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[Complex]) -> Vec<Complex> {
+        assert_eq!(v.len(), self.cols, "matvec length mismatch");
+        (0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v)
+                    .fold(Complex::ZERO, |acc, (&a, &x)| acc.mul_add(a, x))
+            })
+            .collect()
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let rows = self.rows * rhs.rows;
+        let cols = self.cols * rhs.cols;
+        let mut out = Matrix::zeros(rows, cols);
+        for i1 in 0..self.rows {
+            for j1 in 0..self.cols {
+                let a = self[(i1, j1)];
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for i2 in 0..rhs.rows {
+                    for j2 in 0..rhs.cols {
+                        out[(i1 * rhs.rows + i2, j1 * rhs.cols + j2)] = a * rhs[(i2, j2)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm `sqrt(Σ |a_ij|^2)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry difference to another matrix of the same shape.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// True when `‖A†A − I‖_max ≤ tol` (the matrix is unitary).
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let prod = self.adjoint().matmul(self);
+        prod.max_abs_diff(&Matrix::identity(self.rows)) <= tol
+    }
+
+    /// True when `‖A − A†‖_max ≤ tol` (the matrix is Hermitian).
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.max_abs_diff(&self.adjoint()) <= tol
+    }
+
+    /// True when every entry has `|Im| ≤ tol`.
+    pub fn is_real(&self, tol: f64) -> bool {
+        self.data.iter().all(|z| z.im.abs() <= tol)
+    }
+
+    /// Conjugation `U * self * U†` — evolves a density matrix by a unitary.
+    pub fn conjugate_by(&self, u: &Matrix) -> Matrix {
+        u.matmul(self).matmul(&u.adjoint())
+    }
+
+    /// Approximate entry-wise equality.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.max_abs_diff(other) <= tol
+    }
+
+    /// `tr(self * rhs)` without materialising the product. For Hermitian
+    /// `self` and density matrix `rhs` this is the expectation value.
+    pub fn trace_product(&self, rhs: &Matrix) -> Complex {
+        assert_eq!(self.cols, rhs.rows, "trace_product shape mismatch");
+        assert_eq!(self.rows, rhs.cols, "trace_product shape mismatch");
+        let mut acc = Complex::ZERO;
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                acc = acc.mul_add(self[(i, k)], rhs[(k, i)]);
+            }
+        }
+        acc
+    }
+
+    /// Matrix power by repeated squaring (square matrices only).
+    pub fn pow(&self, mut exp: u32) -> Matrix {
+        assert!(self.is_square(), "pow of a non-square matrix");
+        let mut base = self.clone();
+        let mut acc = Matrix::identity(self.rows);
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.matmul(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.matmul(&base);
+            }
+        }
+        acc
+    }
+
+    /// Embeds a 1-qubit gate into an `n`-qubit operator acting on `target`
+    /// (qubit 0 is the least-significant bit of the basis index).
+    pub fn embed_one_qubit(gate: &Matrix, n: usize, target: usize) -> Matrix {
+        assert_eq!((gate.rows, gate.cols), (2, 2), "expected a 2x2 gate");
+        assert!(target < n, "target {target} out of range for {n} qubits");
+        let dim = 1usize << n;
+        let mut out = Matrix::zeros(dim, dim);
+        let bit = 1usize << target;
+        for col in 0..dim {
+            let cb = usize::from(col & bit != 0);
+            for rb in 0..2 {
+                let row = (col & !bit) | (rb << target);
+                let g = gate[(rb, cb)];
+                if g != Complex::ZERO {
+                    out[(row, col)] += g;
+                }
+            }
+        }
+        out
+    }
+
+    /// Embeds a 2-qubit gate into an `n`-qubit operator. The gate matrix is
+    /// indexed as `g[(r1*2 + r0, c1*2 + c0)]` where bit 0 refers to `q0` and
+    /// bit 1 to `q1`.
+    pub fn embed_two_qubit(gate: &Matrix, n: usize, q0: usize, q1: usize) -> Matrix {
+        assert_eq!((gate.rows, gate.cols), (4, 4), "expected a 4x4 gate");
+        assert!(q0 < n && q1 < n && q0 != q1, "bad qubit pair ({q0},{q1})");
+        let dim = 1usize << n;
+        let mut out = Matrix::zeros(dim, dim);
+        let b0 = 1usize << q0;
+        let b1 = 1usize << q1;
+        for col in 0..dim {
+            let c0 = usize::from(col & b0 != 0);
+            let c1 = usize::from(col & b1 != 0);
+            let gcol = c1 * 2 + c0;
+            for grow in 0..4 {
+                let g = gate[(grow, gcol)];
+                if g == Complex::ZERO {
+                    continue;
+                }
+                let r0 = grow & 1;
+                let r1 = (grow >> 1) & 1;
+                let row = (col & !(b0 | b1)) | (r0 << q0) | (r1 << q1);
+                out[(row, col)] += g;
+            }
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = Complex;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+        }
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.scale(c64(-1.0, 0.0))
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat2(entries: [f64; 4]) -> Matrix {
+        Matrix::from_real(2, 2, &entries)
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let a = mat2([1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::identity(2);
+        assert!(a.matmul(&i).approx_eq(&a, 1e-12));
+        assert!(i.matmul(&a).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = mat2([1.0, 2.0, 3.0, 4.0]);
+        let b = mat2([5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert!(c.approx_eq(&mat2([19.0, 22.0, 43.0, 50.0]), 1e-12));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = mat2([1.0, 2.0, 3.0, 4.0]);
+        let v = vec![c64(1.0, 0.0), c64(-1.0, 0.5)];
+        let got = a.matvec(&v);
+        let as_col = Matrix::from_rows(2, 1, v.clone());
+        let want = a.matmul(&as_col);
+        assert!(got[0].approx_eq(want[(0, 0)], 1e-12));
+        assert!(got[1].approx_eq(want[(1, 0)], 1e-12));
+    }
+
+    #[test]
+    fn adjoint_conjugates_and_transposes() {
+        let m = Matrix::from_rows(2, 2, vec![c64(1.0, 1.0), c64(2.0, 0.0), c64(0.0, -3.0), c64(4.0, 4.0)]);
+        let d = m.adjoint();
+        assert_eq!(d[(0, 0)], c64(1.0, -1.0));
+        assert_eq!(d[(1, 0)], c64(2.0, 0.0));
+        assert_eq!(d[(0, 1)], c64(0.0, 3.0));
+    }
+
+    #[test]
+    fn trace_and_trace_product_agree() {
+        let a = mat2([1.0, 2.0, 3.0, 4.0]);
+        let b = mat2([0.5, -1.0, 2.0, 0.0]);
+        let direct = a.matmul(&b).trace();
+        let lazy = a.trace_product(&b);
+        assert!(direct.approx_eq(lazy, 1e-12));
+    }
+
+    #[test]
+    fn kron_shape_and_values() {
+        let a = mat2([1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::identity(2);
+        let k = a.kron(&i);
+        assert_eq!((k.rows(), k.cols()), (4, 4));
+        assert_eq!(k[(0, 0)], c64(1.0, 0.0));
+        assert_eq!(k[(1, 1)], c64(1.0, 0.0));
+        assert_eq!(k[(0, 2)], c64(2.0, 0.0));
+        assert_eq!(k[(2, 0)], c64(3.0, 0.0));
+        assert_eq!(k[(3, 3)], c64(4.0, 0.0));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let a = mat2([1.0, 2.0, 3.0, 4.0]);
+        let b = mat2([0.0, 1.0, 1.0, 0.0]);
+        let c = mat2([2.0, 0.0, 0.0, 2.0]);
+        let d = mat2([1.0, 1.0, 0.0, 1.0]);
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn hermitian_and_unitary_checks() {
+        let h = Matrix::from_rows(2, 2, vec![c64(1.0, 0.0), c64(0.0, -1.0), c64(0.0, 1.0), c64(2.0, 0.0)]);
+        assert!(h.is_hermitian(1e-12));
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let had = mat2([s, s, s, -s]);
+        assert!(had.is_unitary(1e-12));
+        assert!(!mat2([1.0, 1.0, 0.0, 1.0]).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let a = mat2([1.0, 1.0, 0.0, 1.0]);
+        let a3 = a.matmul(&a).matmul(&a);
+        assert!(a.pow(3).approx_eq(&a3, 1e-12));
+        assert!(a.pow(0).approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn embed_one_qubit_matches_kron() {
+        // On 2 qubits with little-endian convention: target 0 => I ⊗ G.
+        let g = Matrix::from_rows(2, 2, vec![c64(0.1, 0.0), c64(0.2, 0.3), c64(0.4, -0.5), c64(0.6, 0.0)]);
+        let on_q0 = Matrix::embed_one_qubit(&g, 2, 0);
+        let want_q0 = Matrix::identity(2).kron(&g);
+        assert!(on_q0.approx_eq(&want_q0, 1e-12));
+        let on_q1 = Matrix::embed_one_qubit(&g, 2, 1);
+        let want_q1 = g.kron(&Matrix::identity(2));
+        assert!(on_q1.approx_eq(&want_q1, 1e-12));
+    }
+
+    #[test]
+    fn embed_two_qubit_cnot() {
+        // CNOT with control=q0, target=q1 in our bit convention:
+        // |q1 q0>: 00->00, 01->11, 10->10, 11->01.
+        let cnot = Matrix::from_real(
+            4,
+            4,
+            &[
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 1.0, //
+                0.0, 0.0, 1.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0,
+            ],
+        );
+        let full = Matrix::embed_two_qubit(&cnot, 2, 0, 1);
+        assert!(full.approx_eq(&cnot, 1e-12));
+        assert!(full.is_unitary(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_panics_on_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn conjugate_by_preserves_trace() {
+        let rho = mat2([0.7, 0.1, 0.1, 0.3]);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let u = mat2([s, s, s, -s]);
+        let evolved = rho.conjugate_by(&u);
+        assert!(evolved.trace().approx_eq(rho.trace(), 1e-12));
+    }
+}

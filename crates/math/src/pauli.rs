@@ -1,0 +1,402 @@
+//! The Pauli basis `{I, X, Y, Z}` and Pauli strings.
+//!
+//! Circuit cutting expands the identity channel on the cut wire in this
+//! basis (paper Eq. 1/3): `ρ = ½ Σ_M tr(Mρ) M`. Everything the cutting crate
+//! needs about Paulis — matrices, eigendecompositions, products — lives here.
+
+use crate::complex::{c64, Complex};
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// One single-qubit Pauli operator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X (bit flip).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z (phase flip).
+    Z,
+}
+
+impl Pauli {
+    /// All four Paulis in the order used throughout the crate.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The non-identity Paulis (distinct measurement settings).
+    pub const NONTRIVIAL: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The 2×2 matrix of this Pauli.
+    pub fn matrix(self) -> Matrix {
+        match self {
+            Pauli::I => Matrix::identity(2),
+            Pauli::X => Matrix::two_by_two(Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO),
+            Pauli::Y => Matrix::two_by_two(Complex::ZERO, c64(0.0, -1.0), c64(0.0, 1.0), Complex::ZERO),
+            Pauli::Z => Matrix::two_by_two(Complex::ONE, Complex::ZERO, Complex::ZERO, c64(-1.0, 0.0)),
+        }
+    }
+
+    /// Eigenvalues of this Pauli, paired with [`Pauli::eigenstate`].
+    ///
+    /// For `I` both eigenvalues are `+1` (the paper's Eq. 6 sums `r = ±1`
+    /// for traceless Paulis but `I` contributes both computational states
+    /// with weight `+1`).
+    pub fn eigenvalues(self) -> [f64; 2] {
+        match self {
+            Pauli::I => [1.0, 1.0],
+            _ => [1.0, -1.0],
+        }
+    }
+
+    /// Eigenstate `index ∈ {0, 1}` as a normalised 2-vector.
+    ///
+    /// Ordering convention: index 0 is the `+1` eigenstate (`|0>`, `|+>`,
+    /// `|+i>`) and index 1 is the second one (`|1>`, `|->`, `|-i>`); for `I`
+    /// the computational basis is used.
+    pub fn eigenstate(self, index: usize) -> [Complex; 2] {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        match (self, index) {
+            (Pauli::I, 0) | (Pauli::Z, 0) => [Complex::ONE, Complex::ZERO],
+            (Pauli::I, 1) | (Pauli::Z, 1) => [Complex::ZERO, Complex::ONE],
+            (Pauli::X, 0) => [c64(s, 0.0), c64(s, 0.0)],
+            (Pauli::X, 1) => [c64(s, 0.0), c64(-s, 0.0)],
+            (Pauli::Y, 0) => [c64(s, 0.0), c64(0.0, s)],
+            (Pauli::Y, 1) => [c64(s, 0.0), c64(0.0, -s)],
+            _ => panic!("eigenstate index must be 0 or 1"),
+        }
+    }
+
+    /// Projector `|v><v|` onto eigenstate `index`.
+    pub fn eigenprojector(self, index: usize) -> Matrix {
+        let v = self.eigenstate(index);
+        Matrix::from_rows(
+            2,
+            2,
+            vec![
+                v[0] * v[0].conj(),
+                v[0] * v[1].conj(),
+                v[1] * v[0].conj(),
+                v[1] * v[1].conj(),
+            ],
+        )
+    }
+
+    /// Single-character label.
+    pub fn label(self) -> char {
+        match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+
+    /// Parses `'I' | 'X' | 'Y' | 'Z'` (case-insensitive).
+    pub fn from_char(c: char) -> Option<Pauli> {
+        match c.to_ascii_uppercase() {
+            'I' => Some(Pauli::I),
+            'X' => Some(Pauli::X),
+            'Y' => Some(Pauli::Y),
+            'Z' => Some(Pauli::Z),
+            _ => None,
+        }
+    }
+
+    /// Product of two Paulis as `(phase, pauli)` with `σ_a σ_b = phase · σ_c`.
+    pub fn product(self, other: Pauli) -> (Complex, Pauli) {
+        use Pauli::*;
+        match (self, other) {
+            (I, p) | (p, I) => (Complex::ONE, p),
+            (a, b) if a == b => (Complex::ONE, I),
+            (X, Y) => (Complex::I, Z),
+            (Y, X) => (-Complex::I, Z),
+            (Y, Z) => (Complex::I, X),
+            (Z, Y) => (-Complex::I, X),
+            (Z, X) => (Complex::I, Y),
+            (X, Z) => (-Complex::I, Y),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Whether two Paulis commute.
+    pub fn commutes_with(self, other: Pauli) -> bool {
+        self == Pauli::I || other == Pauli::I || self == other
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// A tensor product of single-qubit Paulis, e.g. `XIZ`.
+///
+/// Index 0 is qubit 0 (little-endian in the matrix representation: qubit 0
+/// is the least significant bit, so `matrix()` is `p[n-1] ⊗ … ⊗ p[0]`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PauliString {
+    paulis: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// Builds a string from per-qubit Paulis (index = qubit).
+    pub fn new(paulis: Vec<Pauli>) -> Self {
+        PauliString { paulis }
+    }
+
+    /// The all-identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            paulis: vec![Pauli::I; n],
+        }
+    }
+
+    /// Parses a label like `"XIZ"`. The **leftmost** character is the
+    /// highest-indexed qubit, matching the conventional reading order.
+    pub fn parse(label: &str) -> Option<Self> {
+        let mut paulis: Vec<Pauli> = label.chars().map(Pauli::from_char).collect::<Option<_>>()?;
+        paulis.reverse();
+        Some(PauliString { paulis })
+    }
+
+    /// Number of qubits.
+    pub fn len(&self) -> usize {
+        self.paulis.len()
+    }
+
+    /// True for the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.paulis.is_empty()
+    }
+
+    /// Pauli on qubit `q`.
+    pub fn get(&self, q: usize) -> Pauli {
+        self.paulis[q]
+    }
+
+    /// Replaces the Pauli on qubit `q`.
+    pub fn set(&mut self, q: usize, p: Pauli) {
+        self.paulis[q] = p;
+    }
+
+    /// Per-qubit Paulis (index = qubit).
+    pub fn paulis(&self) -> &[Pauli] {
+        &self.paulis
+    }
+
+    /// Number of non-identity factors.
+    pub fn weight(&self) -> usize {
+        self.paulis.iter().filter(|p| **p != Pauli::I).count()
+    }
+
+    /// Full `2^n × 2^n` matrix (little-endian qubit order).
+    pub fn matrix(&self) -> Matrix {
+        let mut m = Matrix::identity(1);
+        for p in self.paulis.iter().rev() {
+            m = m.kron(&p.matrix());
+        }
+        m
+    }
+
+    /// Whether the strings commute (Pauli strings commute iff they
+    /// anticommute on an even number of positions).
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        assert_eq!(self.len(), other.len(), "pauli string length mismatch");
+        let anti = self
+            .paulis
+            .iter()
+            .zip(&other.paulis)
+            .filter(|(a, b)| !a.commutes_with(**b))
+            .count();
+        anti % 2 == 0
+    }
+
+    /// Enumerates all `4^n` Pauli strings on `n` qubits in lexicographic
+    /// (I<X<Y<Z per qubit, qubit 0 fastest) order.
+    pub fn enumerate(n: usize) -> impl Iterator<Item = PauliString> {
+        let total = 4usize.pow(n as u32);
+        (0..total).map(move |mut idx| {
+            let mut paulis = Vec::with_capacity(n);
+            for _ in 0..n {
+                paulis.push(Pauli::ALL[idx % 4]);
+                idx /= 4;
+            }
+            PauliString { paulis }
+        })
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in self.paulis.iter().rev() {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn pauli_matrices_are_unitary_and_hermitian() {
+        for p in Pauli::ALL {
+            let m = p.matrix();
+            assert!(m.is_unitary(TOL), "{p} not unitary");
+            assert!(m.is_hermitian(TOL), "{p} not hermitian");
+        }
+    }
+
+    #[test]
+    fn pauli_squares_to_identity() {
+        for p in Pauli::ALL {
+            let m = p.matrix();
+            assert!(m.matmul(&m).approx_eq(&Matrix::identity(2), TOL));
+        }
+    }
+
+    #[test]
+    fn nontrivial_paulis_are_traceless() {
+        for p in Pauli::NONTRIVIAL {
+            assert!(p.matrix().trace().abs() < TOL, "{p} should be traceless");
+        }
+        assert!((Pauli::I.matrix().trace().re - 2.0).abs() < TOL);
+    }
+
+    #[test]
+    fn eigendecomposition_reconstructs_pauli() {
+        // M = Σ_r r |v_r><v_r| (paper's spectral decomposition, Eq. 6).
+        for p in Pauli::ALL {
+            let evs = p.eigenvalues();
+            let sum = &p.eigenprojector(0).scale(c64(evs[0], 0.0))
+                + &p.eigenprojector(1).scale(c64(evs[1], 0.0));
+            assert!(sum.approx_eq(&p.matrix(), TOL), "spectral decomposition failed for {p}");
+        }
+    }
+
+    #[test]
+    fn eigenstates_are_orthonormal_for_traceless_paulis() {
+        for p in Pauli::NONTRIVIAL {
+            let a = p.eigenstate(0);
+            let b = p.eigenstate(1);
+            let na: f64 = a.iter().map(|z| z.norm_sqr()).sum();
+            let nb: f64 = b.iter().map(|z| z.norm_sqr()).sum();
+            let ip = a[0].conj() * b[0] + a[1].conj() * b[1];
+            assert!((na - 1.0).abs() < TOL);
+            assert!((nb - 1.0).abs() < TOL);
+            assert!(ip.abs() < TOL, "eigenstates of {p} not orthogonal");
+        }
+    }
+
+    #[test]
+    fn eigenstate_is_actual_eigenvector() {
+        for p in Pauli::ALL {
+            let m = p.matrix();
+            for idx in 0..2 {
+                let v = p.eigenstate(idx);
+                let got = m.matvec(&v);
+                let ev = p.eigenvalues()[idx];
+                assert!(got[0].approx_eq(v[0] * ev, TOL), "{p} index {idx}");
+                assert!(got[1].approx_eq(v[1] * ev, TOL), "{p} index {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn product_table_matches_matrices() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let (phase, c) = a.product(b);
+                let want = a.matrix().matmul(&b.matrix());
+                let got = c.matrix().scale(phase);
+                assert!(got.approx_eq(&want, TOL), "{a}*{b} != {phase}*{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn commutation_matches_matrices() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let ab = a.matrix().matmul(&b.matrix());
+                let ba = b.matrix().matmul(&a.matrix());
+                let commutes = ab.approx_eq(&ba, TOL);
+                assert_eq!(commutes, a.commutes_with(b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pauli_basis_is_orthogonal_under_hilbert_schmidt() {
+        // tr(P Q) = 2 δ_{PQ}: the expansion ρ = ½ Σ tr(Mρ) M relies on this.
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let t = a.matrix().trace_product(&b.matrix());
+                if a == b {
+                    assert!((t.re - 2.0).abs() < TOL && t.im.abs() < TOL);
+                } else {
+                    assert!(t.abs() < TOL, "tr({a}{b}) should vanish");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pauli_expansion_recovers_arbitrary_single_qubit_state() {
+        // ρ = ½ Σ_M tr(Mρ) M — the identity behind wire cutting (Eq. 3).
+        let rho = Matrix::from_rows(
+            2,
+            2,
+            vec![c64(0.6, 0.0), c64(0.1, 0.2), c64(0.1, -0.2), c64(0.4, 0.0)],
+        );
+        let mut sum = Matrix::zeros(2, 2);
+        for p in Pauli::ALL {
+            let coeff = p.matrix().trace_product(&rho);
+            sum = &sum + &p.matrix().scale(coeff * 0.5);
+        }
+        assert!(sum.approx_eq(&rho, TOL));
+    }
+
+    #[test]
+    fn string_parse_and_display_round_trip() {
+        let s = PauliString::parse("XIZY").unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.to_string(), "XIZY");
+        // Leftmost char is the highest qubit.
+        assert_eq!(s.get(3), Pauli::X);
+        assert_eq!(s.get(0), Pauli::Y);
+        assert_eq!(s.weight(), 3);
+        assert!(PauliString::parse("AB").is_none());
+    }
+
+    #[test]
+    fn string_matrix_matches_kron() {
+        let s = PauliString::parse("XZ").unwrap(); // X on qubit 1, Z on qubit 0
+        let want = Pauli::X.matrix().kron(&Pauli::Z.matrix());
+        assert!(s.matrix().approx_eq(&want, TOL));
+    }
+
+    #[test]
+    fn string_commutation() {
+        let xx = PauliString::parse("XX").unwrap();
+        let zz = PauliString::parse("ZZ").unwrap();
+        let zi = PauliString::parse("ZI").unwrap();
+        assert!(xx.commutes_with(&zz)); // two anticommuting positions
+        assert!(!xx.commutes_with(&zi)); // one anticommuting position
+    }
+
+    #[test]
+    fn enumerate_counts_and_uniqueness() {
+        let all: Vec<_> = PauliString::enumerate(2).collect();
+        assert_eq!(all.len(), 16);
+        let uniq: std::collections::HashSet<_> = all.iter().map(|s| s.to_string()).collect();
+        assert_eq!(uniq.len(), 16);
+        assert_eq!(all[0].to_string(), "II");
+    }
+}

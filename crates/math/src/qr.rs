@@ -1,0 +1,189 @@
+//! Householder QR decomposition for complex matrices.
+//!
+//! Needed to draw Haar-random unitaries (QR of a Ginibre matrix with the
+//! phase-fixing of Mezzadri 2006) for the paper's `random_circuit()`-style
+//! workloads, and as a general orthonormalisation utility.
+
+use crate::complex::Complex;
+use crate::matrix::Matrix;
+
+/// Result of a QR decomposition: `A = Q R` with `Q` unitary (square) and `R`
+/// upper-triangular.
+pub struct QrDecomposition {
+    /// Unitary factor, `m × m`.
+    pub q: Matrix,
+    /// Upper-triangular factor, `m × n`.
+    pub r: Matrix,
+}
+
+/// Computes the QR decomposition of `a` via Householder reflections.
+///
+/// Works for any `m × n` with `m >= n`. Numerically stable for the small
+/// matrices (`n <= 64`) this workspace uses.
+pub fn qr_decompose(a: &Matrix) -> QrDecomposition {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m >= n, "qr_decompose requires rows >= cols");
+    let mut r = a.clone();
+    let mut q = Matrix::identity(m);
+
+    for k in 0..n.min(m.saturating_sub(1)) {
+        // Build the Householder vector for column k below the diagonal.
+        let mut norm_sq = 0.0;
+        for i in k..m {
+            norm_sq += r[(i, k)].norm_sqr();
+        }
+        let norm = norm_sq.sqrt();
+        if norm < 1e-300 {
+            continue; // Column already zero below the diagonal.
+        }
+        let x0 = r[(k, k)];
+        // alpha = -e^{i arg(x0)} * norm ensures the reflected pivot has the
+        // phase of x0, avoiding catastrophic cancellation.
+        let phase = if x0.abs() < 1e-300 {
+            Complex::ONE
+        } else {
+            x0 * (1.0 / x0.abs())
+        };
+        let alpha = -phase * norm;
+
+        // v = x - alpha * e1 (only rows k..m are nonzero).
+        let mut v = vec![Complex::ZERO; m - k];
+        v[0] = x0 - alpha;
+        for i in (k + 1)..m {
+            v[i - k] = r[(i, k)];
+        }
+        let v_norm_sq: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+        if v_norm_sq < 1e-300 {
+            continue;
+        }
+        let beta = 2.0 / v_norm_sq;
+
+        // R <- (I - beta v v†) R on rows k..m.
+        for j in k..n {
+            let mut dot = Complex::ZERO;
+            for i in k..m {
+                dot = dot.mul_add(v[i - k].conj(), r[(i, j)]);
+            }
+            let f = dot * beta;
+            for i in k..m {
+                let upd = v[i - k] * f;
+                r[(i, j)] -= upd;
+            }
+        }
+        // Q <- Q (I - beta v v†) on columns k..m.
+        for i in 0..m {
+            let mut dot = Complex::ZERO;
+            for j in k..m {
+                dot = dot.mul_add(q[(i, j)], v[j - k]);
+            }
+            let f = dot * beta;
+            for j in k..m {
+                let upd = f * v[j - k].conj();
+                q[(i, j)] -= upd;
+            }
+        }
+    }
+
+    // Zero the strictly-lower triangle of R explicitly (it holds round-off).
+    for i in 0..m {
+        for j in 0..n.min(i) {
+            r[(i, j)] = Complex::ZERO;
+        }
+    }
+
+    QrDecomposition { q, r }
+}
+
+/// QR with the Mezzadri phase fix: rescales columns of `Q` so the diagonal
+/// of `R` is real-positive. Feeding a Ginibre matrix through this yields a
+/// Haar-distributed unitary.
+pub fn qr_haar_fixed(a: &Matrix) -> Matrix {
+    let QrDecomposition { mut q, r } = qr_decompose(a);
+    let n = a.cols();
+    for j in 0..n {
+        let d = r[(j, j)];
+        let mag = d.abs();
+        let phase = if mag < 1e-300 { Complex::ONE } else { d * (1.0 / mag) };
+        // Multiply column j of Q by phase (so Q' R' = A with R' diag real>0).
+        for i in 0..q.rows() {
+            q[(i, j)] *= phase;
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(n: usize, rng: &mut StdRng) -> Matrix {
+        let data = (0..n * n)
+            .map(|_| c64(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect();
+        Matrix::from_rows(n, n, data)
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 3, 4, 8] {
+            let a = random_matrix(n, &mut rng);
+            let QrDecomposition { q, r } = qr_decompose(&a);
+            assert!(q.matmul(&r).approx_eq(&a, 1e-9), "QR != A for n={n}");
+        }
+    }
+
+    #[test]
+    fn q_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [2usize, 4, 8, 16] {
+            let a = random_matrix(n, &mut rng);
+            let QrDecomposition { q, .. } = qr_decompose(&a);
+            assert!(q.is_unitary(1e-9), "Q not unitary for n={n}");
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = random_matrix(6, &mut rng);
+        let QrDecomposition { r, .. } = qr_decompose(&a);
+        for i in 0..6 {
+            for j in 0..i {
+                assert!(r[(i, j)].abs() < 1e-12, "R[{i},{j}] nonzero");
+            }
+        }
+    }
+
+    #[test]
+    fn haar_fixed_q_is_unitary_and_reconstructs_up_to_phase() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = random_matrix(4, &mut rng);
+        let q = qr_haar_fixed(&a);
+        assert!(q.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn identity_decomposes_trivially() {
+        let i4 = Matrix::identity(4);
+        let QrDecomposition { q, r } = qr_decompose(&i4);
+        assert!(q.matmul(&r).approx_eq(&i4, 1e-12));
+        assert!(q.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn tall_matrix_qr() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let data = (0..6 * 2)
+            .map(|_| c64(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect();
+        let a = Matrix::from_rows(6, 2, data);
+        let QrDecomposition { q, r } = qr_decompose(&a);
+        assert!(q.is_unitary(1e-9));
+        assert!(q.matmul(&r).approx_eq(&a, 1e-9));
+    }
+}

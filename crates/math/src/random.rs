@@ -1,0 +1,155 @@
+//! Random matrices and states: Ginibre ensembles, Haar-random unitaries,
+//! random real-orthogonal matrices, and random pure states.
+//!
+//! The paper's workloads are built from Qiskit's `random_circuit()`; our
+//! circuit generator (in `qcut-circuit`) composes gates, but several tests
+//! and the `Unitary` gate paths also need raw Haar-random matrices.
+
+use crate::complex::{c64, Complex};
+use crate::matrix::Matrix;
+use crate::qr::qr_haar_fixed;
+use rand::Rng;
+
+/// Samples one standard complex Gaussian (unit-variance Ginibre entry) using
+/// the Box–Muller transform.
+#[inline]
+pub fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R) -> Complex {
+    // Two independent N(0, 1/2) components give a unit-variance complex
+    // Gaussian; the exact scale is irrelevant for QR-based Haar sampling.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let r = (-2.0 * u1.ln()).sqrt();
+    c64(r * u2.cos(), r * u2.sin()) * std::f64::consts::FRAC_1_SQRT_2
+}
+
+/// Samples one standard real Gaussian.
+#[inline]
+pub fn real_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    (-2.0 * u1.ln()).sqrt() * u2.cos()
+}
+
+/// An `n × n` matrix of i.i.d. complex Gaussians (Ginibre ensemble).
+pub fn ginibre<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Matrix {
+    let data = (0..n * n).map(|_| complex_gaussian(rng)).collect();
+    Matrix::from_rows(n, n, data)
+}
+
+/// A Haar-distributed `n × n` unitary (QR of a Ginibre matrix with the
+/// Mezzadri phase fix).
+pub fn haar_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Matrix {
+    qr_haar_fixed(&ginibre(n, rng))
+}
+
+/// A random real orthogonal `n × n` matrix (QR of a real Gaussian matrix).
+///
+/// Used to build *real-amplitude* upstream unitaries — the mechanism that
+/// makes the Y basis negligible at the paper's golden cutting point
+/// (`tr((Π_b ⊗ Y) ρ) = 0` for any real state).
+pub fn random_orthogonal<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Matrix {
+    let data: Vec<Complex> = (0..n * n).map(|_| c64(real_gaussian(rng), 0.0)).collect();
+    let q = qr_haar_fixed(&Matrix::from_rows(n, n, data));
+    // The phase fix on a real matrix yields a real orthogonal Q (phases are
+    // ±1); strip any residual imaginary round-off.
+    let cleaned = q
+        .as_slice()
+        .iter()
+        .map(|z| c64(z.re, 0.0))
+        .collect::<Vec<_>>();
+    Matrix::from_rows(n, n, cleaned)
+}
+
+/// A Haar-random pure state on `n` qubits as a `2^n` amplitude vector.
+pub fn random_state<R: Rng + ?Sized>(num_qubits: usize, rng: &mut R) -> Vec<Complex> {
+    let dim = 1usize << num_qubits;
+    let mut v: Vec<Complex> = (0..dim).map(|_| complex_gaussian(rng)).collect();
+    let norm = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+    for z in &mut v {
+        *z *= 1.0 / norm;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn haar_unitary_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2usize, 4, 8] {
+            let u = haar_unitary(n, &mut rng);
+            assert!(u.is_unitary(1e-9), "n={n}");
+        }
+    }
+
+    #[test]
+    fn haar_unitary_is_seed_deterministic() {
+        let a = haar_unitary(4, &mut StdRng::seed_from_u64(42));
+        let b = haar_unitary(4, &mut StdRng::seed_from_u64(42));
+        assert!(a.approx_eq(&b, 0.0));
+        let c = haar_unitary(4, &mut StdRng::seed_from_u64(43));
+        assert!(a.max_abs_diff(&c) > 1e-6, "different seeds should differ");
+    }
+
+    #[test]
+    fn random_orthogonal_is_real_and_orthogonal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [2usize, 4, 8] {
+            let q = random_orthogonal(n, &mut rng);
+            assert!(q.is_real(0.0), "orthogonal matrix has imaginary parts");
+            assert!(q.is_unitary(1e-9), "n={n}");
+        }
+    }
+
+    #[test]
+    fn random_state_is_normalised() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in 1..=6usize {
+            let v = random_state(n, &mut rng);
+            assert_eq!(v.len(), 1 << n);
+            let norm: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        // Sanity: mean ~ 0, variance ~ 1 over many draws (loose bounds, the
+        // point is catching sign/scale bugs, not distribution testing).
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| real_gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn complex_gaussian_has_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let var = (0..n)
+            .map(|_| complex_gaussian(&mut rng).norm_sqr())
+            .sum::<f64>()
+            / n as f64;
+        assert!((var - 1.0).abs() < 0.1, "E|z|^2 = {var}");
+    }
+
+    #[test]
+    fn haar_first_moment_vanishes() {
+        // E[U] = 0 for Haar; averaging entries over draws should shrink.
+        let mut rng = StdRng::seed_from_u64(6);
+        let trials = 200;
+        let mut acc = Matrix::zeros(2, 2);
+        for _ in 0..trials {
+            acc = &acc + &haar_unitary(2, &mut rng);
+        }
+        let avg_mag = acc.frobenius_norm() / trials as f64;
+        assert!(avg_mag < 0.1, "average magnitude {avg_mag}");
+    }
+}

@@ -1,0 +1,312 @@
+//! Named single-qubit states used by the cutting protocol.
+//!
+//! The downstream fragment of a cut is re-initialised into Pauli eigenstates
+//! (`|0>, |1>, |+>, |->, |+i>, |-i>` — the overcomplete set giving `O(6^K)`
+//! circuit evaluations) or, in the SIC variant discussed in §II-B of the
+//! paper, into the four tetrahedral SIC states giving `O(4^K)`.
+
+use crate::complex::{c64, Complex};
+use crate::matrix::Matrix;
+use crate::pauli::Pauli;
+use std::fmt;
+
+/// The six Pauli eigenstates used for downstream state preparation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum PrepState {
+    /// `|0>` — Z eigenstate, eigenvalue +1.
+    Zp,
+    /// `|1>` — Z eigenstate, eigenvalue −1.
+    Zm,
+    /// `|+>` — X eigenstate, eigenvalue +1.
+    Xp,
+    /// `|->` — X eigenstate, eigenvalue −1.
+    Xm,
+    /// `|+i>` — Y eigenstate, eigenvalue +1.
+    Yp,
+    /// `|-i>` — Y eigenstate, eigenvalue −1.
+    Ym,
+}
+
+impl PrepState {
+    /// All six preparation states (the standard scheme).
+    pub const ALL: [PrepState; 6] = [
+        PrepState::Zp,
+        PrepState::Zm,
+        PrepState::Xp,
+        PrepState::Xm,
+        PrepState::Yp,
+        PrepState::Ym,
+    ];
+
+    /// The four preparation states that remain when the `Y` basis is
+    /// neglected at a golden cutting point.
+    pub const WITHOUT_Y: [PrepState; 4] =
+        [PrepState::Zp, PrepState::Zm, PrepState::Xp, PrepState::Xm];
+
+    /// The Pauli whose eigenstate this is.
+    pub fn pauli(self) -> Pauli {
+        match self {
+            PrepState::Zp | PrepState::Zm => Pauli::Z,
+            PrepState::Xp | PrepState::Xm => Pauli::X,
+            PrepState::Yp | PrepState::Ym => Pauli::Y,
+        }
+    }
+
+    /// The eigenvalue (`+1` or `-1`) of [`PrepState::pauli`] on this state.
+    pub fn eigenvalue(self) -> f64 {
+        match self {
+            PrepState::Zp | PrepState::Xp | PrepState::Yp => 1.0,
+            _ => -1.0,
+        }
+    }
+
+    /// Eigenstate index (0 for `+`, 1 for `−`) matching
+    /// [`Pauli::eigenstate`].
+    pub fn eigenindex(self) -> usize {
+        if self.eigenvalue() > 0.0 {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// The eigenstates of a given Pauli, `(plus, minus)`.
+    pub fn of_pauli(p: Pauli) -> (PrepState, PrepState) {
+        match p {
+            // The identity shares the Z eigenbasis; both carry weight +1 in
+            // the reconstruction but the *states* are |0>, |1>.
+            Pauli::I | Pauli::Z => (PrepState::Zp, PrepState::Zm),
+            Pauli::X => (PrepState::Xp, PrepState::Xm),
+            Pauli::Y => (PrepState::Yp, PrepState::Ym),
+        }
+    }
+
+    /// State vector as a 2-array.
+    pub fn ket(self) -> [Complex; 2] {
+        self.pauli().eigenstate(self.eigenindex())
+    }
+
+    /// Density matrix `|v><v|`.
+    pub fn density(self) -> Matrix {
+        self.pauli().eigenprojector(self.eigenindex())
+    }
+
+    /// Bloch vector `(x, y, z)` of the state.
+    pub fn bloch(self) -> [f64; 3] {
+        match self {
+            PrepState::Zp => [0.0, 0.0, 1.0],
+            PrepState::Zm => [0.0, 0.0, -1.0],
+            PrepState::Xp => [1.0, 0.0, 0.0],
+            PrepState::Xm => [-1.0, 0.0, 0.0],
+            PrepState::Yp => [0.0, 1.0, 0.0],
+            PrepState::Ym => [0.0, -1.0, 0.0],
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrepState::Zp => "|0>",
+            PrepState::Zm => "|1>",
+            PrepState::Xp => "|+>",
+            PrepState::Xm => "|->",
+            PrepState::Yp => "|+i>",
+            PrepState::Ym => "|-i>",
+        }
+    }
+}
+
+impl fmt::Display for PrepState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The four symmetric informationally-complete (SIC) states — vertices of a
+/// regular tetrahedron on the Bloch sphere. Used by the `O(4^K)` preparation
+/// scheme the paper contrasts against (§II-B).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum SicState {
+    /// `|0>` (north pole).
+    S0,
+    /// Bloch vector `(2√2/3, 0, −1/3)`.
+    S1,
+    /// Bloch vector `(−√2/3, √(2/3), −1/3)`.
+    S2,
+    /// Bloch vector `(−√2/3, −√(2/3), −1/3)`.
+    S3,
+}
+
+impl SicState {
+    /// All four SIC states.
+    pub const ALL: [SicState; 4] = [SicState::S0, SicState::S1, SicState::S2, SicState::S3];
+
+    /// Bloch vector of the state.
+    pub fn bloch(self) -> [f64; 3] {
+        let a = 2.0 * std::f64::consts::SQRT_2 / 3.0;
+        let b = std::f64::consts::SQRT_2 / 3.0;
+        let c = (2.0f64 / 3.0).sqrt();
+        match self {
+            SicState::S0 => [0.0, 0.0, 1.0],
+            SicState::S1 => [a, 0.0, -1.0 / 3.0],
+            SicState::S2 => [-b, c, -1.0 / 3.0],
+            SicState::S3 => [-b, -c, -1.0 / 3.0],
+        }
+    }
+
+    /// State vector. Built from the Bloch angles
+    /// `|ψ> = cos(θ/2)|0> + e^{iφ} sin(θ/2)|1>`.
+    pub fn ket(self) -> [Complex; 2] {
+        let [x, y, z] = self.bloch();
+        let theta = z.clamp(-1.0, 1.0).acos();
+        let phi = y.atan2(x);
+        [
+            c64((theta / 2.0).cos(), 0.0),
+            Complex::from_polar((theta / 2.0).sin(), phi),
+        ]
+    }
+
+    /// Density matrix `½ (I + x·X + y·Y + z·Z)`.
+    pub fn density(self) -> Matrix {
+        let [x, y, z] = self.bloch();
+        let mut m = Matrix::identity(2);
+        m = &m + &Pauli::X.matrix().scale(c64(x, 0.0));
+        m = &m + &Pauli::Y.matrix().scale(c64(y, 0.0));
+        m = &m + &Pauli::Z.matrix().scale(c64(z, 0.0));
+        m.scale(c64(0.5, 0.0))
+    }
+}
+
+/// Density matrix from a pure state vector: `|v><v|`.
+pub fn pure_density(v: &[Complex]) -> Matrix {
+    let n = v.len();
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = v[i] * v[j].conj();
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn prep_states_are_normalised() {
+        for s in PrepState::ALL {
+            let k = s.ket();
+            let n: f64 = k.iter().map(|z| z.norm_sqr()).sum();
+            assert!((n - 1.0).abs() < TOL, "{s} not normalised");
+        }
+    }
+
+    #[test]
+    fn prep_state_is_eigenstate_of_its_pauli() {
+        for s in PrepState::ALL {
+            let m = s.pauli().matrix();
+            let k = s.ket();
+            let got = m.matvec(&k);
+            for i in 0..2 {
+                assert!(
+                    got[i].approx_eq(k[i] * s.eigenvalue(), TOL),
+                    "{s} is not an eigenstate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prep_density_matches_bloch_vector() {
+        for s in PrepState::ALL {
+            let rho = s.density();
+            let [x, y, z] = s.bloch();
+            let got_x = Pauli::X.matrix().trace_product(&rho).re;
+            let got_y = Pauli::Y.matrix().trace_product(&rho).re;
+            let got_z = Pauli::Z.matrix().trace_product(&rho).re;
+            assert!((got_x - x).abs() < TOL, "{s} x");
+            assert!((got_y - y).abs() < TOL, "{s} y");
+            assert!((got_z - z).abs() < TOL, "{s} z");
+        }
+    }
+
+    #[test]
+    fn of_pauli_returns_signed_pair() {
+        for p in Pauli::ALL {
+            let (plus, minus) = PrepState::of_pauli(p);
+            if p == Pauli::I {
+                // Identity: both eigenvalues +1, states |0>, |1>.
+                assert_eq!(plus, PrepState::Zp);
+                assert_eq!(minus, PrepState::Zm);
+            } else {
+                assert_eq!(plus.pauli(), p);
+                assert_eq!(minus.pauli(), p);
+                assert_eq!(plus.eigenvalue(), 1.0);
+                assert_eq!(minus.eigenvalue(), -1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenstate_pair_resolves_identity() {
+        // Σ_s |s><s| = I for each basis — the completeness used when the
+        // upstream discards a qubit.
+        for p in Pauli::NONTRIVIAL {
+            let (a, b) = PrepState::of_pauli(p);
+            let sum = &a.density() + &b.density();
+            assert!(sum.approx_eq(&Matrix::identity(2), TOL));
+        }
+    }
+
+    #[test]
+    fn sic_states_are_normalised_and_pure() {
+        for s in SicState::ALL {
+            let k = s.ket();
+            let n: f64 = k.iter().map(|z| z.norm_sqr()).sum();
+            assert!((n - 1.0).abs() < TOL);
+            let rho = s.density();
+            let rho2 = rho.matmul(&rho);
+            assert!(rho2.approx_eq(&rho, 1e-10), "SIC state not pure");
+            assert!(rho.approx_eq(&pure_density(&k), 1e-10), "ket/density mismatch");
+        }
+    }
+
+    #[test]
+    fn sic_pairwise_overlap_is_one_third() {
+        // |<ψ_i|ψ_j>|² = 1/3 for i ≠ j — the defining SIC property.
+        for (i, a) in SicState::ALL.iter().enumerate() {
+            for (j, b) in SicState::ALL.iter().enumerate() {
+                let ka = a.ket();
+                let kb = b.ket();
+                let ip = ka[0].conj() * kb[0] + ka[1].conj() * kb[1];
+                let want = if i == j { 1.0 } else { 1.0 / 3.0 };
+                assert!(
+                    (ip.norm_sqr() - want).abs() < 1e-10,
+                    "overlap {i},{j} = {}",
+                    ip.norm_sqr()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sic_states_resolve_identity() {
+        // ½ Σ_i |ψ_i><ψ_i| = I — informational completeness.
+        let mut sum = Matrix::zeros(2, 2);
+        for s in SicState::ALL {
+            sum = &sum + &s.density();
+        }
+        assert!(sum.scale(c64(0.5, 0.0)).approx_eq(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn pure_density_has_unit_trace_and_rank_one() {
+        let v = [c64(0.6, 0.0), c64(0.0, 0.8)];
+        let rho = pure_density(&v);
+        assert!((rho.trace().re - 1.0).abs() < TOL);
+        assert!(rho.matmul(&rho).approx_eq(&rho, 1e-10));
+    }
+}

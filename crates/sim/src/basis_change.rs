@@ -1,0 +1,152 @@
+//! Basis-change and state-preparation sub-circuits for the cutting
+//! protocol.
+//!
+//! * Upstream fragments must be *measured* in the X, Y or Z basis on their
+//!   cut qubits: we append the rotation that maps the chosen basis onto the
+//!   computational basis, then measure Z as usual.
+//! * Downstream fragments must be *initialised* into Pauli eigenstates (or
+//!   SIC states): we prepend the preparation circuit acting on `|0>`.
+
+use qcut_circuit::circuit::Circuit;
+use qcut_circuit::gate::Gate;
+use qcut_math::{Pauli, PrepState, SicState};
+
+/// Appends to `circuit` the rotation taking `basis` onto the computational
+/// basis on `qubit`, so a subsequent Z measurement realises a `basis`
+/// measurement. Outcome bit 0 corresponds to the `+1` eigenstate.
+///
+/// * `Z` (and `I`): nothing;
+/// * `X`: `H`;
+/// * `Y`: `S† · H` (i.e. apply S† then H).
+pub fn append_basis_rotation(circuit: &mut Circuit, basis: Pauli, qubit: usize) {
+    match basis {
+        Pauli::I | Pauli::Z => {}
+        Pauli::X => {
+            circuit.h(qubit);
+        }
+        Pauli::Y => {
+            circuit.sdg(qubit).h(qubit);
+        }
+    }
+}
+
+/// The preparation circuit taking `|0>` to the given Pauli eigenstate.
+pub fn prep_circuit(state: PrepState, num_qubits: usize, qubit: usize) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    match state {
+        PrepState::Zp => {}
+        PrepState::Zm => {
+            c.x(qubit);
+        }
+        PrepState::Xp => {
+            c.h(qubit);
+        }
+        PrepState::Xm => {
+            c.x(qubit).h(qubit);
+        }
+        PrepState::Yp => {
+            c.h(qubit).s(qubit);
+        }
+        PrepState::Ym => {
+            c.x(qubit).h(qubit).s(qubit);
+        }
+    }
+    c
+}
+
+/// The preparation circuit taking `|0>` to the given SIC state (a single
+/// `U3` with the state's Bloch angles).
+pub fn sic_prep_circuit(state: SicState, num_qubits: usize, qubit: usize) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    let [x, y, z] = state.bloch();
+    let theta = z.clamp(-1.0, 1.0).acos();
+    let phi = y.atan2(x);
+    if theta.abs() > 1e-15 {
+        c.push(Gate::U3(theta, phi, 0.0), &[qubit]);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::StateVector;
+    use qcut_math::{c64, Complex};
+
+    const TOL: f64 = 1e-10;
+
+    /// Prepare an eigenstate, rotate into its basis, and check the Z
+    /// measurement outcome is deterministic with the right bit.
+    #[test]
+    fn measurement_rotation_maps_eigenstates_to_bits() {
+        for state in PrepState::ALL {
+            let mut c = prep_circuit(state, 1, 0);
+            append_basis_rotation(&mut c, state.pauli(), 0);
+            let sv = StateVector::from_circuit(&c);
+            let expected_bit = state.eigenindex() as u64;
+            assert!(
+                (sv.probability(expected_bit) - 1.0).abs() < TOL,
+                "{state}: P(bit={expected_bit}) = {}",
+                sv.probability(expected_bit)
+            );
+        }
+    }
+
+    #[test]
+    fn prep_circuits_produce_the_declared_kets() {
+        for state in PrepState::ALL {
+            let sv = StateVector::from_circuit(&prep_circuit(state, 1, 0));
+            let want = state.ket();
+            // Allow a global phase: compare |<want|got>|².
+            let got = sv.amplitudes();
+            let ip = want[0].conj() * got[0] + want[1].conj() * got[1];
+            assert!(
+                (ip.norm_sqr() - 1.0).abs() < TOL,
+                "{state}: fidelity {}",
+                ip.norm_sqr()
+            );
+        }
+    }
+
+    #[test]
+    fn prep_on_nontarget_qubit_leaves_others_zero() {
+        let sv = StateVector::from_circuit(&prep_circuit(PrepState::Xp, 3, 1));
+        // Qubits 0 and 2 stay |0>; qubit 1 is |+>.
+        assert!((sv.probability(0b000) - 0.5).abs() < TOL);
+        assert!((sv.probability(0b010) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn sic_preps_produce_the_sic_kets() {
+        for state in SicState::ALL {
+            let sv = StateVector::from_circuit(&sic_prep_circuit(state, 1, 0));
+            let want = state.ket();
+            let got = sv.amplitudes();
+            let ip = want[0].conj() * got[0] + want[1].conj() * got[1];
+            assert!(
+                (ip.norm_sqr() - 1.0).abs() < TOL,
+                "{state:?}: fidelity {}",
+                ip.norm_sqr()
+            );
+        }
+    }
+
+    #[test]
+    fn z_and_i_rotations_are_empty() {
+        let mut c = Circuit::new(1);
+        append_basis_rotation(&mut c, Pauli::Z, 0);
+        append_basis_rotation(&mut c, Pauli::I, 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn y_rotation_is_unitary_inverse_of_y_prep() {
+        // prep(|+i>) followed by the Y-measurement rotation = |0>.
+        let mut c = prep_circuit(PrepState::Yp, 1, 0);
+        append_basis_rotation(&mut c, Pauli::Y, 0);
+        let sv = StateVector::from_circuit(&c);
+        assert!(sv.amplitudes()[0].approx_eq(Complex::ONE, TOL) ||
+                sv.amplitudes()[0].norm_sqr() > 1.0 - 1e-9);
+        let _ = c64(0.0, 0.0);
+    }
+}

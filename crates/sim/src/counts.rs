@@ -1,0 +1,284 @@
+//! Measurement counts and shot sampling.
+//!
+//! A [`Counts`] is what a backend returns: a histogram of observed
+//! bitstrings over a number of shots. Sampling from an exact probability
+//! vector is done with a cumulative table + binary search — dimensions in
+//! this workspace are ≤ 2^16, so a full CDF is cheap and sampling is
+//! `O(log dim)` per shot.
+
+use qcut_stats::distribution::Distribution;
+use rand::Rng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Histogram of measured bitstrings.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Counts {
+    num_bits: usize,
+    map: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl Counts {
+    /// Empty histogram over `num_bits`-bit outcomes.
+    pub fn new(num_bits: usize) -> Self {
+        Counts {
+            num_bits,
+            map: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Builds from `(bitstring, count)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (u64, u64)>>(num_bits: usize, pairs: I) -> Self {
+        let mut c = Counts::new(num_bits);
+        for (bits, n) in pairs {
+            c.record_many(bits, n);
+        }
+        c
+    }
+
+    /// Number of bits per outcome.
+    #[inline]
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Total number of shots recorded.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count for one bitstring.
+    #[inline]
+    pub fn get(&self, bits: u64) -> u64 {
+        self.map.get(&bits).copied().unwrap_or(0)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, bits: u64) {
+        self.record_many(bits, 1);
+    }
+
+    /// Records `n` observations of the same bitstring.
+    pub fn record_many(&mut self, bits: u64, n: u64) {
+        debug_assert!(
+            (bits as usize) < (1usize << self.num_bits),
+            "bitstring out of range"
+        );
+        if n > 0 {
+            *self.map.entry(bits).or_insert(0) += n;
+            self.total += n;
+        }
+    }
+
+    /// Merges another histogram (same width).
+    pub fn merge(&mut self, other: &Counts) {
+        assert_eq!(self.num_bits, other.num_bits, "bit width mismatch");
+        for (&bits, &n) in &other.map {
+            self.record_many(bits, n);
+        }
+    }
+
+    /// Empirical probability of one bitstring.
+    pub fn probability(&self, bits: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.get(bits) as f64 / self.total as f64
+        }
+    }
+
+    /// Iterator over observed `(bitstring, count)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(&b, &c)| (b, c))
+    }
+
+    /// Converts to an empirical [`Distribution`].
+    pub fn to_distribution(&self) -> Distribution {
+        Distribution::from_counts(self.num_bits, self.iter())
+    }
+
+    /// Marginal counts over the given bit positions (output bit `i` = input
+    /// bit `positions[i]`).
+    pub fn marginal(&self, positions: &[usize]) -> Counts {
+        for &p in positions {
+            assert!(p < self.num_bits, "bit position {p} out of range");
+        }
+        let mut out = Counts::new(positions.len());
+        for (&bits, &n) in &self.map {
+            let mut key = 0u64;
+            for (i, &p) in positions.iter().enumerate() {
+                if bits & (1 << p) != 0 {
+                    key |= 1 << i;
+                }
+            }
+            out.record_many(key, n);
+        }
+        out
+    }
+
+    /// Splits each outcome into two groups of bit positions, returning
+    /// joint counts keyed by `(group_a_bits, group_b_bits)`. Used by
+    /// tomography to separate fragment-output bits from cut-qubit bits.
+    pub fn split(&self, group_a: &[usize], group_b: &[usize]) -> HashMap<(u64, u64), u64> {
+        let mut out = HashMap::new();
+        for (&bits, &n) in &self.map {
+            let extract = |positions: &[usize]| -> u64 {
+                let mut key = 0u64;
+                for (i, &p) in positions.iter().enumerate() {
+                    if bits & (1 << p) != 0 {
+                        key |= 1 << i;
+                    }
+                }
+                key
+            };
+            *out.entry((extract(group_a), extract(group_b))).or_insert(0) += n;
+        }
+        out
+    }
+}
+
+impl fmt::Display for Counts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut entries: Vec<_> = self.map.iter().collect();
+        entries.sort_by_key(|(b, _)| **b);
+        writeln!(f, "counts ({} shots):", self.total)?;
+        for (bits, n) in entries {
+            writeln!(f, "  {:0width$b}: {n}", bits, width = self.num_bits)?;
+        }
+        Ok(())
+    }
+}
+
+/// Samples `shots` outcomes from a probability vector (length `2^num_bits`)
+/// using an inverse-CDF table.
+pub fn sample_counts<R: Rng + ?Sized>(
+    num_bits: usize,
+    probs: &[f64],
+    shots: u64,
+    rng: &mut R,
+) -> Counts {
+    assert_eq!(probs.len(), 1 << num_bits, "probability vector length");
+    // Cumulative table; tolerate tiny normalisation drift by scaling draws
+    // to the actual total mass.
+    let mut cdf = Vec::with_capacity(probs.len());
+    let mut acc = 0.0f64;
+    for &p in probs {
+        debug_assert!(p >= -1e-9, "negative probability {p}");
+        acc += p.max(0.0);
+        cdf.push(acc);
+    }
+    let mass = acc;
+    assert!(mass > 0.0, "probability vector has no mass");
+
+    let mut counts = Counts::new(num_bits);
+    for _ in 0..shots {
+        let u: f64 = rng.gen_range(0.0..mass);
+        // Binary search for the first cdf entry > u.
+        let idx = cdf.partition_point(|&c| c <= u).min(probs.len() - 1);
+        counts.record(idx as u64);
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn record_and_query() {
+        let mut c = Counts::new(2);
+        c.record(0b01);
+        c.record(0b01);
+        c.record(0b10);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.get(0b01), 2);
+        assert_eq!(c.get(0b00), 0);
+        assert!((c.probability(0b01) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Counts::from_pairs(1, vec![(0, 5)]);
+        let b = Counts::from_pairs(1, vec![(0, 1), (1, 4)]);
+        a.merge(&b);
+        assert_eq!(a.get(0), 6);
+        assert_eq!(a.get(1), 4);
+        assert_eq!(a.total(), 10);
+    }
+
+    #[test]
+    fn to_distribution_matches_probabilities() {
+        let c = Counts::from_pairs(2, vec![(0, 25), (3, 75)]);
+        let d = c.to_distribution();
+        assert!((d.get(0) - 0.25).abs() < 1e-12);
+        assert!((d.get(3) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_collapses_bits() {
+        let c = Counts::from_pairs(3, vec![(0b101, 4), (0b001, 6)]);
+        let m = c.marginal(&[0]);
+        assert_eq!(m.get(1), 10);
+        let m2 = c.marginal(&[2]);
+        assert_eq!(m2.get(1), 4);
+        assert_eq!(m2.get(0), 6);
+    }
+
+    #[test]
+    fn split_separates_groups() {
+        // bits: [out1, out0 | cut] layout: positions 0 = cut, 1..=2 outputs.
+        let c = Counts::from_pairs(3, vec![(0b110, 3), (0b111, 2), (0b000, 5)]);
+        let joint = c.split(&[1, 2], &[0]);
+        assert_eq!(joint[&(0b11, 0)], 3);
+        assert_eq!(joint[&(0b11, 1)], 2);
+        assert_eq!(joint[&(0b00, 0)], 5);
+    }
+
+    #[test]
+    fn sampling_is_unbiased() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let probs = [0.1, 0.2, 0.3, 0.4];
+        let c = sample_counts(2, &probs, 100_000, &mut rng);
+        assert_eq!(c.total(), 100_000);
+        for (i, &p) in probs.iter().enumerate() {
+            let f = c.probability(i as u64);
+            assert!((f - p).abs() < 0.01, "outcome {i}: {f} vs {p}");
+        }
+    }
+
+    #[test]
+    fn sampling_point_mass_always_hits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = sample_counts(1, &[0.0, 1.0], 1000, &mut rng);
+        assert_eq!(c.get(1), 1000);
+    }
+
+    #[test]
+    fn sampling_tolerates_tiny_drift() {
+        // Mass 0.999999 — draws are rescaled, no panic, all outcomes valid.
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = sample_counts(1, &[0.499999, 0.5], 1000, &mut rng);
+        assert_eq!(c.total(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "no mass")]
+    fn sampling_rejects_zero_mass() {
+        let mut rng = StdRng::seed_from_u64(4);
+        sample_counts(1, &[0.0, 0.0], 10, &mut rng);
+    }
+
+    #[test]
+    fn display_orders_bitstrings() {
+        let c = Counts::from_pairs(2, vec![(2, 1), (0, 1)]);
+        let s = c.to_string();
+        let pos0 = s.find("00").unwrap();
+        let pos2 = s.find("10").unwrap();
+        assert!(pos0 < pos2);
+    }
+}

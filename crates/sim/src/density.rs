@@ -1,0 +1,437 @@
+//! Density-matrix simulator.
+//!
+//! The noisy "hardware" backends (our substitute for the paper's IBM
+//! devices) evolve a density matrix so that Kraus noise channels can be
+//! applied exactly. Unitary gates act by block kernels — `O(4^n)` per gate
+//! instead of the naive `O(8^n)` of building and conjugating full
+//! operators.
+
+use crate::counts::{sample_counts, Counts};
+use crate::noise::KrausChannel;
+use qcut_circuit::circuit::{Circuit, Instruction};
+use qcut_math::{c64, Complex, Matrix};
+use rand::Rng;
+
+/// A mixed `n`-qubit state ρ as a dense `2^n × 2^n` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    num_qubits: usize,
+    rho: Matrix,
+}
+
+impl DensityMatrix {
+    /// `|0…0><0…0|`.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        let dim = 1usize << num_qubits;
+        let mut rho = Matrix::zeros(dim, dim);
+        rho[(0, 0)] = Complex::ONE;
+        DensityMatrix { num_qubits, rho }
+    }
+
+    /// Wraps an existing density matrix (must be square of dim `2^n`).
+    pub fn from_matrix(num_qubits: usize, rho: Matrix) -> Self {
+        assert_eq!(rho.rows(), 1 << num_qubits, "dimension mismatch");
+        assert!(rho.is_square(), "density matrix must be square");
+        DensityMatrix { num_qubits, rho }
+    }
+
+    /// From a pure state vector.
+    pub fn from_statevector(sv: &crate::statevector::StateVector) -> Self {
+        let amps = sv.amplitudes();
+        let dim = amps.len();
+        let mut rho = Matrix::zeros(dim, dim);
+        for i in 0..dim {
+            for j in 0..dim {
+                rho[(i, j)] = amps[i] * amps[j].conj();
+            }
+        }
+        DensityMatrix {
+            num_qubits: sv.num_qubits(),
+            rho,
+        }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The underlying matrix.
+    #[inline]
+    pub fn matrix(&self) -> &Matrix {
+        &self.rho
+    }
+
+    /// `tr(ρ)` — 1 for normalised states (trace is preserved by unitaries
+    /// and CPTP channels; an invariant worth asserting in tests).
+    pub fn trace(&self) -> f64 {
+        self.rho.trace().re
+    }
+
+    /// Purity `tr(ρ²)` — 1 for pure states, `1/2^n` for maximally mixed.
+    pub fn purity(&self) -> f64 {
+        self.rho.trace_product(&self.rho).re
+    }
+
+    /// Applies a unitary circuit (no noise).
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert_eq!(circuit.num_qubits(), self.num_qubits, "width mismatch");
+        for inst in circuit.instructions() {
+            self.apply_instruction(inst);
+        }
+    }
+
+    /// Applies one unitary instruction.
+    pub fn apply_instruction(&mut self, inst: &Instruction) {
+        let m = inst.gate.matrix();
+        match inst.qubits.len() {
+            1 => self.apply_one_qubit(&m, inst.qubits[0]),
+            2 => self.apply_two_qubit(&m, inst.qubits[0], inst.qubits[1]),
+            _ => unreachable!(),
+        }
+    }
+
+    /// ρ ← U ρ U† for a 2×2 unitary on `target`.
+    pub fn apply_one_qubit(&mut self, u: &Matrix, target: usize) {
+        self.apply_kraus_one(std::slice::from_ref(u), target);
+    }
+
+    /// ρ ← U ρ U† for a 4×4 unitary on `(q0, q1)`.
+    pub fn apply_two_qubit(&mut self, u: &Matrix, q0: usize, q1: usize) {
+        self.apply_kraus_two(std::slice::from_ref(u), q0, q1);
+    }
+
+    /// Applies a single-qubit Kraus channel `ρ ← Σ_m K_m ρ K_m†` on
+    /// `target`. Works block-wise on 2×2 sub-blocks of ρ.
+    pub fn apply_kraus_one(&mut self, kraus: &[Matrix], target: usize) {
+        assert!(target < self.num_qubits, "target out of range");
+        for k in kraus {
+            assert_eq!((k.rows(), k.cols()), (2, 2), "Kraus op must be 2x2");
+        }
+        let dim = 1usize << self.num_qubits;
+        let bit = 1usize << target;
+
+        // Row indices (i0, i1) and column indices (j0, j1) form 2×2 blocks
+        // B = [ρ(i0,j0) ρ(i0,j1); ρ(i1,j0) ρ(i1,j1)]; B ← Σ K B K†.
+        for i0 in 0..dim {
+            if i0 & bit != 0 {
+                continue;
+            }
+            let i1 = i0 | bit;
+            for j0 in 0..dim {
+                if j0 & bit != 0 {
+                    continue;
+                }
+                let j1 = j0 | bit;
+                let b = [
+                    [self.rho[(i0, j0)], self.rho[(i0, j1)]],
+                    [self.rho[(i1, j0)], self.rho[(i1, j1)]],
+                ];
+                let mut out = [[Complex::ZERO; 2]; 2];
+                for k in kraus {
+                    // K B K†, all 2×2.
+                    let kb = [
+                        [
+                            k[(0, 0)] * b[0][0] + k[(0, 1)] * b[1][0],
+                            k[(0, 0)] * b[0][1] + k[(0, 1)] * b[1][1],
+                        ],
+                        [
+                            k[(1, 0)] * b[0][0] + k[(1, 1)] * b[1][0],
+                            k[(1, 0)] * b[0][1] + k[(1, 1)] * b[1][1],
+                        ],
+                    ];
+                    for r in 0..2 {
+                        for c in 0..2 {
+                            // (KB K†)[r][c] = Σ_s KB[r][s] conj(K[c][s])
+                            out[r][c] += kb[r][0] * k[(c, 0)].conj() + kb[r][1] * k[(c, 1)].conj();
+                        }
+                    }
+                }
+                self.rho[(i0, j0)] = out[0][0];
+                self.rho[(i0, j1)] = out[0][1];
+                self.rho[(i1, j0)] = out[1][0];
+                self.rho[(i1, j1)] = out[1][1];
+            }
+        }
+    }
+
+    /// Applies a two-qubit Kraus channel on `(q0, q1)` (gate-index
+    /// convention: bit 0 ↔ `q0`).
+    pub fn apply_kraus_two(&mut self, kraus: &[Matrix], q0: usize, q1: usize) {
+        assert!(q0 < self.num_qubits && q1 < self.num_qubits && q0 != q1);
+        for k in kraus {
+            assert_eq!((k.rows(), k.cols()), (4, 4), "Kraus op must be 4x4");
+        }
+        let dim = 1usize << self.num_qubits;
+        let b0 = 1usize << q0;
+        let b1 = 1usize << q1;
+        let offsets = [0usize, b0, b1, b0 | b1];
+
+        for ibase in 0..dim {
+            if ibase & (b0 | b1) != 0 {
+                continue;
+            }
+            for jbase in 0..dim {
+                if jbase & (b0 | b1) != 0 {
+                    continue;
+                }
+                // Gather the 4×4 block.
+                let mut b = [[Complex::ZERO; 4]; 4];
+                for (r, &ro) in offsets.iter().enumerate() {
+                    for (c, &co) in offsets.iter().enumerate() {
+                        b[r][c] = self.rho[(ibase + ro, jbase + co)];
+                    }
+                }
+                let mut out = [[Complex::ZERO; 4]; 4];
+                for k in kraus {
+                    let mut kb = [[Complex::ZERO; 4]; 4];
+                    for r in 0..4 {
+                        for c in 0..4 {
+                            let mut acc = Complex::ZERO;
+                            for s in 0..4 {
+                                acc = acc.mul_add(k[(r, s)], b[s][c]);
+                            }
+                            kb[r][c] = acc;
+                        }
+                    }
+                    for r in 0..4 {
+                        for c in 0..4 {
+                            let mut acc = Complex::ZERO;
+                            for s in 0..4 {
+                                acc = acc.mul_add(kb[r][s], k[(c, s)].conj());
+                            }
+                            out[r][c] += acc;
+                        }
+                    }
+                }
+                for (r, &ro) in offsets.iter().enumerate() {
+                    for (c, &co) in offsets.iter().enumerate() {
+                        self.rho[(ibase + ro, jbase + co)] = out[r][c];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a [`KrausChannel`] to the given qubits.
+    pub fn apply_channel(&mut self, channel: &KrausChannel, qubits: &[usize]) {
+        match (channel.arity(), qubits.len()) {
+            (1, 1) => self.apply_kraus_one(channel.operators(), qubits[0]),
+            (2, 2) => self.apply_kraus_two(channel.operators(), qubits[0], qubits[1]),
+            (a, q) => panic!("channel arity {a} does not match {q} operand qubits"),
+        }
+    }
+
+    /// Diagonal of ρ — the computational-basis outcome probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let dim = 1usize << self.num_qubits;
+        (0..dim).map(|i| self.rho[(i, i)].re.max(0.0)).collect()
+    }
+
+    /// Expectation `tr(Oρ)` of a Hermitian operator.
+    pub fn expectation(&self, op: &Matrix) -> f64 {
+        op.trace_product(&self.rho).re
+    }
+
+    /// Partial trace keeping `keep` (output indices little-endian in the
+    /// order of `keep`).
+    pub fn partial_trace(&self, keep: &[usize]) -> Matrix {
+        for &q in keep {
+            assert!(q < self.num_qubits, "qubit {q} out of range");
+        }
+        let others: Vec<usize> = (0..self.num_qubits).filter(|q| !keep.contains(q)).collect();
+        let dim_keep = 1usize << keep.len();
+        let dim_others = 1usize << others.len();
+        let mut out = Matrix::zeros(dim_keep, dim_keep);
+        let build_idx = |ks: usize, os: usize| -> usize {
+            let mut idx = 0usize;
+            for (i, &q) in keep.iter().enumerate() {
+                if ks & (1 << i) != 0 {
+                    idx |= 1 << q;
+                }
+            }
+            for (i, &q) in others.iter().enumerate() {
+                if os & (1 << i) != 0 {
+                    idx |= 1 << q;
+                }
+            }
+            idx
+        };
+        for r in 0..dim_keep {
+            for c in 0..dim_keep {
+                let mut acc = Complex::ZERO;
+                for o in 0..dim_others {
+                    acc += self.rho[(build_idx(r, o), build_idx(c, o))];
+                }
+                out[(r, c)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Samples measurement outcomes in the computational basis.
+    pub fn sample<R: Rng + ?Sized>(&self, shots: u64, rng: &mut R) -> Counts {
+        sample_counts(self.num_qubits, &self.probabilities(), shots, rng)
+    }
+
+    /// Renormalises the trace to 1 (guards against drift after long noisy
+    /// evolutions).
+    pub fn renormalize(&mut self) {
+        let t = self.trace();
+        if t > 0.0 && (t - 1.0).abs() > 1e-14 {
+            self.rho = self.rho.scale(c64(1.0 / t, 0.0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::KrausChannel;
+    use crate::statevector::StateVector;
+    use qcut_circuit::circuit::Circuit;
+    use qcut_circuit::random::{random_circuit, RandomCircuitConfig};
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn zero_state_is_pure_point_mass() {
+        let dm = DensityMatrix::zero_state(2);
+        assert!((dm.trace() - 1.0).abs() < TOL);
+        assert!((dm.purity() - 1.0).abs() < TOL);
+        assert_eq!(dm.probabilities()[0], 1.0);
+    }
+
+    #[test]
+    fn unitary_evolution_matches_statevector() {
+        for seed in 0..4 {
+            let c = random_circuit(3, RandomCircuitConfig::default(), seed);
+            let sv = StateVector::from_circuit(&c);
+            let mut dm = DensityMatrix::zero_state(3);
+            dm.apply_circuit(&c);
+            let want = DensityMatrix::from_statevector(&sv);
+            assert!(
+                dm.matrix().approx_eq(want.matrix(), 1e-8),
+                "seed {seed}: density evolution diverged from statevector"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_and_purity_preserved_by_unitaries() {
+        let c = random_circuit(3, RandomCircuitConfig { depth: 5, two_qubit_prob: 0.5 }, 9);
+        let mut dm = DensityMatrix::zero_state(3);
+        dm.apply_circuit(&c);
+        assert!((dm.trace() - 1.0).abs() < TOL);
+        assert!((dm.purity() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn depolarizing_reduces_purity_but_preserves_trace() {
+        let mut dm = DensityMatrix::zero_state(2);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        dm.apply_circuit(&c);
+        let ch = KrausChannel::depolarizing(0.2);
+        dm.apply_channel(&ch, &[0]);
+        assert!((dm.trace() - 1.0).abs() < TOL, "trace drifted: {}", dm.trace());
+        assert!(dm.purity() < 1.0 - 1e-6, "purity should drop");
+    }
+
+    #[test]
+    fn depolarizing_at_three_quarters_is_maximally_mixing() {
+        // ρ → (1−p)ρ + (p/3)ΣPρP equals the fully-depolarizing channel at
+        // p = 3/4 (not p = 1, where the output is (ρ + 2·mixed)/3-ish).
+        let mut dm = DensityMatrix::zero_state(1);
+        let ch = KrausChannel::depolarizing(0.75);
+        dm.apply_channel(&ch, &[0]);
+        assert!((dm.matrix()[(0, 0)].re - 0.5).abs() < TOL);
+        assert!((dm.matrix()[(1, 1)].re - 0.5).abs() < TOL);
+        assert!(dm.matrix()[(0, 1)].abs() < TOL);
+    }
+
+    #[test]
+    fn depolarizing_at_one_is_pauli_twirl() {
+        // At p = 1 the channel is the uniform Pauli twirl: |0><0| maps to
+        // diag(1/3, 2/3).
+        let mut dm = DensityMatrix::zero_state(1);
+        dm.apply_channel(&KrausChannel::depolarizing(1.0), &[0]);
+        assert!((dm.matrix()[(0, 0)].re - 1.0 / 3.0).abs() < TOL);
+        assert!((dm.matrix()[(1, 1)].re - 2.0 / 3.0).abs() < TOL);
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let mut dm = DensityMatrix::zero_state(1);
+        dm.apply_one_qubit(&qcut_circuit::gate::Gate::X.matrix(), 0); // |1>
+        let ch = KrausChannel::amplitude_damping(0.3);
+        dm.apply_channel(&ch, &[0]);
+        // P(|1>) = 1 - gamma.
+        assert!((dm.probabilities()[1] - 0.7).abs() < TOL);
+        assert!((dm.trace() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn two_qubit_kraus_matches_one_qubit_composition() {
+        // (depolarize q0) ⊗ I implemented as a 2-qubit channel must equal
+        // the 1-qubit channel on q0.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).t(1);
+        let mut a = DensityMatrix::zero_state(2);
+        a.apply_circuit(&c);
+        let mut b = a.clone();
+
+        let one = KrausChannel::depolarizing(0.13);
+        a.apply_kraus_one(one.operators(), 0);
+
+        let id = Matrix::identity(2);
+        let lifted: Vec<Matrix> = one.operators().iter().map(|k| id.kron(k)).collect();
+        b.apply_kraus_two(&lifted, 0, 1);
+
+        assert!(a.matrix().approx_eq(b.matrix(), 1e-9));
+    }
+
+    #[test]
+    fn partial_trace_matches_statevector_reduction() {
+        let c = random_circuit(4, RandomCircuitConfig::default(), 5);
+        let sv = StateVector::from_circuit(&c);
+        let dm = DensityMatrix::from_statevector(&sv);
+        for keep in [vec![0], vec![2], vec![0, 3], vec![1, 2]] {
+            let a = dm.partial_trace(&keep);
+            let b = sv.reduced_density_matrix(&keep);
+            assert!(a.approx_eq(&b, 1e-8), "keep {keep:?} mismatch");
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_after_noise() {
+        let mut dm = DensityMatrix::zero_state(2);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        dm.apply_circuit(&c);
+        dm.apply_channel(&KrausChannel::amplitude_damping(0.1), &[0]);
+        dm.apply_channel(&KrausChannel::phase_damping(0.2), &[1]);
+        let total: f64 = dm.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_respects_diagonal() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut dm = DensityMatrix::zero_state(1);
+        dm.apply_one_qubit(&qcut_circuit::gate::Gate::H.matrix(), 0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let counts = dm.sample(20_000, &mut rng);
+        assert!((counts.probability(0) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn renormalize_fixes_drift() {
+        let mut dm = DensityMatrix::zero_state(1);
+        dm.rho = dm.rho.scale(c64(0.98, 0.0));
+        dm.renormalize();
+        assert!((dm.trace() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,36 @@
+//! # qcut-sim
+//!
+//! Simulation substrate for the `qcut` workspace: a state-vector simulator
+//! (the stand-in for Qiskit Aer used by the paper's noiseless experiments),
+//! a density-matrix simulator with Kraus noise channels (the substrate for
+//! the simulated "IBM hardware" backends), shot sampling, measurement
+//! counts, and the basis-change/preparation sub-circuits the cutting
+//! protocol splices into fragments.
+//!
+//! ```
+//! use qcut_circuit::circuit::Circuit;
+//! use qcut_sim::statevector::StateVector;
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1);
+//! let sv = StateVector::from_circuit(&bell);
+//! assert!((sv.probability(0b00) - 0.5).abs() < 1e-12);
+//! assert!((sv.probability(0b11) - 0.5).abs() < 1e-12);
+//! ```
+
+pub mod basis_change;
+pub mod counts;
+pub mod density;
+pub mod noise;
+pub mod statevector;
+
+/// Common re-exports.
+pub mod prelude {
+    pub use crate::basis_change::{append_basis_rotation, prep_circuit, sic_prep_circuit};
+    pub use crate::counts::{sample_counts, Counts};
+    pub use crate::density::DensityMatrix;
+    pub use crate::noise::{KrausChannel, NoiseModel, ReadoutError, ThermalSpec};
+    pub use crate::statevector::StateVector;
+}
+
+pub use prelude::*;

@@ -1,0 +1,137 @@
+//! Concentration bounds for sequential decisions.
+//!
+//! The paper's §IV proposes detecting golden cutting points "online during
+//! the execution of the circuit cutting procedure through sequential
+//! empirical measurements". Our [`OnlineDetector`](../../qcut_core) builds
+//! on the bounds here: Hoeffding for bounded variables, empirical
+//! Bernstein when the variance is small (which it is — the tested
+//! coefficient is exactly zero at a golden point), and Wilson intervals for
+//! binomial proportions.
+
+/// Hoeffding deviation bound: with probability ≥ `1 − delta`, the empirical
+/// mean of `n` i.i.d. samples bounded in `[lo, hi]` deviates from the true
+/// mean by less than the returned epsilon.
+pub fn hoeffding_epsilon(n: u64, delta: f64, lo: f64, hi: f64) -> f64 {
+    assert!(n > 0, "need at least one sample");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    assert!(hi > lo, "invalid range");
+    let range = hi - lo;
+    range * ((2.0f64 / delta).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// Empirical Bernstein bound (Audibert–Munos–Szepesvári): deviation bound
+/// using the *observed* sample variance. Much tighter than Hoeffding when
+/// the variance is small relative to the range.
+pub fn empirical_bernstein_epsilon(
+    n: u64,
+    sample_variance: f64,
+    delta: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(n > 1, "need at least two samples");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    let range = hi - lo;
+    let log_term = (3.0f64 / delta).ln();
+    (2.0 * sample_variance.max(0.0) * log_term / n as f64).sqrt()
+        + 3.0 * range * log_term / n as f64
+}
+
+/// Wilson score interval for a binomial proportion: returns `(lo, hi)` such
+/// that the true success probability lies inside with ≈ the confidence of
+/// the supplied normal quantile `z` (1.96 for 95 %).
+pub fn wilson_interval(successes: u64, n: u64, z: f64) -> (f64, f64) {
+    assert!(n > 0, "need at least one trial");
+    assert!(successes <= n, "more successes than trials");
+    let nf = n as f64;
+    let p = successes as f64 / nf;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let centre = (p + z2 / (2.0 * nf)) / denom;
+    let half = z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt() / denom;
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Number of samples sufficient (per Hoeffding) to estimate a `[lo, hi]`-
+/// bounded mean within `epsilon` at confidence `1 − delta`.
+pub fn hoeffding_sample_size(epsilon: f64, delta: f64, lo: f64, hi: f64) -> u64 {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let range = hi - lo;
+    ((range * range) * (2.0f64 / delta).ln() / (2.0 * epsilon * epsilon)).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hoeffding_shrinks_with_samples() {
+        let e100 = hoeffding_epsilon(100, 0.05, -1.0, 1.0);
+        let e400 = hoeffding_epsilon(400, 0.05, -1.0, 1.0);
+        assert!((e100 / e400 - 2.0).abs() < 1e-9, "sqrt(n) scaling");
+        assert!(e100 > 0.0);
+    }
+
+    #[test]
+    fn hoeffding_known_value() {
+        // range 1, n = 200, delta = 0.05: eps = sqrt(ln(40)/400).
+        let e = hoeffding_epsilon(200, 0.05, 0.0, 1.0);
+        assert!((e - ((40.0f64).ln() / 400.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hoeffding_sample_size_inverts_epsilon() {
+        let n = hoeffding_sample_size(0.05, 0.05, 0.0, 1.0);
+        let e = hoeffding_epsilon(n, 0.05, 0.0, 1.0);
+        assert!(e <= 0.05 + 1e-12, "{n} samples give eps {e}");
+        // One fewer sample should not satisfy the target.
+        let e_less = hoeffding_epsilon(n - 1, 0.05, 0.0, 1.0);
+        assert!(e_less > 0.05 - 1e-6);
+    }
+
+    #[test]
+    fn bernstein_beats_hoeffding_for_tiny_variance() {
+        // A golden coefficient: samples in [-1,1] but variance ~ 0.001.
+        let n = 2000;
+        let h = hoeffding_epsilon(n, 0.05, -1.0, 1.0);
+        let b = empirical_bernstein_epsilon(n, 0.001, 0.05, -1.0, 1.0);
+        assert!(b < h, "Bernstein {b} should beat Hoeffding {h}");
+    }
+
+    #[test]
+    fn bernstein_degrades_gracefully_for_large_variance() {
+        let n = 2000;
+        let b = empirical_bernstein_epsilon(n, 1.0, 0.05, -1.0, 1.0);
+        assert!(b.is_finite() && b > 0.0);
+    }
+
+    #[test]
+    fn wilson_contains_point_estimate_and_stays_in_unit_interval() {
+        let (lo, hi) = wilson_interval(7, 10, 1.96);
+        assert!(lo <= 0.7 && 0.7 <= hi);
+        assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn wilson_extreme_counts() {
+        let (lo0, hi0) = wilson_interval(0, 20, 1.96);
+        assert_eq!(lo0, 0.0);
+        assert!(hi0 > 0.0 && hi0 < 0.3);
+        let (lo1, hi1) = wilson_interval(20, 20, 1.96);
+        assert_eq!(hi1, 1.0);
+        assert!(lo1 > 0.7);
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_trials() {
+        let (lo_a, hi_a) = wilson_interval(50, 100, 1.96);
+        let (lo_b, hi_b) = wilson_interval(500, 1000, 1.96);
+        assert!(hi_b - lo_b < hi_a - lo_a);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn hoeffding_rejects_zero_samples() {
+        hoeffding_epsilon(0, 0.05, 0.0, 1.0);
+    }
+}

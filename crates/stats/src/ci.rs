@@ -1,0 +1,178 @@
+//! Confidence intervals for trial means.
+//!
+//! Figures 3–5 of the paper show 95 % confidence error bars over 10–1000
+//! trials. We use the Student-t interval `mean ± t_{0.975, n−1} · s/√n`,
+//! with a tabulated `t` quantile (exact table for small df, normal limit
+//! beyond).
+
+use crate::estimate::StreamingStats;
+use serde::{Deserialize, Serialize};
+
+/// Two-sided 97.5 % Student-t quantiles for df = 1..=30 (i.e. the factor
+/// for a 95 % CI). Values from standard tables.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The 97.5 % quantile of the Student-t distribution with `df` degrees of
+/// freedom (normal approximation 1.96 + small correction above df = 30).
+pub fn t_quantile_975(df: u64) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => T_975[(df - 1) as usize],
+        // Cornish–Fisher style refinement of the normal limit; accurate to
+        // ~1e-3 against tables for df > 30.
+        _ => {
+            let z = 1.959_964;
+            let d = df as f64;
+            z + (z * z * z + z) / (4.0 * d)
+        }
+    }
+}
+
+/// A symmetric confidence interval around a mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Number of samples behind the estimate.
+    pub n: u64,
+}
+
+impl ConfidenceInterval {
+    /// Lower edge.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper edge.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// True when `x` lies inside the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo() && x <= self.hi()
+    }
+
+    /// True when the intervals overlap (the paper's "not detectable within
+    /// 95 % confidence intervals" criterion).
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.lo() <= other.hi() && other.lo() <= self.hi()
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6} ± {:.6} (n={})", self.mean, self.half_width, self.n)
+    }
+}
+
+/// The 95 % Student-t confidence interval for the mean of the accumulated
+/// samples. With fewer than 2 samples the half-width is infinite.
+pub fn ci95(stats: &StreamingStats) -> ConfidenceInterval {
+    let n = stats.count();
+    let half_width = if n < 2 {
+        f64::INFINITY
+    } else {
+        t_quantile_975(n - 1) * stats.sem()
+    };
+    ConfidenceInterval {
+        mean: stats.mean(),
+        half_width,
+        n,
+    }
+}
+
+/// Convenience: 95 % CI directly from a sample slice.
+pub fn ci95_of(samples: &[f64]) -> ConfidenceInterval {
+    ci95(&StreamingStats::from_samples(samples.iter().copied()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_quantiles_match_tables() {
+        assert!((t_quantile_975(1) - 12.706).abs() < 1e-3);
+        assert!((t_quantile_975(9) - 2.262).abs() < 1e-3);
+        assert!((t_quantile_975(30) - 2.042).abs() < 1e-3);
+        // Large-df limit approaches the normal quantile.
+        assert!((t_quantile_975(1000) - 1.962).abs() < 2e-3);
+        assert!(t_quantile_975(0).is_infinite());
+    }
+
+    #[test]
+    fn t_quantile_is_monotone_decreasing() {
+        let mut prev = t_quantile_975(1);
+        for df in 2..200 {
+            let t = t_quantile_975(df);
+            assert!(t <= prev + 1e-9, "df={df}: {t} > {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn ci_of_constant_samples_is_degenerate() {
+        let ci = ci95_of(&[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(ci.mean, 5.0);
+        assert_eq!(ci.half_width, 0.0);
+        assert!(ci.contains(5.0));
+        assert!(!ci.contains(5.1));
+    }
+
+    #[test]
+    fn ci_matches_hand_computation() {
+        // n=10 trials (the paper's Fig. 3 setting): t_{0.975,9} = 2.262.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ci = ci95_of(&xs);
+        let mean = 4.5;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 9.0;
+        let want = 2.262 * (var / 10.0).sqrt();
+        assert!((ci.mean - mean).abs() < 1e-12);
+        assert!((ci.half_width - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_has_infinite_width() {
+        let ci = ci95_of(&[1.0]);
+        assert!(ci.half_width.is_infinite());
+        assert!(ci.contains(1e12));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = ConfidenceInterval { mean: 1.0, half_width: 0.2, n: 10 };
+        let b = ConfidenceInterval { mean: 1.3, half_width: 0.2, n: 10 };
+        let c = ConfidenceInterval { mean: 2.0, half_width: 0.2, n: 10 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn coverage_sanity_monte_carlo() {
+        // ~95 % of CIs over Bernoulli(0.5) samples should cover 0.5.
+        // Deterministic LCG to avoid a rand dev-dependency here.
+        let mut state = 0x12345678u64;
+        let mut rand01 = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (1u64 << 31) as f64
+        };
+        let mut covered = 0;
+        let trials = 400;
+        for _ in 0..trials {
+            let xs: Vec<f64> = (0..30).map(|_| if rand01() < 0.5 { 0.0 } else { 1.0 }).collect();
+            if ci95_of(&xs).contains(0.5) {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / trials as f64;
+        assert!(rate > 0.88 && rate <= 1.0, "coverage {rate}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Distances between distributions, including the paper's weighted
+//! distance (Eq. 17):
+//!
+//! ```text
+//! d_w(p; q) = Σ_{x ∈ X} (p(x) − q(x))² / q(x)
+//! ```
+//!
+//! where `q` is the ground truth and `X` its support. This is the Neyman
+//! χ² divergence; the paper chose it because it "penalizes large percentage
+//! deviations more than other metrics such as the total variational
+//! distance".
+
+use crate::distribution::Distribution;
+
+/// Support threshold: outcomes with `q(x) <= SUPPORT_EPS` are treated as
+/// outside the ground-truth support and skipped by [`weighted_distance`].
+pub const SUPPORT_EPS: f64 = 1e-12;
+
+/// The paper's weighted distance `d_w(p; q)` (Eq. 17). `q` is the ground
+/// truth; the sum runs over the support of `q`.
+pub fn weighted_distance(p: &Distribution, q: &Distribution) -> f64 {
+    assert_eq!(p.num_bits(), q.num_bits(), "distribution size mismatch");
+    p.values()
+        .iter()
+        .zip(q.values())
+        .filter(|(_, &qv)| qv > SUPPORT_EPS)
+        .map(|(&pv, &qv)| {
+            let d = pv - qv;
+            d * d / qv
+        })
+        .sum()
+}
+
+/// Total variation distance `½ Σ |p − q|`.
+pub fn total_variation_distance(p: &Distribution, q: &Distribution) -> f64 {
+    assert_eq!(p.num_bits(), q.num_bits(), "distribution size mismatch");
+    0.5 * p
+        .values()
+        .iter()
+        .zip(q.values())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+}
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` in nats. Terms with `p(x) = 0`
+/// contribute zero; `p(x) > 0, q(x) = 0` yields `+∞`.
+pub fn kl_divergence(p: &Distribution, q: &Distribution) -> f64 {
+    assert_eq!(p.num_bits(), q.num_bits(), "distribution size mismatch");
+    p.values()
+        .iter()
+        .zip(q.values())
+        .map(|(&pv, &qv)| {
+            if pv <= 0.0 {
+                0.0
+            } else if qv <= 0.0 {
+                f64::INFINITY
+            } else {
+                pv * (pv / qv).ln()
+            }
+        })
+        .sum()
+}
+
+/// Hellinger distance `√(½ Σ (√p − √q)²)` — bounded in `[0, 1]`.
+/// Negative quasi-probability entries are clipped to zero first.
+pub fn hellinger_distance(p: &Distribution, q: &Distribution) -> f64 {
+    assert_eq!(p.num_bits(), q.num_bits(), "distribution size mismatch");
+    let s: f64 = p
+        .values()
+        .iter()
+        .zip(q.values())
+        .map(|(&a, &b)| {
+            let d = a.max(0.0).sqrt() - b.max(0.0).sqrt();
+            d * d
+        })
+        .sum();
+    (0.5 * s).sqrt()
+}
+
+/// Fidelity between distributions: `(Σ √(p q))²` (classical Bhattacharyya
+/// fidelity). Equals 1 iff the (clipped) distributions coincide.
+pub fn classical_fidelity(p: &Distribution, q: &Distribution) -> f64 {
+    assert_eq!(p.num_bits(), q.num_bits(), "distribution size mismatch");
+    let s: f64 = p
+        .values()
+        .iter()
+        .zip(q.values())
+        .map(|(&a, &b)| (a.max(0.0) * b.max(0.0)).sqrt())
+        .sum();
+    s * s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(values: Vec<f64>) -> Distribution {
+        let n = values.len().trailing_zeros() as usize;
+        Distribution::from_values(n, values)
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let p = dist(vec![0.25, 0.25, 0.25, 0.25]);
+        assert_eq!(weighted_distance(&p, &p), 0.0);
+        assert_eq!(total_variation_distance(&p, &p), 0.0);
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+        assert_eq!(hellinger_distance(&p, &p), 0.0);
+        assert!((classical_fidelity(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_distance_known_value() {
+        let q = dist(vec![0.5, 0.5]);
+        let p = dist(vec![0.6, 0.4]);
+        // (0.1²/0.5) * 2 = 0.04
+        assert!((weighted_distance(&p, &q) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_distance_skips_zero_support() {
+        let q = dist(vec![1.0, 0.0]);
+        let p = dist(vec![0.9, 0.1]);
+        // Only x=0 is in q's support: (0.1)²/1.0 = 0.01.
+        assert!((weighted_distance(&p, &q) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_distance_penalises_relative_error() {
+        // Same absolute error on a small-probability outcome costs more.
+        let q = dist(vec![0.9, 0.1]);
+        let p_small_outcome = dist(vec![0.85, 0.15]); // error on the 0.1 bin
+        let q2 = dist(vec![0.5, 0.5]);
+        let p_large_outcome = dist(vec![0.45, 0.55]);
+        assert!(
+            weighted_distance(&p_small_outcome, &q) > weighted_distance(&p_large_outcome, &q2)
+        );
+    }
+
+    #[test]
+    fn weighted_distance_is_asymmetric() {
+        let p = dist(vec![0.7, 0.3]);
+        let q = dist(vec![0.4, 0.6]);
+        assert!((weighted_distance(&p, &q) - weighted_distance(&q, &p)).abs() > 1e-6);
+    }
+
+    #[test]
+    fn tvd_known_value_and_bounds() {
+        let p = dist(vec![1.0, 0.0]);
+        let q = dist(vec![0.0, 1.0]);
+        assert!((total_variation_distance(&p, &q) - 1.0).abs() < 1e-12);
+        let r = dist(vec![0.5, 0.5]);
+        assert!((total_variation_distance(&p, &r) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_divergence_handles_zeros() {
+        let p = dist(vec![0.5, 0.5]);
+        let q = dist(vec![1.0, 0.0]);
+        assert_eq!(kl_divergence(&p, &q), f64::INFINITY);
+        assert!(kl_divergence(&q, &p).is_finite());
+    }
+
+    #[test]
+    fn hellinger_is_bounded_and_symmetric() {
+        let p = dist(vec![0.9, 0.1]);
+        let q = dist(vec![0.2, 0.8]);
+        let h = hellinger_distance(&p, &q);
+        assert!(h > 0.0 && h <= 1.0);
+        assert!((h - hellinger_distance(&q, &p)).abs() < 1e-12);
+        let disjoint_p = dist(vec![1.0, 0.0]);
+        let disjoint_q = dist(vec![0.0, 1.0]);
+        assert!((hellinger_distance(&disjoint_p, &disjoint_q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_of_disjoint_supports_is_zero() {
+        let p = dist(vec![1.0, 0.0]);
+        let q = dist(vec![0.0, 1.0]);
+        assert_eq!(classical_fidelity(&p, &q), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_sizes_panic() {
+        let p = dist(vec![1.0, 0.0]);
+        let q = dist(vec![0.25, 0.25, 0.25, 0.25]);
+        weighted_distance(&p, &q);
+    }
+}

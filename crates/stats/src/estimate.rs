@@ -1,0 +1,198 @@
+//! Streaming estimators (Welford's algorithm) for trial statistics.
+//!
+//! Every figure in the paper reports means over repeated trials with 95 %
+//! confidence intervals; [`StreamingStats`] accumulates those without
+//! storing samples, in a numerically stable way.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Accumulates an iterator of samples.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+
+    /// Builds directly from samples.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (needs ≥ 2 samples, else 0).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (divides by n).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s/√n`.
+    pub fn sem(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observed sample.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observed sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator (parallel reduction; Chan et al.).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_match_direct_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = StreamingStats::from_samples(xs.iter().copied());
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Σ(x-5)² = 32; sample var = 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((s.population_variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        let e = StreamingStats::new();
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.variance(), 0.0);
+        assert_eq!(e.sem(), 0.0);
+        let s = StreamingStats::from_samples([3.5]);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn sem_shrinks_with_sqrt_n() {
+        let a = StreamingStats::from_samples((0..100).map(|i| (i % 2) as f64));
+        let b = StreamingStats::from_samples((0..400).map(|i| (i % 2) as f64));
+        // Same variance, 4x samples => half the SEM.
+        assert!((a.sem() / b.sem() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let (left, right) = xs.split_at(23);
+        let mut a = StreamingStats::from_samples(left.iter().copied());
+        let b = StreamingStats::from_samples(right.iter().copied());
+        a.merge(&b);
+        let whole = StreamingStats::from_samples(xs.iter().copied());
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = StreamingStats::from_samples([1.0, 2.0]);
+        let before = a.clone();
+        a.merge(&StreamingStats::new());
+        assert!((a.mean() - before.mean()).abs() < 1e-15);
+        let mut e = StreamingStats::new();
+        e.merge(&before);
+        assert!((e.mean() - before.mean()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn numerical_stability_with_large_offset() {
+        // Classic catastrophic-cancellation test: huge mean, small variance.
+        let base = 1e9;
+        let s = StreamingStats::from_samples([base + 1.0, base + 2.0, base + 3.0]);
+        assert!((s.variance() - 1.0).abs() < 1e-6);
+    }
+}

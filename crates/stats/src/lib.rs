@@ -1,0 +1,39 @@
+//! # qcut-stats
+//!
+//! Statistics toolkit for the `qcut` workspace: bitstring
+//! (quasi-)distributions with the post-processing maps reconstruction
+//! needs, distribution distances — including the paper's weighted distance
+//! `d_w` (Eq. 17) — streaming estimators, Student-t confidence intervals
+//! for the figures' error bars, and concentration bounds for online
+//! golden-point detection.
+//!
+//! ```
+//! use qcut_stats::prelude::*;
+//!
+//! let truth = Distribution::from_values(1, vec![0.5, 0.5]);
+//! let measured = Distribution::from_counts(1, vec![(0, 520), (1, 480)]);
+//! let d = weighted_distance(&measured, &truth);
+//! assert!(d < 0.01);
+//! ```
+
+pub mod bounds;
+pub mod ci;
+pub mod distance;
+pub mod distribution;
+pub mod estimate;
+
+/// Common re-exports.
+pub mod prelude {
+    pub use crate::bounds::{
+        empirical_bernstein_epsilon, hoeffding_epsilon, hoeffding_sample_size, wilson_interval,
+    };
+    pub use crate::ci::{ci95, ci95_of, t_quantile_975, ConfidenceInterval};
+    pub use crate::distance::{
+        classical_fidelity, hellinger_distance, kl_divergence, total_variation_distance,
+        weighted_distance,
+    };
+    pub use crate::distribution::Distribution;
+    pub use crate::estimate::StreamingStats;
+}
+
+pub use prelude::*;

@@ -1,0 +1,67 @@
+//! Quickstart: build the paper's 5-qubit golden ansatz (Fig. 2), cut it,
+//! run both fragments on the ideal backend, and compare the standard
+//! reconstruction against the golden one.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qcut::prelude::*;
+
+fn main() {
+    // The paper's Fig. 2 workload: a 5-qubit circuit whose upstream block
+    // is real-valued, so the shared wire is a golden cutting point for Y.
+    let ansatz = GoldenAnsatz::new(5, 1234);
+    let (circuit, cut) = ansatz.build();
+
+    println!("The circuit (cut marked with ✂ on qubit {}):\n", ansatz.cut_qubit());
+    println!("{}", qcut::circuit::diagram::render_with_cuts(&circuit, Some(&cut)));
+
+    // Ground truth from the state-vector simulator.
+    let truth = Distribution::from_values(
+        5,
+        StateVector::from_circuit(&circuit).probabilities(),
+    );
+
+    // Run on the ideal (Aer-like) backend.
+    let backend = IdealBackend::new(42);
+    let executor = CutExecutor::new(&backend);
+    let options = ExecutionOptions {
+        shots_per_setting: 10_000,
+        ..Default::default()
+    };
+
+    let standard = executor
+        .run(&circuit, &cut, GoldenPolicy::Disabled, &options)
+        .expect("standard cutting run");
+    let golden = executor
+        .run(
+            &circuit,
+            &cut,
+            GoldenPolicy::KnownAPriori(vec![(0, Pauli::Y)]),
+            &options,
+        )
+        .expect("golden cutting run");
+
+    println!("standard method: {} subcircuits, {} reconstruction terms",
+        standard.report.subcircuits_executed, standard.report.reconstruction_terms);
+    println!("golden method:   {} subcircuits, {} reconstruction terms",
+        golden.report.subcircuits_executed, golden.report.reconstruction_terms);
+    println!(
+        "shots saved: {} -> {} ({:.0}%)\n",
+        standard.report.total_shots,
+        golden.report.total_shots,
+        100.0 * (1.0 - golden.report.total_shots as f64 / standard.report.total_shots as f64)
+    );
+
+    let d_std = weighted_distance(&standard.distribution, &truth);
+    let d_gold = weighted_distance(&golden.distribution, &truth);
+    println!("weighted distance to ground truth (Eq. 17):");
+    println!("  standard: {d_std:.5}");
+    println!("  golden:   {d_gold:.5}");
+    println!("\nBoth are shot-noise limited — neglecting the Y basis lost nothing.");
+
+    assert_eq!(standard.report.subcircuits_executed, 9);
+    assert_eq!(golden.report.subcircuits_executed, 6);
+    assert!(d_gold < 0.05, "golden reconstruction should track the truth");
+}

@@ -1,0 +1,175 @@
+//! Integration tests of the golden-point machinery across crates:
+//! detection policies agree, the reduction accounting matches the paper,
+//! and neglect is *sound* (only applied when truly negligible).
+
+use qcut::cutting::basis::BasisPlan;
+use qcut::cutting::golden::{ExactDetector, OnlineConfig};
+use qcut::cutting::reconstruction::exact_upstream_tensor;
+use qcut::prelude::*;
+
+#[test]
+fn all_policies_agree_on_the_golden_ansatz() {
+    let (circuit, cut) = GoldenAnsatz::new(5, 61).build();
+    let backend = IdealBackend::new(14);
+    let executor = CutExecutor::new(&backend);
+    let options = ExecutionOptions {
+        shots_per_setting: 15_000,
+        ..Default::default()
+    };
+
+    let known = executor
+        .run(
+            &circuit,
+            &cut,
+            GoldenPolicy::KnownAPriori(vec![(0, Pauli::Y)]),
+            &options,
+        )
+        .unwrap();
+    let detected = executor
+        .run(&circuit, &cut, GoldenPolicy::detect_exact(), &options)
+        .unwrap();
+    let online = executor
+        .run(
+            &circuit,
+            &cut,
+            GoldenPolicy::DetectOnline(OnlineConfig {
+                epsilon: 0.08,
+                batch_shots: 4000,
+                ..OnlineConfig::default()
+            }),
+            &options,
+        )
+        .unwrap();
+
+    for run in [&known, &detected, &online] {
+        assert!(run.report.neglected[0].contains(&Pauli::Y));
+        assert_eq!(run.report.upstream_settings, 2);
+        assert_eq!(run.report.downstream_settings, 4);
+    }
+    // Exact detection may additionally find nothing else; online only
+    // tests Y. All three agree on the distribution within shot noise.
+    let d1 = total_variation_distance(&known.distribution, &detected.distribution);
+    let d2 = total_variation_distance(&known.distribution, &online.distribution);
+    assert!(d1 < 0.06 && d2 < 0.06, "policies disagree: {d1}, {d2}");
+}
+
+#[test]
+fn paper_reduction_accounting_single_cut() {
+    // The three §II-B headline numbers for one golden cut.
+    let standard = BasisPlan::standard(1);
+    let golden = BasisPlan::with_neglected(vec![Some(Pauli::Y)]);
+    // Settings: 9 -> 6 (33% fewer subcircuit executions).
+    assert_eq!(standard.total_settings(), 9);
+    assert_eq!(golden.total_settings(), 6);
+    // Terms: 16 -> 12 in the Eq. 7 sum (4 -> 3 Pauli strings × 4 sign
+    // combinations).
+    assert_eq!(standard.all_recon_strings().len() * 4, 16);
+    assert_eq!(golden.all_recon_strings().len() * 4, 12);
+}
+
+#[test]
+fn detector_tolerance_is_respected() {
+    // A slightly-leaky circuit: Y coefficient ~ sin(leak) ≈ leak. The
+    // detector must accept it under a loose tolerance and reject it under
+    // a strict one.
+    let mut c = Circuit::new(3);
+    c.ry(0.9, 0).ry(1.1, 1).cx(0, 1).rx(0.05, 1).cx(1, 2);
+    let spec = CutSpec::single(1, 2);
+    let frags = Fragmenter::fragment(&c, &spec).unwrap();
+
+    let up = exact_upstream_tensor(&frags.upstream, &BasisPlan::standard(1));
+    let leak = up.max_abs(&[Pauli::Y]);
+    assert!(leak > 1e-4 && leak < 0.1, "leak magnitude {leak}");
+
+    let strict = ExactDetector { tolerance: leak / 2.0 };
+    assert!(!strict.detect(&frags.upstream, 1).neglected()[0].contains(&Pauli::Y));
+    let loose = ExactDetector { tolerance: leak * 2.0 };
+    assert!(loose.detect(&frags.upstream, 1).neglected()[0].contains(&Pauli::Y));
+}
+
+#[test]
+fn neglecting_a_leaky_basis_biases_the_answer() {
+    // Companion to the tolerance test: if one *does* neglect a leaky
+    // basis, the reconstruction picks up a bias of the same order.
+    use qcut::cutting::reconstruction::exact_reconstruct;
+    let mut c = Circuit::new(3);
+    c.ry(0.9, 0).ry(1.1, 1).cx(0, 1).rx(0.4, 1);
+    c.rx(std::f64::consts::FRAC_PI_2, 1).cx(1, 2).h(2);
+    let spec = CutSpec::single(1, 2);
+    let frags = Fragmenter::fragment(&c, &spec).unwrap();
+    let truth = Distribution::from_values(
+        3,
+        StateVector::from_circuit(&c).probabilities(),
+    );
+    let exact = exact_reconstruct(&frags, &BasisPlan::standard(1));
+    assert!(total_variation_distance(&exact, &truth) < 1e-9);
+    let biased = exact_reconstruct(&frags, &BasisPlan::with_neglected(vec![Some(Pauli::Y)]));
+    let bias = total_variation_distance(&biased, &truth);
+    assert!(bias > 1e-3, "expected visible bias, got {bias}");
+}
+
+#[test]
+fn online_detection_error_budget() {
+    // With epsilon well above the leak, online detection accepts quickly;
+    // the resulting bias stays below epsilon-order.
+    let (circuit, cut) = GoldenAnsatz::new(5, 97).build();
+    let backend = IdealBackend::new(23);
+    let executor = CutExecutor::new(&backend);
+    let run = executor
+        .run(
+            &circuit,
+            &cut,
+            GoldenPolicy::DetectOnline(OnlineConfig {
+                epsilon: 0.1,
+                batch_shots: 2000,
+                max_shots: 40_000,
+                ..OnlineConfig::default()
+            }),
+            &ExecutionOptions {
+                shots_per_setting: 15_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert!(run.report.detection_shots > 0);
+    assert!(run.report.detection_seconds >= 0.0);
+    let truth = Distribution::from_values(
+        5,
+        StateVector::from_circuit(&circuit).probabilities(),
+    );
+    let d = total_variation_distance(&run.distribution, &truth);
+    assert!(d < 0.08, "online-run distribution off by {d}");
+}
+
+#[test]
+fn doubly_golden_bell_cut_runs_end_to_end() {
+    // Bell upstream: both X and Y negligible; only 3 subcircuits remain
+    // (1 measurement setting + 2 preparations).
+    let mut u12 = Circuit::new(2);
+    u12.h(1).cx(1, 0);
+    let mut u23 = Circuit::new(2);
+    u23.ry(0.8, 0).cx(0, 1).h(1);
+    let (circuit, cut) = three_qubit_example(&u12, &u23);
+
+    let backend = IdealBackend::new(31);
+    let executor = CutExecutor::new(&backend);
+    let run = executor
+        .run(
+            &circuit,
+            &cut,
+            GoldenPolicy::detect_exact(),
+            &ExecutionOptions {
+                shots_per_setting: 30_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(run.report.subcircuits_executed, 3);
+    assert_eq!(run.report.neglected[0].len(), 2);
+    let truth = Distribution::from_values(
+        3,
+        StateVector::from_circuit(&circuit).probabilities(),
+    );
+    let d = total_variation_distance(&run.distribution, &truth);
+    assert!(d < 0.05, "doubly-golden run off by {d}");
+}

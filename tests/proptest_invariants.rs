@@ -1,0 +1,208 @@
+//! Property-based tests over the workspace's core invariants.
+//!
+//! The headline property is the wire-cutting identity itself: for *any*
+//! circuit from the cuttable family and *any* valid cut, the exact
+//! reconstruction equals the uncut distribution — standard plan and
+//! golden plan alike (on designed-golden circuits).
+
+use proptest::prelude::*;
+use qcut::cutting::basis::BasisPlan;
+use qcut::cutting::reconstruction::{exact_reconstruct, exact_upstream_tensor};
+use qcut::prelude::*;
+use qcut::circuit::ansatz::MultiCutAnsatz;
+use qcut::circuit::random::{random_circuit_with, random_real_circuit_with, RandomCircuitConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random cuttable circuit: upstream block on qubits `0..=cut`, downstream
+/// on `cut..n`, single cut on the shared wire. Entangling chains keep each
+/// side connected. `real_upstream` decides whether the cut is designed
+/// golden.
+fn cuttable_circuit(
+    n: usize,
+    cut_qubit: usize,
+    seed: u64,
+    depth: usize,
+    real_upstream: bool,
+) -> (Circuit, CutSpec) {
+    assert!(cut_qubit >= 1 && cut_qubit < n - 1 || n == 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    let up: Vec<usize> = (0..=cut_qubit).collect();
+    let down: Vec<usize> = (cut_qubit..n).collect();
+    let cfg = RandomCircuitConfig {
+        depth,
+        two_qubit_prob: 0.5,
+    };
+
+    for w in up.windows(2) {
+        c.cx(w[0], w[1]);
+    }
+    if up.len() == 1 {
+        c.ry(1.3, up[0]);
+    }
+    let u1 = if real_upstream {
+        random_real_circuit_with(up.len(), cfg, &mut rng)
+    } else {
+        random_circuit_with(up.len(), cfg, &mut rng)
+    };
+    c.extend_mapped(&u1, &up);
+    let cut_pos = c
+        .instructions()
+        .iter()
+        .filter(|i| i.acts_on(cut_qubit))
+        .count()
+        - 1;
+    for w in down.windows(2) {
+        c.cx(w[0], w[1]);
+    }
+    if down.len() == 1 {
+        c.ry(0.7, down[0]);
+    }
+    let u2 = random_circuit_with(down.len(), cfg, &mut rng);
+    c.extend_mapped(&u2, &down);
+    (c, CutSpec::single(cut_qubit, cut_pos))
+}
+
+fn truth_of(circuit: &Circuit) -> Distribution {
+    Distribution::from_values(
+        circuit.num_qubits(),
+        StateVector::from_circuit(circuit).probabilities(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The wire-cutting identity holds for arbitrary circuits and cut
+    /// positions (paper Eq. 13): exact reconstruction == uncut
+    /// distribution.
+    #[test]
+    fn cutting_identity_holds(
+        n in 3usize..7,
+        cut_frac in 1usize..5,
+        seed in 0u64..5000,
+        depth in 1usize..4,
+    ) {
+        let cut_qubit = 1 + (cut_frac * (n - 2)) / 5;
+        let (circuit, cut) = cuttable_circuit(n, cut_qubit.min(n - 2).max(1), seed, depth, false);
+        let frags = Fragmenter::fragment(&circuit, &cut).unwrap();
+        let recon = exact_reconstruct(&frags, &BasisPlan::standard(1));
+        let d = total_variation_distance(&recon, &truth_of(&circuit));
+        prop_assert!(d < 1e-8, "TVD {d} for n={n}, cut={cut_qubit}, seed={seed}");
+    }
+
+    /// Real upstream blocks make Y negligible — always, not just for the
+    /// seeds the unit tests happen to use.
+    #[test]
+    fn real_upstream_is_golden_for_y(
+        n in 3usize..7,
+        seed in 0u64..5000,
+        depth in 1usize..4,
+    ) {
+        let cut_qubit = (n / 2).max(1);
+        let (circuit, cut) = cuttable_circuit(n, cut_qubit, seed, depth, true);
+        let frags = Fragmenter::fragment(&circuit, &cut).unwrap();
+        let up = exact_upstream_tensor(&frags.upstream, &BasisPlan::standard(1));
+        prop_assert!(
+            up.max_abs(&[Pauli::Y]) < 1e-9,
+            "Y coefficient {} on a real upstream (seed {seed})",
+            up.max_abs(&[Pauli::Y])
+        );
+        // And the golden reconstruction is exact.
+        let recon = exact_reconstruct(&frags, &BasisPlan::with_neglected(vec![Some(Pauli::Y)]));
+        let d = total_variation_distance(&recon, &truth_of(&circuit));
+        prop_assert!(d < 1e-8, "golden TVD {d}");
+    }
+
+    /// The reconstructed quasi-distribution always has unit total mass
+    /// (the I⊗…⊗I term carries the normalisation) even from finite shots.
+    #[test]
+    fn reconstruction_mass_is_one(seed in 0u64..2000) {
+        let (circuit, cut) = GoldenAnsatz::new(5, seed).build();
+        let frags = Fragmenter::fragment(&circuit, &cut).unwrap();
+        let plan = BasisPlan::standard(1);
+        let experiment = qcut::cutting::tomography::ExperimentPlan::build(&frags, &plan);
+        let backend = IdealBackend::new(seed);
+        let data = qcut::cutting::execution::gather(&backend, &experiment, 256, true).unwrap();
+        let recon = qcut::cutting::reconstruction::reconstruct(&frags, &plan, &data);
+        prop_assert!(
+            (recon.total_mass() - 1.0).abs() < 1e-9,
+            "mass {}", recon.total_mass()
+        );
+    }
+
+    /// Multi-cut ansatz: identity holds for K cuts, golden plan included.
+    #[test]
+    fn multi_cut_identity(k in 1usize..3, seed in 0u64..1000) {
+        let (circuit, cut) = MultiCutAnsatz::new(k, seed).build();
+        let frags = Fragmenter::fragment(&circuit, &cut).unwrap();
+        let standard = exact_reconstruct(&frags, &BasisPlan::standard(k));
+        let t = truth_of(&circuit);
+        prop_assert!(total_variation_distance(&standard, &t) < 1e-8);
+        let golden = exact_reconstruct(
+            &frags,
+            &BasisPlan::with_neglected(vec![Some(Pauli::Y); k]),
+        );
+        prop_assert!(total_variation_distance(&golden, &t) < 1e-8);
+    }
+
+    /// Distribution post-processing: clipping and simplex projection both
+    /// produce proper distributions from arbitrary quasi-distributions.
+    #[test]
+    fn postprocessing_produces_proper_distributions(
+        values in proptest::collection::vec(-0.5f64..1.5, 8),
+    ) {
+        let d = Distribution::from_values(3, values);
+        let clipped = d.clip_renormalize();
+        prop_assert!(clipped.is_proper(1e-9));
+        let projected = d.project_to_simplex();
+        prop_assert!(projected.is_proper(1e-9));
+    }
+
+    /// Weighted distance (Eq. 17) is a nonnegative divergence: zero iff the
+    /// distributions agree on the support of the truth.
+    #[test]
+    fn weighted_distance_nonnegative(
+        p_raw in proptest::collection::vec(0.0f64..1.0, 8),
+        q_raw in proptest::collection::vec(0.01f64..1.0, 8),
+    ) {
+        let norm = |v: &[f64]| {
+            let s: f64 = v.iter().sum();
+            Distribution::from_values(3, v.iter().map(|x| x / s).collect())
+        };
+        let p = norm(&p_raw);
+        let q = norm(&q_raw);
+        prop_assert!(weighted_distance(&p, &q) >= 0.0);
+        prop_assert!(weighted_distance(&q, &q) == 0.0);
+    }
+
+    /// Counts: splitting into two bit groups preserves the total and the
+    /// marginals match direct extraction.
+    #[test]
+    fn counts_split_consistency(
+        pairs in proptest::collection::vec((0u64..32, 1u64..50), 1..20),
+    ) {
+        let counts = Counts::from_pairs(5, pairs);
+        let joint = counts.split(&[0, 2], &[1, 3, 4]);
+        let total: u64 = joint.values().sum();
+        prop_assert_eq!(total, counts.total());
+        // Marginal over group A from the split equals the direct marginal.
+        let mut from_split = std::collections::HashMap::new();
+        for ((a, _), n) in &joint {
+            *from_split.entry(*a).or_insert(0u64) += n;
+        }
+        let direct = counts.marginal(&[0, 2]);
+        for (bits, n) in from_split {
+            prop_assert_eq!(n, direct.get(bits));
+        }
+    }
+
+    /// Random circuits preserve state norm (simulator unitarity).
+    #[test]
+    fn simulator_preserves_norm(n in 1usize..7, seed in 0u64..3000, depth in 1usize..6) {
+        let c = random_circuit(n, RandomCircuitConfig { depth, two_qubit_prob: 0.5 }, seed);
+        let sv = StateVector::from_circuit(&c);
+        prop_assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+}
