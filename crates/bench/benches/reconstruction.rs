@@ -53,11 +53,9 @@ fn bench_contract_standard_vs_golden(c: &mut Criterion) {
             let (frags, plan, _) = setup(width, golden);
             let up = exact_upstream_tensor(&frags.upstream, &plan);
             let down = exact_downstream_tensor(&frags.downstream, &plan);
-            group.bench_with_input(
-                BenchmarkId::new(label, width),
-                &width,
-                |b, _| b.iter(|| contract(&frags, &plan, &up, &down)),
-            );
+            group.bench_with_input(BenchmarkId::new(label, width), &width, |b, _| {
+                b.iter(|| contract(&frags, &plan, &up, &down))
+            });
         }
     }
     group.finish();

@@ -7,9 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qcut_circuit::ansatz::MultiCutAnsatz;
 use qcut_core::basis::BasisPlan;
 use qcut_core::fragment::Fragmenter;
-use qcut_core::reconstruction::{
-    contract, exact_downstream_tensor, exact_upstream_tensor,
-};
+use qcut_core::reconstruction::{contract, exact_downstream_tensor, exact_upstream_tensor};
 use qcut_math::Pauli;
 
 fn bench_exact_reconstruction_vs_cuts(c: &mut Criterion) {

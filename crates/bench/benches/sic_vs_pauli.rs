@@ -6,12 +6,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qcut_circuit::ansatz::GoldenAnsatz;
-use qcut_core::golden::GoldenPolicy;
-use qcut_core::pipeline::{CutExecutor, ExecutionOptions, ReconstructionMethod};
 use qcut_core::basis::BasisPlan;
 use qcut_core::fragment::Fragmenter;
-use qcut_core::sic::{exact_sic_downstream_tensor, SicFrame};
+use qcut_core::golden::GoldenPolicy;
+use qcut_core::pipeline::{CutExecutor, ExecutionOptions, ReconstructionMethod};
 use qcut_core::reconstruction::exact_downstream_tensor;
+use qcut_core::sic::{exact_sic_downstream_tensor, SicFrame};
 use qcut_device::ideal::IdealBackend;
 
 fn bench_pipeline_method(c: &mut Criterion) {

@@ -39,9 +39,13 @@ fn bench_circuit_execution(c: &mut Criterion) {
             },
             42,
         );
-        group.bench_with_input(BenchmarkId::new("random_depth10", n), &circuit, |b, circ| {
-            b.iter(|| StateVector::from_circuit(circ));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("random_depth10", n),
+            &circuit,
+            |b, circ| {
+                b.iter(|| StateVector::from_circuit(circ));
+            },
+        );
     }
     group.finish();
 }

@@ -47,7 +47,10 @@ fn main() {
     );
     rule(120);
 
-    for (width, label) in [(5usize, "5q device (3+3 split)"), (7, "7q device (4+4 split)")] {
+    for (width, label) in [
+        (5usize, "5q device (3+3 split)"),
+        (7, "7q device (4+4 split)"),
+    ] {
         let mut uncut_dw = Vec::new();
         let mut golden_dw = Vec::new();
         let mut uncut_tvd = Vec::new();

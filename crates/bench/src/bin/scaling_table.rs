@@ -34,9 +34,22 @@ fn main() {
     rule(108);
     println!(
         "{:>2} {:>8} | {:>9} {:>9} {:>7} {:>12} | {:>9} {:>9} {:>7} {:>12} | {:>10}",
-        "K", "qubits", "meas", "preps", "terms", "recon ms", "meas*", "preps*", "terms*", "recon ms*", "tvd check"
+        "K",
+        "qubits",
+        "meas",
+        "preps",
+        "terms",
+        "recon ms",
+        "meas*",
+        "preps*",
+        "terms*",
+        "recon ms*",
+        "tvd check"
     );
-    println!("{:>11} | {:^41} | {:^41} |", "", "standard", "all cuts golden (Y)");
+    println!(
+        "{:>11} | {:^41} | {:^41} |",
+        "", "standard", "all cuts golden (Y)"
+    );
     rule(108);
 
     for k in 1..=max_cuts {
@@ -84,7 +97,5 @@ fn main() {
     }
     rule(108);
     println!("columns marked * use the golden plan; tvd check = max reconstruction error vs truth");
-    println!(
-        "expected exponents: meas 3^K→2^K, preps 6^K→4^K, terms 4^K→3^K (paper §II-B)"
-    );
+    println!("expected exponents: meas 3^K→2^K, preps 6^K→4^K, terms 4^K→3^K (paper §II-B)");
 }

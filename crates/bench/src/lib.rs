@@ -49,7 +49,10 @@ impl Args {
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} must be an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -57,7 +60,10 @@ impl Args {
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be a number")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} must be a number"))
+            })
             .unwrap_or(default)
     }
 
@@ -65,7 +71,10 @@ impl Args {
     pub fn get_bool(&self, key: &str, default: bool) -> bool {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be true/false")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} must be true/false"))
+            })
             .unwrap_or(default)
     }
 }

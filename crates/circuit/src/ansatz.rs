@@ -49,11 +49,7 @@ pub fn three_qubit_example(u12: &Circuit, u23: &Circuit) -> (Circuit, CutSpec) {
     );
     let mut c = Circuit::new(3);
     c.extend_mapped(u12, &[0, 1]);
-    let ops_on_shared_wire = c
-        .instructions()
-        .iter()
-        .filter(|i| i.acts_on(1))
-        .count();
+    let ops_on_shared_wire = c.instructions().iter().filter(|i| i.acts_on(1)).count();
     c.extend_mapped(u23, &[1, 2]);
     let cut = CutSpec::single(1, ops_on_shared_wire - 1);
     (c, cut)
@@ -322,7 +318,11 @@ mod tests {
             let (_, mask) = cut.validate(&c).unwrap();
             for (i, inst) in c.instructions().iter().enumerate() {
                 if mask[i] {
-                    assert!(inst.gate.is_real(), "upstream gate {} is complex", inst.gate);
+                    assert!(
+                        inst.gate.is_real(),
+                        "upstream gate {} is complex",
+                        inst.gate
+                    );
                 }
             }
         }
@@ -360,9 +360,9 @@ mod tests {
         for k in 1..=3 {
             let (c, cut) = MultiCutAnsatz::new(k, 11).build();
             assert_eq!(cut.num_cuts(), k);
-            let (edges, _) = cut.validate(&c).unwrap_or_else(|e| {
-                panic!("multi-cut ansatz K={k} failed validation: {e}")
-            });
+            let (edges, _) = cut
+                .validate(&c)
+                .unwrap_or_else(|e| panic!("multi-cut ansatz K={k} failed validation: {e}"));
             assert_eq!(edges.len(), k);
         }
     }
@@ -383,7 +383,8 @@ mod tests {
         let mut a = MultiCutAnsatz::new(2, 5);
         a.golden = false;
         let (c, cut) = a.build();
-        cut.validate(&c).expect("non-golden variant must still bipartition");
+        cut.validate(&c)
+            .expect("non-golden variant must still bipartition");
     }
 
     #[test]

@@ -103,7 +103,8 @@ impl Circuit {
                 self.num_qubits
             );
         }
-        self.instructions.push(Instruction::new(gate, qubits.to_vec()));
+        self.instructions
+            .push(Instruction::new(gate, qubits.to_vec()));
         self
     }
 
@@ -201,7 +202,8 @@ impl Circuit {
         );
         for inst in &other.instructions {
             let qubits: Vec<usize> = inst.qubits.iter().map(|q| q + offset).collect();
-            self.instructions.push(Instruction::new(inst.gate.clone(), qubits));
+            self.instructions
+                .push(Instruction::new(inst.gate.clone(), qubits));
         }
         self
     }
@@ -215,7 +217,8 @@ impl Circuit {
             for &q in &qubits {
                 assert!(q < self.num_qubits, "mapped qubit {q} out of range");
             }
-            self.instructions.push(Instruction::new(inst.gate.clone(), qubits));
+            self.instructions
+                .push(Instruction::new(inst.gate.clone(), qubits));
         }
         self
     }
@@ -263,7 +266,10 @@ impl Circuit {
 
     /// Number of two-qubit instructions.
     pub fn two_qubit_gate_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.qubits.len() == 2).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.qubits.len() == 2)
+            .count()
     }
 
     /// Per-wire instruction indices: `timeline[q]` lists the indices of
@@ -298,7 +304,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit({} qubits, {} gates):", self.num_qubits, self.len())?;
+        writeln!(
+            f,
+            "circuit({} qubits, {} gates):",
+            self.num_qubits,
+            self.len()
+        )?;
         for inst in &self.instructions {
             writeln!(f, "  {inst}")?;
         }

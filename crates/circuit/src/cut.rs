@@ -204,6 +204,8 @@ mod tests {
     #[test]
     fn error_messages_are_actionable() {
         assert!(CutError::DuplicateWire(4).to_string().contains("qubit 4"));
-        assert!(CutError::NotABipartition.to_string().contains("bipartition"));
+        assert!(CutError::NotABipartition
+            .to_string()
+            .contains("bipartition"));
     }
 }

@@ -40,7 +40,9 @@ pub fn render_with_cuts(circuit: &Circuit, cuts: Option<&CutSpec>) -> String {
             let cell = if inst.qubits.len() == 1 && inst.qubits[0] == q {
                 center(&format!("[{label}]"), width + 2)
             } else if inst.qubits.len() == 2 && inst.qubits[0] == q {
-                center(&format!("({label}", ), width + 2).replace('(', "●").replacen('●', "●─", 1)
+                center(&format!("({label}",), width + 2)
+                    .replace('(', "●")
+                    .replacen('●', "●─", 1)
             } else if inst.qubits.len() == 2 && inst.qubits[1] == q {
                 center(&format!("[{label}]"), width + 2)
             } else {

@@ -71,10 +71,15 @@ pub enum Gate {
     Unitary2(#[serde(skip, default = "identity4")] Matrix),
 }
 
+// Referenced by the `#[serde(default = ...)]` attributes above; the
+// vendored serde stub ignores helper attributes, so these are unused until
+// real serde is restored.
+#[allow(dead_code)]
 fn identity2() -> Matrix {
     Matrix::identity(2)
 }
 
+#[allow(dead_code)]
 fn identity4() -> Matrix {
     Matrix::identity(4)
 }
@@ -114,12 +119,9 @@ impl Gate {
             Gate::I => Matrix::identity(2),
             Gate::H => Matrix::from_real(2, 2, &[s, s, s, -s]),
             Gate::X => Matrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]),
-            Gate::Y => Matrix::two_by_two(
-                Complex::ZERO,
-                c64(0.0, -1.0),
-                c64(0.0, 1.0),
-                Complex::ZERO,
-            ),
+            Gate::Y => {
+                Matrix::two_by_two(Complex::ZERO, c64(0.0, -1.0), c64(0.0, 1.0), Complex::ZERO)
+            }
             Gate::Z => Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0]),
             Gate::S => Matrix::two_by_two(Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::I),
             Gate::Sdg => {
@@ -228,8 +230,16 @@ impl Gate {
     /// expectation of any real state vanishes identically).
     pub fn is_real(&self) -> bool {
         match self {
-            Gate::I | Gate::H | Gate::X | Gate::Z | Gate::Ry(_) | Gate::Cx | Gate::Cz
-            | Gate::Ch | Gate::Swap | Gate::Cry(_) => true,
+            Gate::I
+            | Gate::H
+            | Gate::X
+            | Gate::Z
+            | Gate::Ry(_)
+            | Gate::Cx
+            | Gate::Cz
+            | Gate::Ch
+            | Gate::Swap
+            | Gate::Cry(_) => true,
             Gate::Unitary1(m) | Gate::Unitary2(m) => m.is_real(1e-12),
             _ => false,
         }
@@ -382,7 +392,11 @@ mod tests {
     fn u3_special_cases() {
         // U3(θ, -π/2, π/2) = RX(θ); U3(θ, 0, 0) = RY(θ).
         let th = 0.83;
-        let rx = Gate::U3(th, -std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2);
+        let rx = Gate::U3(
+            th,
+            -std::f64::consts::FRAC_PI_2,
+            std::f64::consts::FRAC_PI_2,
+        );
         assert!(rx.matrix().approx_eq(&Gate::Rx(th).matrix(), TOL_STRICT));
         let ry = Gate::U3(th, 0.0, 0.0);
         assert!(ry.matrix().approx_eq(&Gate::Ry(th).matrix(), TOL_STRICT));
@@ -395,7 +409,7 @@ mod tests {
         // control=0 states unchanged:
         assert_eq!(cx[(0, 0)], Complex::ONE); // |00> -> |00>
         assert_eq!(cx[(2, 2)], Complex::ONE); // t=1,c=0 unchanged
-        // control=1 flips target:
+                                              // control=1 flips target:
         assert_eq!(cx[(3, 1)], Complex::ONE); // c=1,t=0 -> c=1,t=1
         assert_eq!(cx[(1, 3)], Complex::ONE);
     }

@@ -193,7 +193,14 @@ mod tests {
 
     #[test]
     fn generates_requested_depth() {
-        let c = random_circuit(4, RandomCircuitConfig { depth: 5, two_qubit_prob: 0.5 }, 1);
+        let c = random_circuit(
+            4,
+            RandomCircuitConfig {
+                depth: 5,
+                two_qubit_prob: 0.5,
+            },
+            1,
+        );
         // Every layer touches every qubit, so depth >= requested layers is
         // not guaranteed (gates can commute visually) but instruction count
         // is at least ceil(n/2) per layer and at most n per layer.
@@ -231,22 +238,43 @@ mod tests {
     #[test]
     fn unrestricted_circuits_eventually_use_complex_gates() {
         let found_complex = (0..20).any(|seed| {
-            !random_circuit(4, RandomCircuitConfig { depth: 6, two_qubit_prob: 0.3 }, seed)
-                .is_real()
+            !random_circuit(
+                4,
+                RandomCircuitConfig {
+                    depth: 6,
+                    two_qubit_prob: 0.3,
+                },
+                seed,
+            )
+            .is_real()
         });
         assert!(found_complex, "20 seeds never produced a complex gate");
     }
 
     #[test]
     fn two_qubit_prob_zero_gives_only_single_qubit_gates() {
-        let c = random_circuit(4, RandomCircuitConfig { depth: 4, two_qubit_prob: 0.0 }, 3);
+        let c = random_circuit(
+            4,
+            RandomCircuitConfig {
+                depth: 4,
+                two_qubit_prob: 0.0,
+            },
+            3,
+        );
         assert_eq!(c.two_qubit_gate_count(), 0);
         assert_eq!(c.len(), 16); // every qubit gets a 1q gate per layer
     }
 
     #[test]
     fn two_qubit_prob_one_maximises_pairs() {
-        let c = random_circuit(4, RandomCircuitConfig { depth: 1, two_qubit_prob: 1.0 }, 4);
+        let c = random_circuit(
+            4,
+            RandomCircuitConfig {
+                depth: 1,
+                two_qubit_prob: 1.0,
+            },
+            4,
+        );
         assert_eq!(c.two_qubit_gate_count(), 2); // 4 qubits = 2 pairs
     }
 
@@ -271,7 +299,14 @@ mod tests {
 
     #[test]
     fn single_qubit_circuit_generation_works() {
-        let c = random_circuit(1, RandomCircuitConfig { depth: 3, two_qubit_prob: 0.9 }, 5);
+        let c = random_circuit(
+            1,
+            RandomCircuitConfig {
+                depth: 3,
+                two_qubit_prob: 0.9,
+            },
+            5,
+        );
         assert_eq!(c.len(), 3);
         assert_eq!(c.two_qubit_gate_count(), 0);
     }

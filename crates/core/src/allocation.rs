@@ -71,7 +71,9 @@ pub fn usage_counts(plan: &BasisPlan) -> (HashMap<u64, u64>, HashMap<u64, u64>) 
     let mut downstream: HashMap<u64, u64> = HashMap::new();
     let num_cuts = plan.num_cuts();
     for m in plan.all_recon_strings() {
-        *upstream.entry(encode_meas(&plan.setting_for(&m))).or_insert(0) += 1;
+        *upstream
+            .entry(encode_meas(&plan.setting_for(&m)))
+            .or_insert(0) += 1;
         // Each string consumes 2^K prep combinations.
         let pairs: Vec<_> = (0..num_cuts).map(|k| plan.prep_pair(k, m[k])).collect();
         for combo in 0..(1usize << num_cuts) {
@@ -204,7 +206,11 @@ mod tests {
     #[test]
     fn total_budget_is_exactly_spent() {
         let (basis, experiment) = plan_pair(false);
-        let s = schedule(&basis, &experiment, ShotAllocation::TotalBudget { total: 9005 });
+        let s = schedule(
+            &basis,
+            &experiment,
+            ShotAllocation::TotalBudget { total: 9005 },
+        );
         assert_eq!(s.total(), 9005);
         // No setting starves and the split is near-even.
         assert!(s.min_shots() >= 1000);
@@ -278,6 +284,10 @@ mod tests {
     #[should_panic(expected = "cannot cover")]
     fn starved_budget_rejected() {
         let (basis, experiment) = plan_pair(false);
-        schedule(&basis, &experiment, ShotAllocation::TotalBudget { total: 5 });
+        schedule(
+            &basis,
+            &experiment,
+            ShotAllocation::TotalBudget { total: 5 },
+        );
     }
 }

@@ -91,10 +91,7 @@ impl BasisPlan {
         assert_ne!(basis, Pauli::I, "the identity basis cannot be neglected");
         let set = &mut self.neglected[cut];
         if !set.contains(&basis) {
-            assert!(
-                set.len() < 2,
-                "cannot neglect all three bases of cut {cut}"
-            );
+            assert!(set.len() < 2, "cannot neglect all three bases of cut {cut}");
             set.push(basis);
             set.sort_unstable();
         }
@@ -307,8 +304,7 @@ mod tests {
     fn multi_cut_scaling_exponents() {
         // K = 3 with K_g = 2 golden cuts: 4^1 · 3^2 reconstruction strings,
         // 6^1 · 4^2 preparations (paper §II-B complexity claims).
-        let plan =
-            BasisPlan::with_neglected(vec![Some(Pauli::Y), None, Some(Pauli::Y)]);
+        let plan = BasisPlan::with_neglected(vec![Some(Pauli::Y), None, Some(Pauli::Y)]);
         assert_eq!(plan.all_recon_strings().len(), 3 * 4 * 3);
         assert_eq!(plan.all_prep_settings().len(), 4 * 6 * 4);
         assert_eq!(plan.all_meas_settings().len(), 2 * 3 * 2);

@@ -92,7 +92,11 @@ pub fn gather_scheduled<B: Backend + ?Sized>(
     schedule: &crate::allocation::ShotSchedule,
     parallel: bool,
 ) -> Result<FragmentData, BackendError> {
-    assert_eq!(schedule.upstream.len(), plan.upstream.len(), "schedule arity");
+    assert_eq!(
+        schedule.upstream.len(),
+        plan.upstream.len(),
+        "schedule arity"
+    );
     assert_eq!(
         schedule.downstream.len(),
         plan.downstream.len(),

@@ -118,7 +118,11 @@ impl Fragmenter {
         let mut in_up = vec![false; n];
         let mut in_down = vec![false; n];
         for (i, inst) in circuit.instructions().iter().enumerate() {
-            let side = if upstream_mask[i] { &mut in_up } else { &mut in_down };
+            let side = if upstream_mask[i] {
+                &mut in_up
+            } else {
+                &mut in_down
+            };
             for &q in &inst.qubits {
                 side[q] = true;
             }

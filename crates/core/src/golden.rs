@@ -221,10 +221,11 @@ impl OnlineDetector {
     pub fn verdict(&self) -> GoldenVerdict {
         let settings = self.required_settings();
         // Need data on every setting first.
-        if settings
-            .iter()
-            .any(|s| self.data.get(&encode_meas(s)).is_none_or(|c| c.total() == 0))
-        {
+        if settings.iter().any(|s| {
+            self.data
+                .get(&encode_meas(s))
+                .is_none_or(|c| c.total() == 0)
+        }) {
             return GoldenVerdict::Undecided;
         }
 
@@ -421,12 +422,9 @@ mod tests {
         let frag = golden_fragment(0);
         let disabled = resolve_static_policy(&GoldenPolicy::Disabled, &frag, 1).unwrap();
         assert_eq!(disabled.num_golden(), 0);
-        let known = resolve_static_policy(
-            &GoldenPolicy::KnownAPriori(vec![(0, Pauli::Y)]),
-            &frag,
-            1,
-        )
-        .unwrap();
+        let known =
+            resolve_static_policy(&GoldenPolicy::KnownAPriori(vec![(0, Pauli::Y)]), &frag, 1)
+                .unwrap();
         assert_eq!(known.num_golden(), 1);
         let exact = resolve_static_policy(&GoldenPolicy::detect_exact(), &frag, 1).unwrap();
         assert!(exact.neglected()[0].contains(&Pauli::Y));

@@ -83,10 +83,10 @@ pub mod prelude {
     };
     pub use crate::report::{RunReport, UncutReport};
     pub use crate::sic::{gather_sic, sic_downstream_tensor, SicData, SicFrame};
+    pub use crate::tomography::ExperimentPlan;
     pub use crate::variance::{
         empirical_variance, reconstruction_variance, variance_from_tensors, ReconstructionError,
     };
-    pub use crate::tomography::ExperimentPlan;
 }
 
 pub use prelude::*;

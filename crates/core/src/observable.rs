@@ -53,7 +53,13 @@ impl DiagonalObservable {
     /// A Z-type Pauli string (diagonal): weight `(−1)^{popcount(b & mask)}`.
     pub fn z_string(num_bits: usize, mask: u64) -> Self {
         let weights = (0..(1u64 << num_bits))
-            .map(|b| if (b & mask).count_ones().is_multiple_of(2) { 1.0 } else { -1.0 })
+            .map(|b| {
+                if (b & mask).count_ones().is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
             .collect();
         DiagonalObservable { num_bits, weights }
     }

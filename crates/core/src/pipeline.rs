@@ -333,7 +333,12 @@ mod tests {
         let backend = IdealBackend::new(5);
         let exec = CutExecutor::new(&backend);
         let run = exec
-            .run(&circuit, &cut, GoldenPolicy::detect_exact(), &options(10_000))
+            .run(
+                &circuit,
+                &cut,
+                GoldenPolicy::detect_exact(),
+                &options(10_000),
+            )
             .unwrap();
         assert!(run.report.neglected[0].contains(&Pauli::Y));
         assert_eq!(run.report.subcircuits_executed, 6);

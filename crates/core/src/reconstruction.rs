@@ -208,9 +208,8 @@ fn assemble_downstream(
     for m in plan.all_recon_strings() {
         let mut vec = vec![0.0f64; dim];
         // Enumerate the 2^K signed preparation combinations for this M.
-        let pairs: Vec<[(qcut_math::PrepState, f64); 2]> = (0..num_cuts)
-            .map(|k| plan.prep_pair(k, m[k]))
-            .collect();
+        let pairs: Vec<[(qcut_math::PrepState, f64); 2]> =
+            (0..num_cuts).map(|k| plan.prep_pair(k, m[k])).collect();
         for combo in 0..(1usize << num_cuts) {
             let mut states = Vec::with_capacity(num_cuts);
             let mut weight = 1.0f64;
@@ -294,11 +293,7 @@ pub fn contract(
 }
 
 /// Full pipeline step: tensors from data, then contraction.
-pub fn reconstruct(
-    fragments: &Fragments,
-    plan: &BasisPlan,
-    data: &FragmentData,
-) -> Distribution {
+pub fn reconstruct(fragments: &Fragments, plan: &BasisPlan, data: &FragmentData) -> Distribution {
     let up = upstream_tensor(&fragments.upstream, plan, data);
     let down = downstream_tensor(&fragments.downstream, plan, data);
     contract(fragments, plan, &up, &down)
@@ -507,7 +502,10 @@ mod tests {
         let frags = Fragmenter::fragment(&c, &spec).unwrap();
         let up = exact_upstream_tensor(&frags.upstream, &BasisPlan::standard(1));
         assert!(up.max_abs(&[Pauli::Z]) < 1e-10, "Z should be negligible");
-        assert!(up.max_abs(&[Pauli::Y]) < 1e-10, "Y should be negligible too");
+        assert!(
+            up.max_abs(&[Pauli::Y]) < 1e-10,
+            "Y should be negligible too"
+        );
         // Neglect both: reconstruction still exact.
         let mut plan = BasisPlan::standard(1);
         plan.neglect(0, Pauli::Z);

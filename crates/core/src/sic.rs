@@ -301,10 +301,8 @@ mod tests {
 
     #[test]
     fn encode_sic_is_injective() {
-        let keys: std::collections::HashSet<u64> = all_sic_settings(3)
-            .iter()
-            .map(|s| encode_sic(s))
-            .collect();
+        let keys: std::collections::HashSet<u64> =
+            all_sic_settings(3).iter().map(|s| encode_sic(s)).collect();
         assert_eq!(keys.len(), 64);
     }
 

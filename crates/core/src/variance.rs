@@ -116,8 +116,7 @@ pub fn variance_from_tensors(
         for (b1, &av) in a.iter().enumerate() {
             for (b2, &dv) in d.iter().enumerate() {
                 let idx = (t1[b1] | t2[b2]) as usize;
-                variance[idx] +=
-                    scale * (av * av * var_d + dv * dv * var_a + var_a * var_d);
+                variance[idx] += scale * (av * av * var_d + dv * dv * var_a + var_a * var_d);
             }
         }
     }
@@ -173,9 +172,7 @@ mod tests {
     use super::*;
     use crate::execution::gather;
     use crate::fragment::Fragmenter;
-    use crate::reconstruction::{
-        exact_downstream_tensor, exact_upstream_tensor, reconstruct,
-    };
+    use crate::reconstruction::{exact_downstream_tensor, exact_upstream_tensor, reconstruct};
     use crate::tomography::ExperimentPlan;
     use qcut_circuit::ansatz::GoldenAnsatz;
     use qcut_device::ideal::IdealBackend;

@@ -90,7 +90,10 @@ mod tests {
 
     #[test]
     fn error_messages_mention_sizes() {
-        let e = BackendError::CircuitTooWide { circuit: 9, device: 5 };
+        let e = BackendError::CircuitTooWide {
+            circuit: 9,
+            device: 5,
+        };
         let s = e.to_string();
         assert!(s.contains('9') && s.contains('5'));
         assert!(BackendError::NoShots.to_string().contains("positive"));

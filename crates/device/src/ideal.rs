@@ -113,7 +113,13 @@ mod tests {
     fn rejects_oversized_circuits() {
         let b = IdealBackend::new(0).with_capacity(1);
         let err = b.run(&bell(), 100).unwrap_err();
-        assert!(matches!(err, BackendError::CircuitTooWide { circuit: 2, device: 1 }));
+        assert!(matches!(
+            err,
+            BackendError::CircuitTooWide {
+                circuit: 2,
+                device: 1
+            }
+        ));
     }
 
     #[test]

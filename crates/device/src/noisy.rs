@@ -46,10 +46,14 @@ impl NoisyBackend {
         let (thermal_1q, thermal_2q) = match noise.thermal {
             Some(spec) => (
                 Some(KrausChannel::thermal_relaxation(
-                    spec.t1, spec.t2, spec.time_1q,
+                    spec.t1,
+                    spec.t2,
+                    spec.time_1q,
                 )),
                 Some(KrausChannel::thermal_relaxation(
-                    spec.t1, spec.t2, spec.time_2q,
+                    spec.t1,
+                    spec.t2,
+                    spec.time_2q,
                 )),
             ),
             None => (None, None),

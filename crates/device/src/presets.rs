@@ -29,7 +29,10 @@ fn ibm_like_noise() -> NoiseModel {
             time_1q: 35e-9,
             time_2q: 300e-9,
         }),
-        readout: ReadoutError { p01: 0.015, p10: 0.03 },
+        readout: ReadoutError {
+            p01: 0.015,
+            p10: 0.03,
+        },
     }
 }
 

@@ -68,11 +68,7 @@ impl TimingModel {
             } else {
                 self.gate_1q
             };
-            let start = inst
-                .qubits
-                .iter()
-                .map(|&q| clock[q])
-                .fold(0.0f64, f64::max);
+            let start = inst.qubits.iter().map(|&q| clock[q]).fold(0.0f64, f64::max);
             for &q in &inst.qubits {
                 clock[q] = start + dur;
             }

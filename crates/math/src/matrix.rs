@@ -359,7 +359,12 @@ impl Add for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
         }
     }
 }
@@ -371,7 +376,12 @@ impl Sub for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
         }
     }
 }
@@ -441,7 +451,11 @@ mod tests {
 
     #[test]
     fn adjoint_conjugates_and_transposes() {
-        let m = Matrix::from_rows(2, 2, vec![c64(1.0, 1.0), c64(2.0, 0.0), c64(0.0, -3.0), c64(4.0, 4.0)]);
+        let m = Matrix::from_rows(
+            2,
+            2,
+            vec![c64(1.0, 1.0), c64(2.0, 0.0), c64(0.0, -3.0), c64(4.0, 4.0)],
+        );
         let d = m.adjoint();
         assert_eq!(d[(0, 0)], c64(1.0, -1.0));
         assert_eq!(d[(1, 0)], c64(2.0, 0.0));
@@ -484,7 +498,11 @@ mod tests {
 
     #[test]
     fn hermitian_and_unitary_checks() {
-        let h = Matrix::from_rows(2, 2, vec![c64(1.0, 0.0), c64(0.0, -1.0), c64(0.0, 1.0), c64(2.0, 0.0)]);
+        let h = Matrix::from_rows(
+            2,
+            2,
+            vec![c64(1.0, 0.0), c64(0.0, -1.0), c64(0.0, 1.0), c64(2.0, 0.0)],
+        );
         assert!(h.is_hermitian(1e-12));
         let s = std::f64::consts::FRAC_1_SQRT_2;
         let had = mat2([s, s, s, -s]);
@@ -503,7 +521,11 @@ mod tests {
     #[test]
     fn embed_one_qubit_matches_kron() {
         // On 2 qubits with little-endian convention: target 0 => I ⊗ G.
-        let g = Matrix::from_rows(2, 2, vec![c64(0.1, 0.0), c64(0.2, 0.3), c64(0.4, -0.5), c64(0.6, 0.0)]);
+        let g = Matrix::from_rows(
+            2,
+            2,
+            vec![c64(0.1, 0.0), c64(0.2, 0.3), c64(0.4, -0.5), c64(0.6, 0.0)],
+        );
         let on_q0 = Matrix::embed_one_qubit(&g, 2, 0);
         let want_q0 = Matrix::identity(2).kron(&g);
         assert!(on_q0.approx_eq(&want_q0, 1e-12));

@@ -9,7 +9,9 @@ use crate::matrix::Matrix;
 use std::fmt;
 
 /// One single-qubit Pauli operator.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Pauli {
     /// Identity.
     I,
@@ -32,9 +34,15 @@ impl Pauli {
     pub fn matrix(self) -> Matrix {
         match self {
             Pauli::I => Matrix::identity(2),
-            Pauli::X => Matrix::two_by_two(Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO),
-            Pauli::Y => Matrix::two_by_two(Complex::ZERO, c64(0.0, -1.0), c64(0.0, 1.0), Complex::ZERO),
-            Pauli::Z => Matrix::two_by_two(Complex::ONE, Complex::ZERO, Complex::ZERO, c64(-1.0, 0.0)),
+            Pauli::X => {
+                Matrix::two_by_two(Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO)
+            }
+            Pauli::Y => {
+                Matrix::two_by_two(Complex::ZERO, c64(0.0, -1.0), c64(0.0, 1.0), Complex::ZERO)
+            }
+            Pauli::Z => {
+                Matrix::two_by_two(Complex::ONE, Complex::ZERO, Complex::ZERO, c64(-1.0, 0.0))
+            }
         }
     }
 
@@ -276,7 +284,10 @@ mod tests {
             let evs = p.eigenvalues();
             let sum = &p.eigenprojector(0).scale(c64(evs[0], 0.0))
                 + &p.eigenprojector(1).scale(c64(evs[1], 0.0));
-            assert!(sum.approx_eq(&p.matrix(), TOL), "spectral decomposition failed for {p}");
+            assert!(
+                sum.approx_eq(&p.matrix(), TOL),
+                "spectral decomposition failed for {p}"
+            );
         }
     }
 

@@ -104,7 +104,11 @@ pub fn qr_haar_fixed(a: &Matrix) -> Matrix {
     for j in 0..n {
         let d = r[(j, j)];
         let mag = d.abs();
-        let phase = if mag < 1e-300 { Complex::ONE } else { d * (1.0 / mag) };
+        let phase = if mag < 1e-300 {
+            Complex::ONE
+        } else {
+            d * (1.0 / mag)
+        };
         // Multiply column j of Q by phase (so Q' R' = A with R' diag real>0).
         for i in 0..q.rows() {
             q[(i, j)] *= phase;

@@ -11,7 +11,9 @@ use crate::pauli::Pauli;
 use std::fmt;
 
 /// The six Pauli eigenstates used for downstream state preparation.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum PrepState {
     /// `|0>` — Z eigenstate, eigenvalue +1.
     Zp,
@@ -270,7 +272,10 @@ mod tests {
             let rho = s.density();
             let rho2 = rho.matmul(&rho);
             assert!(rho2.approx_eq(&rho, 1e-10), "SIC state not pure");
-            assert!(rho.approx_eq(&pure_density(&k), 1e-10), "ket/density mismatch");
+            assert!(
+                rho.approx_eq(&pure_density(&k), 1e-10),
+                "ket/density mismatch"
+            );
         }
     }
 
@@ -299,7 +304,9 @@ mod tests {
         for s in SicState::ALL {
             sum = &sum + &s.density();
         }
-        assert!(sum.scale(c64(0.5, 0.0)).approx_eq(&Matrix::identity(2), 1e-10));
+        assert!(sum
+            .scale(c64(0.5, 0.0))
+            .approx_eq(&Matrix::identity(2), 1e-10));
     }
 
     #[test]

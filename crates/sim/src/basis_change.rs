@@ -145,8 +145,10 @@ mod tests {
         let mut c = prep_circuit(PrepState::Yp, 1, 0);
         append_basis_rotation(&mut c, Pauli::Y, 0);
         let sv = StateVector::from_circuit(&c);
-        assert!(sv.amplitudes()[0].approx_eq(Complex::ONE, TOL) ||
-                sv.amplitudes()[0].norm_sqr() > 1.0 - 1e-9);
+        assert!(
+            sv.amplitudes()[0].approx_eq(Complex::ONE, TOL)
+                || sv.amplitudes()[0].norm_sqr() > 1.0 - 1e-9
+        );
         let _ = c64(0.0, 0.0);
     }
 }

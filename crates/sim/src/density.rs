@@ -320,7 +320,14 @@ mod tests {
 
     #[test]
     fn trace_and_purity_preserved_by_unitaries() {
-        let c = random_circuit(3, RandomCircuitConfig { depth: 5, two_qubit_prob: 0.5 }, 9);
+        let c = random_circuit(
+            3,
+            RandomCircuitConfig {
+                depth: 5,
+                two_qubit_prob: 0.5,
+            },
+            9,
+        );
         let mut dm = DensityMatrix::zero_state(3);
         dm.apply_circuit(&c);
         assert!((dm.trace() - 1.0).abs() < TOL);
@@ -335,7 +342,11 @@ mod tests {
         dm.apply_circuit(&c);
         let ch = KrausChannel::depolarizing(0.2);
         dm.apply_channel(&ch, &[0]);
-        assert!((dm.trace() - 1.0).abs() < TOL, "trace drifted: {}", dm.trace());
+        assert!(
+            (dm.trace() - 1.0).abs() < TOL,
+            "trace drifted: {}",
+            dm.trace()
+        );
         assert!(dm.purity() < 1.0 - 1e-6, "purity should drop");
     }
 

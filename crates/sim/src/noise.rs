@@ -24,7 +24,11 @@ impl KrausChannel {
         assert!(dim == 2 || dim == 4, "only 1- and 2-qubit channels");
         let mut sum = Matrix::zeros(dim, dim);
         for k in &ops {
-            assert_eq!((k.rows(), k.cols()), (dim, dim), "inconsistent Kraus shapes");
+            assert_eq!(
+                (k.rows(), k.cols()),
+                (dim, dim),
+                "inconsistent Kraus shapes"
+            );
             sum = &sum + &k.adjoint().matmul(k);
         }
         assert!(
@@ -188,10 +192,7 @@ impl ReadoutError {
             return cur;
         }
         // Confusion matrix rows: measured, cols: true.
-        let m = [
-            [1.0 - self.p01, self.p10],
-            [self.p01, 1.0 - self.p10],
-        ];
+        let m = [[1.0 - self.p01, self.p10], [self.p01, 1.0 - self.p10]];
         for bit in 0..num_bits {
             let b = 1usize << bit;
             let mut next = cur.clone();
@@ -322,7 +323,10 @@ mod tests {
 
     #[test]
     fn readout_error_is_stochastic() {
-        let r = ReadoutError { p01: 0.03, p10: 0.08 };
+        let r = ReadoutError {
+            p01: 0.03,
+            p10: 0.08,
+        };
         let probs = [0.1, 0.2, 0.3, 0.4];
         let out = r.apply_to_probs(&probs, 2);
         let total: f64 = out.iter().sum();
@@ -340,7 +344,10 @@ mod tests {
     #[test]
     fn asymmetric_readout_biases_toward_zero() {
         // p10 > p01 (relaxation-dominated readout): measuring |1> leaks to 0.
-        let r = ReadoutError { p01: 0.01, p10: 0.1 };
+        let r = ReadoutError {
+            p01: 0.01,
+            p10: 0.1,
+        };
         let out = r.apply_to_probs(&[0.0, 1.0], 1);
         assert!((out[0] - 0.1).abs() < 1e-12);
     }

@@ -165,8 +165,8 @@ impl StateVector {
             // Parallelise over chunks aligned to 2*hi so all four partners
             // of a quadruple land in the same chunk.
             let align = hi << 1;
-            let chunk = ((dim / rayon::current_num_threads().max(1)).next_power_of_two())
-                .max(align);
+            let chunk =
+                ((dim / rayon::current_num_threads().max(1)).next_power_of_two()).max(align);
             let starts: Vec<usize> = (0..dim).step_by(chunk).collect();
             let ptr_chunks: Vec<&mut [Complex]> = self.amps.chunks_mut(chunk).collect();
             ptr_chunks
@@ -344,7 +344,14 @@ mod tests {
     #[test]
     fn circuit_preserves_norm() {
         use qcut_circuit::random::{random_circuit, RandomCircuitConfig};
-        let c = random_circuit(6, RandomCircuitConfig { depth: 8, two_qubit_prob: 0.6 }, 3);
+        let c = random_circuit(
+            6,
+            RandomCircuitConfig {
+                depth: 8,
+                two_qubit_prob: 0.6,
+            },
+            3,
+        );
         let sv = StateVector::from_circuit(&c);
         assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
     }

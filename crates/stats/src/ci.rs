@@ -68,7 +68,11 @@ impl ConfidenceInterval {
 
 impl std::fmt::Display for ConfidenceInterval {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.6} ± {:.6} (n={})", self.mean, self.half_width, self.n)
+        write!(
+            f,
+            "{:.6} ± {:.6} (n={})",
+            self.mean, self.half_width, self.n
+        )
     }
 }
 
@@ -147,9 +151,21 @@ mod tests {
 
     #[test]
     fn overlap_detection() {
-        let a = ConfidenceInterval { mean: 1.0, half_width: 0.2, n: 10 };
-        let b = ConfidenceInterval { mean: 1.3, half_width: 0.2, n: 10 };
-        let c = ConfidenceInterval { mean: 2.0, half_width: 0.2, n: 10 };
+        let a = ConfidenceInterval {
+            mean: 1.0,
+            half_width: 0.2,
+            n: 10,
+        };
+        let b = ConfidenceInterval {
+            mean: 1.3,
+            half_width: 0.2,
+            n: 10,
+        };
+        let c = ConfidenceInterval {
+            mean: 2.0,
+            half_width: 0.2,
+            n: 10,
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));
@@ -161,13 +177,17 @@ mod tests {
         // Deterministic LCG to avoid a rand dev-dependency here.
         let mut state = 0x12345678u64;
         let mut rand01 = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (1u64 << 31) as f64
         };
         let mut covered = 0;
         let trials = 400;
         for _ in 0..trials {
-            let xs: Vec<f64> = (0..30).map(|_| if rand01() < 0.5 { 0.0 } else { 1.0 }).collect();
+            let xs: Vec<f64> = (0..30)
+                .map(|_| if rand01() < 0.5 { 0.0 } else { 1.0 })
+                .collect();
             if ci95_of(&xs).contains(0.5) {
                 covered += 1;
             }

@@ -132,9 +132,7 @@ mod tests {
         let p_small_outcome = dist(vec![0.85, 0.15]); // error on the 0.1 bin
         let q2 = dist(vec![0.5, 0.5]);
         let p_large_outcome = dist(vec![0.45, 0.55]);
-        assert!(
-            weighted_distance(&p_small_outcome, &q) > weighted_distance(&p_large_outcome, &q2)
-        );
+        assert!(weighted_distance(&p_small_outcome, &q) > weighted_distance(&p_large_outcome, &q2));
     }
 
     #[test]

@@ -11,15 +11,15 @@ use qcut::prelude::*;
 fn main() {
     let trials = 5;
     let shots = 2000;
-    println!("golden vs standard on the simulated 5q device ({trials} trials, {shots} shots/setting)\n");
+    println!(
+        "golden vs standard on the simulated 5q device ({trials} trials, {shots} shots/setting)\n"
+    );
 
     let mut rows = Vec::new();
     for trial in 0..trials {
         let (circuit, cut) = GoldenAnsatz::new(5, 100 + trial).build();
-        let truth = Distribution::from_values(
-            5,
-            StateVector::from_circuit(&circuit).probabilities(),
-        );
+        let truth =
+            Distribution::from_values(5, StateVector::from_circuit(&circuit).probabilities());
         let backend = presets::ibm_5q(500 + trial);
         let executor = CutExecutor::new(&backend);
         let options = ExecutionOptions {

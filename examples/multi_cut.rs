@@ -14,7 +14,15 @@ fn main() {
     println!("multi-cut golden bipartitions (paper §II-B scaling)\n");
     println!(
         "{:>2} {:>7} | {:>11} {:>11} {:>7} | {:>11} {:>11} {:>7} | {:>10}",
-        "K", "qubits", "meas std", "preps std", "terms", "meas gold", "preps gold", "terms", "d_w golden"
+        "K",
+        "qubits",
+        "meas std",
+        "preps std",
+        "terms",
+        "meas gold",
+        "preps gold",
+        "terms",
+        "d_w golden"
     );
 
     for k in 1..=3usize {

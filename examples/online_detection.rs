@@ -9,7 +9,9 @@
 //! cargo run --release --example online_detection
 //! ```
 
-use qcut::cutting::golden::{simulate_upstream_setting, GoldenVerdict, OnlineConfig, OnlineDetector};
+use qcut::cutting::golden::{
+    simulate_upstream_setting, GoldenVerdict, OnlineConfig, OnlineDetector,
+};
 use qcut::prelude::*;
 
 fn drive_detector(name: &str, upstream: &qcut::cutting::fragment::Fragment, seed0: u64) {

@@ -14,14 +14,17 @@ fn main() {
     let ansatz = GoldenAnsatz::new(5, 1234);
     let (circuit, cut) = ansatz.build();
 
-    println!("The circuit (cut marked with ✂ on qubit {}):\n", ansatz.cut_qubit());
-    println!("{}", qcut::circuit::diagram::render_with_cuts(&circuit, Some(&cut)));
+    println!(
+        "The circuit (cut marked with ✂ on qubit {}):\n",
+        ansatz.cut_qubit()
+    );
+    println!(
+        "{}",
+        qcut::circuit::diagram::render_with_cuts(&circuit, Some(&cut))
+    );
 
     // Ground truth from the state-vector simulator.
-    let truth = Distribution::from_values(
-        5,
-        StateVector::from_circuit(&circuit).probabilities(),
-    );
+    let truth = Distribution::from_values(5, StateVector::from_circuit(&circuit).probabilities());
 
     // Run on the ideal (Aer-like) backend.
     let backend = IdealBackend::new(42);
@@ -43,10 +46,14 @@ fn main() {
         )
         .expect("golden cutting run");
 
-    println!("standard method: {} subcircuits, {} reconstruction terms",
-        standard.report.subcircuits_executed, standard.report.reconstruction_terms);
-    println!("golden method:   {} subcircuits, {} reconstruction terms",
-        golden.report.subcircuits_executed, golden.report.reconstruction_terms);
+    println!(
+        "standard method: {} subcircuits, {} reconstruction terms",
+        standard.report.subcircuits_executed, standard.report.reconstruction_terms
+    );
+    println!(
+        "golden method:   {} subcircuits, {} reconstruction terms",
+        golden.report.subcircuits_executed, golden.report.reconstruction_terms
+    );
     println!(
         "shots saved: {} -> {} ({:.0}%)\n",
         standard.report.total_shots,
@@ -63,5 +70,8 @@ fn main() {
 
     assert_eq!(standard.report.subcircuits_executed, 9);
     assert_eq!(golden.report.subcircuits_executed, 6);
-    assert!(d_gold < 0.05, "golden reconstruction should track the truth");
+    assert!(
+        d_gold < 0.05,
+        "golden reconstruction should track the truth"
+    );
 }

@@ -19,18 +19,21 @@ fn main() {
     println!("SIC frame coefficients α_j (rows: I, X, Y, Z; columns: ψ0..ψ3):");
     for p in [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z] {
         let a = frame.coefficients(p);
-        println!("  {p}:  {:+.4}  {:+.4}  {:+.4}  {:+.4}", a[0], a[1], a[2], a[3]);
+        println!(
+            "  {p}:  {:+.4}  {:+.4}  {:+.4}  {:+.4}",
+            a[0], a[1], a[2], a[3]
+        );
     }
 
     let (circuit, cut) = GoldenAnsatz::new(5, 21).build();
-    let truth = Distribution::from_values(
-        5,
-        StateVector::from_circuit(&circuit).probabilities(),
-    );
+    let truth = Distribution::from_values(5, StateVector::from_circuit(&circuit).probabilities());
     let backend = IdealBackend::new(33);
     let executor = CutExecutor::new(&backend);
 
-    println!("\n{:<34} {:>12} {:>10} {:>12}", "scheme", "subcircuits", "shots", "d_w");
+    println!(
+        "\n{:<34} {:>12} {:>10} {:>12}",
+        "scheme", "subcircuits", "shots", "d_w"
+    );
     for (label, method, policy) in [
         (
             "eigenstate, standard (6 preps)",

@@ -55,10 +55,7 @@ fn report(case: &str, u12: &Circuit, u23: &Circuit, expect_negligible: &[Pauli])
     );
 
     // The reduced reconstruction stays exact.
-    let truth = Distribution::from_values(
-        3,
-        StateVector::from_circuit(&circuit).probabilities(),
-    );
+    let truth = Distribution::from_values(3, StateVector::from_circuit(&circuit).probabilities());
     let recon = exact_reconstruct(&frags, &golden);
     let d = qcut::stats::distance::total_variation_distance(&recon, &truth);
     println!("golden reconstruction TVD vs truth: {d:.2e}\n");

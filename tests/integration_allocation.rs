@@ -27,10 +27,7 @@ fn weighted_allocation_reconstructs_correctly() {
     assert_eq!(data.total_shots, sched.total());
 
     let recon = reconstruct(&frags, &basis, &data).clip_renormalize();
-    let truth = Distribution::from_values(
-        5,
-        StateVector::from_circuit(&circuit).probabilities(),
-    );
+    let truth = Distribution::from_values(5, StateVector::from_circuit(&circuit).probabilities());
     let d = total_variation_distance(&recon, &truth);
     assert!(d < 0.05, "weighted-allocation reconstruction off by {d}");
 }
@@ -44,10 +41,7 @@ fn equal_budget_uniform_vs_weighted_accuracy() {
     let frags = Fragmenter::fragment(&circuit, &cut).unwrap();
     let basis = BasisPlan::standard(1);
     let experiment = ExperimentPlan::build(&frags, &basis);
-    let truth = Distribution::from_values(
-        5,
-        StateVector::from_circuit(&circuit).probabilities(),
-    );
+    let truth = Distribution::from_values(5, StateVector::from_circuit(&circuit).probabilities());
     let total = 90_000;
     for alloc in [
         ShotAllocation::TotalBudget { total },
@@ -106,10 +100,7 @@ fn diagonal_observables_from_reconstruction() {
             },
         )
         .unwrap();
-    let truth = Distribution::from_values(
-        5,
-        StateVector::from_circuit(&circuit).probabilities(),
-    );
+    let truth = Distribution::from_values(5, StateVector::from_circuit(&circuit).probabilities());
     for obs in [
         DiagonalObservable::hamming_weight(5),
         DiagonalObservable::ising_chain(5, 1.0),

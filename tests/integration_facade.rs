@@ -1,0 +1,96 @@
+//! Workspace smoke test for the `qcut` facade: the `prelude` re-exports
+//! must resolve, and a minimal cut → execute → reconstruct round-trip must
+//! agree with the uncut statevector. This is the test a new checkout runs
+//! first; if it fails, the workspace wiring (not the physics) is broken.
+
+use qcut::prelude::*;
+
+/// Every name the quickstart documentation leans on resolves through the
+/// prelude and has the expected shape.
+#[test]
+fn prelude_reexports_resolve() {
+    // Types usable as values / constructors.
+    let ansatz = GoldenAnsatz::new(5, 7);
+    let (circuit, cut): (Circuit, CutSpec) = ansatz.build();
+    assert_eq!(circuit.num_qubits(), 5);
+    assert!(cut.num_cuts() > 0);
+
+    let loc: &CutLocation = &cut.cuts()[0];
+    assert!(loc.qubit < circuit.num_qubits());
+
+    // Enums re-exported at the top level.
+    let bases = [MeasBasis::X, MeasBasis::Y, MeasBasis::Z];
+    assert_eq!(bases.len(), 3);
+    assert_eq!(Pauli::ALL.len(), 4);
+
+    // Backend trait + concrete backends.
+    let ideal = IdealBackend::new(1);
+    let noisy: NoisyBackend = presets::ibm_5q(1);
+    let _: &dyn Backend = &ideal;
+    let _: &dyn Backend = &noisy;
+
+    // Math + sim + stats round-trip on a trivial state.
+    let mut bell = Circuit::new(2);
+    bell.h(0).cx(0, 1);
+    let sv = StateVector::from_circuit(&bell);
+    let d = Distribution::from_values(2, sv.probabilities());
+    assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    let _ = c64(0.0, 1.0);
+    let _ = Matrix::identity(2);
+}
+
+/// Minimal end-to-end round-trip: cut the golden ansatz, execute both the
+/// standard and golden plans on the ideal backend, and check both
+/// reconstructions against the uncut statevector distribution.
+#[test]
+fn cut_execute_reconstruct_matches_uncut_statevector() {
+    let (circuit, cut) = GoldenAnsatz::new(5, 2024).build();
+    let truth = Distribution::from_values(
+        circuit.num_qubits(),
+        StateVector::from_circuit(&circuit).probabilities(),
+    );
+
+    let backend = IdealBackend::new(99);
+    let executor = CutExecutor::new(&backend);
+    let options = ExecutionOptions {
+        shots_per_setting: 4000,
+        ..Default::default()
+    };
+
+    let standard = executor
+        .run(&circuit, &cut, GoldenPolicy::Disabled, &options)
+        .expect("standard plan runs");
+    let golden = executor
+        .run(
+            &circuit,
+            &cut,
+            GoldenPolicy::KnownAPriori(vec![(0, Pauli::Y)]),
+            &options,
+        )
+        .expect("golden plan runs");
+
+    // The golden plan executes fewer subcircuits (3 -> 2 measurement bases
+    // upstream: 9 -> 6 settings for a single cut)...
+    assert_eq!(standard.report.subcircuits_executed, 9);
+    assert_eq!(golden.report.subcircuits_executed, 6);
+
+    // ...and both agree with the uncut ground truth to shot noise.
+    let d_std = total_variation_distance(&standard.distribution, &truth);
+    let d_gld = total_variation_distance(&golden.distribution, &truth);
+    assert!(d_std < 0.08, "standard TVD too large: {d_std}");
+    assert!(d_gld < 0.08, "golden TVD too large: {d_gld}");
+}
+
+/// The facade's module aliases (`qcut::cutting`, `qcut::math`, ...) reach
+/// the member crates.
+#[test]
+fn module_aliases_resolve() {
+    let plan = qcut::cutting::basis::BasisPlan::standard(1);
+    assert_eq!(plan.num_cuts(), 1);
+    let _ = qcut::math::Pauli::ALL;
+    let _ = qcut::sim::counts::Counts::from_pairs(1, vec![(0u64, 1u64)]);
+    let _ = qcut::stats::distribution::Distribution::from_values(1, vec![0.5, 0.5]);
+    let _ = qcut::device::presets::aer_like(3);
+    let c = qcut::circuit::circuit::Circuit::new(1);
+    assert_eq!(c.num_qubits(), 1);
+}

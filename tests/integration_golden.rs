@@ -81,9 +81,13 @@ fn detector_tolerance_is_respected() {
     let leak = up.max_abs(&[Pauli::Y]);
     assert!(leak > 1e-4 && leak < 0.1, "leak magnitude {leak}");
 
-    let strict = ExactDetector { tolerance: leak / 2.0 };
+    let strict = ExactDetector {
+        tolerance: leak / 2.0,
+    };
     assert!(!strict.detect(&frags.upstream, 1).neglected()[0].contains(&Pauli::Y));
-    let loose = ExactDetector { tolerance: leak * 2.0 };
+    let loose = ExactDetector {
+        tolerance: leak * 2.0,
+    };
     assert!(loose.detect(&frags.upstream, 1).neglected()[0].contains(&Pauli::Y));
 }
 
@@ -97,10 +101,7 @@ fn neglecting_a_leaky_basis_biases_the_answer() {
     c.rx(std::f64::consts::FRAC_PI_2, 1).cx(1, 2).h(2);
     let spec = CutSpec::single(1, 2);
     let frags = Fragmenter::fragment(&c, &spec).unwrap();
-    let truth = Distribution::from_values(
-        3,
-        StateVector::from_circuit(&c).probabilities(),
-    );
+    let truth = Distribution::from_values(3, StateVector::from_circuit(&c).probabilities());
     let exact = exact_reconstruct(&frags, &BasisPlan::standard(1));
     assert!(total_variation_distance(&exact, &truth) < 1e-9);
     let biased = exact_reconstruct(&frags, &BasisPlan::with_neglected(vec![Some(Pauli::Y)]));
@@ -133,10 +134,7 @@ fn online_detection_error_budget() {
         .unwrap();
     assert!(run.report.detection_shots > 0);
     assert!(run.report.detection_seconds >= 0.0);
-    let truth = Distribution::from_values(
-        5,
-        StateVector::from_circuit(&circuit).probabilities(),
-    );
+    let truth = Distribution::from_values(5, StateVector::from_circuit(&circuit).probabilities());
     let d = total_variation_distance(&run.distribution, &truth);
     assert!(d < 0.08, "online-run distribution off by {d}");
 }
@@ -166,10 +164,7 @@ fn doubly_golden_bell_cut_runs_end_to_end() {
         .unwrap();
     assert_eq!(run.report.subcircuits_executed, 3);
     assert_eq!(run.report.neglected[0].len(), 2);
-    let truth = Distribution::from_values(
-        3,
-        StateVector::from_circuit(&circuit).probabilities(),
-    );
+    let truth = Distribution::from_values(3, StateVector::from_circuit(&circuit).probabilities());
     let d = total_variation_distance(&run.distribution, &truth);
     assert!(d < 0.05, "doubly-golden run off by {d}");
 }

@@ -6,11 +6,11 @@
 //! golden plan alike (on designed-golden circuits).
 
 use proptest::prelude::*;
+use qcut::circuit::ansatz::MultiCutAnsatz;
+use qcut::circuit::random::{random_circuit_with, random_real_circuit_with, RandomCircuitConfig};
 use qcut::cutting::basis::BasisPlan;
 use qcut::cutting::reconstruction::{exact_reconstruct, exact_upstream_tensor};
 use qcut::prelude::*;
-use qcut::circuit::ansatz::MultiCutAnsatz;
-use qcut::circuit::random::{random_circuit_with, random_real_circuit_with, RandomCircuitConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

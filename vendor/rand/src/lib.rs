@@ -1,0 +1,251 @@
+//! Offline, API-compatible subset of the `rand` crate (v0.8 surface).
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the exact API slice it uses: [`Rng`] (`gen`, `gen_range`, `gen_bool`),
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`]. The generator is
+//! xoshiro256++ seeded via SplitMix64 — deterministic for a given seed,
+//! with statistical quality far beyond what the workspace's tolerance-based
+//! tests require. It is NOT the same stream as upstream `StdRng` (ChaCha12),
+//! so seeds produce different (but equally valid) samples.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: 64 fresh bits per call.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly over the type's natural domain
+    /// (`[0, 1)` for floats, full range for integers).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a (half-open or inclusive) range.
+    /// Panics on an empty range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0,1]");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable over their "standard" domain (the `Standard`
+/// distribution in upstream `rand`).
+pub trait Standard: Sized {
+    /// Draws one value from the standard domain using `rng`.
+    fn sample_standard<G: RngCore + ?Sized>(rng: &mut G) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        // 53 high bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer/float types with uniform range sampling.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`; caller guarantees `lo < hi`.
+    fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`; caller guarantees `lo <= hi`.
+    fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                lo.wrapping_add(mod_u128(rng, span) as $t)
+            }
+            fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                lo.wrapping_add(mod_u128(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Near-uniform draw from `[0, span)` via 128-bit widening multiply
+/// (Lemire's method, no rejection — bias < 2^-64, irrelevant here).
+fn mod_u128<G: RngCore + ?Sized>(rng: &mut G, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    (rng.next_u64() as u128 * span) >> 64
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+        let u = f64::sample_standard(rng);
+        let v = lo + u * (hi - lo);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= hi {
+            lo.max(hi - (hi - lo) * f64::EPSILON)
+        } else {
+            v
+        }
+    }
+    fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+        lo + f64::sample_standard(rng) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+        f64::sample_half_open(rng, lo as f64, hi as f64) as f32
+    }
+    fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+        f64::sample_inclusive(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64
+    /// exactly like upstream `rand`'s default implementation.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (public-domain constants).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Deterministic per seed; a different stream than upstream `StdRng`
+    /// (which is ChaCha12), but every use in this workspace only relies on
+    /// determinism and uniformity, not the exact stream.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ by Blackman & Vigna (public domain).
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(bytes);
+            }
+            // All-zero state is the one forbidden state of xoshiro.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+}

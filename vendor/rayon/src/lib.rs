@@ -1,0 +1,157 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! Implements exactly the parallel-iterator surface this workspace uses —
+//! `par_iter`, `into_par_iter`, `par_chunks_mut`, `map`, `zip`, `for_each`,
+//! `collect`, and [`current_num_threads`] — on top of `std::thread::scope`.
+//! Unlike real rayon there is no work-stealing pool: each eager operation
+//! splits its items into one contiguous block per available core. For the
+//! regular, balanced workloads in this workspace (state-vector chunks,
+//! tomography job lists, reconstruction rows) that is within noise of a
+//! real pool, and it keeps the stub dependency-free.
+
+use std::ops::Range;
+
+/// Number of threads eager operations fan out to (one per available core).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Below this many items the scoped-thread overhead outweighs any win.
+const SEQ_CUTOFF: usize = 2;
+
+/// Applies `f` to every item on a scoped thread pool, preserving order.
+fn par_map_vec<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() < SEQ_CUTOFF {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let per = n.div_ceil(threads);
+    let mut source = items.into_iter();
+    let chunks: Vec<Vec<T>> = (0..n.div_ceil(per))
+        .map(|_| source.by_ref().take(per).collect())
+        .collect();
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon-stub worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// An eager "parallel iterator": adaptors apply immediately across threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map, preserving order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: par_map_vec(self.items, &f),
+        }
+    }
+
+    /// Element-wise pairing (truncates to the shorter side, like `zip`).
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Parallel side-effecting consumption.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map_vec(self.items, &|t| f(t));
+    }
+
+    /// Gathers the (already computed) items into a collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `par_iter` on slices (shared references).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` on slices (exclusive references).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping `&mut` chunks of length
+    /// `chunk_size` (last one may be shorter). Panics if `chunk_size == 0`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}

@@ -1,0 +1,17 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! The workspace annotates several types with
+//! `#[derive(serde::Serialize, serde::Deserialize)]` so that a future
+//! JSON-report feature can serialize them, but nothing serializes today and
+//! the build environment has no crates.io access. This crate provides the
+//! trait names and derive macros so those annotations compile; the derives
+//! emit marker impls only. Swap in real `serde` by deleting the
+//! `[patch]`-free path deps once a registry is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,51 @@
+//! Derive macros for the offline `serde` stub.
+//!
+//! The real `serde_derive` generates full (de)serialization impls; nothing
+//! in this workspace serializes yet, so these derives parse the item just
+//! far enough to find its name and emit marker-trait impls (or nothing when
+//! the item is generic — the marker traits carry no behaviour, so a missing
+//! impl can't break anything that compiles today).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name of a non-generic `struct`/`enum` definition.
+/// Returns `None` for generic items, where a hand-rolled parser would need
+/// to reproduce full where-clause handling to emit a correct impl.
+fn plain_type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tok {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return match tokens.peek() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => None,
+                        _ => Some(name.to_string()),
+                    };
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match plain_type_name(input) {
+        Some(name) => format!("impl serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match plain_type_name(input) {
+        Some(name) => format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
