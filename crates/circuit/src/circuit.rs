@@ -250,6 +250,24 @@ impl Circuit {
         u
     }
 
+    /// A structural fingerprint of the circuit: two circuits hash equal iff
+    /// they have the same width and the same instruction list (gate kinds,
+    /// exact parameter bits, operand order). Used by the execution engine to
+    /// deduplicate identical subcircuit jobs before they reach a backend;
+    /// callers must still confirm with `==` on a hash match (FNV-1a over the
+    /// instruction stream — collisions are unlikely but possible).
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.num_qubits as u64);
+        for inst in &self.instructions {
+            hash_gate(&inst.gate, &mut h);
+            for &q in &inst.qubits {
+                h.write_u64(q as u64);
+            }
+        }
+        h.finish()
+    }
+
     /// Circuit depth: the longest chain of instructions sharing wires.
     pub fn depth(&self) -> usize {
         let mut level = vec![0usize; self.num_qubits];
@@ -314,6 +332,86 @@ impl fmt::Display for Circuit {
             writeln!(f, "  {inst}")?;
         }
         Ok(())
+    }
+}
+
+/// 64-bit FNV-1a accumulator for [`Circuit::structural_hash`]. A tiny local
+/// hasher (rather than `std::hash`) because `Gate` carries `f64` parameters
+/// and `Matrix` payloads, neither of which implement `Hash`.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf29ce484222325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Feeds a gate's variant tag plus its exact parameter bits into the hash.
+fn hash_gate(gate: &Gate, h: &mut Fnv1a) {
+    let mut matrix = None;
+    let (tag, params): (u64, &[f64]) = match gate {
+        Gate::I => (0, &[]),
+        Gate::H => (1, &[]),
+        Gate::X => (2, &[]),
+        Gate::Y => (3, &[]),
+        Gate::Z => (4, &[]),
+        Gate::S => (5, &[]),
+        Gate::Sdg => (6, &[]),
+        Gate::T => (7, &[]),
+        Gate::Tdg => (8, &[]),
+        Gate::Sx => (9, &[]),
+        Gate::Rx(t) => (10, std::slice::from_ref(t)),
+        Gate::Ry(t) => (11, std::slice::from_ref(t)),
+        Gate::Rz(t) => (12, std::slice::from_ref(t)),
+        Gate::Phase(t) => (13, std::slice::from_ref(t)),
+        Gate::U3(_, _, _) => (14, &[]),
+        Gate::Unitary1(m) => {
+            matrix = Some(m);
+            (15, &[])
+        }
+        Gate::Cx => (16, &[]),
+        Gate::Cy => (17, &[]),
+        Gate::Cz => (18, &[]),
+        Gate::Ch => (19, &[]),
+        Gate::Swap => (20, &[]),
+        Gate::Crx(t) => (21, std::slice::from_ref(t)),
+        Gate::Cry(t) => (22, std::slice::from_ref(t)),
+        Gate::Crz(t) => (23, std::slice::from_ref(t)),
+        Gate::CPhase(t) => (24, std::slice::from_ref(t)),
+        Gate::Unitary2(m) => {
+            matrix = Some(m);
+            (25, &[])
+        }
+    };
+    h.write_u64(tag);
+    if let Gate::U3(theta, phi, lambda) = gate {
+        h.write_f64(*theta);
+        h.write_f64(*phi);
+        h.write_f64(*lambda);
+    }
+    for &p in params {
+        h.write_f64(p);
+    }
+    if let Some(m) = matrix {
+        for c in m.as_slice() {
+            h.write_f64(c.re);
+            h.write_f64(c.im);
+        }
     }
 }
 
@@ -441,5 +539,47 @@ mod tests {
         let text = c.to_string();
         assert!(text.contains("h q0"));
         assert!(text.contains("cx q0, q1"));
+    }
+
+    #[test]
+    fn structural_hash_matches_iff_structurally_equal() {
+        let mut a = Circuit::new(3);
+        a.h(0).cx(0, 1).rz(0.5, 2);
+        let b = a.clone();
+        assert_eq!(a.structural_hash(), b.structural_hash());
+
+        // Different parameter, operand order, gate, or width all change it.
+        let mut param = Circuit::new(3);
+        param.h(0).cx(0, 1).rz(0.5000001, 2);
+        assert_ne!(a.structural_hash(), param.structural_hash());
+        let mut flipped = Circuit::new(3);
+        flipped.h(0).cx(1, 0).rz(0.5, 2);
+        assert_ne!(a.structural_hash(), flipped.structural_hash());
+        let mut gate = Circuit::new(3);
+        gate.h(0).cz(0, 1).rz(0.5, 2);
+        assert_ne!(a.structural_hash(), gate.structural_hash());
+        let mut wider = Circuit::new(4);
+        wider.h(0).cx(0, 1).rz(0.5, 2);
+        assert_ne!(a.structural_hash(), wider.structural_hash());
+    }
+
+    #[test]
+    fn structural_hash_distinguishes_parametrised_variants() {
+        // Gate-kind tags keep Rx(t) and Ry(t) apart even with equal angles,
+        // and unitary payload bits participate in the hash.
+        let mut rx = Circuit::new(1);
+        rx.rx(0.3, 0);
+        let mut ry = Circuit::new(1);
+        ry.ry(0.3, 0);
+        assert_ne!(rx.structural_hash(), ry.structural_hash());
+
+        let mut u_h = Circuit::new(1);
+        u_h.unitary1(Gate::H.matrix(), 0);
+        let mut u_x = Circuit::new(1);
+        u_x.unitary1(Gate::X.matrix(), 0);
+        assert_ne!(u_h.structural_hash(), u_x.structural_hash());
+        let mut u_h2 = Circuit::new(1);
+        u_h2.unitary1(Gate::H.matrix(), 0);
+        assert_eq!(u_h.structural_hash(), u_h2.structural_hash());
     }
 }

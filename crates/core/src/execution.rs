@@ -1,13 +1,14 @@
 //! Running an [`ExperimentPlan`] on a backend and collecting fragment data.
 //!
 //! Fragments "can be simulated independently … run fragments in parallel"
-//! (paper §II-A): all subcircuit variants are submitted as one batch and
-//! executed through the device crate's parallel executor.
+//! (paper §II-A): all subcircuit variants are registered on a
+//! [`crate::jobgraph::JobGraph`] and executed as one batched, deduplicated
+//! backend submission.
 
 use crate::basis::{encode_meas, encode_prep};
+use crate::jobgraph::{Channel, JobGraph};
 use crate::tomography::ExperimentPlan;
 use qcut_device::backend::{Backend, BackendError};
-use qcut_device::executor::{run_parallel, run_sequential, Job};
 use qcut_sim::counts::Counts;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -102,43 +103,25 @@ pub fn gather_scheduled<B: Backend + ?Sized>(
         plan.downstream.len(),
         "schedule arity"
     );
-    let mut jobs = Vec::with_capacity(plan.num_subcircuits());
+    let mut graph = JobGraph::new();
     for (i, v) in plan.upstream.iter().enumerate() {
-        jobs.push(Job {
-            circuit: v.circuit.clone(),
-            shots: schedule.upstream[i],
-            tag: i,
-        });
+        graph.add_job(
+            v.circuit.clone(),
+            (Channel::UpstreamMeas, encode_meas(&v.setting)),
+            schedule.upstream[i],
+        );
     }
     for (i, v) in plan.downstream.iter().enumerate() {
-        jobs.push(Job {
-            circuit: v.circuit.clone(),
-            shots: schedule.downstream[i],
-            tag: plan.upstream.len() + i,
-        });
+        graph.add_job(
+            v.circuit.clone(),
+            (Channel::DownstreamPrep, encode_prep(&v.preparation)),
+            schedule.downstream[i],
+        );
     }
 
-    let batch = if parallel {
-        run_parallel(backend, &jobs)
-    } else {
-        run_sequential(backend, &jobs)
-    };
-
-    let mut upstream = HashMap::with_capacity(plan.upstream.len());
-    let mut downstream = HashMap::with_capacity(plan.downstream.len());
-    let mut host_time = Duration::ZERO;
-    let mut results = batch.results.into_iter();
-
-    for v in &plan.upstream {
-        let r = results.next().expect("result per job")?;
-        host_time += r.host_duration;
-        upstream.insert(encode_meas(&v.setting), r.counts);
-    }
-    for v in &plan.downstream {
-        let r = results.next().expect("result per job")?;
-        host_time += r.host_duration;
-        downstream.insert(encode_prep(&v.preparation), r.counts);
-    }
+    let mut run = graph.execute(backend, parallel)?;
+    let upstream = run.take_channel(Channel::UpstreamMeas);
+    let downstream = run.take_channel(Channel::DownstreamPrep);
 
     let subcircuits = plan.num_subcircuits();
     let total_shots = schedule.total();
@@ -150,8 +133,8 @@ pub fn gather_scheduled<B: Backend + ?Sized>(
         shots_per_setting: total_shots / subcircuits.max(1) as u64,
         subcircuits,
         total_shots,
-        simulated_device_time: batch.total_simulated,
-        host_time,
+        simulated_device_time: run.stats.simulated_device_time,
+        host_time: run.stats.host_time,
     })
 }
 

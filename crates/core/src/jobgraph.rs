@@ -1,0 +1,552 @@
+//! The JobGraph execution engine: one batched, deduplicating job-planning
+//! layer that every backend execution in the workspace routes through.
+//!
+//! The paper's contribution is cutting the *number of subcircuit
+//! executions* (neglecting basis elements shrinks `6^{K_r} 4^{K_g}`
+//! variants); this module extends the same economy to the execution layer
+//! itself. Callers register jobs as `(circuit, consumer, shots)` triples;
+//! the graph keys each circuit by its [structural
+//! hash](qcut_circuit::circuit::Circuit::structural_hash) so that
+//! structurally identical subcircuits — across tomography settings, across
+//! pipeline stages (online detection feeding the main gather), or across
+//! reconstruction terms — become a single node. Execution is then one
+//! batched [`Backend::run_batch`] submission, and each node's counts are
+//! fanned back out to every consumer that asked for them.
+//!
+//! ```text
+//! add_job(c, consumer, shots)  ──┐
+//! add_job(c', consumer', shots) ─┼─▶ nodes (unique circuits, hash-keyed)
+//! seed_counts(c, counts)  ───────┘        │
+//!                                         ▼ execute(backend, parallel)
+//!                     one run_batch over `max(shots) − cached` per node
+//!                                         │
+//!                                         ▼ fan-out
+//!                    GraphRun: counts per consumer + dedup accounting
+//! ```
+//!
+//! Determinism contract: nodes execute in insertion order, so on a
+//! seed-deterministic backend a parallel `execute` is bit-identical to a
+//! sequential one, and (absent duplicates) to the pre-engine per-job
+//! submission order. The equivalence tests in `tests/integration_jobgraph.rs`
+//! pin this down.
+
+use qcut_circuit::circuit::Circuit;
+use qcut_device::backend::{Backend, BackendError, JobSpec};
+use qcut_sim::counts::Counts;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Logical result channel a job's counts are delivered to. Together with a
+/// dense per-channel key (see [`crate::basis::encode_meas`] and friends)
+/// this identifies one consumer of execution results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Channel {
+    /// Upstream fragment measured in a basis setting (key: `encode_meas`).
+    UpstreamMeas,
+    /// Downstream fragment under an eigenstate preparation (key:
+    /// `encode_prep`).
+    DownstreamPrep,
+    /// Downstream fragment under a SIC preparation (key: `encode_sic`).
+    SicPrep,
+    /// Online golden detection batch (key: `encode_meas` of the setting).
+    Detection,
+    /// Uncut reference execution (key: caller-chosen, usually 0).
+    Uncut,
+}
+
+/// Consumer identity: which channel, and which setting within it.
+pub type ConsumerKey = (Channel, u64);
+
+/// One unique circuit in the graph plus everyone who wants its counts.
+#[derive(Debug, Clone)]
+struct JobNode {
+    circuit: Circuit,
+    consumers: Vec<(ConsumerKey, u64)>,
+    /// Counts already available without executing anything (seeded from an
+    /// earlier stage, e.g. online-detection batches).
+    cached: Option<Counts>,
+}
+
+impl JobNode {
+    /// Shots this node must deliver to satisfy its hungriest consumer.
+    fn required_shots(&self) -> u64 {
+        self.consumers.iter().map(|&(_, s)| s).max().unwrap_or(0)
+    }
+
+    fn cached_shots(&self) -> u64 {
+        self.cached.as_ref().map(|c| c.total()).unwrap_or(0)
+    }
+}
+
+/// Dedup and batching accounting for one [`JobGraph::execute`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GraphStats {
+    /// Jobs registered by callers (one per `add_job`).
+    pub jobs_planned: usize,
+    /// Unique jobs actually submitted to the backend (`≤ jobs_planned`).
+    pub jobs_executed: usize,
+    /// Shots requested across all planned jobs.
+    pub shots_requested: u64,
+    /// Shots actually executed on the backend.
+    pub shots_executed: u64,
+    /// `shots_requested − shots_executed`: what dedup and cache reuse saved.
+    pub shots_saved: u64,
+    /// Sum of simulated device durations over executed jobs.
+    pub simulated_device_time: Duration,
+    /// Host CPU time spent inside backend runs.
+    pub host_time: Duration,
+}
+
+impl GraphStats {
+    /// Folds another execution's accounting into this one (used to combine
+    /// detection rounds with the main gather).
+    pub fn absorb(&mut self, other: &GraphStats) {
+        self.jobs_planned += other.jobs_planned;
+        self.jobs_executed += other.jobs_executed;
+        self.shots_requested += other.shots_requested;
+        self.shots_executed += other.shots_executed;
+        self.shots_saved += other.shots_saved;
+        self.simulated_device_time += other.simulated_device_time;
+        self.host_time += other.host_time;
+    }
+}
+
+/// Results of one graph execution: per-consumer counts plus accounting.
+#[derive(Debug)]
+pub struct GraphRun {
+    counts: HashMap<ConsumerKey, Counts>,
+    /// Batching/dedup accounting.
+    pub stats: GraphStats,
+}
+
+impl GraphRun {
+    /// Counts delivered to one consumer.
+    pub fn counts(&self, key: &ConsumerKey) -> Option<&Counts> {
+        self.counts.get(key)
+    }
+
+    /// Drains every consumer of `channel` into a key → counts map.
+    pub fn take_channel(&mut self, channel: Channel) -> HashMap<u64, Counts> {
+        let keys: Vec<ConsumerKey> = self
+            .counts
+            .keys()
+            .filter(|(c, _)| *c == channel)
+            .copied()
+            .collect();
+        keys.into_iter()
+            .map(|k| (k.1, self.counts.remove(&k).expect("key just listed")))
+            .collect()
+    }
+}
+
+/// A batched, deduplicating execution plan over one backend submission.
+#[derive(Debug, Clone)]
+pub struct JobGraph {
+    nodes: Vec<JobNode>,
+    /// Structural hash → node indices with that hash (collision chain).
+    index: HashMap<u64, Vec<usize>>,
+    dedup: bool,
+    jobs_planned: usize,
+}
+
+impl Default for JobGraph {
+    /// Same as [`JobGraph::new`]: dedup enabled. (A derived `Default`
+    /// would silently yield the no-dedup ablation graph.)
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JobGraph {
+    /// An empty graph with structural dedup enabled (the default).
+    pub fn new() -> Self {
+        JobGraph {
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            dedup: true,
+            jobs_planned: 0,
+        }
+    }
+
+    /// An empty graph that never merges jobs — every `add_job` becomes its
+    /// own backend submission and [`JobGraph::seed_counts`] is a no-op.
+    /// This is the ablation baseline for the dedup benchmarks and the
+    /// engine-invariance proptests.
+    pub fn without_dedup() -> Self {
+        JobGraph {
+            dedup: false,
+            ..Self::new()
+        }
+    }
+
+    /// Whether structural dedup is enabled.
+    pub fn dedup_enabled(&self) -> bool {
+        self.dedup
+    }
+
+    /// Jobs registered so far (fan-out edges, not unique circuits).
+    pub fn jobs_planned(&self) -> usize {
+        self.jobs_planned
+    }
+
+    /// Unique circuits in the graph.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when some registered job delivers to `channel`.
+    pub fn has_channel(&self, channel: Channel) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| n.consumers.iter().any(|((c, _), _)| *c == channel))
+    }
+
+    /// Locates the node holding a structurally identical circuit.
+    fn find_node(&self, circuit: &Circuit, hash: u64) -> Option<usize> {
+        self.index
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&i| self.nodes[i].circuit == *circuit)
+    }
+
+    /// Locates a node holding this exact `(circuit, consumer)` pair (used
+    /// to keep the no-double-count contract even with dedup disabled).
+    fn find_consumer_node(
+        &self,
+        circuit: &Circuit,
+        hash: u64,
+        consumer: ConsumerKey,
+    ) -> Option<usize> {
+        self.index.get(&hash)?.iter().copied().find(|&i| {
+            self.nodes[i].circuit == *circuit
+                && self.nodes[i].consumers.iter().any(|&(k, _)| k == consumer)
+        })
+    }
+
+    /// Registers one job: `consumer` wants `shots` shots of `circuit`.
+    /// Structurally identical circuits share a node (when dedup is on), so
+    /// the batch executes each unique circuit once with the maximum
+    /// requested budget and fans the counts back out. Re-registering the
+    /// same `(circuit, consumer)` pair raises that consumer's demand to the
+    /// larger budget rather than delivering (and double-counting) the
+    /// node's histogram twice (the contract holds in both dedup modes).
+    pub fn add_job(&mut self, circuit: Circuit, consumer: ConsumerKey, shots: u64) {
+        self.jobs_planned += 1;
+        let hash = circuit.structural_hash();
+        if let Some(i) = self.find_consumer_node(&circuit, hash, consumer) {
+            let (_, demand) = self.nodes[i]
+                .consumers
+                .iter_mut()
+                .find(|(k, _)| *k == consumer)
+                .expect("find_consumer_node matched this key");
+            *demand = (*demand).max(shots);
+            return;
+        }
+        if self.dedup {
+            if let Some(i) = self.find_node(&circuit, hash) {
+                self.nodes[i].consumers.push((consumer, shots));
+                return;
+            }
+        }
+        let i = self.nodes.len();
+        self.nodes.push(JobNode {
+            circuit,
+            consumers: vec![(consumer, shots)],
+            cached: None,
+        });
+        self.index.entry(hash).or_default().push(i);
+    }
+
+    /// Feeds counts already measured for `circuit` (e.g. by an online
+    /// detection round) into the matching node, reducing how many shots the
+    /// backend must still execute for it. Returns `true` when a node
+    /// matched. No-op (always `false`) when dedup is disabled.
+    pub fn seed_counts(&mut self, circuit: &Circuit, counts: &Counts) -> bool {
+        if !self.dedup {
+            return false;
+        }
+        let hash = circuit.structural_hash();
+        match self.find_node(circuit, hash) {
+            Some(i) => {
+                match &mut self.nodes[i].cached {
+                    Some(c) => c.merge(counts),
+                    slot @ None => *slot = Some(counts.clone()),
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Executes the graph as one batched backend submission and fans the
+    /// results out to every consumer.
+    ///
+    /// Per node, the backend runs `max(consumer shots) − cached shots`
+    /// (clamped at zero — fully cached nodes cost nothing), and every
+    /// consumer receives the node's full merged histogram. `parallel`
+    /// selects the backend's native batched dispatch vs a sequential loop;
+    /// on the workspace backends both produce bit-identical counts.
+    pub fn execute<B: Backend + ?Sized>(
+        &self,
+        backend: &B,
+        parallel: bool,
+    ) -> Result<GraphRun, BackendError> {
+        let mut to_run: Vec<(usize, u64)> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let missing = node.required_shots().saturating_sub(node.cached_shots());
+            if missing > 0 {
+                to_run.push((i, missing));
+            }
+        }
+        let specs: Vec<JobSpec<'_>> = to_run
+            .iter()
+            .map(|&(i, shots)| JobSpec::new(&self.nodes[i].circuit, shots))
+            .collect();
+        let results = if parallel {
+            backend.run_batch(&specs)
+        } else {
+            specs
+                .iter()
+                .map(|j| backend.run(j.circuit, j.shots))
+                .collect()
+        };
+
+        let mut stats = GraphStats {
+            jobs_planned: self.jobs_planned,
+            jobs_executed: specs.len(),
+            shots_requested: self
+                .nodes
+                .iter()
+                .flat_map(|n| n.consumers.iter().map(|&(_, s)| s))
+                .sum(),
+            shots_executed: to_run.iter().map(|&(_, s)| s).sum(),
+            ..GraphStats::default()
+        };
+        stats.shots_saved = stats.shots_requested.saturating_sub(stats.shots_executed);
+
+        let mut executed: HashMap<usize, Counts> = HashMap::with_capacity(to_run.len());
+        for (&(i, _), result) in to_run.iter().zip(results) {
+            let r = result?;
+            stats.simulated_device_time += r.simulated_duration;
+            stats.host_time += r.host_duration;
+            executed.insert(i, r.counts);
+        }
+
+        let mut counts: HashMap<ConsumerKey, Counts> = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut merged = match &node.cached {
+                Some(c) => c.clone(),
+                None => Counts::new(node.circuit.num_qubits()),
+            };
+            if let Some(fresh) = executed.get(&i) {
+                merged.merge(fresh);
+            }
+            for &(key, _) in &node.consumers {
+                counts
+                    .entry(key)
+                    .and_modify(|c| c.merge(&merged))
+                    .or_insert_with(|| merged.clone());
+            }
+        }
+        Ok(GraphRun { counts, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcut_device::ideal::IdealBackend;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c
+    }
+
+    fn ghz() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        c
+    }
+
+    #[test]
+    fn duplicate_jobs_share_one_execution() {
+        let mut g = JobGraph::new();
+        g.add_job(bell(), (Channel::UpstreamMeas, 0), 500);
+        g.add_job(bell(), (Channel::UpstreamMeas, 1), 500);
+        g.add_job(ghz(), (Channel::DownstreamPrep, 0), 300);
+        assert_eq!(g.jobs_planned(), 3);
+        assert_eq!(g.num_nodes(), 2);
+
+        let run = g.execute(&IdealBackend::new(5), true).unwrap();
+        assert_eq!(run.stats.jobs_planned, 3);
+        assert_eq!(run.stats.jobs_executed, 2);
+        assert_eq!(run.stats.shots_requested, 1300);
+        assert_eq!(run.stats.shots_executed, 800);
+        assert_eq!(run.stats.shots_saved, 500);
+        // Both consumers of the shared node see the *same* histogram.
+        let a = run.counts(&(Channel::UpstreamMeas, 0)).unwrap();
+        let b = run.counts(&(Channel::UpstreamMeas, 1)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.total(), 500);
+    }
+
+    #[test]
+    fn dedup_merges_to_max_budget() {
+        let mut g = JobGraph::new();
+        g.add_job(bell(), (Channel::Uncut, 0), 200);
+        g.add_job(bell(), (Channel::Uncut, 1), 700);
+        let run = g.execute(&IdealBackend::new(1), false).unwrap();
+        assert_eq!(run.stats.shots_executed, 700);
+        assert_eq!(run.stats.shots_saved, 200);
+        // The smaller consumer gets the full 700-shot histogram (never less
+        // data than it asked for).
+        assert_eq!(run.counts(&(Channel::Uncut, 0)).unwrap().total(), 700);
+    }
+
+    #[test]
+    fn duplicate_consumer_registration_delivers_once() {
+        let mut g = JobGraph::new();
+        g.add_job(bell(), (Channel::UpstreamMeas, 4), 300);
+        g.add_job(bell(), (Channel::UpstreamMeas, 4), 500); // same pair, bigger ask
+        assert_eq!(g.jobs_planned(), 2);
+        assert_eq!(g.num_nodes(), 1);
+        let run = g.execute(&IdealBackend::new(8), false).unwrap();
+        // The consumer's demand was raised to max, not doubled.
+        assert_eq!(run.stats.shots_executed, 500);
+        assert_eq!(
+            run.counts(&(Channel::UpstreamMeas, 4)).unwrap().total(),
+            500
+        );
+
+        // The no-double-count contract holds with dedup off too, keeping
+        // the ablation statistically comparable.
+        let mut g = JobGraph::without_dedup();
+        g.add_job(bell(), (Channel::UpstreamMeas, 4), 300);
+        g.add_job(bell(), (Channel::UpstreamMeas, 4), 500);
+        assert_eq!(g.num_nodes(), 1);
+        let run = g.execute(&IdealBackend::new(8), false).unwrap();
+        assert_eq!(
+            run.counts(&(Channel::UpstreamMeas, 4)).unwrap().total(),
+            500
+        );
+    }
+
+    #[test]
+    fn without_dedup_executes_every_job() {
+        let mut g = JobGraph::without_dedup();
+        g.add_job(bell(), (Channel::Uncut, 0), 200);
+        g.add_job(bell(), (Channel::Uncut, 1), 700);
+        assert_eq!(g.num_nodes(), 2);
+        let run = g.execute(&IdealBackend::new(1), false).unwrap();
+        assert_eq!(run.stats.jobs_executed, 2);
+        assert_eq!(run.stats.shots_saved, 0);
+        assert_eq!(run.counts(&(Channel::Uncut, 0)).unwrap().total(), 200);
+    }
+
+    #[test]
+    fn seeded_counts_offset_execution() {
+        let backend = IdealBackend::new(9);
+        let warmup = backend.run(&bell(), 400).unwrap();
+
+        let mut g = JobGraph::new();
+        g.add_job(bell(), (Channel::UpstreamMeas, 0), 1000);
+        assert!(g.seed_counts(&bell(), &warmup.counts));
+        assert!(!g.seed_counts(&ghz(), &warmup.counts)); // no such node
+
+        let run = g.execute(&backend, true).unwrap();
+        assert_eq!(run.stats.shots_executed, 600); // 1000 − 400 cached
+        assert_eq!(run.stats.shots_saved, 400);
+        assert_eq!(
+            run.counts(&(Channel::UpstreamMeas, 0)).unwrap().total(),
+            1000
+        );
+    }
+
+    #[test]
+    fn fully_cached_node_executes_nothing() {
+        let backend = IdealBackend::new(9);
+        let warmup = backend.run(&bell(), 500).unwrap();
+        let mut g = JobGraph::new();
+        g.add_job(bell(), (Channel::Detection, 7), 300);
+        g.seed_counts(&bell(), &warmup.counts);
+        let run = g.execute(&backend, false).unwrap();
+        assert_eq!(run.stats.jobs_executed, 0);
+        assert_eq!(run.stats.shots_executed, 0);
+        assert_eq!(run.counts(&(Channel::Detection, 7)).unwrap().total(), 500);
+    }
+
+    #[test]
+    fn parallel_and_sequential_execution_are_bit_identical() {
+        let build = || {
+            let mut g = JobGraph::new();
+            for i in 0..5 {
+                g.add_job(bell(), (Channel::UpstreamMeas, i), 200 + i);
+                g.add_job(ghz(), (Channel::DownstreamPrep, i), 100);
+            }
+            g
+        };
+        let par = build().execute(&IdealBackend::new(33), true).unwrap();
+        let seq = build().execute(&IdealBackend::new(33), false).unwrap();
+        for i in 0..5 {
+            assert_eq!(
+                par.counts(&(Channel::UpstreamMeas, i)),
+                seq.counts(&(Channel::UpstreamMeas, i))
+            );
+            assert_eq!(
+                par.counts(&(Channel::DownstreamPrep, i)),
+                seq.counts(&(Channel::DownstreamPrep, i))
+            );
+        }
+    }
+
+    #[test]
+    fn take_channel_splits_results() {
+        let mut g = JobGraph::new();
+        g.add_job(bell(), (Channel::UpstreamMeas, 3), 100);
+        g.add_job(ghz(), (Channel::SicPrep, 8), 100);
+        let mut run = g.execute(&IdealBackend::new(2), true).unwrap();
+        let up = run.take_channel(Channel::UpstreamMeas);
+        assert_eq!(up.len(), 1);
+        assert!(up.contains_key(&3));
+        let sic = run.take_channel(Channel::SicPrep);
+        assert!(sic.contains_key(&8));
+        assert!(run.take_channel(Channel::UpstreamMeas).is_empty());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut g = JobGraph::new();
+        g.add_job(ghz(), (Channel::Uncut, 0), 100);
+        let tiny = IdealBackend::new(0).with_capacity(2);
+        assert!(matches!(
+            g.execute(&tiny, true),
+            Err(BackendError::CircuitTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = GraphStats {
+            jobs_planned: 2,
+            jobs_executed: 1,
+            shots_requested: 100,
+            shots_executed: 60,
+            shots_saved: 40,
+            ..GraphStats::default()
+        };
+        let b = GraphStats {
+            jobs_planned: 3,
+            jobs_executed: 3,
+            shots_requested: 30,
+            shots_executed: 30,
+            shots_saved: 0,
+            ..GraphStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.jobs_planned, 5);
+        assert_eq!(a.jobs_executed, 4);
+        assert_eq!(a.shots_saved, 40);
+    }
+}

@@ -11,6 +11,12 @@
 //! * [`basis`] — the measurement/preparation/reconstruction enumerations
 //!   and how golden cuts shrink them (`3→2`, `6→4`, `4→3` per cut);
 //! * [`tomography`] — concrete subcircuit variants;
+//! * [`jobgraph`] — the batched, deduplicating JobGraph engine every
+//!   backend execution (eigenstate, SIC, online detection, uncut) routes
+//!   through: structurally identical subcircuits execute once and fan back
+//!   out to every consumer;
+//! * [`planner`] — graph builders translating a [`basis::BasisPlan`] into
+//!   engine jobs;
 //! * [`execution`] — parallel fragment data gathering on any backend;
 //! * [`reconstruction`] — the tensor contraction of paper Eq. 13/14, plus
 //!   exact (infinite-shot) variants used for verification and detection;
@@ -46,8 +52,10 @@ pub mod error;
 pub mod execution;
 pub mod fragment;
 pub mod golden;
+pub mod jobgraph;
 pub mod observable;
 pub mod pipeline;
+pub mod planner;
 pub mod reconstruction;
 pub mod report;
 pub mod sic;
@@ -71,12 +79,14 @@ pub mod prelude {
     pub use crate::golden::{
         ExactDetector, GoldenPolicy, GoldenVerdict, OnlineConfig, OnlineDetector,
     };
+    pub use crate::jobgraph::{Channel, ConsumerKey, GraphRun, GraphStats, JobGraph};
     pub use crate::observable::{
         diagonalize_pauli, pauli_expectation, DiagonalObservable, PauliSumObservable,
     };
     pub use crate::pipeline::{
         CutExecutor, CutRun, ExecutionOptions, PostProcess, ReconstructionMethod, UncutRun,
     };
+    pub use crate::planner::{add_downstream_jobs, add_sic_jobs, add_upstream_jobs, uncut_graph};
     pub use crate::reconstruction::{
         contract, downstream_tensor, exact_reconstruct, reconstruct, upstream_tensor,
         CoefficientTensor,

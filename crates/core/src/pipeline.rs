@@ -5,29 +5,41 @@
 //! CutExecutor::run
 //!   ├─ validate & fragment the circuit
 //!   ├─ resolve the golden policy into a BasisPlan
-//!   │    (a priori / exact simulation / online sequential detection)
-//!   ├─ build the ExperimentPlan (subcircuit variants)
-//!   ├─ gather fragment data on the backend (parallel)
+//!   │    (a priori / exact simulation / online sequential detection,
+//!   │     detection batches executed through the JobGraph engine)
+//!   ├─ plan the JobGraph (eigenstate or SIC builders; identical
+//!   │    subcircuits dedup into one node, detection counts seed the cache)
+//!   ├─ execute the graph: one batched backend submission, fan-out
 //!   ├─ reconstruct (tensor contraction, Eq. 14)
 //!   └─ post-process the quasi-distribution
 //! ```
+//!
+//! Every backend interaction — eigenstate gather, SIC gather, online
+//! detection, and [`CutExecutor::run_uncut`] — flows through
+//! [`crate::jobgraph::JobGraph`], so the [`RunReport`] carries unified
+//! dedup accounting (`jobs_planned` / `jobs_executed` / `shots_saved`).
 
 use crate::basis::BasisPlan;
 use crate::error::PipelineError;
-use crate::execution::gather;
+use crate::execution::FragmentData;
 use crate::fragment::{Fragmenter, Fragments};
 use crate::golden::{
     resolve_static_policy, GoldenPolicy, GoldenVerdict, OnlineConfig, OnlineDetector,
 };
+use crate::jobgraph::{Channel, GraphStats, JobGraph};
+use crate::planner::{add_downstream_jobs, add_sic_jobs, add_upstream_jobs, uncut_graph};
 use crate::reconstruction::{contract, downstream_tensor, upstream_tensor};
 use crate::report::{RunReport, UncutReport};
-use crate::sic::{gather_sic, sic_downstream_tensor};
-use crate::tomography::{build_upstream_circuit, ExperimentPlan};
+use crate::sic::{sic_downstream_tensor, SicData};
+use crate::tomography::build_upstream_circuit;
 use qcut_circuit::circuit::Circuit;
 use qcut_circuit::cut::CutSpec;
 use qcut_device::backend::Backend;
+use qcut_sim::counts::Counts;
 use qcut_stats::distribution::Distribution;
-use std::time::Instant;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// Downstream preparation scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,6 +77,10 @@ pub struct ExecutionOptions {
     pub postprocess: PostProcess,
     /// Fan subcircuits out over the rayon pool.
     pub parallel: bool,
+    /// Deduplicate structurally identical subcircuits on the JobGraph
+    /// engine and reuse online-detection data for the main gather. Off is
+    /// the ablation baseline: every planned job executes independently.
+    pub dedup: bool,
 }
 
 impl Default for ExecutionOptions {
@@ -74,6 +90,7 @@ impl Default for ExecutionOptions {
             method: ReconstructionMethod::Eigenstate,
             postprocess: PostProcess::ClipRenormalize,
             parallel: true,
+            dedup: true,
         }
     }
 }
@@ -117,57 +134,103 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
     ) -> Result<CutRun, PipelineError> {
         let fragments = Fragmenter::fragment(circuit, cut)?;
 
-        // Resolve the golden policy.
+        // Resolve the golden policy. Online detection runs its sequential
+        // batches through the engine and leaves its measurements in
+        // `detection_cache` for the main gather to reuse.
         let detect_started = Instant::now();
-        let mut detection_shots = 0u64;
+        let mut detection_cache: HashMap<u64, (Circuit, Counts)> = HashMap::new();
+        let mut detection_stats = GraphStats::default();
         let plan = match resolve_static_policy(&policy, &fragments.upstream, fragments.num_cuts) {
             Some(plan) => plan,
             None => {
                 let GoldenPolicy::DetectOnline(config) = &policy else {
                     unreachable!("only the online policy resolves dynamically");
                 };
-                self.detect_online(&fragments, *config, &mut detection_shots)?
+                self.detect_online(
+                    &fragments,
+                    *config,
+                    options,
+                    &mut detection_cache,
+                    &mut detection_stats,
+                )?
             }
         };
         let detection_seconds = detect_started.elapsed().as_secs_f64();
+        let detection_shots = detection_stats.shots_executed;
 
-        // Gather fragment data.
+        // Plan the gather graph: eigenstate and SIC are just different
+        // builder combinations over the same engine. The SIC path registers
+        // upstream + SIC jobs only — the eigenstate downstream half it
+        // historically built and discarded is never constructed.
         let gather_started = Instant::now();
-        let (data, sic_data) = match options.method {
+        let mut graph = if options.dedup {
+            JobGraph::new()
+        } else {
+            JobGraph::without_dedup()
+        };
+        let uniform = [options.shots_per_setting];
+        add_upstream_jobs(&mut graph, &fragments, &plan, &uniform);
+        match options.method {
             ReconstructionMethod::Eigenstate => {
-                let experiment = ExperimentPlan::build(&fragments, &plan);
-                let data = gather(
-                    self.backend,
-                    &experiment,
-                    options.shots_per_setting,
-                    options.parallel,
-                )?;
-                (data, None)
+                add_downstream_jobs(&mut graph, &fragments, &plan, &uniform);
             }
             ReconstructionMethod::Sic => {
-                // Upstream is unchanged; downstream uses SIC preparations.
-                let experiment = ExperimentPlan::build(&fragments, &plan);
-                let upstream_only = ExperimentPlan {
-                    upstream: experiment.upstream,
-                    downstream: Vec::new(),
-                };
-                let data = gather(
-                    self.backend,
-                    &upstream_only,
-                    options.shots_per_setting,
-                    options.parallel,
-                )?;
-                let sic = gather_sic(
-                    self.backend,
+                add_sic_jobs(
+                    &mut graph,
                     &fragments.downstream,
                     fragments.num_cuts,
                     options.shots_per_setting,
-                    options.parallel,
-                )?;
-                (data, Some(sic))
+                );
+                assert!(
+                    !graph.has_channel(Channel::DownstreamPrep),
+                    "SIC planning must never schedule eigenstate downstream jobs"
+                );
             }
-        };
+        }
+        // Detection measurements of surviving settings count toward the
+        // gather budget (the engine executes only the missing shots).
+        for (circuit, counts) in detection_cache.values() {
+            graph.seed_counts(circuit, counts);
+        }
+
+        // One batched, deduplicated submission for the whole gather.
+        let mut grun = graph.execute(self.backend, options.parallel)?;
+        let upstream = grun.take_channel(Channel::UpstreamMeas);
+        let downstream = grun.take_channel(Channel::DownstreamPrep);
+        let sic_counts = grun.take_channel(Channel::SicPrep);
+        let gather_stats = grun.stats;
         let gather_seconds = gather_started.elapsed().as_secs_f64();
+
+        let upstream_settings = upstream.len();
+        let downstream_settings = downstream.len() + sic_counts.len();
+        // Shots backing the reconstruction (≥ the fresh gather shots when
+        // detection data was reused or duplicates merged).
+        let delivered_shots: u64 = upstream
+            .values()
+            .chain(downstream.values())
+            .chain(sic_counts.values())
+            .map(|c| c.total())
+            .sum();
+        let data = FragmentData {
+            upstream,
+            downstream,
+            shots_per_setting: options.shots_per_setting,
+            subcircuits: upstream_settings + downstream_settings,
+            total_shots: delivered_shots,
+            simulated_device_time: gather_stats.simulated_device_time,
+            host_time: gather_stats.host_time,
+        };
+        let sic_data = match options.method {
+            ReconstructionMethod::Eigenstate => None,
+            ReconstructionMethod::Sic => Some(SicData {
+                subcircuits: sic_counts.len(),
+                counts: sic_counts,
+                shots_per_setting: options.shots_per_setting,
+                // Device time is accounted once, on the unified gather
+                // stats; the combined graph does not split it per channel.
+                simulated_device_time: Duration::ZERO,
+            }),
+        };
 
         // Reconstruct.
         let recon_started = Instant::now();
@@ -184,29 +247,24 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         };
         let reconstruct_seconds = recon_started.elapsed().as_secs_f64();
 
-        // Accounting.
-        let (downstream_settings, extra_sim_time, extra_shots) = match &sic_data {
-            None => (data.downstream.len(), 0.0, 0),
-            Some(sic) => (
-                sic.subcircuits,
-                sic.simulated_device_time.as_secs_f64(),
-                sic.subcircuits as u64 * sic.shots_per_setting,
-            ),
-        };
+        // Accounting: engine numbers unify detection and gather.
+        let mut engine = detection_stats;
+        engine.absorb(&gather_stats);
         let report = RunReport {
             num_cuts: fragments.num_cuts,
             neglected: plan.neglected().to_vec(),
-            upstream_settings: data.upstream.len(),
+            upstream_settings,
             downstream_settings,
-            subcircuits_executed: data.upstream.len() + downstream_settings,
-            total_shots: data.upstream.len() as u64 * options.shots_per_setting
-                + if sic_data.is_none() {
-                    data.downstream.len() as u64 * options.shots_per_setting
-                } else {
-                    extra_shots
-                },
+            subcircuits_executed: upstream_settings + downstream_settings,
+            // Fresh device shots for the gather only — detection shots are
+            // reported separately, so the two fields never double-count a
+            // reused measurement.
+            total_shots: gather_stats.shots_executed,
+            jobs_planned: engine.jobs_planned,
+            jobs_executed: engine.jobs_executed,
+            shots_saved: engine.shots_saved,
             reconstruction_terms: plan.all_recon_strings().len(),
-            simulated_device_seconds: data.simulated_device_time.as_secs_f64() + extra_sim_time,
+            simulated_device_seconds: engine.simulated_device_time.as_secs_f64(),
             gather_seconds,
             reconstruct_seconds,
             detection_shots,
@@ -218,28 +276,40 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         })
     }
 
-    /// Runs the uncut circuit directly (the reference arm of Fig. 3).
+    /// Runs the uncut circuit directly (the reference arm of Fig. 3),
+    /// routed through the engine like every other execution.
     pub fn run_uncut(&self, circuit: &Circuit, shots: u64) -> Result<UncutRun, PipelineError> {
         let started = Instant::now();
-        let result = self.backend.run(circuit, shots)?;
+        let graph = uncut_graph(circuit, shots);
+        let mut run = graph.execute(self.backend, false)?;
+        let counts = run
+            .take_channel(Channel::Uncut)
+            .remove(&0)
+            .expect("uncut graph delivers one consumer");
         Ok(UncutRun {
-            distribution: result.counts.to_distribution(),
+            distribution: counts.to_distribution(),
             report: UncutReport {
                 shots,
-                simulated_device_seconds: result.simulated_duration.as_secs_f64(),
+                simulated_device_seconds: run.stats.simulated_device_time.as_secs_f64(),
                 host_seconds: started.elapsed().as_secs_f64(),
             },
         })
     }
 
     /// Online golden detection: batches of upstream measurements per cut
-    /// until every cut reaches a verdict (paper §IV).
+    /// until every cut reaches a verdict (paper §IV). Each round's settings
+    /// are executed as one engine batch; all measurements accumulate in
+    /// `cache` (keyed by circuit structural hash) so the main gather can
+    /// reuse them, and `stats` absorbs the engine accounting.
     fn detect_online(
         &self,
         fragments: &Fragments,
         config: OnlineConfig,
-        detection_shots: &mut u64,
+        options: &ExecutionOptions,
+        cache: &mut HashMap<u64, (Circuit, Counts)>,
+        stats: &mut GraphStats,
     ) -> Result<BasisPlan, PipelineError> {
+        use crate::basis::encode_meas;
         let num_cuts = fragments.num_cuts;
         let mut plan = BasisPlan::standard(num_cuts);
         for cut in 0..num_cuts {
@@ -258,11 +328,45 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
                                 shots_spent: detector.min_shots(),
                             });
                         }
-                        for setting in detector.required_settings() {
-                            let circuit = build_upstream_circuit(&fragments.upstream, &setting);
-                            let result = self.backend.run(&circuit, config.batch_shots)?;
-                            *detection_shots += config.batch_shots;
-                            detector.feed(&setting, &result.counts);
+                        let settings = detector.required_settings();
+                        let circuits: Vec<Circuit> = settings
+                            .iter()
+                            .map(|s| build_upstream_circuit(&fragments.upstream, s))
+                            .collect();
+                        let mut graph = if options.dedup {
+                            JobGraph::new()
+                        } else {
+                            JobGraph::without_dedup()
+                        };
+                        for (setting, circuit) in settings.iter().zip(&circuits) {
+                            graph.add_job(
+                                circuit.clone(),
+                                (Channel::Detection, encode_meas(setting)),
+                                config.batch_shots,
+                            );
+                        }
+                        let mut grun = graph.execute(self.backend, options.parallel)?;
+                        let mut batch = grun.take_channel(Channel::Detection);
+                        stats.absorb(&grun.stats);
+                        for (setting, circuit) in settings.iter().zip(circuits) {
+                            let counts = batch
+                                .remove(&encode_meas(setting))
+                                .expect("detection counts per required setting");
+                            detector.feed(setting, &counts);
+                            match cache.entry(circuit.structural_hash()) {
+                                Entry::Occupied(mut e) => {
+                                    let (stored, merged) = e.get_mut();
+                                    // Merge only on true structural equality —
+                                    // a 64-bit hash collision must not mix
+                                    // another circuit's histogram in.
+                                    if *stored == circuit {
+                                        merged.merge(&counts);
+                                    }
+                                }
+                                Entry::Vacant(e) => {
+                                    e.insert((circuit, counts));
+                                }
+                            }
                         }
                     }
                 }

@@ -1,0 +1,173 @@
+//! Graph builders: translating a [`BasisPlan`] (plus fragments and shot
+//! schedule) into [`JobGraph`] jobs.
+//!
+//! The eigenstate, SIC, and online-detection execution paths used to build
+//! their job lists independently (and the SIC path built a full
+//! [`crate::tomography::ExperimentPlan`] only to discard its downstream
+//! half). Here they are just different combinations of graph builders over
+//! the same engine:
+//!
+//! * eigenstate gather = upstream jobs + downstream jobs;
+//! * SIC gather = upstream jobs + SIC jobs (no downstream eigenstate job is
+//!   ever constructed);
+//! * online detection registers its per-round jobs inline in
+//!   [`crate::pipeline`] (it needs the built circuits for the reuse cache)
+//!   and seeds the measured counts back into the gather graph.
+
+use crate::basis::{encode_meas, encode_prep, BasisPlan};
+use crate::fragment::{Fragment, Fragments};
+use crate::jobgraph::{Channel, JobGraph};
+use crate::sic::{all_sic_settings, build_sic_circuit, encode_sic};
+use crate::tomography::{build_downstream_circuit, build_upstream_circuit};
+use qcut_circuit::circuit::Circuit;
+
+/// Adds one upstream measurement job per setting of `plan`. `shots[i]`
+/// pairs with the i-th setting of [`BasisPlan::all_meas_settings`]; a
+/// single-element slice is broadcast to every setting.
+pub fn add_upstream_jobs(
+    graph: &mut JobGraph,
+    fragments: &Fragments,
+    plan: &BasisPlan,
+    shots: &[u64],
+) {
+    let settings = plan.all_meas_settings();
+    assert!(
+        shots.len() == settings.len() || shots.len() == 1,
+        "shot schedule arity: {} settings, {} budgets",
+        settings.len(),
+        shots.len()
+    );
+    for (i, setting) in settings.iter().enumerate() {
+        let budget = if shots.len() == 1 { shots[0] } else { shots[i] };
+        graph.add_job(
+            build_upstream_circuit(&fragments.upstream, setting),
+            (Channel::UpstreamMeas, encode_meas(setting)),
+            budget,
+        );
+    }
+}
+
+/// Adds one downstream eigenstate-preparation job per prep combination of
+/// `plan`, with the same broadcast rule as [`add_upstream_jobs`].
+pub fn add_downstream_jobs(
+    graph: &mut JobGraph,
+    fragments: &Fragments,
+    plan: &BasisPlan,
+    shots: &[u64],
+) {
+    let settings = plan.all_prep_settings();
+    assert!(
+        shots.len() == settings.len() || shots.len() == 1,
+        "shot schedule arity: {} preparations, {} budgets",
+        settings.len(),
+        shots.len()
+    );
+    for (i, preparation) in settings.iter().enumerate() {
+        let budget = if shots.len() == 1 { shots[0] } else { shots[i] };
+        graph.add_job(
+            build_downstream_circuit(&fragments.downstream, preparation),
+            (Channel::DownstreamPrep, encode_prep(preparation)),
+            budget,
+        );
+    }
+}
+
+/// Adds the `4^K` SIC downstream preparation jobs.
+pub fn add_sic_jobs(
+    graph: &mut JobGraph,
+    downstream: &Fragment,
+    num_cuts: usize,
+    shots_per_setting: u64,
+) {
+    for states in all_sic_settings(num_cuts) {
+        graph.add_job(
+            build_sic_circuit(downstream, &states),
+            (Channel::SicPrep, encode_sic(&states)),
+            shots_per_setting,
+        );
+    }
+}
+
+/// The single-job graph for an uncut reference run.
+pub fn uncut_graph(circuit: &Circuit, shots: u64) -> JobGraph {
+    let mut graph = JobGraph::new();
+    graph.add_job(circuit.clone(), (Channel::Uncut, 0), shots);
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::Fragmenter;
+    use qcut_circuit::ansatz::GoldenAnsatz;
+    use qcut_math::Pauli;
+
+    fn fragments_for(seed: u64) -> Fragments {
+        let (c, spec) = GoldenAnsatz::new(5, seed).build();
+        Fragmenter::fragment(&c, &spec).unwrap()
+    }
+
+    #[test]
+    fn eigenstate_graph_covers_all_settings() {
+        let frags = fragments_for(0);
+        let plan = BasisPlan::standard(1);
+        let mut g = JobGraph::new();
+        add_upstream_jobs(&mut g, &frags, &plan, &[1000]);
+        add_downstream_jobs(&mut g, &frags, &plan, &[1000]);
+        assert_eq!(g.jobs_planned(), 9);
+        assert!(g.has_channel(Channel::UpstreamMeas));
+        assert!(g.has_channel(Channel::DownstreamPrep));
+    }
+
+    #[test]
+    fn golden_plan_shrinks_the_graph() {
+        let frags = fragments_for(1);
+        let plan = BasisPlan::with_neglected(vec![Some(Pauli::Y)]);
+        let mut g = JobGraph::new();
+        add_upstream_jobs(&mut g, &frags, &plan, &[1000]);
+        add_downstream_jobs(&mut g, &frags, &plan, &[1000]);
+        assert_eq!(g.jobs_planned(), 6);
+    }
+
+    #[test]
+    fn sic_graph_plans_no_downstream_eigenstate_jobs() {
+        // The satellite fix: the SIC path must never construct the
+        // eigenstate downstream half it used to build and discard.
+        let frags = fragments_for(2);
+        let plan = BasisPlan::standard(1);
+        let mut g = JobGraph::new();
+        add_upstream_jobs(&mut g, &frags, &plan, &[1000]);
+        add_sic_jobs(&mut g, &frags.downstream, 1, 1000);
+        assert_eq!(g.jobs_planned(), 3 + 4);
+        assert!(!g.has_channel(Channel::DownstreamPrep));
+        assert!(g.has_channel(Channel::SicPrep));
+    }
+
+    #[test]
+    fn per_setting_schedules_are_respected() {
+        let frags = fragments_for(3);
+        let plan = BasisPlan::standard(1);
+        let mut g = JobGraph::new();
+        add_upstream_jobs(&mut g, &frags, &plan, &[100, 200, 300]);
+        let run = g
+            .execute(&qcut_device::ideal::IdealBackend::new(0), false)
+            .unwrap();
+        assert_eq!(run.stats.shots_executed, 600);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule arity")]
+    fn wrong_schedule_arity_panics() {
+        let frags = fragments_for(4);
+        let mut g = JobGraph::new();
+        add_upstream_jobs(&mut g, &frags, &BasisPlan::standard(1), &[1, 2]);
+    }
+
+    #[test]
+    fn uncut_graph_is_single_job() {
+        let (c, _) = GoldenAnsatz::new(5, 5).build();
+        let g = uncut_graph(&c, 2000);
+        assert_eq!(g.jobs_planned(), 1);
+        assert!(g.has_channel(Channel::Uncut));
+    }
+}

@@ -17,8 +17,21 @@ pub struct RunReport {
     /// Total subcircuits executed (`upstream + downstream`; the quantity
     /// the golden method shrinks 9 → 6 per cut).
     pub subcircuits_executed: usize,
-    /// Total shots across all subcircuits (Fig. 5's 4.5e5 → 3.0e5).
+    /// Fresh device shots executed for the gather (Fig. 5's 4.5e5 →
+    /// 3.0e5). Excludes [`RunReport::detection_shots`] and anything the
+    /// engine saved via dedup/reuse (see [`RunReport::shots_saved`]), so
+    /// total device work is `detection_shots + total_shots` with no
+    /// double-counting of reused measurements.
     pub total_shots: u64,
+    /// Jobs registered on the JobGraph engine across the whole run
+    /// (detection rounds + gather fan-out edges).
+    pub jobs_planned: usize,
+    /// Unique jobs the engine actually submitted to the backend after
+    /// structural dedup and cache reuse (`jobs_executed ≤ jobs_planned`).
+    pub jobs_executed: usize,
+    /// Shots the engine did *not* have to execute because structurally
+    /// identical jobs were merged or detection data was reused.
+    pub shots_saved: u64,
     /// Terms in the reconstruction contraction (`4^{K_r} 3^{K_g}`).
     pub reconstruction_terms: usize,
     /// Simulated device occupation time in seconds (Fig. 5's wall time).
@@ -43,6 +56,16 @@ impl RunReport {
     /// Number of golden cuts in this run.
     pub fn num_golden(&self) -> usize {
         self.neglected.iter().filter(|n| !n.is_empty()).count()
+    }
+
+    /// Fraction of planned engine jobs eliminated by dedup/reuse
+    /// (`0.0` when every planned job was executed).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.jobs_planned == 0 {
+            0.0
+        } else {
+            1.0 - self.jobs_executed as f64 / self.jobs_planned as f64
+        }
     }
 }
 
@@ -70,6 +93,9 @@ mod tests {
             downstream_settings: 4,
             subcircuits_executed: 6,
             total_shots: 6000,
+            jobs_planned: 6,
+            jobs_executed: 6,
+            shots_saved: 0,
             reconstruction_terms: 3,
             simulated_device_seconds: 12.6,
             gather_seconds: 0.5,
@@ -79,5 +105,6 @@ mod tests {
         };
         assert!((r.total_host_seconds() - 0.6).abs() < 1e-12);
         assert_eq!(r.num_golden(), 1);
+        assert_eq!(r.dedup_ratio(), 0.0);
     }
 }

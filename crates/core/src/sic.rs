@@ -14,10 +14,10 @@
 
 use crate::basis::{encode_paulis, BasisPlan};
 use crate::fragment::{Fragment, FragmentRole, Fragments};
+use crate::jobgraph::{Channel, JobGraph};
 use crate::reconstruction::{contract, extract_bits, CoefficientTensor};
 use qcut_circuit::circuit::Circuit;
 use qcut_device::backend::{Backend, BackendError};
-use qcut_device::executor::{run_parallel, run_sequential, Job};
 use qcut_math::{solve_real, Pauli, SicState};
 use qcut_sim::basis_change::sic_prep_circuit;
 use qcut_sim::counts::Counts;
@@ -138,7 +138,8 @@ pub fn build_sic_circuit(fragment: &Fragment, states: &[SicState]) -> Circuit {
     c
 }
 
-/// Runs all `4^K` SIC preparations of the downstream fragment.
+/// Runs all `4^K` SIC preparations of the downstream fragment as one
+/// batched, deduplicated engine submission.
 pub fn gather_sic<B: Backend + ?Sized>(
     backend: &B,
     fragment: &Fragment,
@@ -146,30 +147,15 @@ pub fn gather_sic<B: Backend + ?Sized>(
     shots_per_setting: u64,
     parallel: bool,
 ) -> Result<SicData, BackendError> {
-    let settings = all_sic_settings(num_cuts);
-    let jobs: Vec<Job> = settings
-        .iter()
-        .enumerate()
-        .map(|(i, s)| Job {
-            circuit: build_sic_circuit(fragment, s),
-            shots: shots_per_setting,
-            tag: i,
-        })
-        .collect();
-    let batch = if parallel {
-        run_parallel(backend, &jobs)
-    } else {
-        run_sequential(backend, &jobs)
-    };
-    let mut counts = HashMap::with_capacity(settings.len());
-    for (s, r) in settings.iter().zip(batch.results) {
-        counts.insert(encode_sic(s), r?.counts);
-    }
+    let mut graph = JobGraph::new();
+    crate::planner::add_sic_jobs(&mut graph, fragment, num_cuts, shots_per_setting);
+    let mut run = graph.execute(backend, parallel)?;
+    let counts = run.take_channel(Channel::SicPrep);
     Ok(SicData {
         subcircuits: counts.len(),
         counts,
         shots_per_setting,
-        simulated_device_time: batch.total_simulated,
+        simulated_device_time: run.stats.simulated_device_time,
     })
 }
 

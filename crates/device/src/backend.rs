@@ -9,8 +9,32 @@
 use crate::timing::TimingModel;
 use qcut_circuit::circuit::Circuit;
 use qcut_sim::counts::Counts;
+use rayon::prelude::*;
 use std::fmt;
 use std::time::Duration;
+
+/// One batchable unit of work: a circuit and its shot budget. The batched
+/// entry point [`Backend::run_batch`] consumes a slice of these; the
+/// `qcut-core` JobGraph engine is the main producer. Borrows its circuit
+/// so batch submission never copies the (potentially matrix-laden)
+/// instruction stream.
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpec<'a> {
+    /// Circuit to execute.
+    pub circuit: &'a Circuit,
+    /// Number of shots.
+    pub shots: u64,
+}
+
+impl<'a> JobSpec<'a> {
+    /// Creates a job spec.
+    pub fn new(circuit: &'a Circuit, shots: u64) -> Self {
+        JobSpec { circuit, shots }
+    }
+}
+
+/// Per-job outcome of a batched run.
+pub type JobResult = Result<ExecutionResult, BackendError>;
 
 /// Result of one circuit execution.
 #[derive(Debug, Clone)]
@@ -54,6 +78,37 @@ impl fmt::Display for BackendError {
 
 impl std::error::Error for BackendError {}
 
+/// SplitMix64-style mixing of (backend seed, job index) into a per-job
+/// sub-seed. Shared by the seed-deterministic backends so the
+/// batched-equals-sequential parity can never drift between them.
+pub fn mix_seed(seed: u64, job: u64) -> u64 {
+    let mut z = seed ^ job.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Shared native-batch driver: reserves one contiguous block of job
+/// indices from `counter`, then fans the jobs out over the rayon pool with
+/// their *batch-position* index — so per-job seeds are deterministic under
+/// any thread interleaving and identical to running the jobs one by one
+/// (each `run` drawing the counter in order).
+pub(crate) fn run_batch_indexed<F>(
+    counter: &std::sync::atomic::AtomicU64,
+    jobs: &[JobSpec<'_>],
+    run: F,
+) -> Vec<JobResult>
+where
+    F: Fn(JobSpec<'_>, u64) -> JobResult + Sync,
+{
+    let base = counter.fetch_add(jobs.len() as u64, std::sync::atomic::Ordering::Relaxed);
+    (base..base + jobs.len() as u64)
+        .into_par_iter()
+        .zip(jobs.par_iter())
+        .map(|(idx, &job)| run(job, idx))
+        .collect()
+}
+
 /// A quantum execution backend.
 pub trait Backend: Sync {
     /// Human-readable backend name.
@@ -68,6 +123,25 @@ pub trait Backend: Sync {
     /// Runs `circuit` for `shots` shots, measuring every qubit in the
     /// computational basis.
     fn run(&self, circuit: &Circuit, shots: u64) -> Result<ExecutionResult, BackendError>;
+
+    /// Runs a whole batch of jobs in one submission, returning one result
+    /// per job in submission order.
+    ///
+    /// The default implementation fans the jobs out over the rayon pool
+    /// (the trait is `Sync`), so any backend gets parallel batching for
+    /// free. The workspace backends ([`crate::ideal::IdealBackend`],
+    /// [`crate::noisy::NoisyBackend`]) override it to additionally assign
+    /// per-job RNG streams by *batch index*, making their batched runs
+    /// bit-identical to a sequential loop over [`Backend::run`] on an
+    /// equally-seeded backend — the property the pipeline's
+    /// batched-vs-sequential equivalence tests rely on. Backends whose
+    /// `run` draws from shared mutable RNG state should override this the
+    /// same way if they need that determinism.
+    fn run_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<JobResult> {
+        jobs.par_iter()
+            .map(|j| self.run(j.circuit, j.shots))
+            .collect()
+    }
 
     /// Validates a job without running it.
     fn check(&self, circuit: &Circuit, shots: u64) -> Result<(), BackendError> {

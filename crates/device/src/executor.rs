@@ -13,9 +13,8 @@
 //!
 //! Both preserve job order in their outputs.
 
-use crate::backend::{Backend, BackendError, ExecutionResult};
+use crate::backend::{Backend, BackendError, ExecutionResult, JobSpec};
 use qcut_circuit::circuit::Circuit;
-use rayon::prelude::*;
 use std::time::Duration;
 
 /// One unit of work: a circuit and its shot budget.
@@ -42,13 +41,15 @@ pub struct BatchResult {
     pub total_simulated: Duration,
 }
 
-/// Runs all jobs in parallel on the rayon pool. Results keep submission
+/// Runs all jobs as one batched submission through [`Backend::run_batch`]
+/// (parallel on backends with native batching). Results keep submission
 /// order.
 pub fn run_parallel<B: Backend + ?Sized>(backend: &B, jobs: &[Job]) -> BatchResult {
-    let results: Vec<Result<ExecutionResult, BackendError>> = jobs
-        .par_iter()
-        .map(|job| backend.run(&job.circuit, job.shots))
+    let specs: Vec<JobSpec<'_>> = jobs
+        .iter()
+        .map(|job| JobSpec::new(&job.circuit, job.shots))
         .collect();
+    let results = backend.run_batch(&specs);
     let total_simulated = results
         .iter()
         .filter_map(|r| r.as_ref().ok())
@@ -198,6 +199,16 @@ mod tests {
                 a.as_ref().unwrap().counts.total(),
                 c.as_ref().unwrap().counts.total()
             );
+        }
+    }
+
+    #[test]
+    fn parallel_batch_is_bit_identical_to_sequential_on_same_seed() {
+        let js = jobs(8);
+        let par = run_parallel(&IdealBackend::new(123), &js);
+        let seq = run_sequential(&IdealBackend::new(123), &js);
+        for (a, b) in par.results.iter().zip(&seq.results) {
+            assert_eq!(a.as_ref().unwrap().counts, b.as_ref().unwrap().counts);
         }
     }
 

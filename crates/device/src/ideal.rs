@@ -6,7 +6,9 @@
 //! regardless of the order in which parallel jobs are scheduled *per job
 //! index*, and two backends with the same seed produce the same stream.
 
-use crate::backend::{Backend, BackendError, ExecutionResult};
+use crate::backend::{
+    mix_seed, run_batch_indexed, Backend, BackendError, ExecutionResult, JobResult, JobSpec,
+};
 use crate::timing::TimingModel;
 use qcut_circuit::circuit::Circuit;
 use qcut_sim::statevector::StateVector;
@@ -51,12 +53,25 @@ impl IdealBackend {
     }
 
     fn next_job_seed(&self) -> u64 {
-        let job = self.job_counter.fetch_add(1, Ordering::Relaxed);
-        // SplitMix-style mixing of (seed, job index).
-        let mut z = self.seed ^ job.wrapping_mul(0x9E3779B97F4A7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
+        mix_seed(self.seed, self.job_counter.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn run_seeded(
+        &self,
+        circuit: &Circuit,
+        shots: u64,
+        job_seed: u64,
+    ) -> Result<ExecutionResult, BackendError> {
+        self.check(circuit, shots)?;
+        let started = Instant::now();
+        let sv = StateVector::from_circuit(circuit);
+        let mut rng = StdRng::seed_from_u64(job_seed);
+        let counts = sv.sample(shots, &mut rng);
+        Ok(ExecutionResult {
+            counts,
+            simulated_duration: self.timing.job_duration_as_duration(circuit, shots),
+            host_duration: started.elapsed(),
+        })
     }
 }
 
@@ -74,15 +89,16 @@ impl Backend for IdealBackend {
     }
 
     fn run(&self, circuit: &Circuit, shots: u64) -> Result<ExecutionResult, BackendError> {
-        self.check(circuit, shots)?;
-        let started = Instant::now();
-        let sv = StateVector::from_circuit(circuit);
-        let mut rng = StdRng::seed_from_u64(self.next_job_seed());
-        let counts = sv.sample(shots, &mut rng);
-        Ok(ExecutionResult {
-            counts,
-            simulated_duration: self.timing.job_duration_as_duration(circuit, shots),
-            host_duration: started.elapsed(),
+        self.run_seeded(circuit, shots, self.next_job_seed())
+    }
+
+    /// Native batched execution: sub-seeds are assigned by *batch
+    /// position*, not scheduling order — so the counts are deterministic
+    /// under any thread interleaving and identical to running the same
+    /// jobs one by one through [`Backend::run`].
+    fn run_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<JobResult> {
+        run_batch_indexed(&self.job_counter, jobs, |job, idx| {
+            self.run_seeded(job.circuit, job.shots, mix_seed(self.seed, idx))
         })
     }
 }
@@ -138,6 +154,44 @@ mod tests {
         // Second job differs from the first (fresh sub-seed).
         let r1b = b1.run(&bell(), 100).unwrap();
         assert_ne!(r1.counts, r1b.counts);
+    }
+
+    #[test]
+    fn batched_run_is_bit_identical_to_sequential_runs() {
+        let bell_c = bell();
+        let mut ghz = Circuit::new(3);
+        ghz.h(0).cx(0, 1).cx(1, 2);
+        let jobs: Vec<JobSpec<'_>> = (0..6u64)
+            .map(|i| JobSpec::new(if i % 2 == 0 { &bell_c } else { &ghz }, 400 + i))
+            .collect();
+        let batched = IdealBackend::new(42).run_batch(&jobs);
+        let sequential: Vec<JobResult> = {
+            let b = IdealBackend::new(42);
+            jobs.iter().map(|j| b.run(j.circuit, j.shots)).collect()
+        };
+        for (a, b) in batched.iter().zip(&sequential) {
+            assert_eq!(a.as_ref().unwrap().counts, b.as_ref().unwrap().counts);
+        }
+    }
+
+    #[test]
+    fn batch_errors_are_reported_in_place() {
+        let b = IdealBackend::new(0).with_capacity(1);
+        let wide = bell();
+        let mut fits = Circuit::new(1);
+        fits.h(0);
+        let jobs = vec![
+            JobSpec::new(&wide, 10),
+            JobSpec::new(&fits, 10),
+            JobSpec::new(&fits, 0),
+        ];
+        let results = b.run_batch(&jobs);
+        assert!(matches!(
+            results[0],
+            Err(BackendError::CircuitTooWide { .. })
+        ));
+        assert!(results[1].is_ok());
+        assert!(matches!(results[2], Err(BackendError::NoShots)));
     }
 
     #[test]

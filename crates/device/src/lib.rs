@@ -2,8 +2,9 @@
 //!
 //! Simulated quantum execution backends for the `qcut` workspace:
 //!
-//! * [`backend::Backend`] — the execution trait (run a circuit, get counts
-//!   plus simulated device time);
+//! * [`backend::Backend`] — the execution trait (run a circuit — or a whole
+//!   batch of [`backend::JobSpec`]s in one submission — and get counts plus
+//!   simulated device time);
 //! * [`ideal::IdealBackend`] — noiseless state-vector backend (the paper's
 //!   Aer simulator [27]);
 //! * [`noisy::NoisyBackend`] — density-matrix backend with depolarizing +
@@ -33,7 +34,7 @@ pub mod timing;
 
 /// Common re-exports.
 pub mod prelude {
-    pub use crate::backend::{Backend, BackendError, ExecutionResult};
+    pub use crate::backend::{Backend, BackendError, ExecutionResult, JobResult, JobSpec};
     pub use crate::executor::{run_parallel, run_sequential, BatchResult, Job, JobQueue};
     pub use crate::ideal::IdealBackend;
     pub use crate::noisy::NoisyBackend;

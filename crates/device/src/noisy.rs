@@ -8,7 +8,9 @@
 //! readout confusion matrix acts on the outcome probabilities, and shots
 //! are sampled from the corrupted distribution.
 
-use crate::backend::{Backend, BackendError, ExecutionResult};
+use crate::backend::{
+    mix_seed, run_batch_indexed, Backend, BackendError, ExecutionResult, JobResult, JobSpec,
+};
 use crate::timing::TimingModel;
 use qcut_circuit::circuit::Circuit;
 use qcut_math::Matrix;
@@ -76,11 +78,25 @@ impl NoisyBackend {
     }
 
     fn next_job_seed(&self) -> u64 {
-        let job = self.job_counter.fetch_add(1, Ordering::Relaxed);
-        let mut z = self.seed ^ job.wrapping_mul(0x9E3779B97F4A7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
+        mix_seed(self.seed, self.job_counter.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn run_seeded(
+        &self,
+        circuit: &Circuit,
+        shots: u64,
+        job_seed: u64,
+    ) -> Result<ExecutionResult, BackendError> {
+        self.check(circuit, shots)?;
+        let started = Instant::now();
+        let probs = self.exact_probabilities(circuit);
+        let mut rng = StdRng::seed_from_u64(job_seed);
+        let counts = sample_counts(circuit.num_qubits(), &probs, shots, &mut rng);
+        Ok(ExecutionResult {
+            counts,
+            simulated_duration: self.timing.job_duration_as_duration(circuit, shots),
+            host_duration: started.elapsed(),
+        })
     }
 
     /// Exact noisy output distribution (before shot sampling): density
@@ -134,15 +150,17 @@ impl Backend for NoisyBackend {
     }
 
     fn run(&self, circuit: &Circuit, shots: u64) -> Result<ExecutionResult, BackendError> {
-        self.check(circuit, shots)?;
-        let started = Instant::now();
-        let probs = self.exact_probabilities(circuit);
-        let mut rng = StdRng::seed_from_u64(self.next_job_seed());
-        let counts = sample_counts(circuit.num_qubits(), &probs, shots, &mut rng);
-        Ok(ExecutionResult {
-            counts,
-            simulated_duration: self.timing.job_duration_as_duration(circuit, shots),
-            host_duration: started.elapsed(),
+        self.run_seeded(circuit, shots, self.next_job_seed())
+    }
+
+    /// Native batched execution. The expensive per-backend noise setup (the
+    /// pre-built thermal Kraus channels) is shared across the whole batch,
+    /// and the density-matrix simulations fan out over the rayon pool in a
+    /// single dispatch with batch-position sub-seeds, making batched results
+    /// bit-identical to a sequential loop over [`Backend::run`].
+    fn run_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<JobResult> {
+        run_batch_indexed(&self.job_counter, jobs, |job, idx| {
+            self.run_seeded(job.circuit, job.shots, mix_seed(self.seed, idx))
         })
     }
 }
@@ -261,6 +279,18 @@ mod tests {
         let r1 = noisy(9).run(&bell(), 200).unwrap();
         let r2 = noisy(9).run(&bell(), 200).unwrap();
         assert_eq!(r1.counts, r2.counts);
+    }
+
+    #[test]
+    fn batched_run_is_bit_identical_to_sequential_runs() {
+        let c = bell();
+        let jobs: Vec<JobSpec<'_>> = (0..5).map(|i| JobSpec::new(&c, 150 + i)).collect();
+        let batched = noisy(31).run_batch(&jobs);
+        let seq_backend = noisy(31);
+        for (job, r) in jobs.iter().zip(&batched) {
+            let s = seq_backend.run(job.circuit, job.shots).unwrap();
+            assert_eq!(r.as_ref().unwrap().counts, s.counts);
+        }
     }
 
     #[test]

@@ -79,4 +79,33 @@ fn main() {
 
     println!("\nsmaller leaks sit closer to epsilon and cost more shots to classify —");
     println!("the error-vs-shots trade-off the paper's §IV anticipates.");
+
+    // End-to-end: when the verdict is NotGolden the detection batches are
+    // not wasted — the JobGraph engine seeds them into the main gather, so
+    // the Y setting needs fewer fresh shots.
+    let backend = IdealBackend::new(55);
+    let run = CutExecutor::new(&backend)
+        .run(
+            &c,
+            &spec,
+            GoldenPolicy::DetectOnline(OnlineConfig {
+                epsilon: 0.05,
+                batch_shots: 2000,
+                ..OnlineConfig::default()
+            }),
+            &ExecutionOptions {
+                shots_per_setting: 4000,
+                ..Default::default()
+            },
+        )
+        .expect("online pipeline run");
+    println!(
+        "\npipeline on the non-golden circuit: {} detection shots, {} reused \
+         by the gather ({} jobs planned, {} executed)",
+        run.report.detection_shots,
+        run.report.shots_saved,
+        run.report.jobs_planned,
+        run.report.jobs_executed
+    );
+    assert!(run.report.shots_saved > 0);
 }

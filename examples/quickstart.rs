@@ -55,10 +55,14 @@ fn main() {
         golden.report.subcircuits_executed, golden.report.reconstruction_terms
     );
     println!(
-        "shots saved: {} -> {} ({:.0}%)\n",
+        "shots saved: {} -> {} ({:.0}%)",
         standard.report.total_shots,
         golden.report.total_shots,
         100.0 * (1.0 - golden.report.total_shots as f64 / standard.report.total_shots as f64)
+    );
+    println!(
+        "engine: {} jobs planned, {} executed, {} shots saved by dedup\n",
+        golden.report.jobs_planned, golden.report.jobs_executed, golden.report.shots_saved
     );
 
     let d_std = weighted_distance(&standard.distribution, &truth);

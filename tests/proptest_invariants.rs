@@ -206,3 +206,70 @@ proptest! {
         prop_assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
     }
 }
+
+// JobGraph engine invariants: full pipeline runs, so fewer cases with a
+// small shot budget.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The engine's structural dedup never changes the reconstruction:
+    /// with equally-seeded fresh backends, dedup on and off produce
+    /// bit-identical distributions (tomography plans are duplicate-free, so
+    /// the executed job stream must be untouched by the hashing, node
+    /// merging, and fan-out machinery).
+    #[test]
+    fn dedup_never_changes_reconstruction(seed in 0u64..2000) {
+        let (circuit, cut) = GoldenAnsatz::new(5, seed).build();
+        let policy = if seed % 2 == 0 {
+            GoldenPolicy::Disabled
+        } else {
+            GoldenPolicy::KnownAPriori(vec![(0, Pauli::Y)])
+        };
+        let run = |dedup: bool| {
+            let backend = IdealBackend::new(seed ^ 0xD5);
+            CutExecutor::new(&backend)
+                .run(
+                    &circuit,
+                    &cut,
+                    policy.clone(),
+                    &ExecutionOptions { shots_per_setting: 256, dedup, ..Default::default() },
+                )
+                .unwrap()
+        };
+        let on = run(true);
+        let off = run(false);
+        prop_assert_eq!(on.distribution.values(), off.distribution.values());
+        prop_assert_eq!(on.report.jobs_executed, off.report.jobs_executed);
+        prop_assert_eq!(on.report.shots_saved, 0);
+    }
+
+    /// Batched (parallel) execution is bit-identical to the sequential
+    /// path for both downstream schemes — the backends assign per-job RNG
+    /// streams by batch position, not scheduling order.
+    #[test]
+    fn batched_execution_equals_sequential(seed in 0u64..2000) {
+        let (circuit, cut) = GoldenAnsatz::new(5, seed).build();
+        let method = if seed % 2 == 0 {
+            ReconstructionMethod::Eigenstate
+        } else {
+            ReconstructionMethod::Sic
+        };
+        let run = |parallel: bool| {
+            let backend = IdealBackend::new(seed.wrapping_mul(31) ^ 7);
+            CutExecutor::new(&backend)
+                .run(
+                    &circuit,
+                    &cut,
+                    GoldenPolicy::Disabled,
+                    &ExecutionOptions {
+                        shots_per_setting: 256,
+                        method,
+                        parallel,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+        };
+        prop_assert_eq!(run(true).distribution.values(), run(false).distribution.values());
+    }
+}
