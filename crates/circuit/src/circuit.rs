@@ -260,12 +260,42 @@ impl Circuit {
         let mut h = Fnv1a::new();
         h.write_u64(self.num_qubits as u64);
         for inst in &self.instructions {
-            hash_gate(&inst.gate, &mut h);
-            for &q in &inst.qubits {
-                h.write_u64(q as u64);
-            }
+            hash_instruction(inst, &mut h);
         }
         h.finish()
+    }
+
+    /// Structural hashes of every instruction prefix: `chain[p]`
+    /// fingerprints the circuit width plus the first `p` instructions, so
+    /// `chain[len()]` equals [`Circuit::structural_hash`] and two circuits
+    /// of equal width share `chain[p]` iff their first `p` instructions are
+    /// structurally identical (up to FNV collisions — confirm with `==` on
+    /// the instructions, as the prefix-sharing trie does). Built in one
+    /// pass over the same FNV-1a stream as the full hash.
+    pub fn prefix_hash_chain(&self) -> Vec<u64> {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.num_qubits as u64);
+        let mut chain = Vec::with_capacity(self.instructions.len() + 1);
+        chain.push(h.finish());
+        for inst in &self.instructions {
+            hash_instruction(inst, &mut h);
+            chain.push(h.finish());
+        }
+        chain
+    }
+
+    /// Length of the longest common instruction prefix with `other`
+    /// (0 when the widths differ — prefixes of different-width circuits
+    /// are never interchangeable).
+    pub fn shared_prefix_len(&self, other: &Circuit) -> usize {
+        if self.num_qubits != other.num_qubits {
+            return 0;
+        }
+        self.instructions
+            .iter()
+            .zip(&other.instructions)
+            .take_while(|(a, b)| a == b)
+            .count()
     }
 
     /// Circuit depth: the longest chain of instructions sharing wires.
@@ -358,6 +388,14 @@ impl Fnv1a {
 
     fn finish(&self) -> u64 {
         self.0
+    }
+}
+
+/// Feeds one instruction (gate + operands) into the hash stream.
+fn hash_instruction(inst: &Instruction, h: &mut Fnv1a) {
+    hash_gate(&inst.gate, h);
+    for &q in &inst.qubits {
+        h.write_u64(q as u64);
     }
 }
 
@@ -561,6 +599,46 @@ mod tests {
         let mut wider = Circuit::new(4);
         wider.h(0).cx(0, 1).rz(0.5, 2);
         assert_ne!(a.structural_hash(), wider.structural_hash());
+    }
+
+    #[test]
+    fn prefix_hash_chain_extends_the_structural_hash() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(0.5, 2).cx(1, 2);
+        let chain = c.prefix_hash_chain();
+        assert_eq!(chain.len(), c.len() + 1);
+        // The last link is the full structural hash.
+        assert_eq!(chain[c.len()], c.structural_hash());
+        // Every link is the structural hash of the truncated circuit.
+        for (p, &link) in chain.iter().enumerate() {
+            let mut prefix = Circuit::new(3);
+            for inst in &c.instructions()[..p] {
+                prefix.push(inst.gate.clone(), &inst.qubits);
+            }
+            assert_eq!(link, prefix.structural_hash(), "prefix {p}");
+        }
+    }
+
+    #[test]
+    fn prefix_hash_chain_diverges_where_circuits_do() {
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1).s(1);
+        let mut b = Circuit::new(2);
+        b.h(0).cx(0, 1).t(1);
+        let (ca, cb) = (a.prefix_hash_chain(), b.prefix_hash_chain());
+        assert_eq!(&ca[..3], &cb[..3], "shared prefix must share hashes");
+        assert_ne!(ca[3], cb[3], "divergent instruction must change the hash");
+        assert_eq!(a.shared_prefix_len(&b), 2);
+    }
+
+    #[test]
+    fn shared_prefix_len_is_zero_across_widths() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(3);
+        b.h(0);
+        assert_eq!(a.shared_prefix_len(&b), 0);
+        assert_eq!(a.shared_prefix_len(&a.clone()), 1);
     }
 
     #[test]

@@ -31,8 +31,9 @@
 //! pin this down.
 
 use qcut_circuit::circuit::Circuit;
-use qcut_device::backend::{Backend, BackendError, JobSpec};
+use qcut_device::backend::{Backend, BackendError, BatchStats, JobSpec};
 use qcut_sim::counts::Counts;
+use qcut_sim::prefix::{PrefixForest, PrefixProfile};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -91,6 +92,12 @@ pub struct GraphStats {
     pub shots_executed: u64,
     /// `shots_requested − shots_executed`: what dedup and cache reuse saved.
     pub shots_saved: u64,
+    /// Gate applications the backend performed simulating the batch
+    /// (shared circuit prefixes counted once on prefix-sharing backends).
+    pub gates_applied: u64,
+    /// Gate applications a per-job simulation would have performed minus
+    /// `gates_applied`: what prefix sharing saved (0 on non-sharing paths).
+    pub gates_saved: u64,
     /// Sum of simulated device durations over executed jobs.
     pub simulated_device_time: Duration,
     /// Host CPU time spent inside backend runs.
@@ -106,6 +113,8 @@ impl GraphStats {
         self.shots_requested += other.shots_requested;
         self.shots_executed += other.shots_executed;
         self.shots_saved += other.shots_saved;
+        self.gates_applied += other.gates_applied;
+        self.gates_saved += other.gates_saved;
         self.simulated_device_time += other.simulated_device_time;
         self.host_time += other.host_time;
     }
@@ -258,6 +267,24 @@ impl JobGraph {
         self.index.entry(hash).or_default().push(i);
     }
 
+    /// The unique circuits in insertion order — which is also backend
+    /// submission order (the planner relies on this to make its
+    /// trie-locality emission order reach the device layer intact).
+    pub fn node_circuits(&self) -> impl Iterator<Item = &Circuit> + '_ {
+        self.nodes.iter().map(|n| &n.circuit)
+    }
+
+    /// The prefix metadata of the planned graph: how much of the nodes'
+    /// simulation work is shared instruction prefixes, computed by building
+    /// the same [`PrefixForest`] a prefix-sharing backend will build over
+    /// this graph's unique circuits. Lets planners and reports predict the
+    /// gate economy (`O(G + Σ suffix)` instead of `O(V·G)` for `V`
+    /// variants of a `G`-gate fragment) before anything executes.
+    pub fn prefix_profile(&self) -> PrefixProfile {
+        let circuits: Vec<&Circuit> = self.nodes.iter().map(|n| &n.circuit).collect();
+        PrefixForest::build(&circuits).profile()
+    }
+
     /// Feeds counts already measured for `circuit` (e.g. by an online
     /// detection round) into the matching node, reducing how many shots the
     /// backend must still execute for it. Returns `true` when a node
@@ -303,13 +330,16 @@ impl JobGraph {
             .iter()
             .map(|&(i, shots)| JobSpec::new(&self.nodes[i].circuit, shots))
             .collect();
-        let results = if parallel {
-            backend.run_batch(&specs)
+        let (results, batch_stats) = if parallel {
+            let run = backend.run_batch_stats(&specs);
+            (run.results, run.stats)
         } else {
-            specs
+            let results: Vec<_> = specs
                 .iter()
                 .map(|j| backend.run(j.circuit, j.shots))
-                .collect()
+                .collect();
+            let stats = BatchStats::unshared(&specs, &results);
+            (results, stats)
         };
 
         let mut stats = GraphStats {
@@ -321,6 +351,8 @@ impl JobGraph {
                 .flat_map(|n| n.consumers.iter().map(|&(_, s)| s))
                 .sum(),
             shots_executed: to_run.iter().map(|&(_, s)| s).sum(),
+            gates_applied: batch_stats.gates_applied,
+            gates_saved: batch_stats.gates_saved(),
             ..GraphStats::default()
         };
         stats.shots_saved = stats.shots_requested.saturating_sub(stats.shots_executed);
@@ -513,6 +545,57 @@ mod tests {
         let sic = run.take_channel(Channel::SicPrep);
         assert!(sic.contains_key(&8));
         assert!(run.take_channel(Channel::UpstreamMeas).is_empty());
+    }
+
+    /// Upstream-variant shape: one fragment, three rotation suffixes.
+    fn variant_family() -> Vec<Circuit> {
+        let mut base = Circuit::new(3);
+        base.h(0).cx(0, 1).ry(0.7, 2).cx(1, 2);
+        let mut x = base.clone();
+        x.h(2);
+        let mut y = base.clone();
+        y.sdg(2).h(2);
+        vec![base, x, y]
+    }
+
+    #[test]
+    fn execute_reports_the_prefix_gate_economy() {
+        let mut g = JobGraph::new();
+        for (i, c) in variant_family().into_iter().enumerate() {
+            g.add_job(c, (Channel::UpstreamMeas, i as u64), 200);
+        }
+        let par = g.execute(&IdealBackend::new(4), true).unwrap();
+        // 4 + 5 + 6 naive gates; the 4-gate fragment runs once.
+        assert_eq!(par.stats.gates_applied, 4 + 1 + 2);
+        assert_eq!(par.stats.gates_saved, 8);
+        // The sequential reference path simulates per job: nothing saved.
+        let seq = g.execute(&IdealBackend::new(4), false).unwrap();
+        assert_eq!(seq.stats.gates_applied, 4 + 5 + 6);
+        assert_eq!(seq.stats.gates_saved, 0);
+        // Sharing never changes the delivered counts.
+        for i in 0..3 {
+            assert_eq!(
+                par.counts(&(Channel::UpstreamMeas, i)),
+                seq.counts(&(Channel::UpstreamMeas, i))
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_profile_predicts_the_shared_walk() {
+        let mut g = JobGraph::new();
+        for (i, c) in variant_family().into_iter().enumerate() {
+            g.add_job(c, (Channel::UpstreamMeas, i as u64), 100);
+        }
+        let profile = g.prefix_profile();
+        assert_eq!(profile.circuits, 3);
+        assert_eq!(profile.terminal_nodes, 3);
+        assert_eq!(profile.gates_naive, 15);
+        assert_eq!(profile.gates_shared, 7);
+        // The profile matches what execution actually reports.
+        let run = g.execute(&IdealBackend::new(1), true).unwrap();
+        assert_eq!(run.stats.gates_applied, profile.gates_shared);
+        assert_eq!(run.stats.gates_saved, profile.gates_saved());
     }
 
     #[test]

@@ -263,6 +263,8 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
             jobs_planned: engine.jobs_planned,
             jobs_executed: engine.jobs_executed,
             shots_saved: engine.shots_saved,
+            gates_applied: engine.gates_applied,
+            gates_saved: engine.gates_saved,
             reconstruction_terms: plan.all_recon_strings().len(),
             simulated_device_seconds: engine.simulated_device_time.as_secs_f64(),
             gather_seconds,

@@ -16,14 +16,52 @@
 
 use crate::basis::{encode_meas, encode_prep, BasisPlan};
 use crate::fragment::{Fragment, Fragments};
-use crate::jobgraph::{Channel, JobGraph};
+use crate::jobgraph::{Channel, ConsumerKey, JobGraph};
 use crate::sic::{all_sic_settings, build_sic_circuit, encode_sic};
 use crate::tomography::{build_downstream_circuit, build_upstream_circuit};
 use qcut_circuit::circuit::Circuit;
+use qcut_sim::prefix::PrefixForest;
 
-/// Adds one upstream measurement job per setting of `plan`. `shots[i]`
-/// pairs with the i-th setting of [`BasisPlan::all_meas_settings`]; a
-/// single-element slice is broadcast to every setting.
+/// Reorders `(circuit, consumer, shots)` triples into trie-locality order
+/// — the DFS order of the batch's prefix forest — so jobs sharing
+/// instruction prefixes are emitted adjacently and a prefix-sharing
+/// backend walks each shared segment once: the upstream gather costs
+/// `O(G + Σ suffix)` gate applications instead of `O(V·G)` for `V`
+/// variants of a `G`-gate fragment. The cartesian setting enumerations are
+/// already prefix-clustered (earlier cuts vary slowest and rotations/preps
+/// are spliced in cut order), so the only moves this makes are (a)
+/// regrouping interleaved batches handed in by a caller and (b) emitting a
+/// job whose circuit is a strict prefix of another *before* its extensions
+/// (e.g. the rotation-free Z setting ahead of X and Y) — the walk order a
+/// prefix-sharing backend simulates in.
+///
+/// The backend rebuilds its own forest at execution time; planning does
+/// not try to hand it over (the graph keeps moving circuits as jobs are
+/// registered). Building a forest is one FNV pass over the instruction
+/// stream plus trie insertion — noise next to simulating even one gate on
+/// a realistic state, so paying it per layer keeps the seams simple.
+fn trie_local_jobs(jobs: Vec<(Circuit, ConsumerKey, u64)>) -> Vec<(Circuit, ConsumerKey, u64)> {
+    let refs: Vec<&Circuit> = jobs.iter().map(|(c, _, _)| c).collect();
+    let order = PrefixForest::build(&refs).dfs_job_order();
+    let mut slots: Vec<Option<(Circuit, ConsumerKey, u64)>> = jobs.into_iter().map(Some).collect();
+    order
+        .into_iter()
+        .map(|i| slots[i].take().expect("DFS emits every job exactly once"))
+        .collect()
+}
+
+/// Registers pre-built jobs on the graph in trie-locality order.
+fn add_trie_local(graph: &mut JobGraph, jobs: Vec<(Circuit, ConsumerKey, u64)>) {
+    for (circuit, consumer, budget) in trie_local_jobs(jobs) {
+        graph.add_job(circuit, consumer, budget);
+    }
+}
+
+/// Adds one upstream measurement job per setting of `plan`, in
+/// trie-locality order with prefix metadata available via
+/// [`JobGraph::prefix_profile`]. `shots[i]` pairs with the i-th setting of
+/// [`BasisPlan::all_meas_settings`]; a single-element slice is broadcast
+/// to every setting.
 pub fn add_upstream_jobs(
     graph: &mut JobGraph,
     fragments: &Fragments,
@@ -37,18 +75,24 @@ pub fn add_upstream_jobs(
         settings.len(),
         shots.len()
     );
-    for (i, setting) in settings.iter().enumerate() {
-        let budget = if shots.len() == 1 { shots[0] } else { shots[i] };
-        graph.add_job(
-            build_upstream_circuit(&fragments.upstream, setting),
-            (Channel::UpstreamMeas, encode_meas(setting)),
-            budget,
-        );
-    }
+    let jobs = settings
+        .iter()
+        .enumerate()
+        .map(|(i, setting)| {
+            let budget = if shots.len() == 1 { shots[0] } else { shots[i] };
+            (
+                build_upstream_circuit(&fragments.upstream, setting),
+                (Channel::UpstreamMeas, encode_meas(setting)),
+                budget,
+            )
+        })
+        .collect();
+    add_trie_local(graph, jobs);
 }
 
 /// Adds one downstream eigenstate-preparation job per prep combination of
-/// `plan`, with the same broadcast rule as [`add_upstream_jobs`].
+/// `plan`, with the same broadcast rule and trie-locality order as
+/// [`add_upstream_jobs`].
 pub fn add_downstream_jobs(
     graph: &mut JobGraph,
     fragments: &Fragments,
@@ -62,30 +106,39 @@ pub fn add_downstream_jobs(
         settings.len(),
         shots.len()
     );
-    for (i, preparation) in settings.iter().enumerate() {
-        let budget = if shots.len() == 1 { shots[0] } else { shots[i] };
-        graph.add_job(
-            build_downstream_circuit(&fragments.downstream, preparation),
-            (Channel::DownstreamPrep, encode_prep(preparation)),
-            budget,
-        );
-    }
+    let jobs = settings
+        .iter()
+        .enumerate()
+        .map(|(i, preparation)| {
+            let budget = if shots.len() == 1 { shots[0] } else { shots[i] };
+            (
+                build_downstream_circuit(&fragments.downstream, preparation),
+                (Channel::DownstreamPrep, encode_prep(preparation)),
+                budget,
+            )
+        })
+        .collect();
+    add_trie_local(graph, jobs);
 }
 
-/// Adds the `4^K` SIC downstream preparation jobs.
+/// Adds the `4^K` SIC downstream preparation jobs, in trie-locality order.
 pub fn add_sic_jobs(
     graph: &mut JobGraph,
     downstream: &Fragment,
     num_cuts: usize,
     shots_per_setting: u64,
 ) {
-    for states in all_sic_settings(num_cuts) {
-        graph.add_job(
-            build_sic_circuit(downstream, &states),
-            (Channel::SicPrep, encode_sic(&states)),
-            shots_per_setting,
-        );
-    }
+    let jobs = all_sic_settings(num_cuts)
+        .into_iter()
+        .map(|states| {
+            (
+                build_sic_circuit(downstream, &states),
+                (Channel::SicPrep, encode_sic(&states)),
+                shots_per_setting,
+            )
+        })
+        .collect();
+    add_trie_local(graph, jobs);
 }
 
 /// The single-job graph for an uncut reference run.
@@ -161,6 +214,74 @@ mod tests {
         let frags = fragments_for(4);
         let mut g = JobGraph::new();
         add_upstream_jobs(&mut g, &frags, &BasisPlan::standard(1), &[1, 2]);
+    }
+
+    #[test]
+    fn upstream_jobs_are_emitted_in_trie_locality_order() {
+        use qcut_circuit::ansatz::MultiCutAnsatz;
+        // K = 2: 9 upstream variants, all sharing the full fragment as an
+        // instruction prefix, with earlier-cut rotations varying slowest.
+        let (c, spec) = MultiCutAnsatz::new(2, 3).build();
+        let frags = Fragmenter::fragment(&c, &spec).unwrap();
+        let mut g = JobGraph::new();
+        add_upstream_jobs(&mut g, &frags, &BasisPlan::standard(2), &[500]);
+        let circuits: Vec<_> = g.node_circuits().collect();
+        assert_eq!(circuits.len(), 9);
+        let base_len = frags.upstream.circuit.len();
+        for pair in circuits.windows(2) {
+            assert!(
+                pair[0].shared_prefix_len(pair[1]) >= base_len,
+                "adjacent upstream jobs must share the fragment prefix"
+            );
+        }
+        // The shared walk pays the fragment once: profile confirms.
+        let profile = g.prefix_profile();
+        assert_eq!(profile.circuits, 9);
+        assert!(profile.gates_saved() >= 8 * base_len as u64);
+    }
+
+    #[test]
+    fn trie_local_jobs_regroups_interleaved_batches() {
+        // Two prefix families interleaved; the planner's ordering clusters
+        // each family while preserving within-family order.
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1);
+        let mut a1 = a.clone();
+        a1.s(1);
+        let mut b = Circuit::new(2);
+        b.x(0).cz(0, 1);
+        let mut b1 = b.clone();
+        b1.t(1);
+        let jobs = vec![
+            (a.clone(), (Channel::Uncut, 0u64), 1),
+            (b.clone(), (Channel::Uncut, 1), 1),
+            (a1, (Channel::Uncut, 2), 1),
+            (b1, (Channel::Uncut, 3), 1),
+        ];
+        let keys: Vec<u64> = trie_local_jobs(jobs).iter().map(|(_, k, _)| k.1).collect();
+        assert_eq!(keys, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn planner_emits_prefixes_before_their_extensions() {
+        // Single cut: the Z variant (no rotation) is a strict instruction
+        // prefix of the X and Y variants, so the trie walk — and therefore
+        // planner emission — visits it first; X and Y keep their relative
+        // (cartesian) order.
+        use crate::basis::MeasBasis;
+        let frags = fragments_for(6);
+        let mut g = JobGraph::new();
+        add_upstream_jobs(&mut g, &frags, &BasisPlan::standard(1), &[100]);
+        let emitted: Vec<_> = g.node_circuits().cloned().collect();
+        let build = |m: MeasBasis| build_upstream_circuit(&frags.upstream, &[m]);
+        assert_eq!(
+            emitted,
+            vec![
+                build(MeasBasis::Z),
+                build(MeasBasis::X),
+                build(MeasBasis::Y)
+            ]
+        );
     }
 
     #[test]

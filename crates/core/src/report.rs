@@ -32,6 +32,13 @@ pub struct RunReport {
     /// Shots the engine did *not* have to execute because structurally
     /// identical jobs were merged or detection data was reused.
     pub shots_saved: u64,
+    /// Gate applications the backend performed simulating all engine
+    /// batches of this run (shared circuit prefixes counted once on
+    /// prefix-sharing backends).
+    pub gates_applied: u64,
+    /// Gate applications prefix sharing eliminated (`0` on non-sharing
+    /// backends and sequential reference runs).
+    pub gates_saved: u64,
     /// Terms in the reconstruction contraction (`4^{K_r} 3^{K_g}`).
     pub reconstruction_terms: usize,
     /// Simulated device occupation time in seconds (Fig. 5's wall time).
@@ -67,6 +74,17 @@ impl RunReport {
             1.0 - self.jobs_executed as f64 / self.jobs_planned as f64
         }
     }
+
+    /// Fraction of simulation gate applications eliminated by prefix
+    /// sharing (`0.0` when nothing was shared).
+    pub fn prefix_sharing_ratio(&self) -> f64 {
+        let naive = self.gates_applied + self.gates_saved;
+        if naive == 0 {
+            0.0
+        } else {
+            self.gates_saved as f64 / naive as f64
+        }
+    }
 }
 
 /// Report for an uncut reference execution (the Fig. 3 baseline arm).
@@ -96,6 +114,8 @@ mod tests {
             jobs_planned: 6,
             jobs_executed: 6,
             shots_saved: 0,
+            gates_applied: 30,
+            gates_saved: 70,
             reconstruction_terms: 3,
             simulated_device_seconds: 12.6,
             gather_seconds: 0.5,
@@ -106,5 +126,6 @@ mod tests {
         assert!((r.total_host_seconds() - 0.6).abs() < 1e-12);
         assert_eq!(r.num_golden(), 1);
         assert_eq!(r.dedup_ratio(), 0.0);
+        assert!((r.prefix_sharing_ratio() - 0.7).abs() < 1e-12);
     }
 }

@@ -8,10 +8,13 @@
 
 use crate::timing::TimingModel;
 use qcut_circuit::circuit::Circuit;
-use qcut_sim::counts::Counts;
+use qcut_sim::counts::{CdfTable, Counts};
+use qcut_sim::prefix::{ForkState, PrefixForest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rayon::prelude::*;
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One batchable unit of work: a circuit and its shot budget. The batched
 /// entry point [`Backend::run_batch`] consumes a slice of these; the
@@ -35,6 +38,67 @@ impl<'a> JobSpec<'a> {
 
 /// Per-job outcome of a batched run.
 pub type JobResult = Result<ExecutionResult, BackendError>;
+
+/// Classical-simulation accounting for one batched submission. The gate
+/// counters expose what prefix sharing saved: a non-sharing backend always
+/// reports `gates_applied == gates_naive`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Gate applications the backend actually performed simulating the
+    /// batch (shared prefixes counted once).
+    pub gates_applied: u64,
+    /// Gate applications a per-job simulation would have performed
+    /// (`Σ len(circuit)` over valid jobs).
+    pub gates_naive: u64,
+    /// Prefix-forest trie nodes (0 when sharing is off or not supported).
+    pub prefix_nodes: u64,
+    /// Distinct final states sampled from — one CDF table is built per
+    /// unique state and reused by every job ending there.
+    pub unique_states: u64,
+}
+
+impl BatchStats {
+    /// The accounting of a backend that simulated every job of `results`
+    /// independently. Failed jobs were never simulated, so only successful
+    /// ones contribute gates and states — mirroring the prefix-sharing
+    /// path, which excludes invalid jobs from its forest.
+    pub fn unshared(jobs: &[JobSpec<'_>], results: &[JobResult]) -> Self {
+        let gates: u64 = jobs
+            .iter()
+            .zip(results)
+            .filter(|(_, r)| r.is_ok())
+            .map(|(j, _)| j.circuit.len() as u64)
+            .sum();
+        BatchStats {
+            gates_applied: gates,
+            gates_naive: gates,
+            prefix_nodes: 0,
+            unique_states: results.iter().filter(|r| r.is_ok()).count() as u64,
+        }
+    }
+
+    /// Gate applications eliminated by prefix sharing.
+    pub fn gates_saved(&self) -> u64 {
+        self.gates_naive - self.gates_applied
+    }
+
+    /// Folds another batch's accounting into this one.
+    pub fn absorb(&mut self, other: &BatchStats) {
+        self.gates_applied += other.gates_applied;
+        self.gates_naive += other.gates_naive;
+        self.prefix_nodes += other.prefix_nodes;
+        self.unique_states += other.unique_states;
+    }
+}
+
+/// Results plus accounting of one batched submission.
+#[derive(Debug)]
+pub struct BatchRun {
+    /// Per-job outcomes in submission order.
+    pub results: Vec<JobResult>,
+    /// Simulation-cost accounting for the whole batch.
+    pub stats: BatchStats,
+}
 
 /// Result of one circuit execution.
 #[derive(Debug, Clone)]
@@ -109,6 +173,87 @@ where
         .collect()
 }
 
+/// Shared prefix-sharing batch driver for the seed-deterministic
+/// simulator backends: reserves one contiguous block of job indices from
+/// `counter` (so per-job seeds are assigned by *batch position*, exactly
+/// like [`run_batch_indexed`] and a sequential loop over `run`), validates
+/// each job with `check`, then simulates the valid circuits through one
+/// [`PrefixForest`] — every shared instruction prefix evolves once, the
+/// state forks at branch points, and each node terminating ≥1 job builds a
+/// single [`CdfTable`] from `finalize(state)` that all its jobs sample
+/// through with their own position-seeded RNG stream. Bit-identical to
+/// per-job simulation because forking is a bit-exact clone and the
+/// instruction application order per job is unchanged.
+///
+/// Per-job `simulated_duration` stays the full per-variant device time
+/// (prefix sharing is a *classical simulation* economy; a real device
+/// still runs every variant), while host time — which sharing genuinely
+/// shrinks — is measured for the whole batch and amortised equally over
+/// the successful jobs.
+pub(crate) fn run_batch_forest<S, I, P>(
+    counter: &std::sync::atomic::AtomicU64,
+    seed: u64,
+    jobs: &[JobSpec<'_>],
+    check: impl Fn(&Circuit, u64) -> Result<(), BackendError>,
+    init: I,
+    finalize: P,
+    timing: &TimingModel,
+) -> BatchRun
+where
+    S: ForkState,
+    I: Fn(usize) -> S + Sync,
+    P: Fn(&S) -> Vec<f64> + Sync,
+{
+    let started = Instant::now();
+    let base = counter.fetch_add(jobs.len() as u64, std::sync::atomic::Ordering::Relaxed);
+    let mut results: Vec<Option<JobResult>> = jobs
+        .iter()
+        .map(|j| check(j.circuit, j.shots).err().map(Err))
+        .collect();
+    let valid: Vec<usize> = (0..jobs.len()).filter(|&i| results[i].is_none()).collect();
+    let circuits: Vec<&Circuit> = valid.iter().map(|&i| jobs[i].circuit).collect();
+
+    let forest = PrefixForest::build(&circuits);
+    let sampled: Vec<Counts> = forest.simulate_with(&init, |state, members| {
+        let width = circuits[members[0]].num_qubits();
+        let cdf = CdfTable::from_probs(width, &finalize(state));
+        members
+            .iter()
+            .map(|&m| {
+                let job = valid[m];
+                let mut rng = StdRng::seed_from_u64(mix_seed(seed, base + job as u64));
+                cdf.sample(jobs[job].shots, &mut rng)
+            })
+            .collect()
+    });
+    let stats = BatchStats {
+        gates_applied: forest.gates_shared(),
+        gates_naive: forest.gates_naive(),
+        prefix_nodes: forest.num_nodes() as u64,
+        unique_states: forest.num_terminal_nodes() as u64,
+    };
+
+    let host_share = started
+        .elapsed()
+        .checked_div(valid.len().max(1) as u32)
+        .unwrap_or_default();
+    for (m, counts) in sampled.into_iter().enumerate() {
+        let job = valid[m];
+        results[job] = Some(Ok(ExecutionResult {
+            counts,
+            simulated_duration: timing.job_duration_as_duration(jobs[job].circuit, jobs[job].shots),
+            host_duration: host_share,
+        }));
+    }
+    BatchRun {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("every job resolved to a result"))
+            .collect(),
+        stats,
+    }
+}
+
 /// A quantum execution backend.
 pub trait Backend: Sync {
     /// Human-readable backend name.
@@ -129,18 +274,36 @@ pub trait Backend: Sync {
     ///
     /// The default implementation fans the jobs out over the rayon pool
     /// (the trait is `Sync`), so any backend gets parallel batching for
-    /// free. The workspace backends ([`crate::ideal::IdealBackend`],
-    /// [`crate::noisy::NoisyBackend`]) override it to additionally assign
-    /// per-job RNG streams by *batch index*, making their batched runs
-    /// bit-identical to a sequential loop over [`Backend::run`] on an
-    /// equally-seeded backend — the property the pipeline's
-    /// batched-vs-sequential equivalence tests rely on. Backends whose
-    /// `run` draws from shared mutable RNG state should override this the
-    /// same way if they need that determinism.
+    /// free. Backends whose `run` draws from shared mutable RNG state
+    /// should override this to assign per-job streams by *batch index* if
+    /// they need batched-equals-sequential determinism. A backend that
+    /// overrides [`Backend::run_batch_stats`] (the richer entry point the
+    /// engine calls) must override this one to delegate to it, as the
+    /// workspace backends do — the two must never diverge.
     fn run_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<JobResult> {
         jobs.par_iter()
             .map(|j| self.run(j.circuit, j.shots))
             .collect()
+    }
+
+    /// Runs a whole batch of jobs in one submission, returning one result
+    /// per job in submission order plus [`BatchStats`] accounting.
+    ///
+    /// The default implementation delegates to [`Backend::run_batch`] with
+    /// per-job (non-sharing) accounting, so backends that customise only
+    /// `run_batch` keep their behaviour. The workspace backends
+    /// ([`crate::ideal::IdealBackend`], [`crate::noisy::NoisyBackend`])
+    /// override this method to (a) assign per-job RNG streams by *batch
+    /// index*, making their batched runs bit-identical to a sequential
+    /// loop over [`Backend::run`] on an equally-seeded backend — the
+    /// property the pipeline's batched-vs-sequential equivalence tests
+    /// rely on — and (b) route the batch through a
+    /// [`qcut_sim::prefix::PrefixForest`] so shared circuit prefixes are
+    /// simulated once per batch (and mirror `run_batch` to this method).
+    fn run_batch_stats(&self, jobs: &[JobSpec<'_>]) -> BatchRun {
+        let results = self.run_batch(jobs);
+        let stats = BatchStats::unshared(jobs, &results);
+        BatchRun { results, stats }
     }
 
     /// Validates a job without running it.
@@ -161,6 +324,57 @@ pub trait Backend: Sync {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A third-party-style backend that customises batching solely via
+    /// `run_batch` (the PR 2 extension point): it tags every job's counts
+    /// with a fixed outcome so delegation is observable.
+    struct RunBatchOnly {
+        timing: TimingModel,
+    }
+
+    impl Backend for RunBatchOnly {
+        fn name(&self) -> &str {
+            "run_batch_only"
+        }
+        fn num_qubits(&self) -> usize {
+            4
+        }
+        fn timing(&self) -> &TimingModel {
+            &self.timing
+        }
+        fn run(&self, _circuit: &Circuit, _shots: u64) -> Result<ExecutionResult, BackendError> {
+            panic!("this backend only serves batches");
+        }
+        fn run_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<JobResult> {
+            jobs.iter()
+                .map(|j| {
+                    let mut counts = Counts::new(j.circuit.num_qubits());
+                    counts.record_many(0, j.shots);
+                    Ok(ExecutionResult {
+                        counts,
+                        simulated_duration: Duration::ZERO,
+                        host_duration: Duration::ZERO,
+                    })
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn default_run_batch_stats_honours_a_run_batch_override() {
+        // The engine calls run_batch_stats; a backend that overrode only
+        // run_batch must still be routed through its override.
+        let backend = RunBatchOnly {
+            timing: TimingModel::instantaneous(),
+        };
+        let mut c = Circuit::new(2);
+        c.h(0);
+        let jobs = [JobSpec::new(&c, 7)];
+        let run = backend.run_batch_stats(&jobs);
+        assert_eq!(run.results[0].as_ref().unwrap().counts.get(0), 7);
+        assert_eq!(run.stats.gates_applied, run.stats.gates_naive);
+        assert_eq!(run.stats.unique_states, 1);
+    }
 
     #[test]
     fn error_messages_mention_sizes() {

@@ -7,7 +7,8 @@
 //! index*, and two backends with the same seed produce the same stream.
 
 use crate::backend::{
-    mix_seed, run_batch_indexed, Backend, BackendError, ExecutionResult, JobResult, JobSpec,
+    mix_seed, run_batch_forest, run_batch_indexed, Backend, BackendError, BatchRun, BatchStats,
+    ExecutionResult, JobResult, JobSpec,
 };
 use crate::timing::TimingModel;
 use qcut_circuit::circuit::Circuit;
@@ -25,6 +26,7 @@ pub struct IdealBackend {
     seed: u64,
     job_counter: AtomicU64,
     timing: TimingModel,
+    prefix_sharing: bool,
 }
 
 impl IdealBackend {
@@ -36,6 +38,7 @@ impl IdealBackend {
             seed,
             job_counter: AtomicU64::new(0),
             timing: TimingModel::instantaneous(),
+            prefix_sharing: true,
         }
     }
 
@@ -49,6 +52,14 @@ impl IdealBackend {
     /// device-like durations in runtime experiments).
     pub fn with_timing(mut self, timing: TimingModel) -> Self {
         self.timing = timing;
+        self
+    }
+
+    /// Toggles prefix-shared batch simulation (on by default; `false` is
+    /// the per-job ablation baseline for the prefix-sharing bench). Counts
+    /// are bit-identical either way.
+    pub fn with_prefix_sharing(mut self, enabled: bool) -> Self {
+        self.prefix_sharing = enabled;
         self
     }
 
@@ -95,11 +106,36 @@ impl Backend for IdealBackend {
     /// Native batched execution: sub-seeds are assigned by *batch
     /// position*, not scheduling order — so the counts are deterministic
     /// under any thread interleaving and identical to running the same
-    /// jobs one by one through [`Backend::run`].
+    /// jobs one by one through [`Backend::run`]. With prefix sharing on
+    /// (the default) the batch is simulated through a
+    /// [`qcut_sim::prefix::PrefixForest`]: each shared instruction prefix
+    /// evolves once, the state vector forks at branch points, and every
+    /// distinct final state builds one CDF table reused by all jobs ending
+    /// there — same bits, `O(G + Σ suffix)` instead of `O(V·G)` gates.
+    fn run_batch_stats(&self, jobs: &[JobSpec<'_>]) -> BatchRun {
+        if !self.prefix_sharing {
+            let results = run_batch_indexed(&self.job_counter, jobs, |job, idx| {
+                self.run_seeded(job.circuit, job.shots, mix_seed(self.seed, idx))
+            });
+            let stats = BatchStats::unshared(jobs, &results);
+            return BatchRun { results, stats };
+        }
+        run_batch_forest(
+            &self.job_counter,
+            self.seed,
+            jobs,
+            |c, s| self.check(c, s),
+            StateVector::zero_state,
+            |state: &StateVector| state.probabilities(),
+            &self.timing,
+        )
+    }
+
+    /// Kept in lockstep with [`Backend::run_batch_stats`] (the trait's
+    /// default `run_batch` would bypass the batch-position seeding and the
+    /// prefix forest).
     fn run_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<JobResult> {
-        run_batch_indexed(&self.job_counter, jobs, |job, idx| {
-            self.run_seeded(job.circuit, job.shots, mix_seed(self.seed, idx))
-        })
+        self.run_batch_stats(jobs).results
     }
 }
 
@@ -172,6 +208,70 @@ mod tests {
         for (a, b) in batched.iter().zip(&sequential) {
             assert_eq!(a.as_ref().unwrap().counts, b.as_ref().unwrap().counts);
         }
+    }
+
+    #[test]
+    fn prefix_sharing_is_bit_identical_to_per_job_simulation() {
+        // Upstream-variant-shaped batch: one shared prefix, tiny suffixes,
+        // plus an exact duplicate and an unrelated circuit.
+        let mut base = Circuit::new(3);
+        base.h(0).cx(0, 1).ry(0.3, 2).cx(1, 2);
+        let mut x_rot = base.clone();
+        x_rot.h(2);
+        let mut y_rot = base.clone();
+        y_rot.sdg(2).h(2);
+        let mut other = Circuit::new(2);
+        other.x(0).h(1);
+        let circuits = [&base, &x_rot, &y_rot, &base, &other];
+        let jobs: Vec<JobSpec<'_>> = circuits
+            .iter()
+            .enumerate()
+            .map(|(i, c)| JobSpec::new(c, 300 + i as u64))
+            .collect();
+
+        let shared = IdealBackend::new(7).run_batch_stats(&jobs);
+        let unshared = IdealBackend::new(7)
+            .with_prefix_sharing(false)
+            .run_batch_stats(&jobs);
+        for (a, b) in shared.results.iter().zip(&unshared.results) {
+            assert_eq!(a.as_ref().unwrap().counts, b.as_ref().unwrap().counts);
+        }
+        // And both match a sequential loop over `run`.
+        let seq = IdealBackend::new(7);
+        for (job, r) in jobs.iter().zip(&shared.results) {
+            let s = seq.run(job.circuit, job.shots).unwrap();
+            assert_eq!(r.as_ref().unwrap().counts, s.counts);
+        }
+        // Accounting: sharing applied fewer gates for the same batch.
+        assert_eq!(shared.stats.gates_naive, unshared.stats.gates_naive);
+        assert!(shared.stats.gates_applied < shared.stats.gates_naive);
+        assert_eq!(unshared.stats.gates_saved(), 0);
+        // base appears twice but is one terminal node (one CDF table).
+        assert_eq!(shared.stats.unique_states, 4);
+        assert!(shared.stats.prefix_nodes >= 4);
+    }
+
+    #[test]
+    fn prefix_shared_batch_reports_errors_in_place() {
+        let b = IdealBackend::new(0).with_capacity(2);
+        let mut wide = Circuit::new(3);
+        wide.h(0);
+        let mut fits = Circuit::new(2);
+        fits.h(0);
+        let jobs = vec![
+            JobSpec::new(&wide, 10),
+            JobSpec::new(&fits, 10),
+            JobSpec::new(&fits, 0),
+        ];
+        let run = b.run_batch_stats(&jobs);
+        assert!(matches!(
+            run.results[0],
+            Err(BackendError::CircuitTooWide { .. })
+        ));
+        assert!(run.results[1].is_ok());
+        assert!(matches!(run.results[2], Err(BackendError::NoShots)));
+        // Invalid jobs stay out of the gate accounting.
+        assert_eq!(run.stats.gates_naive, 1);
     }
 
     #[test]

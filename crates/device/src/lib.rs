@@ -34,7 +34,9 @@ pub mod timing;
 
 /// Common re-exports.
 pub mod prelude {
-    pub use crate::backend::{Backend, BackendError, ExecutionResult, JobResult, JobSpec};
+    pub use crate::backend::{
+        Backend, BackendError, BatchRun, BatchStats, ExecutionResult, JobResult, JobSpec,
+    };
     pub use crate::executor::{run_parallel, run_sequential, BatchResult, Job, JobQueue};
     pub use crate::ideal::IdealBackend;
     pub use crate::noisy::NoisyBackend;

@@ -9,14 +9,16 @@
 //! are sampled from the corrupted distribution.
 
 use crate::backend::{
-    mix_seed, run_batch_indexed, Backend, BackendError, ExecutionResult, JobResult, JobSpec,
+    mix_seed, run_batch_forest, run_batch_indexed, Backend, BackendError, BatchRun, BatchStats,
+    ExecutionResult, JobResult, JobSpec,
 };
 use crate::timing::TimingModel;
-use qcut_circuit::circuit::Circuit;
+use qcut_circuit::circuit::{Circuit, Instruction};
 use qcut_math::Matrix;
 use qcut_sim::counts::sample_counts;
 use qcut_sim::density::DensityMatrix;
 use qcut_sim::noise::{KrausChannel, NoiseModel};
+use qcut_sim::prefix::ForkState;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,6 +36,7 @@ pub struct NoisyBackend {
     /// Pre-built thermal channels (1q and 2q gate durations).
     thermal_1q: Option<KrausChannel>,
     thermal_2q: Option<KrausChannel>,
+    prefix_sharing: bool,
 }
 
 impl NoisyBackend {
@@ -69,12 +72,20 @@ impl NoisyBackend {
             job_counter: AtomicU64::new(0),
             thermal_1q,
             thermal_2q,
+            prefix_sharing: true,
         }
     }
 
     /// The backend's noise model.
     pub fn noise(&self) -> &NoiseModel {
         &self.noise
+    }
+
+    /// Toggles prefix-shared batch simulation (on by default; `false` is
+    /// the per-job ablation baseline). Counts are bit-identical either way.
+    pub fn with_prefix_sharing(mut self, enabled: bool) -> Self {
+        self.prefix_sharing = enabled;
+        self
     }
 
     fn next_job_seed(&self) -> u64 {
@@ -99,40 +110,68 @@ impl NoisyBackend {
         })
     }
 
+    /// Applies one unitary instruction followed by the configured noise
+    /// channels on its operand qubits — the single evolution step shared by
+    /// [`NoisyBackend::exact_probabilities`] and the prefix-shared batch
+    /// walk (both must perform the identical operation sequence for the
+    /// batched-equals-sequential contract).
+    fn apply_noisy_instruction(&self, dm: &mut DensityMatrix, inst: &Instruction) {
+        dm.apply_instruction(inst);
+        match inst.qubits.len() {
+            1 => {
+                if let Some(ch) = &self.noise.one_qubit {
+                    dm.apply_kraus_one(ch.operators(), inst.qubits[0]);
+                }
+                if let Some(th) = &self.thermal_1q {
+                    dm.apply_kraus_one(th.operators(), inst.qubits[0]);
+                }
+            }
+            2 => {
+                if let Some(ch) = &self.noise.two_qubit {
+                    dm.apply_kraus_two(ch.operators(), inst.qubits[0], inst.qubits[1]);
+                }
+                if let Some(th) = &self.thermal_2q {
+                    // Thermal relaxation acts independently per qubit.
+                    dm.apply_kraus_one(th.operators(), inst.qubits[0]);
+                    dm.apply_kraus_one(th.operators(), inst.qubits[1]);
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Readout-corrupted outcome distribution of an evolved density matrix
+    /// (the per-leaf finalisation of the batch walk).
+    fn readout_probabilities(&self, dm: &DensityMatrix) -> Vec<f64> {
+        let mut dm = dm.clone();
+        dm.renormalize();
+        let probs = dm.probabilities();
+        self.noise.readout.apply_to_probs(&probs, dm.num_qubits())
+    }
+
     /// Exact noisy output distribution (before shot sampling): density
     /// matrix evolution + readout confusion. Exposed for tests and for
     /// infinite-shot analyses.
     pub fn exact_probabilities(&self, circuit: &Circuit) -> Vec<f64> {
         let mut dm = DensityMatrix::zero_state(circuit.num_qubits());
         for inst in circuit.instructions() {
-            dm.apply_instruction(inst);
-            match inst.qubits.len() {
-                1 => {
-                    if let Some(ch) = &self.noise.one_qubit {
-                        dm.apply_kraus_one(ch.operators(), inst.qubits[0]);
-                    }
-                    if let Some(th) = &self.thermal_1q {
-                        dm.apply_kraus_one(th.operators(), inst.qubits[0]);
-                    }
-                }
-                2 => {
-                    if let Some(ch) = &self.noise.two_qubit {
-                        dm.apply_kraus_two(ch.operators(), inst.qubits[0], inst.qubits[1]);
-                    }
-                    if let Some(th) = &self.thermal_2q {
-                        // Thermal relaxation acts independently per qubit.
-                        dm.apply_kraus_one(th.operators(), inst.qubits[0]);
-                        dm.apply_kraus_one(th.operators(), inst.qubits[1]);
-                    }
-                }
-                _ => unreachable!(),
-            }
+            self.apply_noisy_instruction(&mut dm, inst);
         }
-        dm.renormalize();
-        let probs = dm.probabilities();
-        self.noise
-            .readout
-            .apply_to_probs(&probs, circuit.num_qubits())
+        self.readout_probabilities(&dm)
+    }
+}
+
+/// A density matrix evolving under this backend's noise model — the
+/// [`ForkState`] the prefix-shared batch walk clones at trie branch points.
+#[derive(Clone)]
+struct NoisyEvolution<'b> {
+    backend: &'b NoisyBackend,
+    dm: DensityMatrix,
+}
+
+impl ForkState for NoisyEvolution<'_> {
+    fn apply(&mut self, inst: &Instruction) {
+        self.backend.apply_noisy_instruction(&mut self.dm, inst);
     }
 }
 
@@ -155,13 +194,38 @@ impl Backend for NoisyBackend {
 
     /// Native batched execution. The expensive per-backend noise setup (the
     /// pre-built thermal Kraus channels) is shared across the whole batch,
-    /// and the density-matrix simulations fan out over the rayon pool in a
-    /// single dispatch with batch-position sub-seeds, making batched results
-    /// bit-identical to a sequential loop over [`Backend::run`].
+    /// sub-seeds are assigned by batch position (batched results are
+    /// bit-identical to a sequential loop over [`Backend::run`]), and with
+    /// prefix sharing on the density-matrix evolution of shared circuit
+    /// prefixes — the dominant `O(4^n)`-per-gate cost — runs once per
+    /// prefix, forking at trie branch points.
+    fn run_batch_stats(&self, jobs: &[JobSpec<'_>]) -> BatchRun {
+        if !self.prefix_sharing {
+            let results = run_batch_indexed(&self.job_counter, jobs, |job, idx| {
+                self.run_seeded(job.circuit, job.shots, mix_seed(self.seed, idx))
+            });
+            let stats = BatchStats::unshared(jobs, &results);
+            return BatchRun { results, stats };
+        }
+        run_batch_forest(
+            &self.job_counter,
+            self.seed,
+            jobs,
+            |c, s| self.check(c, s),
+            |width| NoisyEvolution {
+                backend: self,
+                dm: DensityMatrix::zero_state(width),
+            },
+            |state: &NoisyEvolution<'_>| self.readout_probabilities(&state.dm),
+            &self.timing,
+        )
+    }
+
+    /// Kept in lockstep with [`Backend::run_batch_stats`] (the trait's
+    /// default `run_batch` would bypass the batch-position seeding and the
+    /// prefix forest).
     fn run_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<JobResult> {
-        run_batch_indexed(&self.job_counter, jobs, |job, idx| {
-            self.run_seeded(job.circuit, job.shots, mix_seed(self.seed, idx))
-        })
+        self.run_batch_stats(jobs).results
     }
 }
 
@@ -291,6 +355,37 @@ mod tests {
             let s = seq_backend.run(job.circuit, job.shots).unwrap();
             assert_eq!(r.as_ref().unwrap().counts, s.counts);
         }
+    }
+
+    #[test]
+    fn prefix_sharing_is_bit_identical_on_the_noisy_backend() {
+        // Shared-prefix variants of a noisy fragment: the density-matrix
+        // evolution (gates + Kraus channels) of the prefix runs once.
+        let mut base = Circuit::new(2);
+        base.h(0).cx(0, 1).ry(0.4, 1);
+        let mut x_rot = base.clone();
+        x_rot.h(1);
+        let mut y_rot = base.clone();
+        y_rot.sdg(1).h(1);
+        let circuits = [&base, &x_rot, &y_rot, &x_rot];
+        let jobs: Vec<JobSpec<'_>> = circuits
+            .iter()
+            .enumerate()
+            .map(|(i, c)| JobSpec::new(c, 200 + i as u64))
+            .collect();
+
+        let shared = noisy(21).run_batch_stats(&jobs);
+        let unshared = noisy(21).with_prefix_sharing(false).run_batch_stats(&jobs);
+        for (a, b) in shared.results.iter().zip(&unshared.results) {
+            assert_eq!(a.as_ref().unwrap().counts, b.as_ref().unwrap().counts);
+        }
+        let seq = noisy(21);
+        for (job, r) in jobs.iter().zip(&shared.results) {
+            let s = seq.run(job.circuit, job.shots).unwrap();
+            assert_eq!(r.as_ref().unwrap().counts, s.counts);
+        }
+        assert!(shared.stats.gates_applied < shared.stats.gates_naive);
+        assert_eq!(shared.stats.unique_states, 3);
     }
 
     #[test]

@@ -152,35 +152,75 @@ impl fmt::Display for Counts {
     }
 }
 
+/// Precomputed inverse-CDF sampling table over `2^num_bits` outcomes.
+///
+/// Building the cumulative table is `O(2^n)` — the expensive part of shot
+/// sampling once the state is known. Callers that sample the same
+/// distribution repeatedly (the prefix-sharing batch engine: every job
+/// ending at the same trie leaf, JobGraph fan-out over one node) build the
+/// table once and reuse it across `sample` calls; each call only pays
+/// `O(shots · log dim)`. Sampling through a table is bit-identical to
+/// [`sample_counts`], which is now a build-then-sample wrapper.
+#[derive(Debug, Clone)]
+pub struct CdfTable {
+    num_bits: usize,
+    cdf: Vec<f64>,
+    mass: f64,
+}
+
+impl CdfTable {
+    /// Builds the cumulative table from a probability vector (length
+    /// `2^num_bits`). Tiny negative entries are clamped and draws are
+    /// scaled to the actual total mass, tolerating normalisation drift.
+    pub fn from_probs(num_bits: usize, probs: &[f64]) -> Self {
+        assert_eq!(probs.len(), 1 << num_bits, "probability vector length");
+        let mut cdf = Vec::with_capacity(probs.len());
+        let mut acc = 0.0f64;
+        for &p in probs {
+            debug_assert!(p >= -1e-9, "negative probability {p}");
+            acc += p.max(0.0);
+            cdf.push(acc);
+        }
+        let mass = acc;
+        assert!(mass > 0.0, "probability vector has no mass");
+        CdfTable {
+            num_bits,
+            cdf,
+            mass,
+        }
+    }
+
+    /// Bits per outcome.
+    #[inline]
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Samples `shots` outcomes by inverse-CDF binary search.
+    pub fn sample<R: Rng + ?Sized>(&self, shots: u64, rng: &mut R) -> Counts {
+        let mut counts = Counts::new(self.num_bits);
+        for _ in 0..shots {
+            let u: f64 = rng.gen_range(0.0..self.mass);
+            // Binary search for the first cdf entry > u.
+            let idx = self
+                .cdf
+                .partition_point(|&c| c <= u)
+                .min(self.cdf.len() - 1);
+            counts.record(idx as u64);
+        }
+        counts
+    }
+}
+
 /// Samples `shots` outcomes from a probability vector (length `2^num_bits`)
-/// using an inverse-CDF table.
+/// using an inverse-CDF table. One-shot wrapper over [`CdfTable`].
 pub fn sample_counts<R: Rng + ?Sized>(
     num_bits: usize,
     probs: &[f64],
     shots: u64,
     rng: &mut R,
 ) -> Counts {
-    assert_eq!(probs.len(), 1 << num_bits, "probability vector length");
-    // Cumulative table; tolerate tiny normalisation drift by scaling draws
-    // to the actual total mass.
-    let mut cdf = Vec::with_capacity(probs.len());
-    let mut acc = 0.0f64;
-    for &p in probs {
-        debug_assert!(p >= -1e-9, "negative probability {p}");
-        acc += p.max(0.0);
-        cdf.push(acc);
-    }
-    let mass = acc;
-    assert!(mass > 0.0, "probability vector has no mass");
-
-    let mut counts = Counts::new(num_bits);
-    for _ in 0..shots {
-        let u: f64 = rng.gen_range(0.0..mass);
-        // Binary search for the first cdf entry > u.
-        let idx = cdf.partition_point(|&c| c <= u).min(probs.len() - 1);
-        counts.record(idx as u64);
-    }
-    counts
+    CdfTable::from_probs(num_bits, probs).sample(shots, rng)
 }
 
 #[cfg(test)]
@@ -271,6 +311,23 @@ mod tests {
     fn sampling_rejects_zero_mass() {
         let mut rng = StdRng::seed_from_u64(4);
         sample_counts(1, &[0.0, 0.0], 10, &mut rng);
+    }
+
+    #[test]
+    fn reused_cdf_table_matches_fresh_sampling() {
+        // The reuse contract: a table built once and sampled repeatedly
+        // yields exactly what rebuilding it per call would — the identical
+        // RNG consumption makes shared-leaf sampling bit-identical.
+        let probs = [0.15, 0.35, 0.05, 0.45];
+        let table = CdfTable::from_probs(2, &probs);
+        assert_eq!(table.num_bits(), 2);
+        let mut reused = StdRng::seed_from_u64(9);
+        let mut fresh = StdRng::seed_from_u64(9);
+        for shots in [1u64, 17, 500] {
+            let a = table.sample(shots, &mut reused);
+            let b = sample_counts(2, &probs, shots, &mut fresh);
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

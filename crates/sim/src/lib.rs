@@ -22,14 +22,16 @@ pub mod basis_change;
 pub mod counts;
 pub mod density;
 pub mod noise;
+pub mod prefix;
 pub mod statevector;
 
 /// Common re-exports.
 pub mod prelude {
     pub use crate::basis_change::{append_basis_rotation, prep_circuit, sic_prep_circuit};
-    pub use crate::counts::{sample_counts, Counts};
+    pub use crate::counts::{sample_counts, CdfTable, Counts};
     pub use crate::density::DensityMatrix;
     pub use crate::noise::{KrausChannel, NoiseModel, ReadoutError, ThermalSpec};
+    pub use crate::prefix::{ForkState, PrefixForest, PrefixProfile};
     pub use crate::statevector::StateVector;
 }
 

@@ -1,0 +1,556 @@
+//! Prefix-sharing batched simulation: the `PrefixForest`.
+//!
+//! Tomography batches are pathologically redundant: every upstream variant
+//! is the *same* fragment circuit plus a ≤2-gate basis-rotation suffix, and
+//! downstream variants for `K ≥ 2` cuts share preparation prefixes in a
+//! 6-ary trie. A naive batched backend still pays `O(V · G)` gate
+//! applications for `V` variants of a `G`-gate fragment. This module pays
+//! `O(G + Σ suffix)` instead:
+//!
+//! ```text
+//!            root (|0…0>)
+//!             │  fragment gates (simulated ONCE)
+//!             ▼
+//!        [fragment]  ── job: Z setting (no rotation)
+//!          ├── [H]        ── job: X setting
+//!          └── [Sdg, H]   ── job: Y setting
+//! ```
+//!
+//! Circuits are grouped into a compressed trie (one per width), keyed by
+//! structural instruction-prefix hashes ([`Circuit::prefix_hash_chain`])
+//! with equality confirmation on every matched instruction, so a 64-bit
+//! collision can never merge different circuits. Simulation walks the trie
+//! once: each node's instruction segment is applied to a single state,
+//! which is cloned ("forked") only at branch points; subtrees fan out over
+//! the rayon pool. Every node that terminates at least one circuit hands
+//! its final state to the caller *once* — all jobs ending there share the
+//! state (and, in the backends, one CDF sampling table).
+//!
+//! Determinism: forking is a bit-exact clone and every instruction is
+//! applied in the same order as a per-circuit simulation, so leaf states
+//! are bit-identical to `StateVector::from_circuit` / a sequential density
+//! evolution — the property the backends' batched-equals-sequential
+//! contract rests on.
+
+use qcut_circuit::circuit::{Circuit, Instruction};
+use rayon::prelude::*;
+use std::sync::Mutex;
+
+/// A simulation state that can be evolved instruction-by-instruction and
+/// forked (cloned) at trie branch points.
+///
+/// Implementations must make `clone` bit-exact and `apply` deterministic
+/// for a given state, so that prefix-shared evolution reproduces a
+/// per-circuit simulation bit for bit.
+pub trait ForkState: Clone + Send + Sync {
+    /// Applies one instruction in place.
+    fn apply(&mut self, inst: &Instruction);
+}
+
+impl ForkState for crate::statevector::StateVector {
+    fn apply(&mut self, inst: &Instruction) {
+        self.apply_instruction(inst);
+    }
+}
+
+impl ForkState for crate::density::DensityMatrix {
+    fn apply(&mut self, inst: &Instruction) {
+        self.apply_instruction(inst);
+    }
+}
+
+/// One trie node: a maximal shared instruction segment.
+///
+/// The segment is stored as a range into an *exemplar* circuit rather than
+/// cloned instructions — invariant: the concatenated segments on the path
+/// from the root to this node equal `exemplar.instructions()[..end]`, so
+/// edges can be compared against any inserted circuit positionally.
+#[derive(Debug)]
+struct Node {
+    /// Width of every circuit below this node.
+    width: usize,
+    /// Index (into the forest's circuit list) of the circuit spelling this
+    /// node's segment.
+    exemplar: usize,
+    /// Segment start within the exemplar's instruction list.
+    start: usize,
+    /// Segment end (exclusive); the root of each width group has
+    /// `start == end == 0`.
+    end: usize,
+    /// Child nodes, in first-insertion order.
+    children: Vec<usize>,
+    /// Circuits (by forest index) whose instruction list ends exactly at
+    /// this node.
+    jobs: Vec<usize>,
+}
+
+/// Summary of a forest's sharing economics — the planner-side prefix
+/// metadata surfaced in reports and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixProfile {
+    /// Circuits inserted into the forest.
+    pub circuits: usize,
+    /// Trie nodes, including one root per distinct width.
+    pub nodes: usize,
+    /// Nodes at which at least one circuit terminates (distinct circuits —
+    /// each gets one final state and one sampling table).
+    pub terminal_nodes: usize,
+    /// Gate applications a per-circuit simulation would perform
+    /// (`Σ len(circuit)`).
+    pub gates_naive: u64,
+    /// Gate applications the shared walk performs (`Σ segment lengths`).
+    pub gates_shared: u64,
+}
+
+impl PrefixProfile {
+    /// Gate applications eliminated by sharing.
+    pub fn gates_saved(&self) -> u64 {
+        self.gates_naive - self.gates_shared
+    }
+
+    /// `naive / shared` work ratio (1.0 when nothing is shared).
+    pub fn sharing_factor(&self) -> f64 {
+        if self.gates_shared == 0 {
+            1.0
+        } else {
+            self.gates_naive as f64 / self.gates_shared as f64
+        }
+    }
+}
+
+/// A compressed trie over a batch of circuits, grouping shared instruction
+/// prefixes so each is simulated exactly once. See the module docs.
+#[derive(Debug)]
+pub struct PrefixForest<'c> {
+    circuits: Vec<&'c Circuit>,
+    /// Per-circuit incremental structural hashes (`chains[i][p]`
+    /// fingerprints circuit `i`'s first `p` instructions).
+    chains: Vec<Vec<u64>>,
+    nodes: Vec<Node>,
+    /// Root node per distinct width, in first-appearance order.
+    roots: Vec<usize>,
+}
+
+impl<'c> PrefixForest<'c> {
+    /// Builds the forest over `circuits` (insertion order is preserved in
+    /// [`PrefixForest::dfs_job_order`] for already-trie-local input).
+    pub fn build(circuits: &[&'c Circuit]) -> Self {
+        let mut forest = PrefixForest {
+            circuits: circuits.to_vec(),
+            chains: circuits.iter().map(|c| c.prefix_hash_chain()).collect(),
+            nodes: Vec::new(),
+            roots: Vec::new(),
+        };
+        for j in 0..forest.circuits.len() {
+            forest.insert(j);
+        }
+        forest
+    }
+
+    /// Inserts circuit `j`, splitting edges at divergence points.
+    fn insert(&mut self, j: usize) {
+        let width = self.circuits[j].num_qubits();
+        let root = match self
+            .roots
+            .iter()
+            .copied()
+            .find(|&r| self.nodes[r].width == width)
+        {
+            Some(r) => r,
+            None => {
+                let r = self.push_node(width, j, 0, 0);
+                self.roots.push(r);
+                r
+            }
+        };
+
+        let total = self.circuits[j].len();
+        let mut cur = root;
+        let mut pos = 0usize; // instructions of `j` consumed so far
+        loop {
+            if pos == total {
+                self.nodes[cur].jobs.push(j);
+                return;
+            }
+            // Find the child whose segment starts with j's next instruction:
+            // hash-keyed lookup, confirmed by instruction equality.
+            let next = self.nodes[cur].children.iter().copied().find(|&c| {
+                let n = &self.nodes[c];
+                self.chains[n.exemplar][pos + 1] == self.chains[j][pos + 1]
+                    && self.instruction(n.exemplar, n.start) == self.instruction(j, pos)
+            });
+            let child = match next {
+                Some(c) => c,
+                None => {
+                    let leaf = self.push_node(width, j, pos, total);
+                    self.nodes[leaf].jobs.push(j);
+                    self.nodes[cur].children.push(leaf);
+                    return;
+                }
+            };
+
+            // Advance along the child's segment while prefixes agree.
+            let (exemplar, seg_start, seg_end) = {
+                let n = &self.nodes[child];
+                (n.exemplar, n.start, n.end)
+            };
+            debug_assert_eq!(seg_start, pos, "edge start must equal path length");
+            let limit = (seg_end - seg_start).min(total - pos);
+            let mut matched = 1usize; // the child-lookup confirmed one
+            while matched < limit
+                && self.chains[exemplar][pos + matched + 1] == self.chains[j][pos + matched + 1]
+                && self.instruction(exemplar, pos + matched) == self.instruction(j, pos + matched)
+            {
+                matched += 1;
+            }
+
+            if matched == seg_end - seg_start {
+                // Consumed the whole edge; descend.
+                pos += matched;
+                cur = child;
+                continue;
+            }
+
+            // Diverged mid-edge: split the child at the divergence point.
+            let mid = self.push_node(width, exemplar, seg_start, seg_start + matched);
+            self.nodes[child].start = seg_start + matched;
+            self.nodes[mid].children.push(child);
+            let slot = self.nodes[cur]
+                .children
+                .iter()
+                .position(|&c| c == child)
+                .expect("child listed under its parent");
+            self.nodes[cur].children[slot] = mid;
+
+            pos += matched;
+            if pos == total {
+                self.nodes[mid].jobs.push(j);
+            } else {
+                let leaf = self.push_node(width, j, pos, total);
+                self.nodes[leaf].jobs.push(j);
+                self.nodes[mid].children.push(leaf);
+            }
+            return;
+        }
+    }
+
+    fn push_node(&mut self, width: usize, exemplar: usize, start: usize, end: usize) -> usize {
+        self.nodes.push(Node {
+            width,
+            exemplar,
+            start,
+            end,
+            children: Vec::new(),
+            jobs: Vec::new(),
+        });
+        self.nodes.len() - 1
+    }
+
+    #[inline]
+    fn instruction(&self, circuit: usize, idx: usize) -> &Instruction {
+        &self.circuits[circuit].instructions()[idx]
+    }
+
+    /// Number of circuits in the forest.
+    pub fn num_circuits(&self) -> usize {
+        self.circuits.len()
+    }
+
+    /// Total trie nodes, including one (empty-segment) root per distinct
+    /// circuit width. Each non-root node is one distinct maximal shared
+    /// prefix segment of the batch.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Nodes at which at least one circuit terminates — the number of
+    /// *distinct* circuits, and the number of final states (and sampling
+    /// tables) the walk produces.
+    pub fn num_terminal_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.jobs.is_empty()).count()
+    }
+
+    /// Gate applications the shared walk performs.
+    pub fn gates_shared(&self) -> u64 {
+        self.nodes.iter().map(|n| (n.end - n.start) as u64).sum()
+    }
+
+    /// Gate applications a per-circuit simulation would perform.
+    pub fn gates_naive(&self) -> u64 {
+        self.circuits.iter().map(|c| c.len() as u64).sum()
+    }
+
+    /// The forest's sharing summary.
+    pub fn profile(&self) -> PrefixProfile {
+        PrefixProfile {
+            circuits: self.num_circuits(),
+            nodes: self.num_nodes(),
+            terminal_nodes: self.num_terminal_nodes(),
+            gates_naive: self.gates_naive(),
+            gates_shared: self.gates_shared(),
+        }
+    }
+
+    /// Circuit indices in trie DFS (pre-order) — the trie-locality order
+    /// the planner emits jobs in: circuits sharing a prefix are adjacent,
+    /// and input that is already trie-local comes back unchanged (children
+    /// and jobs keep first-insertion order).
+    pub fn dfs_job_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.circuits.len());
+        let mut stack: Vec<usize> = self.roots.iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            order.extend(node.jobs.iter().copied());
+            stack.extend(node.children.iter().rev().copied());
+        }
+        order
+    }
+
+    /// Simulates every circuit with one shared walk.
+    ///
+    /// `init` builds the root state for a width (e.g.
+    /// `StateVector::zero_state`). For every node where at least one
+    /// circuit terminates, `visit(&state, members)` is called exactly once
+    /// with the node's final state and the indices of all circuits ending
+    /// there; it returns one value per member (same order). The walk forks
+    /// the state at branch points and recurses over subtrees in parallel
+    /// on the rayon pool; the per-circuit results are returned in input
+    /// order. Thread scheduling cannot affect any value handed to `visit`.
+    pub fn simulate_with<S, I, V, T>(&self, init: I, visit: V) -> Vec<T>
+    where
+        S: ForkState,
+        I: Fn(usize) -> S + Sync,
+        V: Fn(&S, &[usize]) -> Vec<T> + Sync,
+        T: Send,
+    {
+        let sink: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(self.circuits.len()));
+        self.roots.par_iter().for_each(|&r| {
+            self.walk(r, init(self.nodes[r].width), &visit, &sink);
+        });
+        let mut slots: Vec<Option<T>> = (0..self.circuits.len()).map(|_| None).collect();
+        for (j, v) in sink.into_inner().expect("forest sink poisoned") {
+            debug_assert!(slots[j].is_none(), "circuit delivered twice");
+            slots[j] = Some(v);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every circuit terminates at exactly one node"))
+            .collect()
+    }
+
+    fn walk<S, V, T>(&self, idx: usize, mut state: S, visit: &V, sink: &Mutex<Vec<(usize, T)>>)
+    where
+        S: ForkState,
+        V: Fn(&S, &[usize]) -> Vec<T> + Sync,
+        T: Send,
+    {
+        let node = &self.nodes[idx];
+        for inst in &self.circuits[node.exemplar].instructions()[node.start..node.end] {
+            state.apply(inst);
+        }
+        if !node.jobs.is_empty() {
+            let values = visit(&state, &node.jobs);
+            assert_eq!(
+                values.len(),
+                node.jobs.len(),
+                "visit must return one value per terminating circuit"
+            );
+            let mut sink = sink.lock().expect("forest sink poisoned");
+            sink.extend(node.jobs.iter().copied().zip(values));
+        }
+        match node.children.len() {
+            0 => {}
+            // Single child: hand the state over without a fork.
+            1 => self.walk(node.children[0], state, visit, sink),
+            _ => node.children.par_iter().for_each(|&c| {
+                self.walk(c, state.clone(), visit, sink);
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::StateVector;
+
+    /// The canonical upstream workload: one fragment, three rotation
+    /// suffixes (Z appends nothing, X appends H, Y appends Sdg+H).
+    fn upstream_variants() -> Vec<Circuit> {
+        let mut fragment = Circuit::new(3);
+        fragment.h(0).cx(0, 1).ry(0.3, 2).cx(1, 2);
+        let z = fragment.clone();
+        let mut x = fragment.clone();
+        x.h(2);
+        let mut y = fragment.clone();
+        y.sdg(2).h(2);
+        vec![z, x, y]
+    }
+
+    fn simulate_all(circuits: &[Circuit]) -> Vec<StateVector> {
+        let refs: Vec<&Circuit> = circuits.iter().collect();
+        PrefixForest::build(&refs).simulate_with(StateVector::zero_state, |state, members| {
+            members.iter().map(|_| state.clone()).collect()
+        })
+    }
+
+    #[test]
+    fn node_count_equals_distinct_prefix_segments() {
+        let variants = upstream_variants();
+        let refs: Vec<&Circuit> = variants.iter().collect();
+        let forest = PrefixForest::build(&refs);
+        // Distinct prefix segments: the shared fragment, the H suffix and
+        // the Sdg+H suffix — plus one root for the single width.
+        assert_eq!(forest.num_nodes(), 4);
+        assert_eq!(forest.num_terminal_nodes(), 3);
+        assert_eq!(forest.gates_naive(), (4 + 5 + 6) as u64);
+        assert_eq!(forest.gates_shared(), (4 + 1 + 2) as u64);
+        assert_eq!(forest.profile().gates_saved(), 8);
+    }
+
+    #[test]
+    fn identical_circuits_share_one_terminal_node() {
+        let c = upstream_variants().remove(0);
+        let copies = [c.clone(), c.clone(), c];
+        let refs: Vec<&Circuit> = copies.iter().collect();
+        let forest = PrefixForest::build(&refs);
+        assert_eq!(forest.num_nodes(), 2); // root + one segment
+        assert_eq!(forest.num_terminal_nodes(), 1);
+        assert_eq!(forest.gates_shared(), 4);
+    }
+
+    #[test]
+    fn disjoint_circuits_share_nothing() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.x(0);
+        let mut c = Circuit::new(3); // different width: own root
+        c.h(1);
+        let all = [a, b, c];
+        let refs: Vec<&Circuit> = all.iter().collect();
+        let forest = PrefixForest::build(&refs);
+        assert_eq!(forest.num_nodes(), 2 + 3); // two roots + three leaves
+        assert_eq!(forest.gates_shared(), forest.gates_naive());
+        assert!((forest.profile().sharing_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mid_edge_split_creates_an_interior_node() {
+        // b diverges inside a's single segment: [h, cx, s] vs [h, cx, t].
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1).s(1);
+        let mut b = Circuit::new(2);
+        b.h(0).cx(0, 1).t(1);
+        let refs = [&a, &b];
+        let forest = PrefixForest::build(&refs);
+        // root + shared [h, cx] + [s] + [t].
+        assert_eq!(forest.num_nodes(), 4);
+        assert_eq!(forest.gates_shared(), 4);
+        assert_eq!(forest.gates_naive(), 6);
+    }
+
+    #[test]
+    fn circuit_that_is_a_prefix_of_another_terminates_mid_path() {
+        let variants = upstream_variants();
+        // variants[0] (the bare fragment) is a strict prefix of variants[1].
+        let pair = vec![variants[1].clone(), variants[0].clone()];
+        let refs: Vec<&Circuit> = pair.iter().collect();
+        let forest = PrefixForest::build(&refs);
+        assert_eq!(forest.num_terminal_nodes(), 2);
+        let states = simulate_all(&pair);
+        assert_eq!(states[0], StateVector::from_circuit(&pair[0]));
+        assert_eq!(states[1], StateVector::from_circuit(&pair[1]));
+    }
+
+    #[test]
+    fn empty_circuits_terminate_at_the_root() {
+        let all = vec![Circuit::new(2), Circuit::new(2)];
+        let refs: Vec<&Circuit> = all.iter().collect();
+        let forest = PrefixForest::build(&refs);
+        assert_eq!(forest.num_nodes(), 1);
+        assert_eq!(forest.num_terminal_nodes(), 1);
+        let states = simulate_all(&all);
+        assert_eq!(states[0], StateVector::zero_state(2));
+    }
+
+    #[test]
+    fn shared_simulation_is_bit_identical_to_per_circuit_simulation() {
+        use qcut_circuit::random::{random_circuit, RandomCircuitConfig};
+        let mut batch = Vec::new();
+        for seed in 0..4 {
+            let base = random_circuit(4, RandomCircuitConfig::default(), seed);
+            batch.push(base.clone());
+            let mut rotated = base.clone();
+            rotated.h(3);
+            batch.push(rotated);
+            let mut deeper = base;
+            deeper.sdg(3).h(3).cx(0, 3);
+            batch.push(deeper);
+        }
+        let states = simulate_all(&batch);
+        for (i, c) in batch.iter().enumerate() {
+            let reference = StateVector::from_circuit(c);
+            assert_eq!(
+                states[i].amplitudes(),
+                reference.amplitudes(),
+                "circuit {i} diverged from its per-circuit simulation"
+            );
+        }
+    }
+
+    #[test]
+    fn dfs_order_is_identity_on_trie_local_input() {
+        let variants = upstream_variants();
+        let refs: Vec<&Circuit> = variants.iter().collect();
+        assert_eq!(PrefixForest::build(&refs).dfs_job_order(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dfs_order_regroups_interleaved_batches() {
+        // Interleave two prefix families; DFS clusters them.
+        let variants = upstream_variants();
+        let mut other = Circuit::new(3);
+        other.x(0).x(1).x(2);
+        let batch = [&variants[0], &other, &variants[1], &variants[2]];
+        let order = PrefixForest::build(&batch).dfs_job_order();
+        assert_eq!(order, vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn density_states_walk_the_same_forest() {
+        use crate::density::DensityMatrix;
+        let variants = upstream_variants();
+        let refs: Vec<&Circuit> = variants.iter().collect();
+        let probs = PrefixForest::build(&refs).simulate_with(
+            DensityMatrix::zero_state,
+            |state: &DensityMatrix, members| {
+                members.iter().map(|_| state.probabilities()).collect()
+            },
+        );
+        for (i, c) in variants.iter().enumerate() {
+            let mut reference = DensityMatrix::zero_state(3);
+            reference.apply_circuit(c);
+            assert_eq!(probs[i], reference.probabilities(), "circuit {i}");
+        }
+    }
+
+    #[test]
+    fn visit_runs_once_per_terminal_node() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let c = upstream_variants().remove(0);
+        let copies = [c.clone(), c.clone(), c];
+        let refs: Vec<&Circuit> = copies.iter().collect();
+        let calls = AtomicUsize::new(0);
+        let states = PrefixForest::build(&refs).simulate_with(
+            StateVector::zero_state,
+            |state: &StateVector, members| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                members.iter().map(|_| state.probability(0)).collect()
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(states.len(), 3);
+        assert_eq!(states[0], states[2]);
+    }
+}

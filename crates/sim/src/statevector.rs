@@ -137,44 +137,40 @@ impl StateVector {
         let lo = b0.min(b1);
         let hi = b0.max(b1);
 
-        let body = |amps: &mut [Complex], start: usize| {
-            let len = amps.len();
-            let mut base = 0usize;
-            while base < len {
-                let idx = start + base;
-                // Skip indices where either involved bit is set: we only
-                // process the (00) representative of each quadruple.
-                if idx & (lo | hi) != 0 {
-                    base += 1;
-                    continue;
-                }
-                let i00 = base;
-                let i01 = base + b0; // bit q0 set
-                let i10 = base + b1; // bit q1 set
-                let i11 = base + b0 + b1;
+        // Enumerate the 2^n/4 quadruple representatives (both operand bits
+        // clear) directly: deposit a zero bit at each operand position with
+        // two bit-deposit splits, instead of scanning all 2^n indices and
+        // branching away the 3/4 that are not representatives. `k` runs
+        // over compacted indices; re-expansion is monotone, so quadruples
+        // are visited in the same ascending order as the old skip loop.
+        let lo_below = lo - 1; // bits strictly below the lower operand bit
+        let hi_below = hi - 1; // bits strictly below the higher operand bit
+        let body = move |amps: &mut [Complex]| {
+            for k in 0..amps.len() >> 2 {
+                let t = ((k & !lo_below) << 1) | (k & lo_below);
+                let i00 = ((t & !hi_below) << 1) | (t & hi_below);
+                let i01 = i00 + b0; // bit q0 set
+                let i10 = i00 + b1; // bit q1 set
+                let i11 = i00 + b0 + b1;
                 let x = [amps[i00], amps[i01], amps[i10], amps[i11]];
                 for (slot, row) in [(i00, 0usize), (i01, 1), (i10, 2), (i11, 3)] {
                     let gr = &g[row];
                     amps[slot] = gr[0] * x[0] + gr[1] * x[1] + gr[2] * x[2] + gr[3] * x[3];
                 }
-                base += 1;
             }
         };
 
         if self.num_qubits >= PAR_THRESHOLD_QUBITS {
             // Parallelise over chunks aligned to 2*hi so all four partners
-            // of a quadruple land in the same chunk.
+            // of a quadruple land in the same chunk; chunk starts then have
+            // both operand bits clear, so the chunk-local deposit enumerates
+            // exactly the chunk's representatives.
             let align = hi << 1;
             let chunk =
                 ((dim / rayon::current_num_threads().max(1)).next_power_of_two()).max(align);
-            let starts: Vec<usize> = (0..dim).step_by(chunk).collect();
-            let ptr_chunks: Vec<&mut [Complex]> = self.amps.chunks_mut(chunk).collect();
-            ptr_chunks
-                .into_par_iter()
-                .zip(starts.into_par_iter())
-                .for_each(|(slice, start)| body(slice, start));
+            self.amps.par_chunks_mut(chunk).for_each(body);
         } else {
-            body(&mut self.amps, 0);
+            body(&mut self.amps);
         }
     }
 
@@ -208,16 +204,47 @@ impl StateVector {
     }
 
     /// Expectation value of a Pauli string, `<ψ|P|ψ>` (real for Hermitian P).
+    ///
+    /// Computed as one streaming pass over the amplitudes, in place and
+    /// allocation-free: a Pauli string maps a basis state to a single basis
+    /// state with a phase, `P|i> = i^{#Y} (−1)^{|i ∧ phase|} |i ⊕ flip>`
+    /// (`flip` collects X/Y positions, `phase` collects Y/Z positions), so
+    /// `<ψ|P|ψ> = i^{#Y} Σ_i (−1)^{|i ∧ phase|} ψ*_{i⊕flip} ψ_i` — a
+    /// pairwise accumulation over `(i, i ⊕ flip)` partners, with no state
+    /// copy and no per-qubit gate applications.
     pub fn expectation_pauli(&self, p: &PauliString) -> f64 {
         assert_eq!(p.len(), self.num_qubits, "pauli string width mismatch");
-        // Apply P to a copy, then take the inner product.
-        let mut transformed = self.clone();
+        let mut flip = 0usize;
+        let mut phase = 0usize;
+        let mut num_y = 0u32;
         for (q, pauli) in p.paulis().iter().enumerate() {
-            if *pauli != Pauli::I {
-                transformed.apply_one_qubit(&pauli.matrix(), q);
+            match pauli {
+                Pauli::I => {}
+                Pauli::X => flip |= 1 << q,
+                Pauli::Y => {
+                    flip |= 1 << q;
+                    phase |= 1 << q;
+                    num_y += 1;
+                }
+                Pauli::Z => phase |= 1 << q,
             }
         }
-        self.inner_product(&transformed).re
+        let mut acc = Complex::ZERO;
+        for (i, &amp) in self.amps.iter().enumerate() {
+            let v = self.amps[i ^ flip].conj() * amp;
+            acc = if (i & phase).count_ones() & 1 == 1 {
+                acc - v
+            } else {
+                acc + v
+            };
+        }
+        // i^{#Y}: rotate the accumulated sum by the global Y phase.
+        match num_y % 4 {
+            0 => acc.re,
+            1 => acc.mul_i().re,
+            2 => -acc.re,
+            _ => acc.mul_neg_i().re,
+        }
     }
 
     /// Samples measurement outcomes in the computational basis.

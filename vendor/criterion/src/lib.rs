@@ -70,6 +70,7 @@ pub struct Bencher {
     samples: Vec<Duration>,
     iters_per_sample: u64,
     target_sample_count: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
@@ -77,6 +78,16 @@ impl Bencher {
     /// count per sample is calibrated so one sample costs ~10 ms (capped
     /// so the whole benchmark stays under ~1 s even for slow routines).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            // `cargo bench -- --test` smoke mode: run the routine once to
+            // prove it executes, skip calibration and timing.
+            let start = Instant::now();
+            black_box(routine());
+            self.iters_per_sample = 1;
+            self.samples.clear();
+            self.samples.push(start.elapsed());
+            return;
+        }
         // Warm-up & calibration: run until 5 ms or 1000 iters.
         let calib_start = Instant::now();
         let mut calib_iters: u64 = 0;
@@ -139,6 +150,7 @@ fn fmt_ns(ns: f64) -> String {
 pub struct BenchmarkGroup<'c> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     _criterion: &'c mut Criterion,
 }
 
@@ -164,6 +176,7 @@ impl BenchmarkGroup<'_> {
             samples: Vec::new(),
             iters_per_sample: 1,
             target_sample_count: self.sample_size,
+            test_mode: self.test_mode,
         };
         f(&mut bencher, input);
         bencher.report(&format!("{}/{}", self.name, id.full));
@@ -180,6 +193,7 @@ impl BenchmarkGroup<'_> {
             samples: Vec::new(),
             iters_per_sample: 1,
             target_sample_count: self.sample_size,
+            test_mode: self.test_mode,
         };
         f(&mut bencher);
         bencher.report(&format!("{}/{}", self.name, id.full));
@@ -194,12 +208,17 @@ impl BenchmarkGroup<'_> {
 
 /// Benchmark runner handle.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    test_mode: bool,
+}
 
 impl Criterion {
-    /// Applies command-line configuration (accepted and ignored in the
-    /// stub, so `cargo bench -- <filter>` doesn't error out).
-    pub fn configure_from_args(self) -> Self {
+    /// Applies command-line configuration. Only `--test` is interpreted
+    /// (run every benchmark once, untimed — the smoke mode CI uses);
+    /// other flags are accepted and ignored so `cargo bench -- <filter>`
+    /// doesn't error out.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
         self
     }
 
@@ -210,6 +229,7 @@ impl Criterion {
         BenchmarkGroup {
             name,
             sample_size: 10,
+            test_mode: self.test_mode,
             _criterion: self,
         }
     }
@@ -224,6 +244,7 @@ impl Criterion {
             samples: Vec::new(),
             iters_per_sample: 1,
             target_sample_count: 10,
+            test_mode: self.test_mode,
         };
         f(&mut bencher);
         bencher.report(&id.full);
