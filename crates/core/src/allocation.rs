@@ -8,11 +8,19 @@
 //! [`ShotAllocation::WeightedByUsage`] splits a total budget
 //! proportionally to that usage count; the ablation benches compare it
 //! against the paper's uniform scheme.
+//!
+//! Budget totals are exact: non-uniform splits use largest-remainder
+//! apportionment, so every policy schedules *exactly* the shots it was
+//! asked for (property-tested in `tests/integration_allocation.rs`).
+//! Under-sized budgets are a typed [`AllocationError`], surfaced by the
+//! pipeline as [`crate::error::PipelineError::Allocation`].
 
 use crate::basis::{encode_meas, encode_prep, BasisPlan};
+use crate::sic::all_sic_settings;
 use crate::tomography::ExperimentPlan;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
 
 /// How to distribute shots over the subcircuit settings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -36,8 +44,37 @@ pub enum ShotAllocation {
     },
 }
 
+/// A schedule request that cannot be satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationError {
+    /// The total budget cannot give every setting at least one shot.
+    BudgetTooSmall {
+        /// The requested total.
+        total: u64,
+        /// Number of settings that must each receive ≥ 1 shot.
+        settings: usize,
+    },
+}
+
+impl fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocationError::BudgetTooSmall { total, settings } => write!(
+                f,
+                "shot budget {total} cannot cover {settings} settings with at \
+                 least one shot each; raise the total or shrink the plan"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
 /// Concrete per-setting shot counts, aligned with an [`ExperimentPlan`]'s
-/// variant order.
+/// variant order (equivalently [`BasisPlan::all_meas_settings`] /
+/// [`BasisPlan::all_prep_settings`] order, which is how the plan builds
+/// its variants; for SIC schedules the downstream half is aligned with
+/// [`all_sic_settings`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShotSchedule {
     /// Shots for each upstream variant.
@@ -47,6 +84,14 @@ pub struct ShotSchedule {
 }
 
 impl ShotSchedule {
+    /// The uniform schedule over `n_up + n_down` settings.
+    pub fn uniform(n_up: usize, n_down: usize, shots_per_setting: u64) -> Self {
+        ShotSchedule {
+            upstream: vec![shots_per_setting; n_up],
+            downstream: vec![shots_per_setting; n_down],
+        }
+    }
+
     /// Total shots in the schedule.
     pub fn total(&self) -> u64 {
         self.upstream.iter().sum::<u64>() + self.downstream.iter().sum::<u64>()
@@ -61,6 +106,21 @@ impl ShotSchedule {
             .copied()
             .min()
             .unwrap_or(0)
+    }
+
+    /// Largest per-setting budget.
+    pub fn max_shots(&self) -> u64 {
+        self.upstream
+            .iter()
+            .chain(&self.downstream)
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of settings the schedule covers.
+    pub fn num_settings(&self) -> usize {
+        self.upstream.len() + self.downstream.len()
     }
 }
 
@@ -88,85 +148,216 @@ pub fn usage_counts(plan: &BasisPlan) -> (HashMap<u64, u64>, HashMap<u64, u64>) 
     (upstream, downstream)
 }
 
-/// Builds the concrete schedule for a plan and allocation policy.
-///
-/// # Panics
-/// Panics if a total budget is too small to give every setting at least
-/// one shot.
+/// Splits `total` over the weight vector with largest-remainder
+/// apportionment: quotas `total·wᵢ/Σw` are floored and the leftover shots
+/// go to the largest fractional parts (ties to the earliest setting), so
+/// the result always sums to exactly `total`.
+fn apportion(total: u64, weights: &[f64]) -> Vec<u64> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let weight_sum: f64 = weights.iter().sum();
+    if weight_sum <= 0.0 {
+        // Degenerate weights: fall back to an even split.
+        return apportion(total, &vec![1.0; weights.len()]);
+    }
+    let mut out: Vec<u64> = Vec::with_capacity(weights.len());
+    let mut fractions: Vec<(f64, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        let quota = total as f64 * w / weight_sum;
+        let floor = quota.floor().min(total as f64) as u64;
+        out.push(floor);
+        assigned += floor;
+        fractions.push((quota - floor as f64, i));
+    }
+    // Floating-point floors can only undershoot the target by < n; hand the
+    // leftovers to the largest remainders, earliest index first on ties.
+    let mut leftover = total.saturating_sub(assigned);
+    fractions.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut cursor = 0usize;
+    while leftover > 0 {
+        out[fractions[cursor % fractions.len()].1] += 1;
+        cursor += 1;
+        leftover -= 1;
+    }
+    out
+}
+
+/// The weighted scheduling core shared by every non-uniform policy: checks
+/// the budget, reserves one shot per setting, apportions the spare by
+/// weight, and splits the result back into upstream/downstream halves.
+fn schedule_weighted(
+    total: u64,
+    up_w: &[f64],
+    down_w: &[f64],
+) -> Result<ShotSchedule, AllocationError> {
+    let n_total = up_w.len() + down_w.len();
+    if total < n_total as u64 {
+        return Err(AllocationError::BudgetTooSmall {
+            total,
+            settings: n_total,
+        });
+    }
+    // Reserve one shot per setting, distribute the rest by weight with an
+    // exact largest-remainder split.
+    let spare = total - n_total as u64;
+    let weights: Vec<f64> = up_w.iter().chain(down_w).copied().collect();
+    let split = apportion(spare, &weights);
+    let upstream: Vec<u64> = split[..up_w.len()].iter().map(|&s| s + 1).collect();
+    let downstream: Vec<u64> = split[up_w.len()..].iter().map(|&s| s + 1).collect();
+    Ok(ShotSchedule {
+        upstream,
+        downstream,
+    })
+}
+
+/// How the downstream settings weigh in under
+/// [`ShotAllocation::WeightedByUsage`].
+enum DownstreamKeys<'a> {
+    /// Eigenstate preparations, usage-weighted by their [`encode_prep`]
+    /// keys (in emission order).
+    Keyed(&'a [u64]),
+    /// `n` SIC preparations: informationally complete, so every
+    /// reconstruction string reads every preparation through the frame
+    /// solve and their usage is uniform by construction.
+    UniformWeight(usize),
+}
+
+impl DownstreamKeys<'_> {
+    fn len(&self) -> usize {
+        match self {
+            DownstreamKeys::Keyed(keys) => keys.len(),
+            DownstreamKeys::UniformWeight(n) => *n,
+        }
+    }
+}
+
+/// Builds a schedule given the plan's upstream/downstream setting keys (in
+/// emission order) and an allocation policy.
+fn schedule_for_keys(
+    basis: &BasisPlan,
+    up_keys: &[u64],
+    down_keys: DownstreamKeys<'_>,
+    allocation: ShotAllocation,
+) -> Result<ShotSchedule, AllocationError> {
+    let n_up = up_keys.len();
+    let n_down = down_keys.len();
+    match allocation {
+        ShotAllocation::Uniform { shots_per_setting } => {
+            Ok(ShotSchedule::uniform(n_up, n_down, shots_per_setting))
+        }
+        ShotAllocation::TotalBudget { total } => {
+            // Even split == equal weights, *without* the reserve-one step so
+            // the division stays `base + remainder to the earliest settings`
+            // (bit-identical to the historical behaviour).
+            let n_total = n_up + n_down;
+            if total < n_total as u64 {
+                return Err(AllocationError::BudgetTooSmall {
+                    total,
+                    settings: n_total,
+                });
+            }
+            let split = apportion(total, &vec![1.0; n_total]);
+            Ok(ShotSchedule {
+                upstream: split[..n_up].to_vec(),
+                downstream: split[n_up..].to_vec(),
+            })
+        }
+        ShotAllocation::WeightedByUsage { total } => {
+            let (up_usage, down_usage) = usage_counts(basis);
+            let up_w: Vec<f64> = up_keys
+                .iter()
+                .map(|k| up_usage.get(k).copied().unwrap_or(1) as f64)
+                .collect();
+            let down_w: Vec<f64> = match down_keys {
+                DownstreamKeys::Keyed(keys) => keys
+                    .iter()
+                    .map(|k| down_usage.get(k).copied().unwrap_or(1) as f64)
+                    .collect(),
+                DownstreamKeys::UniformWeight(n) => vec![1.0; n],
+            };
+            schedule_weighted(total, &up_w, &down_w)
+        }
+    }
+}
+
+/// Builds the concrete schedule for an eigenstate experiment plan and an
+/// allocation policy. The schedule is aligned with `experiment`'s variant
+/// order.
 pub fn schedule(
     basis: &BasisPlan,
     experiment: &ExperimentPlan,
     allocation: ShotAllocation,
-) -> ShotSchedule {
-    let n_up = experiment.upstream.len();
-    let n_down = experiment.downstream.len();
-    let n_total = n_up + n_down;
-    match allocation {
-        ShotAllocation::Uniform { shots_per_setting } => ShotSchedule {
-            upstream: vec![shots_per_setting; n_up],
-            downstream: vec![shots_per_setting; n_down],
-        },
-        ShotAllocation::TotalBudget { total } => {
-            assert!(
-                total >= n_total as u64,
-                "budget {total} cannot cover {n_total} settings"
-            );
-            let base = total / n_total as u64;
-            let mut rem = (total % n_total as u64) as usize;
-            let mut give = |n: usize| -> Vec<u64> {
-                (0..n)
-                    .map(|_| {
-                        base + if rem > 0 {
-                            rem -= 1;
-                            1
-                        } else {
-                            0
-                        }
-                    })
-                    .collect()
-            };
-            let upstream = give(n_up);
-            let downstream = give(n_down);
-            ShotSchedule {
-                upstream,
-                downstream,
-            }
-        }
-        ShotAllocation::WeightedByUsage { total } => {
-            assert!(
-                total >= n_total as u64,
-                "budget {total} cannot cover {n_total} settings"
-            );
-            let (up_usage, down_usage) = usage_counts(basis);
-            let up_w: Vec<f64> = experiment
-                .upstream
-                .iter()
-                .map(|v| up_usage.get(&encode_meas(&v.setting)).copied().unwrap_or(1) as f64)
-                .collect();
-            let down_w: Vec<f64> = experiment
-                .downstream
-                .iter()
-                .map(|v| {
-                    down_usage
-                        .get(&encode_prep(&v.preparation))
-                        .copied()
-                        .unwrap_or(1) as f64
-                })
-                .collect();
-            let weight_sum: f64 = up_w.iter().chain(&down_w).sum();
-            // Reserve one shot per setting, distribute the rest by weight.
-            let spare = total - n_total as u64;
-            let alloc = |w: &[f64]| -> Vec<u64> {
-                w.iter()
-                    .map(|wi| 1 + (spare as f64 * wi / weight_sum).floor() as u64)
-                    .collect()
-            };
-            ShotSchedule {
-                upstream: alloc(&up_w),
-                downstream: alloc(&down_w),
-            }
-        }
-    }
+) -> Result<ShotSchedule, AllocationError> {
+    let up_keys: Vec<u64> = experiment
+        .upstream
+        .iter()
+        .map(|v| encode_meas(&v.setting))
+        .collect();
+    let down_keys: Vec<u64> = experiment
+        .downstream
+        .iter()
+        .map(|v| encode_prep(&v.preparation))
+        .collect();
+    schedule_for_keys(
+        basis,
+        &up_keys,
+        DownstreamKeys::Keyed(&down_keys),
+        allocation,
+    )
+}
+
+/// Builds the eigenstate-gather schedule straight from a [`BasisPlan`]
+/// (no subcircuits constructed): `upstream[i]` pairs with the i-th entry
+/// of [`BasisPlan::all_meas_settings`], `downstream[i]` with the i-th of
+/// [`BasisPlan::all_prep_settings`] — the same order the planner's
+/// [`crate::planner::add_upstream_jobs`]/[`crate::planner::add_downstream_jobs`]
+/// consume.
+pub fn schedule_for_plan(
+    basis: &BasisPlan,
+    allocation: ShotAllocation,
+) -> Result<ShotSchedule, AllocationError> {
+    let up_keys: Vec<u64> = basis
+        .all_meas_settings()
+        .iter()
+        .map(|s| encode_meas(s))
+        .collect();
+    let down_keys: Vec<u64> = basis
+        .all_prep_settings()
+        .iter()
+        .map(|s| encode_prep(s))
+        .collect();
+    schedule_for_keys(
+        basis,
+        &up_keys,
+        DownstreamKeys::Keyed(&down_keys),
+        allocation,
+    )
+}
+
+/// Builds the SIC-gather schedule from a [`BasisPlan`]: `upstream[i]`
+/// pairs with the i-th measurement setting, `downstream[i]` with the i-th
+/// of the `4^K` [`all_sic_settings`] combinations. SIC preparations carry
+/// uniform weight under [`ShotAllocation::WeightedByUsage`] (each one
+/// feeds every reconstruction string through the frame solve), so only
+/// the upstream half is skewed.
+pub fn schedule_sic(
+    basis: &BasisPlan,
+    allocation: ShotAllocation,
+) -> Result<ShotSchedule, AllocationError> {
+    let up_keys: Vec<u64> = basis
+        .all_meas_settings()
+        .iter()
+        .map(|s| encode_meas(s))
+        .collect();
+    let n_down = all_sic_settings(basis.num_cuts()).len();
+    schedule_for_keys(
+        basis,
+        &up_keys,
+        DownstreamKeys::UniformWeight(n_down),
+        allocation,
+    )
 }
 
 #[cfg(test)]
@@ -197,7 +388,8 @@ mod tests {
             ShotAllocation::Uniform {
                 shots_per_setting: 1000,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(s.upstream, vec![1000; 3]);
         assert_eq!(s.downstream, vec![1000; 6]);
         assert_eq!(s.total(), 9000);
@@ -210,11 +402,15 @@ mod tests {
             &basis,
             &experiment,
             ShotAllocation::TotalBudget { total: 9005 },
-        );
+        )
+        .unwrap();
         assert_eq!(s.total(), 9005);
-        // No setting starves and the split is near-even.
+        // No setting starves and the split is near-even, remainder to the
+        // earliest settings.
         assert!(s.min_shots() >= 1000);
-        assert!(s.upstream.iter().chain(&s.downstream).all(|&n| n <= 1002));
+        assert!(s.upstream.iter().chain(&s.downstream).all(|&n| n <= 1001));
+        assert_eq!(s.upstream, vec![1001, 1001, 1001]);
+        assert_eq!(s.downstream, vec![1001, 1001, 1000, 1000, 1000, 1000]);
     }
 
     #[test]
@@ -238,13 +434,14 @@ mod tests {
     }
 
     #[test]
-    fn weighted_schedule_favours_z_setting() {
+    fn weighted_schedule_favours_z_setting_and_spends_exactly() {
         let (basis, experiment) = plan_pair(false);
         let s = schedule(
             &basis,
             &experiment,
             ShotAllocation::WeightedByUsage { total: 90_000 },
-        );
+        )
+        .unwrap();
         // Find the Z setting's index.
         use crate::basis::MeasBasis;
         let z_idx = experiment
@@ -262,9 +459,9 @@ mod tests {
             "Z setting should get more shots: {:?}",
             s.upstream
         );
-        // Budget approximately spent (floor rounding loses < n_settings).
-        assert!(s.total() <= 90_000);
-        assert!(s.total() >= 90_000 - 9);
+        // The historical floor() split silently dropped up to n−1 shots;
+        // largest-remainder apportionment spends the budget exactly.
+        assert_eq!(s.total(), 90_000);
     }
 
     #[test]
@@ -274,20 +471,101 @@ mod tests {
             &basis,
             &experiment,
             ShotAllocation::WeightedByUsage { total: 60_000 },
-        );
+        )
+        .unwrap();
         assert_eq!(s.upstream.len(), 2);
         assert_eq!(s.downstream.len(), 4);
         assert!(s.min_shots() > 0);
+        assert_eq!(s.total(), 60_000);
     }
 
     #[test]
-    #[should_panic(expected = "cannot cover")]
-    fn starved_budget_rejected() {
+    fn schedule_for_plan_matches_experiment_schedule() {
+        // The plan-only entry point must produce the same schedule as the
+        // experiment-based one (the variants are built from the same
+        // enumerations).
         let (basis, experiment) = plan_pair(false);
-        schedule(
+        for alloc in [
+            ShotAllocation::Uniform {
+                shots_per_setting: 700,
+            },
+            ShotAllocation::TotalBudget { total: 9999 },
+            ShotAllocation::WeightedByUsage { total: 12_345 },
+        ] {
+            assert_eq!(
+                schedule_for_plan(&basis, alloc).unwrap(),
+                schedule(&basis, &experiment, alloc).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn sic_schedule_shapes_and_totals() {
+        let basis = BasisPlan::standard(1);
+        let s = schedule_sic(&basis, ShotAllocation::WeightedByUsage { total: 7001 }).unwrap();
+        assert_eq!(s.upstream.len(), 3);
+        assert_eq!(s.downstream.len(), 4); // 4^1 SIC preps
+        assert_eq!(s.total(), 7001);
+        // SIC preparations are weighted uniformly: all equal budgets.
+        assert!(s.downstream.windows(2).all(|w| w[0] == w[1]));
+        // Upstream Z still wins (usage 2 vs 1).
+        use crate::basis::MeasBasis;
+        let z = basis
+            .all_meas_settings()
+            .iter()
+            .position(|v| v == &vec![MeasBasis::Z])
+            .unwrap();
+        assert_eq!(s.upstream[z], *s.upstream.iter().max().unwrap());
+    }
+
+    #[test]
+    fn starved_budget_is_a_typed_error_per_policy() {
+        let (basis, experiment) = plan_pair(false);
+        // 9 settings: totals below 9 must fail for both total-budget
+        // policies, with the exact shortfall reported.
+        for alloc in [
+            ShotAllocation::TotalBudget { total: 5 },
+            ShotAllocation::WeightedByUsage { total: 8 },
+        ] {
+            let err = schedule(&basis, &experiment, alloc).unwrap_err();
+            assert!(matches!(
+                err,
+                AllocationError::BudgetTooSmall { settings: 9, .. }
+            ));
+            assert!(err.to_string().contains("9 settings"));
+        }
+        // Uniform has no total to undershoot: it is infallible.
+        assert!(schedule(
             &basis,
             &experiment,
-            ShotAllocation::TotalBudget { total: 5 },
-        );
+            ShotAllocation::Uniform {
+                shots_per_setting: 1
+            }
+        )
+        .is_ok());
+        // The exact boundary succeeds with one shot everywhere.
+        let s = schedule(
+            &basis,
+            &experiment,
+            ShotAllocation::WeightedByUsage { total: 9 },
+        )
+        .unwrap();
+        assert_eq!(s.total(), 9);
+        assert_eq!(s.min_shots(), 1);
+    }
+
+    #[test]
+    fn apportion_is_exact_and_monotone_in_weight() {
+        let got = apportion(100, &[1.0, 2.0, 1.0]);
+        assert_eq!(got.iter().sum::<u64>(), 100);
+        assert_eq!(got, vec![25, 50, 25]);
+        // Awkward fractions still sum exactly.
+        let got = apportion(10, &[1.0, 1.0, 1.0]);
+        assert_eq!(got, vec![4, 3, 3]); // remainder to the earliest
+        let got = apportion(7, &[0.3, 0.3, 0.4]);
+        assert_eq!(got.iter().sum::<u64>(), 7);
+        // Degenerate all-zero weights fall back to even.
+        assert_eq!(apportion(6, &[0.0, 0.0, 0.0]), vec![2, 2, 2]);
+        assert_eq!(apportion(5, &[]), Vec::<u64>::new());
     }
 }

@@ -1,5 +1,6 @@
 //! Error type of the cutting pipeline.
 
+use crate::allocation::AllocationError;
 use crate::fragment::FragmentError;
 use qcut_circuit::cut::CutError;
 use qcut_device::backend::BackendError;
@@ -15,6 +16,9 @@ pub enum PipelineError {
     Fragment(FragmentError),
     /// A backend job failed.
     Backend(BackendError),
+    /// The shot-allocation policy cannot build a valid schedule (e.g. the
+    /// total budget is smaller than the number of settings).
+    Allocation(AllocationError),
     /// Online detection ran out of shot budget without reaching a verdict
     /// for the named cut.
     DetectionUndecided {
@@ -31,6 +35,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Cut(e) => write!(f, "cut validation failed: {e}"),
             PipelineError::Fragment(e) => write!(f, "fragmenting failed: {e}"),
             PipelineError::Backend(e) => write!(f, "backend error: {e}"),
+            PipelineError::Allocation(e) => write!(f, "shot allocation failed: {e}"),
             PipelineError::DetectionUndecided { cut, shots_spent } => write!(
                 f,
                 "online golden detection undecided for cut {cut} after {shots_spent} \
@@ -61,6 +66,12 @@ impl From<BackendError> for PipelineError {
     }
 }
 
+impl From<AllocationError> for PipelineError {
+    fn from(e: AllocationError) -> Self {
+        PipelineError::Allocation(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +94,18 @@ mod tests {
         assert!(matches!(e, PipelineError::Cut(CutError::Empty)));
         let e: PipelineError = BackendError::NoShots.into();
         assert!(matches!(e, PipelineError::Backend(BackendError::NoShots)));
+        let e: PipelineError = AllocationError::BudgetTooSmall {
+            total: 3,
+            settings: 9,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            PipelineError::Allocation(AllocationError::BudgetTooSmall {
+                total: 3,
+                settings: 9
+            })
+        ));
+        assert!(e.to_string().contains("shot allocation failed"));
     }
 }

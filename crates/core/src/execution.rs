@@ -14,17 +14,29 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 /// Measured counts for every subcircuit variant of one cut circuit.
+///
+/// Shots are tracked *per setting* (the realized schedule): under a
+/// non-uniform [`crate::allocation::ShotAllocation`] — or when the engine
+/// delivers merged histograms that exceed a setting's request — the
+/// per-setting totals are what the variance/CI math must consume, not a
+/// nominal mean.
 #[derive(Debug, Clone)]
 pub struct FragmentData {
     /// Upstream counts keyed by [`encode_meas`] of the setting.
     pub upstream: HashMap<u64, Counts>,
     /// Downstream counts keyed by [`encode_prep`] of the preparation.
     pub downstream: HashMap<u64, Counts>,
-    /// Shots used per setting.
-    pub shots_per_setting: u64,
+    /// Realized shots per upstream setting (same keys as
+    /// [`FragmentData::upstream`]). Matches the delivered histogram totals,
+    /// which can exceed the *requested* schedule when deduplicated or
+    /// seeded engine nodes hand back a larger merged histogram.
+    pub upstream_shots: HashMap<u64, u64>,
+    /// Realized shots per downstream preparation (same keys as
+    /// [`FragmentData::downstream`]).
+    pub downstream_shots: HashMap<u64, u64>,
     /// Number of subcircuits executed.
     pub subcircuits: usize,
-    /// Total shots across all subcircuits.
+    /// Total shots across all subcircuits (sum of the realized schedule).
     pub total_shots: u64,
     /// Sum of simulated device time over all jobs (the Fig. 5 quantity).
     pub simulated_device_time: Duration,
@@ -33,6 +45,32 @@ pub struct FragmentData {
 }
 
 impl FragmentData {
+    /// Assembles fragment data from delivered per-channel counts, deriving
+    /// the realized per-setting schedule from the histogram totals.
+    pub fn from_counts(
+        upstream: HashMap<u64, Counts>,
+        downstream: HashMap<u64, Counts>,
+        simulated_device_time: Duration,
+        host_time: Duration,
+    ) -> Self {
+        let upstream_shots: HashMap<u64, u64> =
+            upstream.iter().map(|(&k, c)| (k, c.total())).collect();
+        let downstream_shots: HashMap<u64, u64> =
+            downstream.iter().map(|(&k, c)| (k, c.total())).collect();
+        let total_shots =
+            upstream_shots.values().sum::<u64>() + downstream_shots.values().sum::<u64>();
+        FragmentData {
+            subcircuits: upstream.len() + downstream.len(),
+            upstream,
+            downstream,
+            upstream_shots,
+            downstream_shots,
+            total_shots,
+            simulated_device_time,
+            host_time,
+        }
+    }
+
     /// Counts for one upstream setting.
     pub fn upstream_counts(&self, setting_key: u64) -> Option<&Counts> {
         self.upstream.get(&setting_key)
@@ -43,9 +81,30 @@ impl FragmentData {
         self.downstream.get(&prep_key)
     }
 
+    /// Realized shots behind one upstream setting (0 when absent).
+    pub fn shots_for_meas(&self, setting_key: u64) -> u64 {
+        self.upstream_shots.get(&setting_key).copied().unwrap_or(0)
+    }
+
+    /// Realized shots behind one downstream preparation (0 when absent).
+    pub fn shots_for_prep(&self, prep_key: u64) -> u64 {
+        self.downstream_shots.get(&prep_key).copied().unwrap_or(0)
+    }
+
+    /// The historical scalar budget: exact when the schedule is uniform,
+    /// the mean otherwise.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the per-setting schedule (`shots_for_meas` / `shots_for_prep`); \
+                the mean is wrong under non-uniform allocation"
+    )]
+    pub fn shots_per_setting(&self) -> u64 {
+        self.total_shots / (self.subcircuits.max(1) as u64)
+    }
+
     /// Merges shot data from a second gathering pass (same plan): counts
-    /// accumulate, budgets add up. Used by online detection's sequential
-    /// batches.
+    /// accumulate, per-setting budgets add up. Used by online detection's
+    /// sequential batches.
     pub fn merge(&mut self, other: &FragmentData) {
         for (k, c) in &other.upstream {
             self.upstream
@@ -59,7 +118,12 @@ impl FragmentData {
                 .and_modify(|mine| mine.merge(c))
                 .or_insert_with(|| c.clone());
         }
-        self.shots_per_setting += other.shots_per_setting;
+        for (k, s) in &other.upstream_shots {
+            *self.upstream_shots.entry(*k).or_insert(0) += s;
+        }
+        for (k, s) in &other.downstream_shots {
+            *self.downstream_shots.entry(*k).or_insert(0) += s;
+        }
         self.total_shots += other.total_shots;
         self.simulated_device_time += other.simulated_device_time;
         self.host_time += other.host_time;
@@ -78,10 +142,11 @@ pub fn gather<B: Backend + ?Sized>(
     shots_per_setting: u64,
     parallel: bool,
 ) -> Result<FragmentData, BackendError> {
-    let schedule = crate::allocation::ShotSchedule {
-        upstream: vec![shots_per_setting; plan.upstream.len()],
-        downstream: vec![shots_per_setting; plan.downstream.len()],
-    };
+    let schedule = crate::allocation::ShotSchedule::uniform(
+        plan.upstream.len(),
+        plan.downstream.len(),
+        shots_per_setting,
+    );
     gather_scheduled(backend, plan, &schedule, parallel)
 }
 
@@ -122,20 +187,12 @@ pub fn gather_scheduled<B: Backend + ?Sized>(
     let mut run = graph.execute(backend, parallel)?;
     let upstream = run.take_channel(Channel::UpstreamMeas);
     let downstream = run.take_channel(Channel::DownstreamPrep);
-
-    let subcircuits = plan.num_subcircuits();
-    let total_shots = schedule.total();
-    Ok(FragmentData {
+    Ok(FragmentData::from_counts(
         upstream,
         downstream,
-        // Nominal per-setting budget: exact under uniform schedules, the
-        // mean otherwise.
-        shots_per_setting: total_shots / subcircuits.max(1) as u64,
-        subcircuits,
-        total_shots,
-        simulated_device_time: run.stats.simulated_device_time,
-        host_time: run.stats.host_time,
-    })
+        run.stats.simulated_device_time,
+        run.stats.host_time,
+    ))
 }
 
 #[cfg(test)]
@@ -182,6 +239,34 @@ mod tests {
     }
 
     #[test]
+    fn scheduled_gather_records_the_realized_schedule() {
+        // Under a non-uniform schedule the per-setting shot record must be
+        // the actual counts, never the mean (the old `shots_per_setting`
+        // field silently averaged).
+        let backend = IdealBackend::new(5);
+        let plan = plan_for(2, false);
+        let schedule = crate::allocation::ShotSchedule {
+            upstream: vec![100, 200, 300],
+            downstream: vec![50, 60, 70, 80, 90, 100],
+        };
+        let data = gather_scheduled(&backend, &plan, &schedule, true).unwrap();
+        assert_eq!(data.total_shots, schedule.total());
+        for (i, v) in plan.upstream.iter().enumerate() {
+            let key = encode_meas(&v.setting);
+            assert_eq!(data.shots_for_meas(key), schedule.upstream[i]);
+            assert_eq!(data.upstream[&key].total(), schedule.upstream[i]);
+        }
+        for (i, v) in plan.downstream.iter().enumerate() {
+            let key = encode_prep(&v.preparation);
+            assert_eq!(data.shots_for_prep(key), schedule.downstream[i]);
+        }
+        // The deprecated accessor still reports the mean for legacy users.
+        #[allow(deprecated)]
+        let nominal = data.shots_per_setting();
+        assert_eq!(nominal, schedule.total() / 9);
+    }
+
+    #[test]
     fn sequential_and_parallel_produce_same_shape() {
         let plan = plan_for(1, false);
         let b1 = IdealBackend::new(9);
@@ -208,10 +293,15 @@ mod tests {
         let mut a = gather(&backend, &plan, 200, true).unwrap();
         let b = gather(&backend, &plan, 300, true).unwrap();
         a.merge(&b);
-        assert_eq!(a.shots_per_setting, 500);
         assert_eq!(a.total_shots, 4500);
         for c in a.upstream.values() {
             assert_eq!(c.total(), 500);
         }
+        for &s in a.upstream_shots.values().chain(a.downstream_shots.values()) {
+            assert_eq!(s, 500);
+        }
+        #[allow(deprecated)]
+        let nominal = a.shots_per_setting();
+        assert_eq!(nominal, 500);
     }
 }

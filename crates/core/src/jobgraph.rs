@@ -134,7 +134,12 @@ impl GraphRun {
         self.counts.get(key)
     }
 
-    /// Drains every consumer of `channel` into a key → counts map.
+    /// Drains every consumer of `channel` into a key → counts map. The
+    /// delivered histogram totals are the *realized* per-setting shots —
+    /// ≥ a consumer's requested budget when deduplicated nodes merged to a
+    /// larger max budget or seeded counts topped a node up
+    /// ([`crate::execution::FragmentData::from_counts`] derives the
+    /// realized schedule from exactly these totals).
     pub fn take_channel(&mut self, channel: Channel) -> HashMap<u64, Counts> {
         let keys: Vec<ConsumerKey> = self
             .counts
@@ -507,6 +512,38 @@ mod tests {
         assert_eq!(run.stats.jobs_executed, 0);
         assert_eq!(run.stats.shots_executed, 0);
         assert_eq!(run.counts(&(Channel::Detection, 7)).unwrap().total(), 500);
+    }
+
+    #[test]
+    fn weighted_budgets_compose_with_dedup_and_seeding() {
+        // Three consumers of one circuit with *different* weighted budgets
+        // plus a seeded warmup: the node runs max(budget) − cached shots,
+        // shots_saved accounts for every merged/reused shot exactly, and
+        // every consumer's delivered histogram reports the realized (not
+        // requested) shot count.
+        let backend = IdealBackend::new(21);
+        let warmup = backend.run(&bell(), 150).unwrap();
+        let mut g = JobGraph::new();
+        g.add_job(bell(), (Channel::UpstreamMeas, 0), 400);
+        g.add_job(bell(), (Channel::UpstreamMeas, 1), 900);
+        g.add_job(bell(), (Channel::UpstreamMeas, 2), 250);
+        g.seed_counts(&bell(), &warmup.counts);
+        let run = g.execute(&backend, true).unwrap();
+        assert_eq!(run.stats.jobs_planned, 3);
+        assert_eq!(run.stats.jobs_executed, 1);
+        assert_eq!(run.stats.shots_requested, 400 + 900 + 250);
+        assert_eq!(run.stats.shots_executed, 900 - 150);
+        assert_eq!(
+            run.stats.shots_saved,
+            run.stats.shots_requested - run.stats.shots_executed
+        );
+        for key in 0..3 {
+            assert_eq!(
+                run.counts(&(Channel::UpstreamMeas, key)).unwrap().total(),
+                900,
+                "consumer {key} sees the merged node"
+            );
+        }
     }
 
     #[test]

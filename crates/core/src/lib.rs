@@ -70,7 +70,10 @@ pub mod cut {
 
 /// Common re-exports.
 pub mod prelude {
-    pub use crate::allocation::{schedule, usage_counts, ShotAllocation, ShotSchedule};
+    pub use crate::allocation::{
+        schedule, schedule_for_plan, schedule_sic, usage_counts, AllocationError, ShotAllocation,
+        ShotSchedule,
+    };
     pub use crate::basis::{BasisPlan, MeasBasis};
     pub use crate::cut::{CutError, CutLocation, CutSpec};
     pub use crate::error::PipelineError;
@@ -95,7 +98,8 @@ pub mod prelude {
     pub use crate::sic::{gather_sic, sic_downstream_tensor, SicData, SicFrame};
     pub use crate::tomography::ExperimentPlan;
     pub use crate::variance::{
-        empirical_variance, reconstruction_variance, variance_from_tensors, ReconstructionError,
+        empirical_variance, reconstruction_variance, variance_from_schedule, variance_from_tensors,
+        ReconstructionError,
     };
 }
 

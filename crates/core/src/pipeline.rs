@@ -19,6 +19,7 @@
 //! [`crate::jobgraph::JobGraph`], so the [`RunReport`] carries unified
 //! dedup accounting (`jobs_planned` / `jobs_executed` / `shots_saved`).
 
+use crate::allocation::{schedule_for_plan, schedule_sic, ShotAllocation};
 use crate::basis::BasisPlan;
 use crate::error::PipelineError;
 use crate::execution::FragmentData;
@@ -69,8 +70,17 @@ pub enum PostProcess {
 #[derive(Debug, Clone, Copy)]
 pub struct ExecutionOptions {
     /// Shots for every subcircuit setting (the paper uses 1 000 for the
-    /// runtime experiments and 10 000 for the accuracy experiment).
+    /// runtime experiments and 10 000 for the accuracy experiment). The
+    /// uniform budget that [`ExecutionOptions::allocation`] falls back to.
     pub shots_per_setting: u64,
+    /// Shot-allocation policy for the gather schedule. `None` (the
+    /// default) is the paper's protocol —
+    /// [`ShotAllocation::Uniform`] at `shots_per_setting` — and is
+    /// bit-identical to the historical uniform path. `Some(policy)`
+    /// overrides the budget entirely (see [`crate::allocation`]);
+    /// [`ShotAllocation::WeightedByUsage`] skews a fixed total toward the
+    /// settings more reconstruction terms consume.
+    pub allocation: Option<ShotAllocation>,
     /// Downstream preparation scheme.
     pub method: ReconstructionMethod,
     /// Post-processing step.
@@ -87,11 +97,31 @@ impl Default for ExecutionOptions {
     fn default() -> Self {
         ExecutionOptions {
             shots_per_setting: 1000,
+            allocation: None,
             method: ReconstructionMethod::Eigenstate,
             postprocess: PostProcess::ClipRenormalize,
             parallel: true,
             dedup: true,
         }
+    }
+}
+
+impl ExecutionOptions {
+    /// Default options running `policy` instead of the uniform protocol.
+    pub fn with_allocation(policy: ShotAllocation) -> Self {
+        ExecutionOptions {
+            allocation: Some(policy),
+            ..Default::default()
+        }
+    }
+
+    /// The allocation policy this run schedules under: the explicit
+    /// [`ExecutionOptions::allocation`] when set, the paper's uniform
+    /// protocol at [`ExecutionOptions::shots_per_setting`] otherwise.
+    pub fn resolved_allocation(&self) -> ShotAllocation {
+        self.allocation.unwrap_or(ShotAllocation::Uniform {
+            shots_per_setting: self.shots_per_setting,
+        })
     }
 }
 
@@ -158,6 +188,17 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         let detection_seconds = detect_started.elapsed().as_secs_f64();
         let detection_shots = detection_stats.shots_executed;
 
+        // Resolve the allocation policy into a concrete per-setting
+        // schedule for the surviving plan (golden detection shrinks the
+        // settings the budget divides over). Uniform reproduces the
+        // paper's protocol bit-identically; weighted/total policies skew
+        // or split a fixed budget, exactly (largest-remainder split).
+        let allocation = options.resolved_allocation();
+        let sched = match options.method {
+            ReconstructionMethod::Eigenstate => schedule_for_plan(&plan, allocation)?,
+            ReconstructionMethod::Sic => schedule_sic(&plan, allocation)?,
+        };
+
         // Plan the gather graph: eigenstate and SIC are just different
         // builder combinations over the same engine. The SIC path registers
         // upstream + SIC jobs only — the eigenstate downstream half it
@@ -168,18 +209,17 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         } else {
             JobGraph::without_dedup()
         };
-        let uniform = [options.shots_per_setting];
-        add_upstream_jobs(&mut graph, &fragments, &plan, &uniform);
+        add_upstream_jobs(&mut graph, &fragments, &plan, &sched.upstream);
         match options.method {
             ReconstructionMethod::Eigenstate => {
-                add_downstream_jobs(&mut graph, &fragments, &plan, &uniform);
+                add_downstream_jobs(&mut graph, &fragments, &plan, &sched.downstream);
             }
             ReconstructionMethod::Sic => {
                 add_sic_jobs(
                     &mut graph,
                     &fragments.downstream,
                     fragments.num_cuts,
-                    options.shots_per_setting,
+                    &sched.downstream,
                 );
                 assert!(
                     !graph.has_channel(Channel::DownstreamPrep),
@@ -203,29 +243,27 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
 
         let upstream_settings = upstream.len();
         let downstream_settings = downstream.len() + sic_counts.len();
-        // Shots backing the reconstruction (≥ the fresh gather shots when
-        // detection data was reused or duplicates merged).
-        let delivered_shots: u64 = upstream
-            .values()
-            .chain(downstream.values())
-            .chain(sic_counts.values())
-            .map(|c| c.total())
-            .sum();
-        let data = FragmentData {
+        let sic_shots: u64 = sic_counts.values().map(|c| c.total()).sum();
+        // The realized per-setting schedule rides in the fragment data
+        // (delivered histogram totals — ≥ the requested schedule when
+        // detection data was reused or duplicates merged), so downstream
+        // variance/CI math sees actual shots per setting, never a nominal
+        // mean.
+        let data = FragmentData::from_counts(
             upstream,
             downstream,
-            shots_per_setting: options.shots_per_setting,
-            subcircuits: upstream_settings + downstream_settings,
-            total_shots: delivered_shots,
-            simulated_device_time: gather_stats.simulated_device_time,
-            host_time: gather_stats.host_time,
-        };
+            gather_stats.simulated_device_time,
+            gather_stats.host_time,
+        );
         let sic_data = match options.method {
             ReconstructionMethod::Eigenstate => None,
             ReconstructionMethod::Sic => Some(SicData {
                 subcircuits: sic_counts.len(),
+                // SIC schedules stay per-prep uniform under every policy
+                // (the frame solve reads all preps equally), so the mean
+                // is the realized budget up to the ±1 apportion remainder.
+                shots_per_setting: sic_shots / (sic_counts.len().max(1) as u64),
                 counts: sic_counts,
-                shots_per_setting: options.shots_per_setting,
                 // Device time is accounted once, on the unified gather
                 // stats; the combined graph does not split it per channel.
                 simulated_device_time: Duration::ZERO,
@@ -253,6 +291,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         let report = RunReport {
             num_cuts: fragments.num_cuts,
             neglected: plan.neglected().to_vec(),
+            allocation,
             upstream_settings,
             downstream_settings,
             subcircuits_executed: upstream_settings + downstream_settings,
@@ -260,6 +299,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
             // reported separately, so the two fields never double-count a
             // reused measurement.
             total_shots: gather_stats.shots_executed,
+            shots_requested: engine.shots_requested,
             jobs_planned: engine.jobs_planned,
             jobs_executed: engine.jobs_executed,
             shots_saved: engine.shots_saved,

@@ -122,19 +122,26 @@ pub fn add_downstream_jobs(
 }
 
 /// Adds the `4^K` SIC downstream preparation jobs, in trie-locality order.
-pub fn add_sic_jobs(
-    graph: &mut JobGraph,
-    downstream: &Fragment,
-    num_cuts: usize,
-    shots_per_setting: u64,
-) {
-    let jobs = all_sic_settings(num_cuts)
+/// `shots[i]` pairs with the i-th combination of
+/// [`all_sic_settings`]; a single-element slice is broadcast to every
+/// preparation (the same schedule rule as [`add_upstream_jobs`]).
+pub fn add_sic_jobs(graph: &mut JobGraph, downstream: &Fragment, num_cuts: usize, shots: &[u64]) {
+    let settings = all_sic_settings(num_cuts);
+    assert!(
+        shots.len() == settings.len() || shots.len() == 1,
+        "shot schedule arity: {} SIC preparations, {} budgets",
+        settings.len(),
+        shots.len()
+    );
+    let jobs = settings
         .into_iter()
-        .map(|states| {
+        .enumerate()
+        .map(|(i, states)| {
+            let budget = if shots.len() == 1 { shots[0] } else { shots[i] };
             (
                 build_sic_circuit(downstream, &states),
                 (Channel::SicPrep, encode_sic(&states)),
-                shots_per_setting,
+                budget,
             )
         })
         .collect();
@@ -190,7 +197,7 @@ mod tests {
         let plan = BasisPlan::standard(1);
         let mut g = JobGraph::new();
         add_upstream_jobs(&mut g, &frags, &plan, &[1000]);
-        add_sic_jobs(&mut g, &frags.downstream, 1, 1000);
+        add_sic_jobs(&mut g, &frags.downstream, 1, &[1000]);
         assert_eq!(g.jobs_planned(), 3 + 4);
         assert!(!g.has_channel(Channel::DownstreamPrep));
         assert!(g.has_channel(Channel::SicPrep));
@@ -206,6 +213,26 @@ mod tests {
             .execute(&qcut_device::ideal::IdealBackend::new(0), false)
             .unwrap();
         assert_eq!(run.stats.shots_executed, 600);
+    }
+
+    #[test]
+    fn per_setting_sic_schedules_are_respected() {
+        let frags = fragments_for(5);
+        let mut g = JobGraph::new();
+        add_sic_jobs(&mut g, &frags.downstream, 1, &[10, 20, 30, 40]);
+        assert_eq!(g.jobs_planned(), 4);
+        let run = g
+            .execute(&qcut_device::ideal::IdealBackend::new(0), false)
+            .unwrap();
+        assert_eq!(run.stats.shots_executed, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule arity")]
+    fn wrong_sic_schedule_arity_panics() {
+        let frags = fragments_for(5);
+        let mut g = JobGraph::new();
+        add_sic_jobs(&mut g, &frags.downstream, 1, &[1, 2]);
     }
 
     #[test]

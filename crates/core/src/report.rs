@@ -1,5 +1,6 @@
 //! Run reports: everything the paper's figures plot.
 
+use crate::allocation::ShotAllocation;
 use qcut_math::Pauli;
 use serde::{Deserialize, Serialize};
 
@@ -10,6 +11,8 @@ pub struct RunReport {
     pub num_cuts: usize,
     /// Neglected bases per cut (empty = regular cut).
     pub neglected: Vec<Vec<Pauli>>,
+    /// The shot-allocation policy the gather was scheduled under.
+    pub allocation: ShotAllocation,
     /// Upstream measurement settings executed.
     pub upstream_settings: usize,
     /// Downstream preparations executed.
@@ -23,6 +26,11 @@ pub struct RunReport {
     /// total device work is `detection_shots + total_shots` with no
     /// double-counting of reused measurements.
     pub total_shots: u64,
+    /// Shots requested across every engine job of the run (detection
+    /// rounds + gather fan-out edges, before dedup/reuse). The exact-
+    /// accounting invariant is `shots_requested = detection_shots +
+    /// total_shots + shots_saved`.
+    pub shots_requested: u64,
     /// Jobs registered on the JobGraph engine across the whole run
     /// (detection rounds + gather fan-out edges).
     pub jobs_planned: usize,
@@ -107,10 +115,14 @@ mod tests {
         let r = RunReport {
             num_cuts: 1,
             neglected: vec![vec![Pauli::Y]],
+            allocation: ShotAllocation::Uniform {
+                shots_per_setting: 1000,
+            },
             upstream_settings: 2,
             downstream_settings: 4,
             subcircuits_executed: 6,
             total_shots: 6000,
+            shots_requested: 6000,
             jobs_planned: 6,
             jobs_executed: 6,
             shots_saved: 0,

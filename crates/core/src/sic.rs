@@ -148,7 +148,7 @@ pub fn gather_sic<B: Backend + ?Sized>(
     parallel: bool,
 ) -> Result<SicData, BackendError> {
     let mut graph = JobGraph::new();
-    crate::planner::add_sic_jobs(&mut graph, fragment, num_cuts, shots_per_setting);
+    crate::planner::add_sic_jobs(&mut graph, fragment, num_cuts, &[shots_per_setting]);
     let mut run = graph.execute(backend, parallel)?;
     let counts = run.take_channel(Channel::SicPrep);
     Ok(SicData {

@@ -27,11 +27,14 @@
 //! The estimate is validated against the empirical trial-to-trial variance
 //! in the tests below.
 
-use crate::basis::BasisPlan;
+use crate::allocation::ShotSchedule;
+use crate::basis::{encode_meas, encode_prep, BasisPlan};
 use crate::execution::FragmentData;
 use crate::fragment::Fragments;
 use crate::reconstruction::{downstream_tensor, upstream_tensor, CoefficientTensor};
+use qcut_math::Pauli;
 use qcut_stats::distribution::Distribution;
+use std::collections::HashMap;
 
 /// Per-bitstring standard errors of a reconstructed distribution.
 #[derive(Debug, Clone)]
@@ -70,6 +73,12 @@ impl ReconstructionError {
 
 /// Estimates the shot-noise variance of [`crate::reconstruction::reconstruct`]'s
 /// output, from the same fragment data.
+///
+/// Per-string variances come from the *realized* per-setting shot counts
+/// in `data` (the delivered histogram totals), so the estimate stays
+/// correct under non-uniform [`crate::allocation::ShotAllocation`]
+/// schedules and when engine dedup delivered merged histograms larger
+/// than a setting's request.
 pub fn reconstruction_variance(
     fragments: &Fragments,
     plan: &BasisPlan,
@@ -77,7 +86,43 @@ pub fn reconstruction_variance(
 ) -> ReconstructionError {
     let up = upstream_tensor(&fragments.upstream, plan, data);
     let down = downstream_tensor(&fragments.downstream, plan, data);
-    variance_from_tensors(fragments, plan, &up, &down, data.shots_per_setting)
+    variance_core(fragments, plan, &up, &down, |m| {
+        string_vars(plan, m, &data.upstream_shots, &data.downstream_shots)
+    })
+}
+
+/// The per-string variance pair `(Var[A], Var[D])` under explicit
+/// per-setting shot counts: the upstream coefficient of string `m` is
+/// estimated from its measurement setting's `N` shots (`Var ≤ 1/N`); the
+/// downstream coefficient is a signed sum over the string's `2^K` prep
+/// combinations, each contributing `1/N_combo`.
+fn string_vars(
+    plan: &BasisPlan,
+    m: &[Pauli],
+    meas_shots: &HashMap<u64, u64>,
+    prep_shots: &HashMap<u64, u64>,
+) -> (f64, f64) {
+    // A missing setting is a plan/data mismatch — fail loudly like the
+    // tensor builders do, instead of silently returning 1-shot variance.
+    let shots_of = |map: &HashMap<u64, u64>, key: u64| -> f64 {
+        let n = *map
+            .get(&key)
+            .unwrap_or_else(|| panic!("missing shot record for setting key {key} of {m:?}"));
+        n.max(1) as f64
+    };
+    let var_a = 1.0 / shots_of(meas_shots, encode_meas(&plan.setting_for(m)));
+    let num_cuts = plan.num_cuts();
+    let pairs: Vec<_> = (0..num_cuts).map(|k| plan.prep_pair(k, m[k])).collect();
+    let mut var_d = 0.0;
+    for combo in 0..(1usize << num_cuts) {
+        let states: Vec<_> = pairs
+            .iter()
+            .enumerate()
+            .map(|(k, pair)| pair[(combo >> k) & 1].0)
+            .collect();
+        var_d += 1.0 / shots_of(prep_shots, encode_prep(&states));
+    }
+    (var_a, var_d)
 }
 
 /// Variance estimate from explicit tensors and a (uniform) per-setting shot
@@ -89,9 +134,6 @@ pub fn variance_from_tensors(
     downstream: &CoefficientTensor,
     shots_per_setting: u64,
 ) -> ReconstructionError {
-    let n = fragments.total_qubits;
-    let n1 = fragments.upstream.num_outputs();
-    let n2 = fragments.downstream.num_outputs();
     let shots = shots_per_setting.max(1) as f64;
     // Per-coefficient variance bound from the multinomial signed sum.
     // Downstream coefficients are 2^K-term signed sums of independent
@@ -99,6 +141,61 @@ pub fn variance_from_tensors(
     let k = plan.num_cuts() as i32;
     let var_a = 1.0 / shots;
     let var_d = 2.0f64.powi(k) / shots;
+    variance_core(fragments, plan, upstream, downstream, |_| (var_a, var_d))
+}
+
+/// Variance estimate from explicit tensors and a *requested* per-setting
+/// schedule (aligned with the plan's enumerations, as produced by
+/// [`crate::allocation::schedule_for_plan`]). Deterministic given exact
+/// tensors — the planning-time counterpart of [`reconstruction_variance`],
+/// used to compare allocation policies before anything executes.
+pub fn variance_from_schedule(
+    fragments: &Fragments,
+    plan: &BasisPlan,
+    upstream: &CoefficientTensor,
+    downstream: &CoefficientTensor,
+    schedule: &ShotSchedule,
+) -> ReconstructionError {
+    let meas_settings = plan.all_meas_settings();
+    let prep_settings = plan.all_prep_settings();
+    assert_eq!(
+        schedule.upstream.len(),
+        meas_settings.len(),
+        "schedule arity"
+    );
+    assert_eq!(
+        schedule.downstream.len(),
+        prep_settings.len(),
+        "schedule arity"
+    );
+    let meas_shots: HashMap<u64, u64> = meas_settings
+        .iter()
+        .zip(&schedule.upstream)
+        .map(|(s, &n)| (encode_meas(s), n))
+        .collect();
+    let prep_shots: HashMap<u64, u64> = prep_settings
+        .iter()
+        .zip(&schedule.downstream)
+        .map(|(s, &n)| (encode_prep(s), n))
+        .collect();
+    variance_core(fragments, plan, upstream, downstream, |m| {
+        string_vars(plan, m, &meas_shots, &prep_shots)
+    })
+}
+
+/// The shared contraction-propagation pass: accumulates per-bitstring
+/// variance with per-string `(Var[A], Var[D])` supplied by `vars_for`.
+fn variance_core(
+    fragments: &Fragments,
+    plan: &BasisPlan,
+    upstream: &CoefficientTensor,
+    downstream: &CoefficientTensor,
+    vars_for: impl Fn(&[Pauli]) -> (f64, f64),
+) -> ReconstructionError {
+    let n = fragments.total_qubits;
+    let n1 = fragments.upstream.num_outputs();
+    let n2 = fragments.downstream.num_outputs();
+    let k = plan.num_cuts() as i32;
     let scale = 0.25f64.powi(k);
 
     let strings = plan.all_recon_strings();
@@ -113,6 +210,7 @@ pub fn variance_from_tensors(
     for m in &strings {
         let a = upstream.get(m).expect("upstream entry");
         let d = downstream.get(m).expect("downstream entry");
+        let (var_a, var_d) = vars_for(m);
         for (b1, &av) in a.iter().enumerate() {
             for (b2, &dv) in d.iter().enumerate() {
                 let idx = (t1[b1] | t2[b2]) as usize;
@@ -246,6 +344,65 @@ mod tests {
             empirical_rms > predicted_rms / 12.0,
             "prediction {predicted_rms} is uselessly loose vs empirical {empirical_rms}"
         );
+    }
+
+    #[test]
+    fn realized_variance_matches_uniform_formula_on_uniform_data() {
+        // On a uniform gather the per-setting realized shots all equal the
+        // nominal budget, so the schedule-aware estimate must agree with
+        // the closed-form uniform one.
+        let (circuit, spec) = GoldenAnsatz::new(5, 13).build();
+        let frags = Fragmenter::fragment(&circuit, &spec).unwrap();
+        let plan = BasisPlan::standard(1);
+        let experiment = ExperimentPlan::build(&frags, &plan);
+        let backend = IdealBackend::new(55);
+        let shots = 1500u64;
+        let data = gather(&backend, &experiment, shots, true).unwrap();
+        let up = upstream_tensor(&frags.upstream, &plan, &data);
+        let down = downstream_tensor(&frags.downstream, &plan, &data);
+        let realized = reconstruction_variance(&frags, &plan, &data);
+        let uniform = variance_from_tensors(&frags, &plan, &up, &down, shots);
+        for b in 0..(1u64 << 5) {
+            assert!(
+                (realized.variance(b) - uniform.variance(b)).abs() < 1e-12,
+                "bitstring {b}: realized {} vs uniform {}",
+                realized.variance(b),
+                uniform.variance(b)
+            );
+        }
+    }
+
+    #[test]
+    fn scheduled_variance_tracks_the_skew() {
+        // Moving budget onto the Z setting must lower the Z/I strings'
+        // upstream variance contribution and raise X/Y's; the aggregate
+        // figure reacts to *where* the shots went, which the old nominal
+        // mean could not see.
+        use crate::allocation::{schedule_for_plan, ShotAllocation};
+        let (circuit, spec) = GoldenAnsatz::new(5, 15).build();
+        let frags = Fragmenter::fragment(&circuit, &spec).unwrap();
+        let plan = BasisPlan::standard(1);
+        let up = exact_upstream_tensor(&frags.upstream, &plan);
+        let down = exact_downstream_tensor(&frags.downstream, &plan);
+        let total = 9_000u64;
+        let uniform = schedule_for_plan(&plan, ShotAllocation::TotalBudget { total }).unwrap();
+        let weighted = schedule_for_plan(&plan, ShotAllocation::WeightedByUsage { total }).unwrap();
+        assert_eq!(uniform.total(), weighted.total());
+        let rms_u = variance_from_schedule(&frags, &plan, &up, &down, &uniform).rms_error();
+        let rms_w = variance_from_schedule(&frags, &plan, &up, &down, &weighted).rms_error();
+        assert!(rms_u > 0.0 && rms_w > 0.0);
+        assert!(
+            (rms_u - rms_w).abs() / rms_u < 0.5,
+            "same total budget should land in the same ballpark: {rms_u} vs {rms_w}"
+        );
+        // And the uniform special case of the schedule API reproduces the
+        // closed-form constant-budget estimate exactly.
+        let per_setting = crate::allocation::ShotSchedule::uniform(3, 6, 1000);
+        let a = variance_from_schedule(&frags, &plan, &up, &down, &per_setting);
+        let b = variance_from_tensors(&frags, &plan, &up, &down, 1000);
+        for bits in 0..(1u64 << 5) {
+            assert!((a.variance(bits) - b.variance(bits)).abs() < 1e-15);
+        }
     }
 
     #[test]

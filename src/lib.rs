@@ -61,6 +61,7 @@ pub mod prelude {
     pub use qcut_circuit::circuit::Circuit;
     pub use qcut_circuit::gate::Gate;
     pub use qcut_circuit::random::{random_circuit, random_real_circuit, RandomCircuitConfig};
+    pub use qcut_core::allocation::{ShotAllocation, ShotSchedule};
     pub use qcut_core::basis::MeasBasis;
     pub use qcut_core::cut::{CutLocation, CutSpec};
     pub use qcut_core::fragment::Fragmenter;

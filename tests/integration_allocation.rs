@@ -1,12 +1,26 @@
 //! Integration tests of shot allocation and observable measurement —
 //! the repository's extensions beyond the paper's §III protocol.
+//!
+//! The allocation half pins the ISSUE 4 contract: every policy schedules
+//! exactly its requested total (property-tested over plan shapes), the
+//! uniform policy through the engine path is bit-identical to the
+//! default protocol, weighted budgets compose with dedup under exact
+//! `shots_saved` accounting, and usage-weighted budgets beat uniform on
+//! estimated variance at equal total cost.
 
-use qcut::cutting::allocation::{schedule, ShotAllocation};
+use proptest::prelude::*;
+use qcut::circuit::ansatz::MultiCutAnsatz;
+use qcut::cutting::allocation::{
+    schedule, schedule_for_plan, schedule_sic, AllocationError, ShotSchedule,
+};
 use qcut::cutting::basis::BasisPlan;
+use qcut::cutting::error::PipelineError;
 use qcut::cutting::execution::gather_scheduled;
+use qcut::cutting::golden::OnlineConfig;
 use qcut::cutting::observable::{pauli_expectation, DiagonalObservable};
-use qcut::cutting::reconstruction::reconstruct;
+use qcut::cutting::reconstruction::{exact_downstream_tensor, exact_upstream_tensor, reconstruct};
 use qcut::cutting::tomography::ExperimentPlan;
+use qcut::cutting::variance::variance_from_schedule;
 use qcut::prelude::*;
 
 #[test]
@@ -21,8 +35,10 @@ fn weighted_allocation_reconstructs_correctly() {
         &basis,
         &experiment,
         ShotAllocation::WeightedByUsage { total: 120_000 },
-    );
+    )
+    .unwrap();
     assert!(sched.min_shots() > 0);
+    assert_eq!(sched.total(), 120_000);
     let data = gather_scheduled(&backend, &experiment, &sched, true).unwrap();
     assert_eq!(data.total_shots, sched.total());
 
@@ -48,11 +64,329 @@ fn equal_budget_uniform_vs_weighted_accuracy() {
         ShotAllocation::WeightedByUsage { total },
     ] {
         let backend = IdealBackend::new(43);
-        let sched = schedule(&basis, &experiment, alloc);
+        let sched = schedule(&basis, &experiment, alloc).unwrap();
+        assert_eq!(sched.total(), total, "{alloc:?} must spend exactly");
         let data = gather_scheduled(&backend, &experiment, &sched, true).unwrap();
         let recon = reconstruct(&frags, &basis, &data).clip_renormalize();
         let d = total_variation_distance(&recon, &truth);
         assert!(d < 0.05, "{alloc:?}: off by {d}");
+    }
+}
+
+/// ISSUE 4 acceptance (a): the Uniform policy routed through the
+/// allocation-aware engine path is bit-identical to the historical
+/// default protocol — same distribution values, same accounting.
+#[test]
+fn uniform_allocation_is_bit_identical_to_default_path() {
+    let (circuit, cut) = GoldenAnsatz::new(5, 211).build();
+    let shots = 2000u64;
+    let run_with = |options: &ExecutionOptions| {
+        let backend = IdealBackend::new(77);
+        CutExecutor::new(&backend)
+            .run(&circuit, &cut, GoldenPolicy::Disabled, options)
+            .unwrap()
+    };
+    let default_path = run_with(&ExecutionOptions {
+        shots_per_setting: shots,
+        ..Default::default()
+    });
+    let explicit = run_with(&ExecutionOptions {
+        allocation: Some(ShotAllocation::Uniform {
+            shots_per_setting: shots,
+        }),
+        ..Default::default()
+    });
+    assert_eq!(
+        default_path.distribution.values(),
+        explicit.distribution.values(),
+        "Uniform through the allocation path must be bit-identical"
+    );
+    assert_eq!(default_path.report.total_shots, explicit.report.total_shots);
+    assert_eq!(
+        default_path.report.shots_requested,
+        explicit.report.shots_requested
+    );
+    assert_eq!(
+        default_path.report.jobs_executed,
+        explicit.report.jobs_executed
+    );
+}
+
+/// ISSUE 4 acceptance (b): weighted budgets compose with engine dedup —
+/// online-detection measurements seed the weighted gather (the circuit
+/// is *not* golden, so the measured Y setting survives into the gather
+/// plan and its shots are reused), with exact accounting.
+#[test]
+fn weighted_allocation_composes_with_dedup() {
+    // Same non-golden family as the golden detector's negative controls:
+    // RX gives the cut qubit a Y component, the trailing RZ mixes it
+    // into X.
+    let mut circuit = Circuit::new(3);
+    circuit.rx(1.1, 0).rx(0.9, 1).cx(0, 1).rz(0.8, 1).cx(1, 2);
+    let cut = CutSpec::single(1, 2);
+    let backend = IdealBackend::new(91);
+    let exec = CutExecutor::new(&backend);
+    let total = 40_000u64;
+    let config = OnlineConfig {
+        epsilon: 0.05,
+        batch_shots: 2000,
+        ..OnlineConfig::default()
+    };
+    let run = exec
+        .run(
+            &circuit,
+            &cut,
+            GoldenPolicy::DetectOnline(config),
+            &ExecutionOptions {
+                allocation: Some(ShotAllocation::WeightedByUsage { total }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let report = &run.report;
+    assert!(report.neglected[0].is_empty(), "cut wrongly judged golden");
+    assert!(report.detection_shots > 0);
+    assert!(report.jobs_executed <= report.jobs_planned);
+
+    // Exact accounting: every requested shot is either executed (in
+    // detection or the gather) or saved — nothing lost, nothing counted
+    // twice.
+    assert_eq!(
+        report.shots_requested,
+        report.detection_shots + report.total_shots + report.shots_saved
+    );
+    // The gather half of the request is exactly the weighted schedule of
+    // the detected plan (detection rounds never dedup among themselves,
+    // so their request equals their executed shots).
+    let sched = schedule_for_plan(
+        &BasisPlan::standard(1),
+        ShotAllocation::WeightedByUsage { total },
+    )
+    .unwrap();
+    assert_eq!(sched.total(), total);
+    assert_eq!(report.shots_requested - report.detection_shots, total);
+    // Detection data was actually reused: the gather executed fewer fresh
+    // shots than the weighted schedule requested.
+    assert!(report.shots_saved > 0, "detection reuse must save shots");
+    assert_eq!(report.shots_saved, total - report.total_shots);
+
+    // And the result is still correct.
+    let truth = Distribution::from_values(3, StateVector::from_circuit(&circuit).probabilities());
+    let d = total_variation_distance(&run.distribution, &truth);
+    assert!(d < 0.06, "weighted+dedup reconstruction off by {d}");
+}
+
+/// ISSUE 4 acceptance (c): at equal total budget, usage-weighted
+/// allocation yields a lower estimated reconstruction variance than the
+/// uniform split on a `BasisPlan::standard(2)` workload (deterministic:
+/// exact tensors + requested schedules).
+#[test]
+fn weighted_beats_uniform_variance_at_equal_budget() {
+    let plan = BasisPlan::standard(2);
+    for seed in [1u64, 5, 11] {
+        let (circuit, spec) = MultiCutAnsatz::new(2, seed).build();
+        let frags = Fragmenter::fragment(&circuit, &spec).unwrap();
+        let up = exact_upstream_tensor(&frags.upstream, &plan);
+        let down = exact_downstream_tensor(&frags.downstream, &plan);
+        let total = 90_000u64;
+        let uniform = schedule_for_plan(&plan, ShotAllocation::TotalBudget { total }).unwrap();
+        let weighted = schedule_for_plan(&plan, ShotAllocation::WeightedByUsage { total }).unwrap();
+        assert_eq!(uniform.total(), weighted.total());
+        let rms_u = variance_from_schedule(&frags, &plan, &up, &down, &uniform).rms_error();
+        let rms_w = variance_from_schedule(&frags, &plan, &up, &down, &weighted).rms_error();
+        assert!(
+            rms_w < rms_u,
+            "seed {seed}: weighted RMS {rms_w} should beat uniform {rms_u}"
+        );
+    }
+}
+
+#[test]
+fn every_policy_executes_through_the_pipeline() {
+    // The acceptance bar: all three `ShotAllocation` variants drive
+    // `CutExecutor::run` end-to-end, for both reconstruction methods.
+    let (circuit, cut) = GoldenAnsatz::new(5, 227).build();
+    let truth = Distribution::from_values(5, StateVector::from_circuit(&circuit).probabilities());
+    for (policy, shots_hint) in [
+        (
+            ShotAllocation::Uniform {
+                shots_per_setting: 20_000,
+            },
+            20_000,
+        ),
+        (ShotAllocation::TotalBudget { total: 180_000 }, 20_000),
+        (ShotAllocation::WeightedByUsage { total: 180_000 }, 20_000),
+    ] {
+        for method in [ReconstructionMethod::Eigenstate, ReconstructionMethod::Sic] {
+            let backend = IdealBackend::new(97);
+            let exec = CutExecutor::new(&backend);
+            let run = exec
+                .run(
+                    &circuit,
+                    &cut,
+                    GoldenPolicy::Disabled,
+                    &ExecutionOptions {
+                        shots_per_setting: shots_hint,
+                        allocation: Some(policy),
+                        method,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(run.report.allocation, policy);
+            let d = total_variation_distance(&run.distribution, &truth);
+            assert!(d < 0.08, "{policy:?}/{method:?}: off by {d}");
+        }
+    }
+}
+
+#[test]
+fn starved_budget_surfaces_as_pipeline_error() {
+    // The old `assert!` aborted the process; the pipeline now returns a
+    // typed error callers can handle.
+    let (circuit, cut) = GoldenAnsatz::new(5, 229).build();
+    let backend = IdealBackend::new(3);
+    let exec = CutExecutor::new(&backend);
+    for policy in [
+        ShotAllocation::TotalBudget { total: 4 },
+        ShotAllocation::WeightedByUsage { total: 8 },
+    ] {
+        let err = exec
+            .run(
+                &circuit,
+                &cut,
+                GoldenPolicy::Disabled,
+                &ExecutionOptions::with_allocation(policy),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PipelineError::Allocation(AllocationError::BudgetTooSmall { settings: 9, .. })
+            ),
+            "{policy:?} gave {err:?}"
+        );
+    }
+}
+
+/// Arbitrary plan shapes for the apportionment property tests: 1–3 cuts,
+/// each optionally golden in one of the three bases.
+fn plan_from(cuts: &[u8]) -> BasisPlan {
+    BasisPlan::with_neglected(
+        cuts.iter()
+            .map(|c| match c {
+                1 => Some(Pauli::X),
+                2 => Some(Pauli::Y),
+                3 => Some(Pauli::Z),
+                _ => None,
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ISSUE 4 headline-bugfix property: `schedule(...).total() == total`
+    /// for every policy and plan shape — the floor() split used to drop
+    /// up to n−1 shots of a weighted budget.
+    #[test]
+    fn every_policy_schedules_exactly_its_total(
+        cuts in proptest::collection::vec(0u8..4, 1..4),
+        shots in 1u64..5000,
+        budget_per_setting in 1u64..5000,
+    ) {
+        let plan = plan_from(&cuts);
+        let n_eigen = plan.total_settings() as u64;
+        let total = n_eigen * budget_per_setting + budget_per_setting % 7;
+
+        let uniform = schedule_for_plan(
+            &plan,
+            ShotAllocation::Uniform { shots_per_setting: shots },
+        ).unwrap();
+        prop_assert_eq!(uniform.total(), n_eigen * shots);
+        prop_assert_eq!(uniform.min_shots(), shots);
+        prop_assert_eq!(uniform.max_shots(), shots);
+
+        for alloc in [
+            ShotAllocation::TotalBudget { total },
+            ShotAllocation::WeightedByUsage { total },
+        ] {
+            let s = schedule_for_plan(&plan, alloc).unwrap();
+            prop_assert_eq!(s.total(), total, "{:?} lost shots", alloc);
+            prop_assert!(s.min_shots() >= 1, "{:?} starved a setting", alloc);
+            prop_assert_eq!(s.num_settings() as u64, n_eigen);
+        }
+    }
+
+    /// The same exactness for SIC-shaped schedules (`3^K' + 4^K`
+    /// settings).
+    #[test]
+    fn sic_schedules_are_exact_too(
+        cuts in proptest::collection::vec(0u8..4, 1..4),
+        budget_per_setting in 1u64..5000,
+    ) {
+        let plan = plan_from(&cuts);
+        let n_up = plan.all_meas_settings().len() as u64;
+        let n_down = 4u64.pow(plan.num_cuts() as u32);
+        let total = (n_up + n_down) * budget_per_setting + budget_per_setting % 5;
+        for alloc in [
+            ShotAllocation::TotalBudget { total },
+            ShotAllocation::WeightedByUsage { total },
+        ] {
+            let s = schedule_sic(&plan, alloc).unwrap();
+            prop_assert_eq!(s.upstream.len() as u64, n_up);
+            prop_assert_eq!(s.downstream.len() as u64, n_down);
+            prop_assert_eq!(s.total(), total, "{:?} lost shots", alloc);
+            prop_assert!(s.min_shots() >= 1);
+        }
+    }
+
+    /// Budgets below one-shot-per-setting always fail with the typed
+    /// error, never a panic.
+    #[test]
+    fn undersized_budgets_error_cleanly(
+        cuts in proptest::collection::vec(0u8..4, 1..4),
+        deficit in 1u64..10,
+    ) {
+        let plan = plan_from(&cuts);
+        let n = plan.total_settings() as u64;
+        let total = n.saturating_sub(deficit);
+        for alloc in [
+            ShotAllocation::TotalBudget { total },
+            ShotAllocation::WeightedByUsage { total },
+        ] {
+            let err = schedule_for_plan(&plan, alloc).unwrap_err();
+            prop_assert!(matches!(err, AllocationError::BudgetTooSmall { .. }));
+        }
+    }
+
+    /// A gather under an arbitrary (valid) schedule delivers exactly the
+    /// realized per-setting shots it was asked for.
+    #[test]
+    fn scheduled_gather_delivers_the_schedule(
+        seed in 0u64..32,
+        shots in proptest::collection::vec(1u64..400, 9),
+    ) {
+        let (circuit, cut) = GoldenAnsatz::new(5, seed).build();
+        let frags = Fragmenter::fragment(&circuit, &cut).unwrap();
+        let basis = BasisPlan::standard(1);
+        let experiment = ExperimentPlan::build(&frags, &basis);
+        let sched = ShotSchedule {
+            upstream: shots[..3].to_vec(),
+            downstream: shots[3..].to_vec(),
+        };
+        let backend = IdealBackend::new(seed);
+        let data = gather_scheduled(&backend, &experiment, &sched, true).unwrap();
+        prop_assert_eq!(data.total_shots, sched.total());
+        for (i, v) in experiment.upstream.iter().enumerate() {
+            let key = qcut::cutting::basis::encode_meas(&v.setting);
+            prop_assert_eq!(data.shots_for_meas(key), sched.upstream[i]);
+        }
+        for (i, v) in experiment.downstream.iter().enumerate() {
+            let key = qcut::cutting::basis::encode_prep(&v.preparation);
+            prop_assert_eq!(data.shots_for_prep(key), sched.downstream[i]);
+        }
     }
 }
 
