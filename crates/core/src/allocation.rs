@@ -9,11 +9,44 @@
 //! proportionally to that usage count; the ablation benches compare it
 //! against the paper's uniform scheme.
 //!
+//! [`ShotAllocation::Adaptive`] goes one step further: usage counts are
+//! static, but the *measured* variance of the pilot tensors is not. The
+//! pipeline runs a small uniform pilot round, scores each setting's
+//! variance contribution from the empirical tensors
+//! ([`crate::variance::neyman_scores`]), and spends the remaining budget
+//! Neyman-style (`N ∝ √(usage · |coeff|² · σ̂²)`) in a second engine round
+//! seeded from the pilot's measurements.
+//!
 //! Budget totals are exact: non-uniform splits use largest-remainder
 //! apportionment, so every policy schedules *exactly* the shots it was
 //! asked for (property-tested in `tests/integration_allocation.rs`).
 //! Under-sized budgets are a typed [`AllocationError`], surfaced by the
 //! pipeline as [`crate::error::PipelineError::Allocation`].
+//!
+//! # Example
+//!
+//! Scheduling is deterministic given a plan, so policies can be compared
+//! before anything executes:
+//!
+//! ```
+//! use qcut_core::allocation::{schedule_for_plan, ShotAllocation};
+//! use qcut_core::basis::BasisPlan;
+//!
+//! let plan = BasisPlan::standard(1); // 3 measurements + 6 preparations
+//! let weighted =
+//!     schedule_for_plan(&plan, ShotAllocation::WeightedByUsage { total: 9_000 }).unwrap();
+//! // Largest-remainder apportionment spends the budget exactly …
+//! assert_eq!(weighted.total(), 9_000);
+//! // … and the Z setting (read by the I *and* Z strings) out-earns X/Y.
+//! assert_eq!(weighted.max_shots(), *weighted.upstream.iter().max().unwrap());
+//!
+//! // Adaptive degenerates to the single-round policies at the edges:
+//! let all_pilot = ShotAllocation::Adaptive { pilot_fraction: 1.0, total: 9_000 };
+//! assert_eq!(
+//!     all_pilot.normalized(),
+//!     ShotAllocation::TotalBudget { total: 9_000 }
+//! );
+//! ```
 
 use crate::basis::{encode_meas, encode_prep, BasisPlan};
 use crate::sic::all_sic_settings;
@@ -23,7 +56,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// How to distribute shots over the subcircuit settings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ShotAllocation {
     /// The paper's scheme: the same budget for every setting.
     Uniform {
@@ -42,6 +75,55 @@ pub enum ShotAllocation {
         /// Total shots across all subcircuits.
         total: u64,
     },
+    /// Two-round variance-adaptive allocation: a uniform pilot round of
+    /// `pilot_fraction · total` shots builds empirical fragment tensors,
+    /// then the remaining budget is apportioned Neyman-style
+    /// (`N ∝ √(usage · |coeff|² · σ̂²)`, see
+    /// [`crate::variance::neyman_scores`]) and executed as a second engine
+    /// round seeded from the pilot's measurements.
+    ///
+    /// Edge fractions degenerate to single-round policies (see
+    /// [`ShotAllocation::normalized`]): `pilot_fraction ≤ 0` is
+    /// [`ShotAllocation::WeightedByUsage`] (no pilot — fall back to the
+    /// static usage weights), `pilot_fraction ≥ 1` is
+    /// [`ShotAllocation::TotalBudget`] (the whole budget *is* the uniform
+    /// pilot).
+    Adaptive {
+        /// Fraction of `total` spent on the uniform pilot round.
+        pilot_fraction: f64,
+        /// Total shots across all subcircuits and both rounds.
+        total: u64,
+    },
+}
+
+impl ShotAllocation {
+    /// Resolves the degenerate [`ShotAllocation::Adaptive`] fractions into
+    /// the single-round policies they are bit-identical to; every other
+    /// policy (and interior fractions) is returned unchanged. The pipeline
+    /// normalizes before scheduling, so `Adaptive { pilot_fraction: 0.0 }`
+    /// runs *exactly* the `WeightedByUsage` path and
+    /// `Adaptive { pilot_fraction: 1.0 }` *exactly* the even
+    /// `TotalBudget` split (pinned in `tests/integration_allocation.rs`).
+    pub fn normalized(self) -> ShotAllocation {
+        match self {
+            ShotAllocation::Adaptive {
+                pilot_fraction,
+                total,
+            } if pilot_fraction <= 0.0 => ShotAllocation::WeightedByUsage { total },
+            ShotAllocation::Adaptive {
+                pilot_fraction,
+                total,
+            } if pilot_fraction >= 1.0 => ShotAllocation::TotalBudget { total },
+            other => other,
+        }
+    }
+}
+
+/// The pilot round's budget: `round(pilot_fraction · total)`, clamped to
+/// the total. Callers should [`ShotAllocation::normalized`] first — this
+/// helper is only meaningful for interior fractions.
+pub fn pilot_total(pilot_fraction: f64, total: u64) -> u64 {
+    ((total as f64 * pilot_fraction).round() as u64).min(total)
 }
 
 /// A schedule request that cannot be satisfied.
@@ -54,6 +136,14 @@ pub enum AllocationError {
         /// Number of settings that must each receive ≥ 1 shot.
         settings: usize,
     },
+    /// An adaptive pilot round cannot give every setting at least one
+    /// shot, so no empirical tensor could be built from it.
+    PilotBudgetTooSmall {
+        /// The pilot budget (`round(pilot_fraction · total)`).
+        pilot: u64,
+        /// Number of settings the pilot must cover with ≥ 1 shot.
+        settings: usize,
+    },
 }
 
 impl fmt::Display for AllocationError {
@@ -63,6 +153,11 @@ impl fmt::Display for AllocationError {
                 f,
                 "shot budget {total} cannot cover {settings} settings with at \
                  least one shot each; raise the total or shrink the plan"
+            ),
+            AllocationError::PilotBudgetTooSmall { pilot, settings } => write!(
+                f,
+                "adaptive pilot budget {pilot} cannot cover {settings} settings \
+                 with at least one shot each; raise pilot_fraction or the total"
             ),
         }
     }
@@ -212,6 +307,68 @@ fn schedule_weighted(
     })
 }
 
+/// Builds the uniform pilot schedule of a two-round adaptive run: an even
+/// largest-remainder split of `pilot` shots over `n_up + n_down` settings
+/// (the same division rule as [`ShotAllocation::TotalBudget`], so every
+/// setting delivers enough data to estimate its tensor entries). A pilot
+/// that cannot give each setting one shot is a typed
+/// [`AllocationError::PilotBudgetTooSmall`].
+pub fn pilot_schedule(
+    n_up: usize,
+    n_down: usize,
+    pilot: u64,
+) -> Result<ShotSchedule, AllocationError> {
+    let n_total = n_up + n_down;
+    if pilot < n_total as u64 {
+        return Err(AllocationError::PilotBudgetTooSmall {
+            pilot,
+            settings: n_total,
+        });
+    }
+    let split = apportion(pilot, &vec![1.0; n_total]);
+    Ok(ShotSchedule {
+        upstream: split[..n_up].to_vec(),
+        downstream: split[n_up..].to_vec(),
+    })
+}
+
+/// Folds the refine round into a pilot schedule: `remaining` shots are
+/// apportioned over the per-setting Neyman scores (largest-remainder, so
+/// the refine half spends exactly `remaining`) and added to the pilot
+/// budgets. The result is the *cumulative* per-setting target the second
+/// engine round requests — seeded with the pilot's measurements, the
+/// engine then executes exactly the refine increments
+/// (`pilot.total() + remaining` in total across both rounds).
+///
+/// All-zero scores (a pilot that saw no variance anywhere) fall back to an
+/// even refine split; a zero-score *setting* simply gets no refine shots —
+/// its pilot data already pins a coefficient the contraction barely reads.
+pub fn refine_schedule(
+    pilot: &ShotSchedule,
+    up_scores: &[f64],
+    down_scores: &[f64],
+    remaining: u64,
+) -> ShotSchedule {
+    assert_eq!(pilot.upstream.len(), up_scores.len(), "schedule arity");
+    assert_eq!(pilot.downstream.len(), down_scores.len(), "schedule arity");
+    let scores: Vec<f64> = up_scores.iter().chain(down_scores).copied().collect();
+    let split = apportion(remaining, &scores);
+    ShotSchedule {
+        upstream: pilot
+            .upstream
+            .iter()
+            .zip(&split[..up_scores.len()])
+            .map(|(&p, &r)| p + r)
+            .collect(),
+        downstream: pilot
+            .downstream
+            .iter()
+            .zip(&split[up_scores.len()..])
+            .map(|(&p, &r)| p + r)
+            .collect(),
+    }
+}
+
 /// How the downstream settings weigh in under
 /// [`ShotAllocation::WeightedByUsage`].
 enum DownstreamKeys<'a> {
@@ -243,7 +400,7 @@ fn schedule_for_keys(
 ) -> Result<ShotSchedule, AllocationError> {
     let n_up = up_keys.len();
     let n_down = down_keys.len();
-    match allocation {
+    match allocation.normalized() {
         ShotAllocation::Uniform { shots_per_setting } => {
             Ok(ShotSchedule::uniform(n_up, n_down, shots_per_setting))
         }
@@ -265,21 +422,46 @@ fn schedule_for_keys(
             })
         }
         ShotAllocation::WeightedByUsage { total } => {
-            let (up_usage, down_usage) = usage_counts(basis);
-            let up_w: Vec<f64> = up_keys
-                .iter()
-                .map(|k| up_usage.get(k).copied().unwrap_or(1) as f64)
-                .collect();
-            let down_w: Vec<f64> = match down_keys {
-                DownstreamKeys::Keyed(keys) => keys
-                    .iter()
-                    .map(|k| down_usage.get(k).copied().unwrap_or(1) as f64)
-                    .collect(),
-                DownstreamKeys::UniformWeight(n) => vec![1.0; n],
-            };
+            let (up_w, down_w) = usage_weights(basis, up_keys, &down_keys);
             schedule_weighted(total, &up_w, &down_w)
         }
+        // Interior pilot fractions (the edges were normalized away above).
+        // Without pilot data there is no measured variance yet, so the
+        // planning-time surrogate refines by the static usage weights —
+        // the pipeline replaces this with the empirical Neyman scores
+        // after the pilot round executes.
+        ShotAllocation::Adaptive {
+            pilot_fraction,
+            total,
+        } => {
+            let pilot = pilot_total(pilot_fraction, total);
+            let pilot_sched = pilot_schedule(n_up, n_down, pilot)?;
+            let (up_w, down_w) = usage_weights(basis, up_keys, &down_keys);
+            Ok(refine_schedule(&pilot_sched, &up_w, &down_w, total - pilot))
+        }
     }
+}
+
+/// The static usage weights shared by [`ShotAllocation::WeightedByUsage`]
+/// and the planning-time [`ShotAllocation::Adaptive`] surrogate.
+fn usage_weights(
+    basis: &BasisPlan,
+    up_keys: &[u64],
+    down_keys: &DownstreamKeys<'_>,
+) -> (Vec<f64>, Vec<f64>) {
+    let (up_usage, down_usage) = usage_counts(basis);
+    let up_w: Vec<f64> = up_keys
+        .iter()
+        .map(|k| up_usage.get(k).copied().unwrap_or(1) as f64)
+        .collect();
+    let down_w: Vec<f64> = match down_keys {
+        DownstreamKeys::Keyed(keys) => keys
+            .iter()
+            .map(|k| down_usage.get(k).copied().unwrap_or(1) as f64)
+            .collect(),
+        DownstreamKeys::UniformWeight(n) => vec![1.0; *n],
+    };
+    (up_w, down_w)
 }
 
 /// Builds the concrete schedule for an eigenstate experiment plan and an
@@ -552,6 +734,114 @@ mod tests {
         .unwrap();
         assert_eq!(s.total(), 9);
         assert_eq!(s.min_shots(), 1);
+    }
+
+    #[test]
+    fn normalized_resolves_degenerate_adaptive_fractions() {
+        let total = 5000;
+        assert_eq!(
+            ShotAllocation::Adaptive {
+                pilot_fraction: 0.0,
+                total
+            }
+            .normalized(),
+            ShotAllocation::WeightedByUsage { total }
+        );
+        assert_eq!(
+            ShotAllocation::Adaptive {
+                pilot_fraction: 1.0,
+                total
+            }
+            .normalized(),
+            ShotAllocation::TotalBudget { total }
+        );
+        // Interior fractions and single-round policies pass through.
+        let interior = ShotAllocation::Adaptive {
+            pilot_fraction: 0.25,
+            total,
+        };
+        assert_eq!(interior.normalized(), interior);
+        let uniform = ShotAllocation::Uniform {
+            shots_per_setting: 7,
+        };
+        assert_eq!(uniform.normalized(), uniform);
+    }
+
+    #[test]
+    fn pilot_total_rounds_and_clamps() {
+        assert_eq!(pilot_total(0.1, 1000), 100);
+        assert_eq!(pilot_total(0.25, 9001), 2250);
+        assert_eq!(pilot_total(0.999, 10), 10);
+        assert_eq!(pilot_total(0.0, 1000), 0);
+    }
+
+    #[test]
+    fn pilot_schedule_is_even_and_typed_on_starvation() {
+        let s = pilot_schedule(3, 6, 9005).unwrap();
+        assert_eq!(s.upstream.len(), 3);
+        assert_eq!(s.downstream.len(), 6);
+        assert_eq!(s.total(), 9005);
+        assert!(s.max_shots() - s.min_shots() <= 1, "pilot must be even");
+        let err = pilot_schedule(3, 6, 8).unwrap_err();
+        assert!(matches!(
+            err,
+            AllocationError::PilotBudgetTooSmall {
+                pilot: 8,
+                settings: 9
+            }
+        ));
+        assert!(err.to_string().contains("pilot_fraction"));
+    }
+
+    #[test]
+    fn refine_schedule_is_cumulative_and_exact() {
+        let pilot = ShotSchedule {
+            upstream: vec![10, 10, 10],
+            downstream: vec![10, 10],
+        };
+        // Skewed scores: the zero-score setting draws no refine shots but
+        // keeps its pilot budget.
+        let s = refine_schedule(&pilot, &[0.0, 3.0, 1.0], &[1.0, 1.0], 600);
+        assert_eq!(s.total(), pilot.total() + 600);
+        assert_eq!(s.upstream[0], 10);
+        assert!(s.upstream[1] > s.upstream[2]);
+        // All-zero scores fall back to an even refine split.
+        let s = refine_schedule(&pilot, &[0.0; 3], &[0.0; 2], 500);
+        assert_eq!(s.total(), pilot.total() + 500);
+        assert_eq!(s.upstream, vec![110, 110, 110]);
+    }
+
+    #[test]
+    fn adaptive_static_surrogate_spends_exactly() {
+        // Without pilot data, scheduling an interior-fraction Adaptive
+        // policy falls back to pilot-even + usage-weighted refine — and
+        // still spends exactly its total.
+        let (basis, experiment) = plan_pair(false);
+        // pilot = ⌈0.2·total⌋ must cover the 9 settings, so total ≥ 45.
+        for total in [45u64, 90, 9001, 90_000] {
+            let s = schedule(
+                &basis,
+                &experiment,
+                ShotAllocation::Adaptive {
+                    pilot_fraction: 0.2,
+                    total,
+                },
+            )
+            .unwrap();
+            assert_eq!(s.total(), total);
+        }
+        // A fraction that rounds the pilot below one-shot-per-setting is
+        // the typed pilot error.
+        let err = schedule(
+            &basis,
+            &experiment,
+            ShotAllocation::Adaptive {
+                pilot_fraction: 0.0001,
+                total: 9000,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, AllocationError::PilotBudgetTooSmall { .. }));
     }
 
     #[test]

@@ -91,20 +91,13 @@ impl FragmentData {
         self.downstream_shots.get(&prep_key).copied().unwrap_or(0)
     }
 
-    /// The historical scalar budget: exact when the schedule is uniform,
-    /// the mean otherwise.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the per-setting schedule (`shots_for_meas` / `shots_for_prep`); \
-                the mean is wrong under non-uniform allocation"
-    )]
-    pub fn shots_per_setting(&self) -> u64 {
-        self.total_shots / (self.subcircuits.max(1) as u64)
-    }
-
     /// Merges shot data from a second gathering pass (same plan): counts
-    /// accumulate, per-setting budgets add up. Used by online detection's
-    /// sequential batches.
+    /// accumulate, per-setting budgets add up. The accumulation contract —
+    /// histograms merge, per-setting budgets and timings sum — is what a
+    /// multi-round gather (adaptive pilot → refine, online detection's
+    /// sequential batches) relies on; the engine-seeded refine round in
+    /// [`crate::pipeline::CutExecutor::run`] delivers exactly the merge of
+    /// both passes (pinned in `tests/integration_allocation.rs`).
     pub fn merge(&mut self, other: &FragmentData) {
         for (k, c) in &other.upstream {
             self.upstream
@@ -260,10 +253,6 @@ mod tests {
             let key = encode_prep(&v.preparation);
             assert_eq!(data.shots_for_prep(key), schedule.downstream[i]);
         }
-        // The deprecated accessor still reports the mean for legacy users.
-        #[allow(deprecated)]
-        let nominal = data.shots_per_setting();
-        assert_eq!(nominal, schedule.total() / 9);
     }
 
     #[test]
@@ -300,8 +289,5 @@ mod tests {
         for &s in a.upstream_shots.values().chain(a.downstream_shots.values()) {
             assert_eq!(s, 500);
         }
-        #[allow(deprecated)]
-        let nominal = a.shots_per_setting();
-        assert_eq!(nominal, 500);
     }
 }

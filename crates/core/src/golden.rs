@@ -27,7 +27,8 @@ use std::collections::HashMap;
 /// How the pipeline learns about golden cutting points.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GoldenPolicy {
-    /// Standard method: nothing is neglected (the paper's baseline [18]).
+    /// Standard method: nothing is neglected (the paper's baseline
+    /// \[18\]).
     Disabled,
     /// The paper's experiments: neglected bases are known from the circuit
     /// design. Pairs of `(cut index, basis)`.
@@ -140,8 +141,8 @@ pub enum GoldenVerdict {
 
 /// Sequential empirical detector for one cut (paper §IV).
 ///
-/// Feed it upstream counts for the settings it [requires]
-/// (`OnlineDetector::required_settings`); it maintains running coefficient
+/// Feed it upstream counts for the settings it requires
+/// ([`OnlineDetector::required_settings`]); it maintains running coefficient
 /// estimates and decides once the Hoeffding interval separates every
 /// estimate from (or some estimate beyond) the epsilon threshold.
 #[derive(Debug, Clone)]

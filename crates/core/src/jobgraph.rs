@@ -29,6 +29,31 @@
 //! sequential one, and (absent duplicates) to the pre-engine per-job
 //! submission order. The equivalence tests in `tests/integration_jobgraph.rs`
 //! pin this down.
+//!
+//! # Example
+//!
+//! Two consumers of one circuit share a single execution at the larger
+//! budget, and both receive the full merged histogram:
+//!
+//! ```
+//! use qcut_circuit::circuit::Circuit;
+//! use qcut_core::jobgraph::{Channel, JobGraph};
+//! use qcut_device::ideal::IdealBackend;
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1);
+//! let mut graph = JobGraph::new();
+//! graph.add_job(bell.clone(), (Channel::UpstreamMeas, 0), 500);
+//! graph.add_job(bell, (Channel::UpstreamMeas, 1), 800); // dedups
+//!
+//! let run = graph.execute(&IdealBackend::new(1), true).unwrap();
+//! assert_eq!(run.stats.jobs_planned, 2);
+//! assert_eq!(run.stats.jobs_executed, 1);   // one node serves both
+//! assert_eq!(run.stats.shots_executed, 800); // max budget, executed once
+//! assert_eq!(run.stats.shots_saved, 500);
+//! let counts = run.counts(&(Channel::UpstreamMeas, 0)).unwrap();
+//! assert_eq!(counts.total(), 800); // never less data than requested
+//! ```
 
 use qcut_circuit::circuit::Circuit;
 use qcut_device::backend::{Backend, BackendError, BatchStats, JobSpec};

@@ -17,12 +17,21 @@
 //!   out to every consumer;
 //! * [`planner`] — graph builders translating a [`basis::BasisPlan`] into
 //!   engine jobs;
+//! * [`allocation`] — shot-allocation policies over the settings: the
+//!   paper's uniform protocol, exact total-budget splits, usage-weighted
+//!   budgets, and the two-round variance-adaptive pilot → refine policy;
 //! * [`execution`] — parallel fragment data gathering on any backend;
 //! * [`reconstruction`] — the tensor contraction of paper Eq. 13/14, plus
 //!   exact (infinite-shot) variants used for verification and detection;
+//! * [`variance`] — shot-noise propagation through the contraction:
+//!   error bars, schedule scoring, and the adaptive policy's Neyman
+//!   weights;
 //! * [`golden`] — a-priori, exact, and online golden-point detection
 //!   (the latter realising the paper's §IV future work);
 //! * [`sic`] — the SIC-basis preparation alternative discussed in §II-B;
+//! * [`observable`] — Pauli/diagonal observable estimation on top of the
+//!   reconstructed distribution;
+//! * [`report`] — the accounting every run returns ([`report::RunReport`]);
 //! * [`pipeline`] — the one-call API: [`pipeline::CutExecutor`].
 //!
 //! ```

@@ -7,9 +7,15 @@
 //!   ├─ resolve the golden policy into a BasisPlan
 //!   │    (a priori / exact simulation / online sequential detection,
 //!   │     detection batches executed through the JobGraph engine)
-//!   ├─ plan the JobGraph (eigenstate or SIC builders; identical
-//!   │    subcircuits dedup into one node, detection counts seed the cache)
-//!   ├─ execute the graph: one batched backend submission, fan-out
+//!   ├─ resolve the shot-allocation policy into gather round(s):
+//!   │    single-round policies build one schedule; Adaptive runs a
+//!   │    uniform pilot round, scores per-setting variance from the
+//!   │    empirical tensors, and seeds a Neyman-weighted refine round
+//!   │    from the pilot's measurements
+//!   ├─ per round, plan the JobGraph (eigenstate or SIC builders;
+//!   │    identical subcircuits dedup into one node, detection/pilot
+//!   │    counts seed the cache) and execute it as one batched backend
+//!   │    submission with fan-out
 //!   ├─ reconstruct (tensor contraction, Eq. 14)
 //!   └─ post-process the quasi-distribution
 //! ```
@@ -19,8 +25,11 @@
 //! [`crate::jobgraph::JobGraph`], so the [`RunReport`] carries unified
 //! dedup accounting (`jobs_planned` / `jobs_executed` / `shots_saved`).
 
-use crate::allocation::{schedule_for_plan, schedule_sic, ShotAllocation};
-use crate::basis::BasisPlan;
+use crate::allocation::{
+    pilot_schedule, pilot_total, refine_schedule, schedule_for_plan, schedule_sic, ShotAllocation,
+    ShotSchedule,
+};
+use crate::basis::{encode_meas, encode_prep, BasisPlan};
 use crate::error::PipelineError;
 use crate::execution::FragmentData;
 use crate::fragment::{Fragmenter, Fragments};
@@ -31,8 +40,9 @@ use crate::jobgraph::{Channel, GraphStats, JobGraph};
 use crate::planner::{add_downstream_jobs, add_sic_jobs, add_upstream_jobs, uncut_graph};
 use crate::reconstruction::{contract, downstream_tensor, upstream_tensor};
 use crate::report::{RunReport, UncutReport};
-use crate::sic::{sic_downstream_tensor, SicData};
-use crate::tomography::build_upstream_circuit;
+use crate::sic::{all_sic_settings, build_sic_circuit, encode_sic, sic_downstream_tensor, SicData};
+use crate::tomography::{build_downstream_circuit, build_upstream_circuit};
+use crate::variance::neyman_scores;
 use qcut_circuit::circuit::Circuit;
 use qcut_circuit::cut::CutSpec;
 use qcut_device::backend::Backend;
@@ -148,6 +158,34 @@ pub struct CutExecutor<'b, B: Backend + ?Sized> {
     backend: &'b B,
 }
 
+/// Delivered channels + engine accounting of one gather round.
+struct GatherRound {
+    upstream: HashMap<u64, Counts>,
+    downstream: HashMap<u64, Counts>,
+    sic_counts: HashMap<u64, Counts>,
+    stats: GraphStats,
+}
+
+/// Records one round's delivered histogram into a structural-hash-keyed
+/// seed cache, first delivery wins: deduplicated consumers of a shared
+/// node hand back the *same* merged histogram, which must seed the next
+/// round's node exactly once (merging the duplicates would double-count).
+fn seed_once(seeds: &mut HashMap<u64, (Circuit, Counts)>, circuit: Circuit, counts: &Counts) {
+    if let Entry::Vacant(e) = seeds.entry(circuit.structural_hash()) {
+        e.insert((circuit, counts.clone()));
+    }
+}
+
+/// Merges one channel's histograms into another (the dedup-off refine
+/// path, where the pilot's data cannot ride the engine's seed cache).
+fn merge_channel(into: &mut HashMap<u64, Counts>, from: HashMap<u64, Counts>) {
+    for (key, counts) in from {
+        into.entry(key)
+            .and_modify(|mine| mine.merge(&counts))
+            .or_insert(counts);
+    }
+}
+
 impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
     /// Binds an executor to a backend.
     pub fn new(backend: &'b B) -> Self {
@@ -188,57 +226,44 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         let detection_seconds = detect_started.elapsed().as_secs_f64();
         let detection_shots = detection_stats.shots_executed;
 
-        // Resolve the allocation policy into a concrete per-setting
-        // schedule for the surviving plan (golden detection shrinks the
-        // settings the budget divides over). Uniform reproduces the
-        // paper's protocol bit-identically; weighted/total policies skew
-        // or split a fixed budget, exactly (largest-remainder split).
+        // Resolve the allocation policy for the surviving plan (golden
+        // detection shrinks the settings the budget divides over). Uniform
+        // reproduces the paper's protocol bit-identically; weighted/total
+        // policies skew or split a fixed budget, exactly (largest-
+        // remainder split); the adaptive policy runs a pilot round first.
+        // `normalized` resolves degenerate adaptive fractions into the
+        // single-round policy they are bit-identical to.
         let allocation = options.resolved_allocation();
-        let sched = match options.method {
-            ReconstructionMethod::Eigenstate => schedule_for_plan(&plan, allocation)?,
-            ReconstructionMethod::Sic => schedule_sic(&plan, allocation)?,
-        };
+        let effective = allocation.normalized();
 
-        // Plan the gather graph: eigenstate and SIC are just different
-        // builder combinations over the same engine. The SIC path registers
-        // upstream + SIC jobs only — the eigenstate downstream half it
-        // historically built and discarded is never constructed.
         let gather_started = Instant::now();
-        let mut graph = if options.dedup {
-            JobGraph::new()
+        let (gather, pilot_shots, rounds) = if let ShotAllocation::Adaptive {
+            pilot_fraction,
+            total,
+        } = effective
+        {
+            self.gather_adaptive(
+                &fragments,
+                &plan,
+                options,
+                pilot_fraction,
+                total,
+                &detection_cache,
+            )?
         } else {
-            JobGraph::without_dedup()
+            let sched = match options.method {
+                ReconstructionMethod::Eigenstate => schedule_for_plan(&plan, effective)?,
+                ReconstructionMethod::Sic => schedule_sic(&plan, effective)?,
+            };
+            let round = self.gather_round(&fragments, &plan, options, &sched, &detection_cache)?;
+            (round, 0, 1)
         };
-        add_upstream_jobs(&mut graph, &fragments, &plan, &sched.upstream);
-        match options.method {
-            ReconstructionMethod::Eigenstate => {
-                add_downstream_jobs(&mut graph, &fragments, &plan, &sched.downstream);
-            }
-            ReconstructionMethod::Sic => {
-                add_sic_jobs(
-                    &mut graph,
-                    &fragments.downstream,
-                    fragments.num_cuts,
-                    &sched.downstream,
-                );
-                assert!(
-                    !graph.has_channel(Channel::DownstreamPrep),
-                    "SIC planning must never schedule eigenstate downstream jobs"
-                );
-            }
-        }
-        // Detection measurements of surviving settings count toward the
-        // gather budget (the engine executes only the missing shots).
-        for (circuit, counts) in detection_cache.values() {
-            graph.seed_counts(circuit, counts);
-        }
-
-        // One batched, deduplicated submission for the whole gather.
-        let mut grun = graph.execute(self.backend, options.parallel)?;
-        let upstream = grun.take_channel(Channel::UpstreamMeas);
-        let downstream = grun.take_channel(Channel::DownstreamPrep);
-        let sic_counts = grun.take_channel(Channel::SicPrep);
-        let gather_stats = grun.stats;
+        let GatherRound {
+            upstream,
+            downstream,
+            sic_counts,
+            stats: gather_stats,
+        } = gather;
         let gather_seconds = gather_started.elapsed().as_secs_f64();
 
         let upstream_settings = upstream.len();
@@ -295,10 +320,12 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
             upstream_settings,
             downstream_settings,
             subcircuits_executed: upstream_settings + downstream_settings,
-            // Fresh device shots for the gather only — detection shots are
-            // reported separately, so the two fields never double-count a
-            // reused measurement.
-            total_shots: gather_stats.shots_executed,
+            // Fresh device shots for the main gather round only —
+            // detection and pilot shots are reported separately, so the
+            // fields never double-count a reused measurement.
+            total_shots: gather_stats.shots_executed - pilot_shots,
+            pilot_shots,
+            rounds,
             shots_requested: engine.shots_requested,
             jobs_planned: engine.jobs_planned,
             jobs_executed: engine.jobs_executed,
@@ -316,6 +343,203 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
             distribution,
             report,
         })
+    }
+
+    /// Plans and executes one gather round through the engine: builds the
+    /// graph for `sched` (eigenstate and SIC are different builder
+    /// combinations over the same engine — the SIC path registers
+    /// upstream + SIC jobs only, never the eigenstate downstream half),
+    /// seeds it with prior measurements (online-detection batches for a
+    /// first round, the pilot's histograms for an adaptive refine round),
+    /// and returns the delivered channels plus accounting. The engine
+    /// executes only each node's missing shots, so seeded data counts
+    /// toward the round's budget as `shots_saved`.
+    fn gather_round(
+        &self,
+        fragments: &Fragments,
+        plan: &BasisPlan,
+        options: &ExecutionOptions,
+        sched: &ShotSchedule,
+        seeds: &HashMap<u64, (Circuit, Counts)>,
+    ) -> Result<GatherRound, PipelineError> {
+        let mut graph = if options.dedup {
+            JobGraph::new()
+        } else {
+            JobGraph::without_dedup()
+        };
+        add_upstream_jobs(&mut graph, fragments, plan, &sched.upstream);
+        match options.method {
+            ReconstructionMethod::Eigenstate => {
+                add_downstream_jobs(&mut graph, fragments, plan, &sched.downstream);
+            }
+            ReconstructionMethod::Sic => {
+                add_sic_jobs(
+                    &mut graph,
+                    &fragments.downstream,
+                    fragments.num_cuts,
+                    &sched.downstream,
+                );
+                assert!(
+                    !graph.has_channel(Channel::DownstreamPrep),
+                    "SIC planning must never schedule eigenstate downstream jobs"
+                );
+            }
+        }
+        for (circuit, counts) in seeds.values() {
+            graph.seed_counts(circuit, counts);
+        }
+        let mut grun = graph.execute(self.backend, options.parallel)?;
+        Ok(GatherRound {
+            upstream: grun.take_channel(Channel::UpstreamMeas),
+            downstream: grun.take_channel(Channel::DownstreamPrep),
+            sic_counts: grun.take_channel(Channel::SicPrep),
+            stats: grun.stats,
+        })
+    }
+
+    /// The two-round adaptive gather (`ShotAllocation::Adaptive` with an
+    /// interior pilot fraction):
+    ///
+    /// 1. a uniform **pilot** round of `round(pilot_fraction · total)`
+    ///    shots runs through the engine (seeded with detection data like
+    ///    any gather);
+    /// 2. empirical fragment tensors built from the pilot's histograms are
+    ///    scored per setting ([`neyman_scores`]) and the remaining budget
+    ///    is apportioned `N ∝ √score` by largest remainder;
+    /// 3. a **refine** round requests the cumulative per-setting targets,
+    ///    seeded with the pilot's delivered histograms — the engine
+    ///    executes exactly the refine increments and every consumer
+    ///    receives the merged two-round data. (With dedup off, the
+    ///    ablation baseline, the seed cache is disabled by design, so the
+    ///    round requests only the increments and the pilot's histograms
+    ///    are merged into the delivery directly — same data, same total.)
+    ///
+    /// Returns the final round's channels (cumulative histograms), the
+    /// pilot's fresh shot count, and the round count (2).
+    fn gather_adaptive(
+        &self,
+        fragments: &Fragments,
+        plan: &BasisPlan,
+        options: &ExecutionOptions,
+        pilot_fraction: f64,
+        total: u64,
+        detection_cache: &HashMap<u64, (Circuit, Counts)>,
+    ) -> Result<(GatherRound, u64, usize), PipelineError> {
+        let num_cuts = fragments.num_cuts;
+        let n_up = plan.all_meas_settings().len();
+        let n_down = match options.method {
+            ReconstructionMethod::Eigenstate => plan.all_prep_settings().len(),
+            ReconstructionMethod::Sic => all_sic_settings(num_cuts).len(),
+        };
+
+        // Round 1: the uniform pilot.
+        let pilot = pilot_total(pilot_fraction, total);
+        let pilot_sched = pilot_schedule(n_up, n_down, pilot)?;
+        let pilot_run =
+            self.gather_round(fragments, plan, options, &pilot_sched, detection_cache)?;
+
+        // Empirical tensors from the pilot's delivered histograms.
+        let pilot_data = FragmentData::from_counts(
+            pilot_run.upstream.clone(),
+            pilot_run.downstream.clone(),
+            pilot_run.stats.simulated_device_time,
+            pilot_run.stats.host_time,
+        );
+        let up = upstream_tensor(&fragments.upstream, plan, &pilot_data);
+        let (up_scores, down_scores) = match options.method {
+            ReconstructionMethod::Eigenstate => {
+                let down = downstream_tensor(&fragments.downstream, plan, &pilot_data);
+                let scores = neyman_scores(fragments, plan, &up, &down);
+                (scores.upstream, scores.downstream)
+            }
+            ReconstructionMethod::Sic => {
+                let sic_shots: u64 = pilot_run.sic_counts.values().map(|c| c.total()).sum();
+                let sic = SicData {
+                    subcircuits: pilot_run.sic_counts.len(),
+                    shots_per_setting: sic_shots / (pilot_run.sic_counts.len().max(1) as u64),
+                    counts: pilot_run.sic_counts.clone(),
+                    simulated_device_time: Duration::ZERO,
+                };
+                let down = sic_downstream_tensor(&fragments.downstream, plan, &sic);
+                let scores = neyman_scores(fragments, plan, &up, &down);
+                // SIC preparations are informationally complete and read
+                // uniformly through the frame solve, so only the upstream
+                // half is adaptively skewed (same rule as WeightedByUsage).
+                (scores.upstream, vec![1.0; n_down])
+            }
+        };
+
+        // Round 2. With dedup on, the refine round requests the
+        // *cumulative* Neyman targets and is seeded with the pilot's
+        // histograms, so the engine executes exactly the refine increments
+        // and delivers the merged two-round data (the pilot reuse shows up
+        // as shots_saved). With dedup off — the ablation baseline —
+        // `seed_counts` is deliberately a no-op, so the round requests
+        // only the increments and the pilot's histograms are merged back
+        // into the delivery here: either way both rounds together execute
+        // exactly `total` fresh shots.
+        let cumulative = refine_schedule(&pilot_sched, &up_scores, &down_scores, total - pilot);
+        let mut refine_run = if options.dedup {
+            let mut seeds: HashMap<u64, (Circuit, Counts)> = HashMap::new();
+            for setting in plan.all_meas_settings() {
+                let counts = &pilot_run.upstream[&encode_meas(&setting)];
+                seed_once(
+                    &mut seeds,
+                    build_upstream_circuit(&fragments.upstream, &setting),
+                    counts,
+                );
+            }
+            match options.method {
+                ReconstructionMethod::Eigenstate => {
+                    for prep in plan.all_prep_settings() {
+                        let counts = &pilot_run.downstream[&encode_prep(&prep)];
+                        seed_once(
+                            &mut seeds,
+                            build_downstream_circuit(&fragments.downstream, &prep),
+                            counts,
+                        );
+                    }
+                }
+                ReconstructionMethod::Sic => {
+                    for states in all_sic_settings(num_cuts) {
+                        let counts = &pilot_run.sic_counts[&encode_sic(&states)];
+                        seed_once(
+                            &mut seeds,
+                            build_sic_circuit(&fragments.downstream, &states),
+                            counts,
+                        );
+                    }
+                }
+            }
+            self.gather_round(fragments, plan, options, &cumulative, &seeds)?
+        } else {
+            let increments = ShotSchedule {
+                upstream: cumulative
+                    .upstream
+                    .iter()
+                    .zip(&pilot_sched.upstream)
+                    .map(|(&c, &p)| c - p)
+                    .collect(),
+                downstream: cumulative
+                    .downstream
+                    .iter()
+                    .zip(&pilot_sched.downstream)
+                    .map(|(&c, &p)| c - p)
+                    .collect(),
+            };
+            let mut run =
+                self.gather_round(fragments, plan, options, &increments, &HashMap::new())?;
+            merge_channel(&mut run.upstream, pilot_data.upstream);
+            merge_channel(&mut run.downstream, pilot_data.downstream);
+            merge_channel(&mut run.sic_counts, pilot_run.sic_counts.clone());
+            run
+        };
+
+        let pilot_shots = pilot_run.stats.shots_executed;
+        let mut stats = pilot_run.stats;
+        stats.absorb(&refine_run.stats);
+        refine_run.stats = stats;
+        Ok((refine_run, pilot_shots, 2))
     }
 
     /// Runs the uncut circuit directly (the reference arm of Fig. 3),
@@ -351,7 +575,6 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         cache: &mut HashMap<u64, (Circuit, Counts)>,
         stats: &mut GraphStats,
     ) -> Result<BasisPlan, PipelineError> {
-        use crate::basis::encode_meas;
         let num_cuts = fragments.num_cuts;
         let mut plan = BasisPlan::standard(num_cuts);
         for cut in 0..num_cuts {

@@ -12,7 +12,34 @@
 //!   ever constructed);
 //! * online detection registers its per-round jobs inline in
 //!   [`crate::pipeline`] (it needs the built circuits for the reuse cache)
-//!   and seeds the measured counts back into the gather graph.
+//!   and seeds the measured counts back into the gather graph;
+//! * an adaptive refine round re-plans the same builders with the
+//!   cumulative Neyman schedule and seeds the pilot's histograms
+//!   (see [`crate::pipeline::CutExecutor::run`]).
+//!
+//! # Example
+//!
+//! Planning a full eigenstate gather produces one job per tomography
+//! setting, emitted in trie-locality order so a prefix-sharing backend
+//! simulates each shared fragment prefix once:
+//!
+//! ```
+//! use qcut_circuit::ansatz::GoldenAnsatz;
+//! use qcut_core::basis::BasisPlan;
+//! use qcut_core::fragment::Fragmenter;
+//! use qcut_core::jobgraph::JobGraph;
+//! use qcut_core::planner::{add_downstream_jobs, add_upstream_jobs};
+//!
+//! let (circuit, cut) = GoldenAnsatz::new(5, 1).build();
+//! let frags = Fragmenter::fragment(&circuit, &cut).unwrap();
+//! let plan = BasisPlan::standard(1);
+//! let mut graph = JobGraph::new();
+//! add_upstream_jobs(&mut graph, &frags, &plan, &[1000]);
+//! add_downstream_jobs(&mut graph, &frags, &plan, &[1000]);
+//! assert_eq!(graph.jobs_planned(), 9); // 3 measurements + 6 preparations
+//! // Adjacent upstream variants share the fragment as a prefix.
+//! assert!(graph.prefix_profile().gates_saved() > 0);
+//! ```
 
 use crate::basis::{encode_meas, encode_prep, BasisPlan};
 use crate::fragment::{Fragment, Fragments};

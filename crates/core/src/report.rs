@@ -20,16 +20,25 @@ pub struct RunReport {
     /// Total subcircuits executed (`upstream + downstream`; the quantity
     /// the golden method shrinks 9 → 6 per cut).
     pub subcircuits_executed: usize,
-    /// Fresh device shots executed for the gather (Fig. 5's 4.5e5 →
-    /// 3.0e5). Excludes [`RunReport::detection_shots`] and anything the
-    /// engine saved via dedup/reuse (see [`RunReport::shots_saved`]), so
-    /// total device work is `detection_shots + total_shots` with no
+    /// Fresh device shots executed for the main gather round (Fig. 5's
+    /// 4.5e5 → 3.0e5). Excludes [`RunReport::detection_shots`],
+    /// [`RunReport::pilot_shots`], and anything the engine saved via
+    /// dedup/reuse (see [`RunReport::shots_saved`]), so total device work
+    /// is `detection_shots + pilot_shots + total_shots` with no
     /// double-counting of reused measurements.
     pub total_shots: u64,
+    /// Fresh device shots executed by the uniform pilot round of a
+    /// two-round [`crate::allocation::ShotAllocation::Adaptive`] run
+    /// (0 on single-round policies).
+    pub pilot_shots: u64,
+    /// Gather rounds executed: 1 for every single-round policy, 2 for an
+    /// adaptive pilot → refine run (online-detection batches are not
+    /// gather rounds and are accounted separately).
+    pub rounds: usize,
     /// Shots requested across every engine job of the run (detection
-    /// rounds + gather fan-out edges, before dedup/reuse). The exact-
-    /// accounting invariant is `shots_requested = detection_shots +
-    /// total_shots + shots_saved`.
+    /// rounds + pilot/gather fan-out edges, before dedup/reuse). The
+    /// exact-accounting invariant is `shots_requested = detection_shots +
+    /// pilot_shots + total_shots + shots_saved`.
     pub shots_requested: u64,
     /// Jobs registered on the JobGraph engine across the whole run
     /// (detection rounds + gather fan-out edges).
@@ -122,6 +131,8 @@ mod tests {
             downstream_settings: 4,
             subcircuits_executed: 6,
             total_shots: 6000,
+            pilot_shots: 0,
+            rounds: 1,
             shots_requested: 6000,
             jobs_planned: 6,
             jobs_executed: 6,

@@ -25,7 +25,32 @@
 //! `Var ≤ (1 − coeff²)/N ≤ 1/N`.
 //!
 //! The estimate is validated against the empirical trial-to-trial variance
-//! in the tests below.
+//! in the tests below. The same machinery scores candidate schedules
+//! before execution ([`variance_from_schedule`]) and drives the two-round
+//! adaptive allocation's per-setting Neyman weights ([`neyman_scores`]).
+//!
+//! # Example
+//!
+//! The predicted RMS error follows the `1/√N` law, so budgets can be
+//! sized before anything executes:
+//!
+//! ```
+//! use qcut_circuit::ansatz::GoldenAnsatz;
+//! use qcut_core::basis::BasisPlan;
+//! use qcut_core::fragment::Fragmenter;
+//! use qcut_core::reconstruction::{exact_downstream_tensor, exact_upstream_tensor};
+//! use qcut_core::variance::predicted_rms_for_budget;
+//!
+//! let (circuit, cut) = GoldenAnsatz::new(5, 7).build();
+//! let frags = Fragmenter::fragment(&circuit, &cut).unwrap();
+//! let plan = BasisPlan::standard(1);
+//! let up = exact_upstream_tensor(&frags.upstream, &plan);
+//! let down = exact_downstream_tensor(&frags.downstream, &plan);
+//! // 4× the shots halve the predicted error.
+//! let rms_1k = predicted_rms_for_budget(&frags, &plan, &up, &down, 1000);
+//! let rms_4k = predicted_rms_for_budget(&frags, &plan, &up, &down, 4000);
+//! assert!((rms_1k / rms_4k - 2.0).abs() < 0.05);
+//! ```
 
 use crate::allocation::ShotSchedule;
 use crate::basis::{encode_meas, encode_prep, BasisPlan};
@@ -181,6 +206,97 @@ pub fn variance_from_schedule(
     variance_core(fragments, plan, upstream, downstream, |m| {
         string_vars(plan, m, &meas_shots, &prep_shots)
     })
+}
+
+/// Per-setting Neyman scores for the two-round adaptive allocation,
+/// aligned with [`BasisPlan::all_meas_settings`] /
+/// [`BasisPlan::all_prep_settings`] order.
+#[derive(Debug, Clone)]
+pub struct NeymanScores {
+    /// One score per upstream measurement setting.
+    pub upstream: Vec<f64>,
+    /// One score per downstream eigenstate preparation.
+    pub downstream: Vec<f64>,
+}
+
+/// Scores each setting's first-order contribution to the reconstruction
+/// variance, from (pilot-)empirical tensors.
+///
+/// Under the same per-coefficient model [`variance_from_schedule`]
+/// evaluates (`Var[Â_M] ≤ 1/N_setting`, `Var[D̂_M] ≤ Σ_combo 1/N_prep`),
+/// the total variance is — up to the second-order `Var·Var` cross term —
+/// *linear in the per-setting `1/N`*:
+///
+/// ```text
+/// Σ_b Var[p̂(b)] ≈ 4^{-K} ( Σ_s c_s/N_s + Σ_p c_p/N_p )
+/// c_s = 2^{n1} Σ_{M ∈ s}        ‖D̂[M]‖²     (upstream setting s)
+/// c_p = 2^{n2} Σ_{(M,combo) ∋ p} ‖Â[M]‖²     (downstream prep p)
+/// ```
+///
+/// Minimising that subject to a fixed `Σ N` is the classic Neyman
+/// allocation `N_i ∝ √c_i`, and `√c_i` is exactly the returned score: the
+/// usage count rides in the number of summands, the coefficient magnitude
+/// in the tensor norms, and the per-shot dispersion `σ̂ ≤ 1` in the
+/// multinomial bound the variance model already uses. Settings whose
+/// consuming strings have (near-)vanishing coefficients — e.g. next to a
+/// golden cut — score near zero and stop drawing budget, which is the
+/// paper's neglection economy applied to *shots* instead of subcircuits.
+///
+/// The downstream half of a SIC gather is informationally complete and
+/// uniformly read through the frame solve, so the pipeline only consumes
+/// the `upstream` half there (pass the SIC tensor as `downstream`).
+pub fn neyman_scores(
+    fragments: &Fragments,
+    plan: &BasisPlan,
+    upstream: &CoefficientTensor,
+    downstream: &CoefficientTensor,
+) -> NeymanScores {
+    let n1 = fragments.upstream.num_outputs() as i32;
+    let n2 = fragments.downstream.num_outputs() as i32;
+    let num_cuts = plan.num_cuts();
+    let mut up_contrib: HashMap<u64, f64> = HashMap::new();
+    let mut down_contrib: HashMap<u64, f64> = HashMap::new();
+    for m in plan.all_recon_strings() {
+        let norm_sq = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>();
+        let a_sq = norm_sq(upstream.get(&m).expect("upstream entry"));
+        let d_sq = norm_sq(downstream.get(&m).expect("downstream entry"));
+        *up_contrib
+            .entry(encode_meas(&plan.setting_for(&m)))
+            .or_insert(0.0) += 2.0f64.powi(n1) * d_sq;
+        let pairs: Vec<_> = (0..num_cuts).map(|k| plan.prep_pair(k, m[k])).collect();
+        for combo in 0..(1usize << num_cuts) {
+            let states: Vec<_> = pairs
+                .iter()
+                .enumerate()
+                .map(|(k, pair)| pair[(combo >> k) & 1].0)
+                .collect();
+            *down_contrib.entry(encode_prep(&states)).or_insert(0.0) += 2.0f64.powi(n2) * a_sq;
+        }
+    }
+    NeymanScores {
+        upstream: plan
+            .all_meas_settings()
+            .iter()
+            .map(|s| {
+                up_contrib
+                    .get(&encode_meas(s))
+                    .copied()
+                    .unwrap_or(0.0)
+                    .sqrt()
+            })
+            .collect(),
+        downstream: plan
+            .all_prep_settings()
+            .iter()
+            .map(|s| {
+                down_contrib
+                    .get(&encode_prep(s))
+                    .copied()
+                    .unwrap_or(0.0)
+                    .sqrt()
+            })
+            .collect(),
+    }
 }
 
 /// The shared contraction-propagation pass: accumulates per-bitstring
@@ -403,6 +519,79 @@ mod tests {
         for bits in 0..(1u64 << 5) {
             assert!((a.variance(bits) - b.variance(bits)).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn neyman_scores_track_usage_and_coefficient_magnitude() {
+        // On the golden ansatz the Y-string coefficients vanish upstream,
+        // so every prep combination serving only the Y string scores ~0,
+        // while the Z setting (read by I *and* Z) outscores X.
+        let (circuit, spec) = GoldenAnsatz::new(5, 3).build();
+        let frags = Fragmenter::fragment(&circuit, &spec).unwrap();
+        let plan = BasisPlan::standard(1);
+        let up = exact_upstream_tensor(&frags.upstream, &plan);
+        let down = exact_downstream_tensor(&frags.downstream, &plan);
+        let scores = neyman_scores(&frags, &plan, &up, &down);
+        assert_eq!(scores.upstream.len(), 3);
+        assert_eq!(scores.downstream.len(), 6);
+        use crate::basis::MeasBasis;
+        let idx = |b: MeasBasis| {
+            plan.all_meas_settings()
+                .iter()
+                .position(|s| s == &vec![b])
+                .unwrap()
+        };
+        assert!(
+            scores.upstream[idx(MeasBasis::Z)] > scores.upstream[idx(MeasBasis::X)],
+            "Z (2 consuming strings) must outscore X (1): {:?}",
+            scores.upstream
+        );
+        // The Y-only preparations (Yp/Ym) read a vanishing ‖Â[Y]‖².
+        use qcut_math::PrepState;
+        let pidx = |p: PrepState| {
+            plan.all_prep_settings()
+                .iter()
+                .position(|s| s == &vec![p])
+                .unwrap()
+        };
+        assert!(
+            scores.downstream[pidx(PrepState::Yp)] < 1e-6,
+            "Y-prep score should vanish on the golden ansatz: {:?}",
+            scores.downstream
+        );
+        assert!(scores.downstream[pidx(PrepState::Zp)] > 0.1);
+    }
+
+    #[test]
+    fn neyman_refined_schedule_beats_usage_weights_on_skewed_plans() {
+        // The payoff the adaptive policy banks on: refining by the
+        // measured per-setting sensitivities lowers the scheduled variance
+        // below the static usage split at equal total budget.
+        use crate::allocation::ShotAllocation;
+        use crate::allocation::{pilot_schedule, pilot_total, refine_schedule, schedule_for_plan};
+        let (circuit, spec) = GoldenAnsatz::new(5, 21).build();
+        let frags = Fragmenter::fragment(&circuit, &spec).unwrap();
+        let plan = BasisPlan::standard(1);
+        let up = exact_upstream_tensor(&frags.upstream, &plan);
+        let down = exact_downstream_tensor(&frags.downstream, &plan);
+        let total = 90_000u64;
+        let pilot = pilot_total(0.1, total);
+        let pilot_sched = pilot_schedule(3, 6, pilot).unwrap();
+        let scores = neyman_scores(&frags, &plan, &up, &down);
+        let adaptive = refine_schedule(
+            &pilot_sched,
+            &scores.upstream,
+            &scores.downstream,
+            total - pilot,
+        );
+        assert_eq!(adaptive.total(), total);
+        let weighted = schedule_for_plan(&plan, ShotAllocation::WeightedByUsage { total }).unwrap();
+        let rms_a = variance_from_schedule(&frags, &plan, &up, &down, &adaptive).rms_error();
+        let rms_w = variance_from_schedule(&frags, &plan, &up, &down, &weighted).rms_error();
+        assert!(
+            rms_a <= rms_w * 1.0001,
+            "Neyman-refined RMS {rms_a} should not exceed usage-weighted {rms_w}"
+        );
     }
 
     #[test]

@@ -6,10 +6,10 @@
 //!   batch of [`backend::JobSpec`]s in one submission — and get counts plus
 //!   simulated device time);
 //! * [`ideal::IdealBackend`] — noiseless state-vector backend (the paper's
-//!   Aer simulator [27]);
+//!   Aer simulator \[27\]);
 //! * [`noisy::NoisyBackend`] — density-matrix backend with depolarizing +
 //!   thermal + readout noise and an IBM-like timing model (the substitute
-//!   for the paper's 5- and 7-qubit IBM devices [28], see DESIGN.md §4);
+//!   for the paper's 5- and 7-qubit IBM devices \[28\], see DESIGN.md §4);
 //! * [`presets`] — ready-made `ibm_5q` / `ibm_7q` / `aer_like` devices;
 //! * [`executor`] — parallel fan-out of tomography jobs (rayon) and a
 //!   crossbeam worker-pool dispatch queue.

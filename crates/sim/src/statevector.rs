@@ -1,7 +1,7 @@
 //! State-vector simulator.
 //!
 //! This is the workspace's stand-in for the Qiskit Aer simulator the paper
-//! uses [27]. Gates are applied with bit-twiddling kernels over the
+//! uses \[27\]. Gates are applied with bit-twiddling kernels over the
 //! amplitude array; above a size threshold the kernels switch to
 //! rayon-parallel chunked execution (the guide's advice: parallelise only
 //! when the data is big enough to amortise the overhead).

@@ -17,7 +17,13 @@
 //! * [`stats`] — distributions, the paper's weighted distance (Eq. 17),
 //!   and confidence intervals;
 //! * [`cutting`] — the paper's contribution: wire cutting, golden cutting
-//!   point detection and exploitation, tensor reconstruction, SIC variant.
+//!   point detection and exploitation, tensor reconstruction, the SIC
+//!   variant, and the shot-allocation policies (uniform / weighted /
+//!   two-round variance-adaptive) scheduled through the JobGraph engine.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the crate layering,
+//! the JobGraph execution seam, the PrefixForest, and the allocation
+//! pipeline with the full data-flow diagram.
 //!
 //! ## Quickstart
 //!

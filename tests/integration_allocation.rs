@@ -342,6 +342,51 @@ proptest! {
         }
     }
 
+    /// ISSUE 5: the adaptive policy spends exactly its total across plan
+    /// shapes — both at the schedule level (pilot + Neyman refine under
+    /// arbitrary scores) and through the eigenstate/SIC planning surrogate.
+    #[test]
+    fn adaptive_spends_exactly_its_total(
+        cuts in proptest::collection::vec(0u8..4, 1..4),
+        budget_per_setting in 2u64..5000,
+        fraction in 0.01f64..0.99,
+        scores in proptest::collection::vec(0.0f64..10.0, 40),
+    ) {
+        use qcut::cutting::allocation::{pilot_schedule, pilot_total, refine_schedule};
+        let plan = plan_from(&cuts);
+        let n_eigen = plan.total_settings() as u64;
+        let n_up = plan.all_meas_settings().len();
+        let n_down_sic = 4usize.pow(plan.num_cuts() as u32);
+
+        // Schedule-level: uniform pilot + largest-remainder Neyman refine.
+        let total = n_eigen * budget_per_setting + budget_per_setting % 7;
+        let pilot = pilot_total(fraction, total).max(n_eigen);
+        prop_assert!(pilot <= total);
+        let pilot_sched = pilot_schedule(n_up, n_eigen as usize - n_up, pilot).unwrap();
+        prop_assert_eq!(pilot_sched.total(), pilot);
+        // Cycle the generated scores over however many settings the plan
+        // shape produced (up to 3^3 + 6^3 for three standard cuts).
+        let up_scores: Vec<f64> = (0..n_up).map(|i| scores[i % scores.len()]).collect();
+        let down_scores: Vec<f64> = (n_up..n_eigen as usize)
+            .map(|i| scores[i % scores.len()])
+            .collect();
+        let cumulative = refine_schedule(&pilot_sched, &up_scores, &down_scores, total - pilot);
+        prop_assert_eq!(cumulative.total(), total, "adaptive lost shots");
+        prop_assert!(cumulative.min_shots() >= 1);
+
+        // Planner surrogate, eigenstate and SIC shapes.
+        let alloc = ShotAllocation::Adaptive { pilot_fraction: 0.5, total };
+        let s = schedule_for_plan(&plan, alloc).unwrap();
+        prop_assert_eq!(s.total(), total, "eigenstate surrogate lost shots");
+        let sic_total = (n_up + n_down_sic) as u64 * budget_per_setting;
+        let s = schedule_sic(
+            &plan,
+            ShotAllocation::Adaptive { pilot_fraction: 0.5, total: sic_total },
+        )
+        .unwrap();
+        prop_assert_eq!(s.total(), sic_total, "SIC surrogate lost shots");
+    }
+
     /// Budgets below one-shot-per-setting always fail with the typed
     /// error, never a panic.
     #[test]
@@ -388,6 +433,322 @@ proptest! {
             prop_assert_eq!(data.shots_for_prep(key), sched.downstream[i]);
         }
     }
+}
+
+/// ISSUE 5 degenerate edge (a): `pilot_fraction = 0` means "no pilot, no
+/// measured variance" and must be *bit-identical* to the single-round
+/// `WeightedByUsage` policy — same distribution, same accounting.
+#[test]
+fn adaptive_pilot_fraction_zero_is_bit_identical_to_weighted() {
+    let (circuit, cut) = GoldenAnsatz::new(5, 301).build();
+    let total = 45_000u64;
+    let run_with = |policy| {
+        let backend = IdealBackend::new(61);
+        CutExecutor::new(&backend)
+            .run(
+                &circuit,
+                &cut,
+                GoldenPolicy::Disabled,
+                &ExecutionOptions::with_allocation(policy),
+            )
+            .unwrap()
+    };
+    let adaptive = run_with(ShotAllocation::Adaptive {
+        pilot_fraction: 0.0,
+        total,
+    });
+    let weighted = run_with(ShotAllocation::WeightedByUsage { total });
+    assert_eq!(
+        adaptive.distribution.values(),
+        weighted.distribution.values(),
+        "pilot_fraction = 0 must run the WeightedByUsage path bit-identically"
+    );
+    assert_eq!(adaptive.report.total_shots, weighted.report.total_shots);
+    assert_eq!(
+        adaptive.report.shots_requested,
+        weighted.report.shots_requested
+    );
+    assert_eq!(adaptive.report.pilot_shots, 0);
+    assert_eq!(adaptive.report.rounds, 1);
+}
+
+/// ISSUE 5 degenerate edge (b): `pilot_fraction = 1` means "the whole
+/// budget *is* the uniform pilot" and must be bit-identical to the even
+/// `TotalBudget` split (the uniform division of `total`).
+#[test]
+fn adaptive_pilot_fraction_one_is_bit_identical_to_uniform_split() {
+    let (circuit, cut) = GoldenAnsatz::new(5, 303).build();
+    let total = 45_000u64;
+    let run_with = |policy| {
+        let backend = IdealBackend::new(67);
+        CutExecutor::new(&backend)
+            .run(
+                &circuit,
+                &cut,
+                GoldenPolicy::Disabled,
+                &ExecutionOptions::with_allocation(policy),
+            )
+            .unwrap()
+    };
+    let adaptive = run_with(ShotAllocation::Adaptive {
+        pilot_fraction: 1.0,
+        total,
+    });
+    let uniform = run_with(ShotAllocation::TotalBudget { total });
+    assert_eq!(
+        adaptive.distribution.values(),
+        uniform.distribution.values(),
+        "pilot_fraction = 1 must run the uniform-split path bit-identically"
+    );
+    assert_eq!(adaptive.report.total_shots, uniform.report.total_shots);
+    assert_eq!(adaptive.report.pilot_shots, 0);
+    assert_eq!(adaptive.report.rounds, 1);
+}
+
+/// An interior pilot fraction runs two engine rounds: the pilot executes
+/// its uniform budget, the refine round executes exactly the remainder
+/// (the cumulative requests are offset by the seeded pilot histograms),
+/// and the reconstruction stays correct.
+#[test]
+fn adaptive_interior_fraction_runs_two_rounds_and_reconstructs() {
+    let (circuit, cut) = GoldenAnsatz::new(5, 307).build();
+    let truth = Distribution::from_values(5, StateVector::from_circuit(&circuit).probabilities());
+    let total = 180_000u64;
+    for method in [ReconstructionMethod::Eigenstate, ReconstructionMethod::Sic] {
+        let backend = IdealBackend::new(71);
+        let run = CutExecutor::new(&backend)
+            .run(
+                &circuit,
+                &cut,
+                GoldenPolicy::Disabled,
+                &ExecutionOptions {
+                    allocation: Some(ShotAllocation::Adaptive {
+                        pilot_fraction: 0.2,
+                        total,
+                    }),
+                    method,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let report = &run.report;
+        assert_eq!(report.rounds, 2, "{method:?}");
+        assert_eq!(report.pilot_shots, total / 5, "{method:?}: uniform pilot");
+        // No detection, no intra-plan duplicates: the two rounds spend
+        // exactly the requested total in fresh shots.
+        assert_eq!(report.pilot_shots + report.total_shots, total, "{method:?}");
+        assert_eq!(
+            report.shots_requested,
+            report.detection_shots + report.pilot_shots + report.total_shots + report.shots_saved,
+            "{method:?}: exact accounting"
+        );
+        // The refine round re-requests the pilot budget (served from the
+        // seeded histograms), so the saved shots are exactly the pilot.
+        assert_eq!(report.shots_saved, report.pilot_shots, "{method:?}");
+        let d = total_variation_distance(&run.distribution, &truth);
+        assert!(d < 0.08, "{method:?}: adaptive reconstruction off by {d}");
+    }
+}
+
+/// ISSUE 5 acceptance: the exact accounting invariant holds under the
+/// full composition — online golden detection seeding the pilot, the
+/// pilot seeding the refine round, dedup on.
+#[test]
+fn adaptive_composes_with_online_detection_and_dedup() {
+    // The non-golden family from the detector's negative controls.
+    let mut circuit = Circuit::new(3);
+    circuit.rx(1.1, 0).rx(0.9, 1).cx(0, 1).rz(0.8, 1).cx(1, 2);
+    let cut = CutSpec::single(1, 2);
+    let backend = IdealBackend::new(83);
+    let total = 40_000u64;
+    let config = OnlineConfig {
+        epsilon: 0.05,
+        batch_shots: 2000,
+        ..OnlineConfig::default()
+    };
+    let run = CutExecutor::new(&backend)
+        .run(
+            &circuit,
+            &cut,
+            GoldenPolicy::DetectOnline(config),
+            &ExecutionOptions {
+                allocation: Some(ShotAllocation::Adaptive {
+                    pilot_fraction: 0.25,
+                    total,
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let report = &run.report;
+    assert!(report.neglected[0].is_empty(), "cut wrongly judged golden");
+    assert!(report.detection_shots > 0);
+    assert_eq!(report.rounds, 2);
+    assert_eq!(
+        report.shots_requested,
+        report.detection_shots + report.pilot_shots + report.total_shots + report.shots_saved,
+        "exact accounting under detection + pilot + refine seeding"
+    );
+    // Detection data offsets the pilot, and the pilot offsets the refine:
+    // both reuses land in shots_saved, so the fresh gather work is less
+    // than the scheduled total.
+    assert!(report.shots_saved > report.pilot_shots);
+    assert!(report.pilot_shots + report.total_shots < total);
+    let truth = Distribution::from_values(3, StateVector::from_circuit(&circuit).probabilities());
+    let d = total_variation_distance(&run.distribution, &truth);
+    assert!(d < 0.06, "adaptive+detection reconstruction off by {d}");
+}
+
+/// With dedup off (the ablation baseline) `JobGraph::seed_counts` is a
+/// deliberate no-op, so the refine round requests only the increments and
+/// the pilot's histograms merge into the delivery directly — the two
+/// rounds must still spend exactly `total` fresh shots and keep the
+/// pilot's data.
+#[test]
+fn adaptive_without_dedup_still_spends_exactly_its_total() {
+    let (circuit, cut) = GoldenAnsatz::new(5, 317).build();
+    let truth = Distribution::from_values(5, StateVector::from_circuit(&circuit).probabilities());
+    let total = 90_000u64;
+    let backend = IdealBackend::new(73);
+    let run = CutExecutor::new(&backend)
+        .run(
+            &circuit,
+            &cut,
+            GoldenPolicy::Disabled,
+            &ExecutionOptions {
+                allocation: Some(ShotAllocation::Adaptive {
+                    pilot_fraction: 0.2,
+                    total,
+                }),
+                dedup: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let report = &run.report;
+    assert_eq!(report.rounds, 2);
+    assert_eq!(report.pilot_shots, total / 5);
+    assert_eq!(
+        report.pilot_shots + report.total_shots,
+        total,
+        "ablation must not overspend the budget"
+    );
+    // Nothing is seeded or merged on the engine, so nothing is saved —
+    // the pilot data reaches the reconstruction via an explicit merge.
+    assert_eq!(report.shots_saved, 0);
+    assert_eq!(
+        report.shots_requested,
+        report.detection_shots + report.pilot_shots + report.total_shots + report.shots_saved
+    );
+    let d = total_variation_distance(&run.distribution, &truth);
+    assert!(d < 0.05, "dedup-off adaptive reconstruction off by {d}");
+}
+
+/// A pilot fraction that rounds below one-shot-per-setting surfaces as
+/// the typed pilot error, not a panic.
+#[test]
+fn adaptive_starved_pilot_is_a_typed_error() {
+    let (circuit, cut) = GoldenAnsatz::new(5, 311).build();
+    let backend = IdealBackend::new(5);
+    let err = CutExecutor::new(&backend)
+        .run(
+            &circuit,
+            &cut,
+            GoldenPolicy::Disabled,
+            &ExecutionOptions::with_allocation(ShotAllocation::Adaptive {
+                pilot_fraction: 0.0001,
+                total: 9_000,
+            }),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            PipelineError::Allocation(AllocationError::PilotBudgetTooSmall { settings: 9, .. })
+        ),
+        "got {err:?}"
+    );
+}
+
+/// The engine-seeded refine round is equivalent to gathering the two
+/// passes separately and merging them with `FragmentData::merge`: seeding
+/// offsets each node's cumulative request by the pilot histogram, so the
+/// fresh executions are exactly the increment pass.
+#[test]
+fn seeded_refine_round_delivers_the_merge_of_both_passes() {
+    use qcut::cutting::allocation::{pilot_schedule, refine_schedule};
+    use qcut::cutting::basis::{encode_meas, encode_prep};
+    use qcut::cutting::execution::FragmentData;
+    use qcut::cutting::jobgraph::{Channel, JobGraph};
+
+    let (circuit, cut) = GoldenAnsatz::new(5, 313).build();
+    let frags = Fragmenter::fragment(&circuit, &cut).unwrap();
+    let basis = BasisPlan::standard(1);
+    let experiment = ExperimentPlan::build(&frags, &basis);
+
+    let pilot_sched = pilot_schedule(3, 6, 1800).unwrap();
+    let scores_up = [3.0, 1.0, 2.0];
+    let scores_down = [1.0, 2.0, 3.0, 1.0, 2.0, 3.0];
+    let cumulative = refine_schedule(&pilot_sched, &scores_up, &scores_down, 7200);
+    let increments = qcut::cutting::allocation::ShotSchedule {
+        upstream: cumulative
+            .upstream
+            .iter()
+            .zip(&pilot_sched.upstream)
+            .map(|(&c, &p)| c - p)
+            .collect(),
+        downstream: cumulative
+            .downstream
+            .iter()
+            .zip(&pilot_sched.downstream)
+            .map(|(&c, &p)| c - p)
+            .collect(),
+    };
+
+    // Two independent single-round gathers …
+    let backend = IdealBackend::new(131);
+    let mut merged = gather_scheduled(&backend, &experiment, &pilot_sched, true).unwrap();
+    let fresh = gather_scheduled(&backend, &experiment, &increments, true).unwrap();
+    merged.merge(&fresh);
+
+    // … versus a pilot + seeded engine round requesting the cumulative
+    // targets, on a fresh same-seed backend so both arms draw identical
+    // per-job RNG streams (sub-seeds advance with every executed job).
+    let backend = IdealBackend::new(131);
+    let pilot = gather_scheduled(&backend, &experiment, &pilot_sched, true).unwrap();
+    let mut graph = JobGraph::new();
+    for (i, v) in experiment.upstream.iter().enumerate() {
+        graph.add_job(
+            v.circuit.clone(),
+            (Channel::UpstreamMeas, encode_meas(&v.setting)),
+            cumulative.upstream[i],
+        );
+    }
+    for (i, v) in experiment.downstream.iter().enumerate() {
+        graph.add_job(
+            v.circuit.clone(),
+            (Channel::DownstreamPrep, encode_prep(&v.preparation)),
+            cumulative.downstream[i],
+        );
+    }
+    for v in &experiment.upstream {
+        graph.seed_counts(&v.circuit, &pilot.upstream[&encode_meas(&v.setting)]);
+    }
+    for v in &experiment.downstream {
+        graph.seed_counts(&v.circuit, &pilot.downstream[&encode_prep(&v.preparation)]);
+    }
+    let mut run = graph.execute(&backend, true).unwrap();
+    assert_eq!(run.stats.shots_executed, increments.total());
+    assert_eq!(run.stats.shots_saved, pilot_sched.total());
+    let seeded = FragmentData::from_counts(
+        run.take_channel(Channel::UpstreamMeas),
+        run.take_channel(Channel::DownstreamPrep),
+        run.stats.simulated_device_time,
+        run.stats.host_time,
+    );
+    assert_eq!(seeded.upstream, merged.upstream);
+    assert_eq!(seeded.downstream, merged.downstream);
+    assert_eq!(seeded.total_shots, cumulative.total());
 }
 
 #[test]
