@@ -15,6 +15,8 @@
 //! `--trials N --shots N` style flags; defaults reproduce the paper's
 //! parameters.
 
+#![forbid(unsafe_code)]
+
 use qcut_stats::ci::{ci95_of, ConfidenceInterval};
 use std::collections::HashMap;
 

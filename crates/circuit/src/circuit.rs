@@ -108,6 +108,19 @@ impl Circuit {
         self
     }
 
+    /// Builds a circuit from raw instructions **without** operand
+    /// validation — the import seam for externally produced IR (QASM
+    /// bridges, fuzzers) where malformed operands must surface as analyzer
+    /// diagnostics (`qcut_core::analysis`, lint `QA001`) instead of a
+    /// panic. [`Circuit::push`] remains the validating builder; circuits
+    /// assembled here should be analyzed before execution.
+    pub fn from_instructions_unchecked(num_qubits: usize, instructions: Vec<Instruction>) -> Self {
+        Circuit {
+            num_qubits,
+            instructions,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Builder conveniences (chainable).
     // ------------------------------------------------------------------
@@ -343,10 +356,22 @@ impl Circuit {
         let mut active = vec![false; self.num_qubits];
         for inst in &self.instructions {
             for &q in &inst.qubits {
-                active[q] = true;
+                if q < self.num_qubits {
+                    active[q] = true;
+                }
             }
         }
         (0..self.num_qubits).filter(|&q| active[q]).collect()
+    }
+
+    /// Qubits without any instruction (the complement of
+    /// [`Circuit::active_qubits`]) — the wires the idle-qubit lint and
+    /// [`crate::cut::CutSpec::validate`]'s bipartition check care about.
+    pub fn idle_qubits(&self) -> Vec<usize> {
+        let active = self.active_qubits();
+        (0..self.num_qubits)
+            .filter(|q| !active.contains(q))
+            .collect()
     }
 }
 

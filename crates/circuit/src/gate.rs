@@ -245,6 +245,39 @@ impl Gate {
         }
     }
 
+    /// Whether applying the gate leaves every input state unchanged up to
+    /// global phase — dead weight a transpiler could drop, flagged by the
+    /// analyzer's identity-gate lint. Exact for the parameterless gates;
+    /// parameterised families check their identity criterion to `1e-9`:
+    ///
+    /// * `Rx/Ry/Rz(θ)` and `Phase(θ)`: `sin(θ/2) = 0` (at `θ = 2π` the
+    ///   rotation is `−I` — a global phase, unobservable when uncontrolled);
+    /// * `CPhase(θ)`: `θ ≡ 0 (mod 2π)` (same criterion — `CPhase(2π)` is
+    ///   exactly the identity);
+    /// * `Crx/Cry/Crz(θ)`: `θ ≡ 0 (mod 4π)` — at `θ = 2π` the controlled
+    ///   block applies `−I`, a *relative* phase (`Z` on the control) that
+    ///   is observable, so the weaker criterion would be wrong here;
+    /// * `U3`/`Unitary1`/`Unitary2`: matrix distance from the exact
+    ///   identity (identity-up-to-phase unitaries are deliberately not
+    ///   flagged — conservative for a lint).
+    pub fn is_effective_identity(&self) -> bool {
+        const EPS: f64 = 1e-9;
+        match self {
+            Gate::I => true,
+            Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) | Gate::CPhase(t) => {
+                (t / 2.0).sin().abs() < EPS
+            }
+            Gate::Crx(t) | Gate::Cry(t) | Gate::Crz(t) => {
+                (t / 2.0).sin().abs() < EPS && (t / 2.0).cos() > 0.0
+            }
+            Gate::U3(_, _, _) | Gate::Unitary1(_) => {
+                self.matrix().max_abs_diff(&Matrix::identity(2)) < EPS
+            }
+            Gate::Unitary2(m) => m.max_abs_diff(&Matrix::identity(4)) < EPS,
+            _ => false,
+        }
+    }
+
     /// Short mnemonic for diagrams and reports.
     pub fn name(&self) -> String {
         match self {

@@ -24,6 +24,8 @@
 //! cut.validate(&circuit).expect("designed to be cuttable");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ansatz;
 pub mod circuit;
 pub mod cut;

@@ -371,6 +371,7 @@ pub fn refine_schedule(
 
 /// How the downstream settings weigh in under
 /// [`ShotAllocation::WeightedByUsage`].
+#[derive(Clone, Copy)]
 enum DownstreamKeys<'a> {
     /// Eigenstate preparations, usage-weighted by their [`encode_prep`]
     /// keys (in emission order).

@@ -1,0 +1,1306 @@
+//! Static analysis of cutting workloads: coded lints over the circuit,
+//! the cut, the predicted shot schedule, and the planned job graph.
+//!
+//! The paper trades a provably-bounded bias for shot savings, which makes
+//! correctness rest on a web of invariants — budget exactness, dedup
+//! soundness, consumer-stream uniqueness, neglect coverage — that the rest
+//! of the workspace only checks *during* execution. [`analyze`] checks
+//! them **before any shot is spent**: it is pure (no backend calls), runs
+//! the registered [`Lint`]s layer by layer, and returns typed
+//! [`Diagnostics`]. [`crate::pipeline::CutExecutor::run`] gates on it —
+//! deny-level findings become [`crate::error::PipelineError::Analysis`]
+//! and warnings ride along in
+//! [`crate::report::RunReport::diagnostics`].
+//!
+//! Severity semantics:
+//!
+//! * [`Severity::Deny`] — the workload cannot produce a sound result
+//!   (malformed IR, invalid bipartition, a budget no reachable plan fits);
+//!   the pipeline refuses to execute it.
+//! * [`Severity::Warn`] — the workload runs but something is off
+//!   (wasteful, fragile, or predicted to fail at a later stage unless a
+//!   dynamic step rescues it); surfaced in the run report.
+//! * [`Severity::Allow`] — the finding is informational (structure hints,
+//!   predicted sharing ratios) and suppressed by default; promote it via
+//!   [`AnalysisConfig::with_override`] to see it.
+//!
+//! ```
+//! use qcut_circuit::ansatz::GoldenAnsatz;
+//! use qcut_core::analysis::analyze;
+//! use qcut_core::pipeline::ExecutionOptions;
+//!
+//! let (circuit, cut) = GoldenAnsatz::new(5, 7).build();
+//! let diags = analyze(&circuit, &cut, &ExecutionOptions::default());
+//! assert!(diags.is_clean(), "example workloads lint clean: {diags}");
+//! ```
+
+use crate::allocation::{schedule_for_plan, schedule_sic, AllocationError, ShotAllocation};
+use crate::basis::BasisPlan;
+use crate::fragment::{Fragmenter, Fragments};
+use crate::jobgraph::JobGraph;
+use crate::pipeline::{ExecutionOptions, ReconstructionMethod};
+use crate::planner::{add_downstream_jobs, add_sic_jobs, add_upstream_jobs};
+use qcut_circuit::circuit::Circuit;
+use qcut_circuit::cut::CutSpec;
+use qcut_circuit::gate::Gate;
+use qcut_math::Pauli;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a finding is acted on (see the module docs for the semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational; suppressed unless promoted by an override.
+    Allow,
+    /// Surfaced in [`crate::report::RunReport::diagnostics`]; the run
+    /// proceeds.
+    Warn,
+    /// The pipeline rejects the workload
+    /// ([`crate::error::PipelineError::Analysis`]).
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+/// The registered diagnostic codes, grouped by layer: `QA0xx` circuit,
+/// `QA1xx` cut, `QA2xx` schedule, `QA3xx` job graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LintCode {
+    /// `QA001` — instruction operands out of range, wrong arity, or
+    /// duplicated (malformed IR; deeper layers would panic on it).
+    OutOfRangeOperand,
+    /// `QA002` — a qubit with no instructions (its fragment membership is
+    /// undefined, so fragmenting will reject the workload).
+    IdleQubit,
+    /// `QA003` — a gate that is the identity up to global phase (dead
+    /// weight in every tomography variant).
+    IdentityGate,
+    /// `QA004` — adjacent gates on the same operands that a transpiler
+    /// would fuse or cancel (adjoint pairs, same-axis rotations).
+    FusibleAdjacent,
+    /// `QA101` — the cut specification does not bipartition the circuit
+    /// (lifted from `CutSpec::validate` / fragment extraction).
+    InvalidCut,
+    /// `QA102` — the `4^K` wire-cut sampling overhead exceeds
+    /// [`AnalysisConfig::max_sampling_overhead`].
+    SamplingOverhead,
+    /// `QA103` — the upstream fragment applies only real gates: every cut
+    /// is a golden-Y candidate the configured policy is not exploiting.
+    GoldenStructure,
+    /// `QA201` — the shot budget cannot cover even the fully-golden
+    /// minimal plan, so no execution path can succeed.
+    BudgetBelowFloor,
+    /// `QA202` — a setting is scheduled at zero shots (its histogram
+    /// would be empty and the contraction reads garbage).
+    ZeroShotSetting,
+    /// `QA203` — neglect-coverage report: standard vs fully-golden
+    /// setting counts and whether static golden structure exists.
+    NeglectCoverage,
+    /// `QA204` — the budget starves the *standard* plan; only a golden
+    /// shrink (detection) can let this run succeed.
+    StandardPlanStarved,
+    /// `QA301` — one consumer key is fed by several distinct circuits;
+    /// their merged histograms would mix different distributions.
+    ConsumerAliasing,
+    /// `QA302` — a node whose consumers all request zero shots (it can
+    /// only ever deliver an empty histogram).
+    OrphanNode,
+    /// `QA303` — structurally-hash-equal circuits occupying distinct
+    /// nodes: missed merges with dedup off, true collisions with it on.
+    MissedDedup,
+    /// `QA304` — predicted prefix-sharing ratio of the planned batch.
+    PrefixSharing,
+}
+
+impl LintCode {
+    /// Every registered code, in code order.
+    pub const ALL: [LintCode; 15] = [
+        LintCode::OutOfRangeOperand,
+        LintCode::IdleQubit,
+        LintCode::IdentityGate,
+        LintCode::FusibleAdjacent,
+        LintCode::InvalidCut,
+        LintCode::SamplingOverhead,
+        LintCode::GoldenStructure,
+        LintCode::BudgetBelowFloor,
+        LintCode::ZeroShotSetting,
+        LintCode::NeglectCoverage,
+        LintCode::StandardPlanStarved,
+        LintCode::ConsumerAliasing,
+        LintCode::OrphanNode,
+        LintCode::MissedDedup,
+        LintCode::PrefixSharing,
+    ];
+
+    /// The stable `QAxxx` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::OutOfRangeOperand => "QA001",
+            LintCode::IdleQubit => "QA002",
+            LintCode::IdentityGate => "QA003",
+            LintCode::FusibleAdjacent => "QA004",
+            LintCode::InvalidCut => "QA101",
+            LintCode::SamplingOverhead => "QA102",
+            LintCode::GoldenStructure => "QA103",
+            LintCode::BudgetBelowFloor => "QA201",
+            LintCode::ZeroShotSetting => "QA202",
+            LintCode::NeglectCoverage => "QA203",
+            LintCode::StandardPlanStarved => "QA204",
+            LintCode::ConsumerAliasing => "QA301",
+            LintCode::OrphanNode => "QA302",
+            LintCode::MissedDedup => "QA303",
+            LintCode::PrefixSharing => "QA304",
+        }
+    }
+
+    /// The severity a finding carries unless overridden in
+    /// [`AnalysisConfig::overrides`].
+    pub fn default_severity(self) -> Severity {
+        match self {
+            LintCode::OutOfRangeOperand
+            | LintCode::InvalidCut
+            | LintCode::BudgetBelowFloor
+            | LintCode::ZeroShotSetting
+            | LintCode::ConsumerAliasing => Severity::Deny,
+            LintCode::IdleQubit
+            | LintCode::IdentityGate
+            | LintCode::SamplingOverhead
+            | LintCode::StandardPlanStarved
+            | LintCode::OrphanNode
+            | LintCode::MissedDedup => Severity::Warn,
+            LintCode::FusibleAdjacent
+            | LintCode::GoldenStructure
+            | LintCode::NeglectCoverage
+            | LintCode::PrefixSharing => Severity::Allow,
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of one lint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// The code of the lint that fired.
+    pub code: LintCode,
+    /// The effective severity (after [`AnalysisConfig`] overrides).
+    pub severity: Severity,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.code, self.severity, self.message)
+    }
+}
+
+/// The findings of one [`analyze`] pass (allow-level findings are already
+/// filtered out; only warnings and denials remain).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// No findings at warn level or above.
+    pub fn is_clean(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when any finding is deny-level (the pipeline refuses to run).
+    pub fn has_deny(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Deny)
+    }
+
+    /// The deny-level findings.
+    pub fn deny(&self) -> impl Iterator<Item = &Diagnostic> + '_ {
+        self.items.iter().filter(|d| d.severity == Severity::Deny)
+    }
+
+    /// The warn-level findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> + '_ {
+        self.items.iter().filter(|d| d.severity == Severity::Warn)
+    }
+
+    /// All findings, in emission (layer) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> + '_ {
+        self.items.iter()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there are no findings.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when some finding carries `code`.
+    pub fn contains(&self, code: LintCode) -> bool {
+        self.items.iter().any(|d| d.code == code)
+    }
+
+    /// Consumes the findings as a vector (what the run report stores).
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.items
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.items.is_empty() {
+            return f.write_str("no findings");
+        }
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the static-analysis gate, carried on
+/// [`ExecutionOptions::analysis`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Run [`analyze`] inside [`crate::pipeline::CutExecutor::run`]
+    /// (default `true`). Off skips the gate entirely — no diagnostics are
+    /// computed or reported.
+    pub enabled: bool,
+    /// [`LintCode::SamplingOverhead`] fires when the `4^K` wire-cut
+    /// sampling overhead exceeds this bound (default `4^6 = 4096`).
+    pub max_sampling_overhead: f64,
+    /// Schedule and graph lints are skipped when the standard plan's
+    /// setting count exceeds this bound, keeping [`analyze`] cheap at
+    /// large `K` (default `10_000`).
+    pub max_planned_jobs: usize,
+    /// Per-code severity overrides, later entries winning. Demote a noisy
+    /// warn to [`Severity::Allow`] or promote an informational lint to
+    /// [`Severity::Warn`] to surface its report.
+    pub overrides: Vec<(LintCode, Severity)>,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            enabled: true,
+            max_sampling_overhead: 4096.0,
+            max_planned_jobs: 10_000,
+            overrides: Vec::new(),
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// The configuration that skips the gate entirely.
+    pub fn disabled() -> Self {
+        AnalysisConfig {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Returns the configuration with one more severity override.
+    pub fn with_override(mut self, code: LintCode, severity: Severity) -> Self {
+        self.overrides.push((code, severity));
+        self
+    }
+
+    /// The effective severity of `code` under this configuration.
+    pub fn severity(&self, code: LintCode) -> Severity {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(c, _)| *c == code)
+            .map(|&(_, s)| s)
+            .unwrap_or_else(|| code.default_severity())
+    }
+}
+
+/// The pipeline layer a lint reads. [`analyze`] runs layers in order and
+/// stops descending when a layer's soundness premise is broken (malformed
+/// IR stops before fragmenting; an invalid cut stops before scheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// The workload circuit itself.
+    Circuit,
+    /// The cut specification against the circuit.
+    Cut,
+    /// The predicted shot schedule for the standard plan.
+    Schedule,
+    /// The planned (unexecuted) job graph.
+    Graph,
+}
+
+/// Everything a lint may read. Fields are `Option` because the layers are
+/// populated progressively — a lint must skip (not fire) when its inputs
+/// are absent, which is how [`lint_graph`] reuses the graph lints without
+/// a workload.
+pub struct AnalysisContext<'a> {
+    /// The workload circuit.
+    pub circuit: Option<&'a Circuit>,
+    /// The cut specification.
+    pub cut: Option<&'a CutSpec>,
+    /// The fragments (present once the cut validated).
+    pub fragments: Option<&'a Fragments>,
+    /// The standard (pre-detection) basis plan.
+    pub plan: Option<&'a BasisPlan>,
+    /// The resolved, normalized shot-allocation policy.
+    pub allocation: Option<ShotAllocation>,
+    /// The downstream preparation scheme.
+    pub method: ReconstructionMethod,
+    /// Whether the engine will deduplicate structurally identical jobs.
+    pub dedup: bool,
+    /// The planned job graph (never executed by analysis).
+    pub graph: Option<&'a JobGraph>,
+    /// The analysis configuration (thresholds, overrides).
+    pub config: &'a AnalysisConfig,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// A context carrying only a planned graph — what [`lint_graph`] runs
+    /// the [`Layer::Graph`] lints against.
+    pub fn for_graph(graph: &'a JobGraph, config: &'a AnalysisConfig) -> Self {
+        AnalysisContext {
+            circuit: None,
+            cut: None,
+            fragments: None,
+            plan: None,
+            allocation: None,
+            method: ReconstructionMethod::Eigenstate,
+            dedup: graph.dedup_enabled(),
+            graph: Some(graph),
+            config,
+        }
+    }
+}
+
+/// Collects findings, resolving each code's effective severity and
+/// dropping allow-level findings.
+pub struct Sink<'c> {
+    config: &'c AnalysisConfig,
+    items: Vec<Diagnostic>,
+}
+
+impl<'c> Sink<'c> {
+    fn new(config: &'c AnalysisConfig) -> Self {
+        Sink {
+            config,
+            items: Vec::new(),
+        }
+    }
+
+    /// Records one finding of `code`. The configured severity is attached
+    /// here; allow-level findings are dropped.
+    pub fn report(&mut self, code: LintCode, message: String) {
+        let severity = self.config.severity(code);
+        if severity != Severity::Allow {
+            self.items.push(Diagnostic {
+                code,
+                severity,
+                message,
+            });
+        }
+    }
+
+    fn finish(self) -> Diagnostics {
+        Diagnostics { items: self.items }
+    }
+}
+
+/// One static check. Implementations are registered in [`registry`] and
+/// dispatched by [`analyze`] layer by layer; a lint reads its inputs from
+/// the [`AnalysisContext`] and must skip silently when they are absent.
+pub trait Lint {
+    /// The diagnostic code this lint emits.
+    fn code(&self) -> LintCode;
+    /// One-line description of what the lint checks (the docs table).
+    fn description(&self) -> &'static str;
+    /// The pipeline layer the lint reads.
+    fn layer(&self) -> Layer;
+    /// Runs the check, reporting findings into `sink`.
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>);
+}
+
+/// The registered lints, in code order.
+pub fn registry() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(OutOfRangeOperandLint),
+        Box::new(IdleQubitLint),
+        Box::new(IdentityGateLint),
+        Box::new(FusibleAdjacentLint),
+        Box::new(InvalidCutLint),
+        Box::new(SamplingOverheadLint),
+        Box::new(GoldenStructureLint),
+        Box::new(BudgetBelowFloorLint),
+        Box::new(ZeroShotSettingLint),
+        Box::new(NeglectCoverageLint),
+        Box::new(StandardPlanStarvedLint),
+        Box::new(ConsumerAliasingLint),
+        Box::new(OrphanNodeLint),
+        Box::new(MissedDedupLint),
+        Box::new(PrefixSharingLint),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Shared helpers.
+// ---------------------------------------------------------------------
+
+/// Structural problems of an instruction stream: `(index, description)`
+/// per malformed instruction. Empty for every circuit built through the
+/// validating [`Circuit::push`] API; non-empty only for circuits imported
+/// via [`Circuit::from_instructions_unchecked`].
+fn invalid_instructions(circuit: &Circuit) -> Vec<(usize, String)> {
+    let n = circuit.num_qubits();
+    let mut bad = Vec::new();
+    for (i, inst) in circuit.instructions().iter().enumerate() {
+        if inst.qubits.len() != inst.gate.arity() {
+            bad.push((
+                i,
+                format!(
+                    "gate {} has {} operands, expects {}",
+                    inst.gate,
+                    inst.qubits.len(),
+                    inst.gate.arity()
+                ),
+            ));
+            continue;
+        }
+        if let Some(&q) = inst.qubits.iter().find(|&&q| q >= n) {
+            bad.push((
+                i,
+                format!("operand qubit {q} outside the {n}-qubit register"),
+            ));
+            continue;
+        }
+        if inst.qubits.len() == 2 && inst.qubits[0] == inst.qubits[1] {
+            bad.push((
+                i,
+                format!("two-qubit gate {} applied to one qubit twice", inst.gate),
+            ));
+        }
+    }
+    bad
+}
+
+/// The fully-golden floor: the smallest plan any detection outcome could
+/// shrink the standard plan to — two neglected bases per cut, leaving one
+/// measurement basis and one eigenstate pair. What a budget must at least
+/// cover for *any* execution path to exist (lint `QA201`).
+pub fn minimal_golden_plan(num_cuts: usize) -> BasisPlan {
+    let mut plan = BasisPlan::standard(num_cuts);
+    for k in 0..num_cuts {
+        plan.neglect(k, Pauli::X);
+        plan.neglect(k, Pauli::Y);
+    }
+    plan
+}
+
+/// Predicted schedule of `plan` under `allocation` — the same typed
+/// scheduling functions the pipeline runs, called statically.
+fn predicted_schedule(
+    plan: &BasisPlan,
+    method: ReconstructionMethod,
+    allocation: ShotAllocation,
+) -> Result<crate::allocation::ShotSchedule, AllocationError> {
+    match method {
+        ReconstructionMethod::Eigenstate => schedule_for_plan(plan, allocation),
+        ReconstructionMethod::Sic => schedule_sic(plan, allocation),
+    }
+}
+
+/// Setting count of `plan` without enumerating the cartesian products
+/// (which would be exponential work for large `K`).
+fn estimated_settings(plan: &BasisPlan, method: ReconstructionMethod) -> f64 {
+    let num_cuts = plan.num_cuts();
+    let up: f64 = (0..num_cuts)
+        .map(|k| plan.meas_bases(k).len() as f64)
+        .product();
+    let down: f64 = match method {
+        ReconstructionMethod::Eigenstate => (0..num_cuts)
+            .map(|k| plan.prep_states(k).len() as f64)
+            .product(),
+        ReconstructionMethod::Sic => 4f64.powi(num_cuts as i32),
+    };
+    up + down
+}
+
+/// Whether `a` then `b` on identical operands is a pair a transpiler
+/// would merge (same-axis rotations) or cancel (adjoint pairs).
+fn fusible_pair(a: &Gate, b: &Gate) -> bool {
+    let same_family = matches!(
+        (a, b),
+        (Gate::Rx(_), Gate::Rx(_))
+            | (Gate::Ry(_), Gate::Ry(_))
+            | (Gate::Rz(_), Gate::Rz(_))
+            | (Gate::Phase(_), Gate::Phase(_))
+            | (Gate::Crx(_), Gate::Crx(_))
+            | (Gate::Cry(_), Gate::Cry(_))
+            | (Gate::Crz(_), Gate::Crz(_))
+            | (Gate::CPhase(_), Gate::CPhase(_))
+    );
+    same_family || *b == a.adjoint()
+}
+
+// ---------------------------------------------------------------------
+// Circuit-layer lints (QA0xx).
+// ---------------------------------------------------------------------
+
+struct OutOfRangeOperandLint;
+
+impl Lint for OutOfRangeOperandLint {
+    fn code(&self) -> LintCode {
+        LintCode::OutOfRangeOperand
+    }
+    fn description(&self) -> &'static str {
+        "instruction operands out of range, wrong arity, or duplicated"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Circuit
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let Some(circuit) = ctx.circuit else { return };
+        for (i, what) in invalid_instructions(circuit) {
+            sink.report(self.code(), format!("instruction #{i}: {what}"));
+        }
+    }
+}
+
+struct IdleQubitLint;
+
+impl Lint for IdleQubitLint {
+    fn code(&self) -> LintCode {
+        LintCode::IdleQubit
+    }
+    fn description(&self) -> &'static str {
+        "qubits without any instruction (undefined fragment membership)"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Circuit
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let Some(circuit) = ctx.circuit else { return };
+        let idle = circuit.idle_qubits();
+        if !idle.is_empty() {
+            sink.report(
+                self.code(),
+                format!(
+                    "{} qubit(s) have no instructions ({idle:?}); fragmenting \
+                     cannot assign them to a side of the cut",
+                    idle.len()
+                ),
+            );
+        }
+    }
+}
+
+struct IdentityGateLint;
+
+impl Lint for IdentityGateLint {
+    fn code(&self) -> LintCode {
+        LintCode::IdentityGate
+    }
+    fn description(&self) -> &'static str {
+        "gates that are the identity up to global phase"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Circuit
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let Some(circuit) = ctx.circuit else { return };
+        for (i, inst) in circuit.instructions().iter().enumerate() {
+            if inst.gate.is_effective_identity() {
+                sink.report(
+                    self.code(),
+                    format!(
+                        "instruction #{i} ({inst}) is the identity up to global \
+                         phase; it costs simulation work in every tomography \
+                         variant and changes nothing"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+struct FusibleAdjacentLint;
+
+impl Lint for FusibleAdjacentLint {
+    fn code(&self) -> LintCode {
+        LintCode::FusibleAdjacent
+    }
+    fn description(&self) -> &'static str {
+        "adjacent same-operand gates a transpiler would fuse or cancel"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Circuit
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let Some(circuit) = ctx.circuit else { return };
+        let instructions = circuit.instructions();
+        for (i, inst) in instructions.iter().enumerate() {
+            // The next instruction touching any of this one's qubits: if it
+            // uses exactly the same operands, nothing can act between them
+            // on those wires, so the pair is genuinely adjacent.
+            let Some((j, next)) = instructions
+                .iter()
+                .enumerate()
+                .skip(i + 1)
+                .find(|(_, n)| n.qubits.iter().any(|q| inst.qubits.contains(q)))
+            else {
+                continue;
+            };
+            if next.qubits == inst.qubits && fusible_pair(&inst.gate, &next.gate) {
+                sink.report(
+                    self.code(),
+                    format!(
+                        "instructions #{i} ({inst}) and #{j} ({next}) are \
+                         adjacent on the same operands and would fuse to one \
+                         gate (or cancel)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cut-layer lints (QA1xx).
+// ---------------------------------------------------------------------
+
+struct InvalidCutLint;
+
+impl Lint for InvalidCutLint {
+    fn code(&self) -> LintCode {
+        LintCode::InvalidCut
+    }
+    fn description(&self) -> &'static str {
+        "the cut specification does not bipartition the circuit"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Cut
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let (Some(circuit), Some(cut)) = (ctx.circuit, ctx.cut) else {
+            return;
+        };
+        if let Err(e) = Fragmenter::fragment(circuit, cut) {
+            sink.report(self.code(), format!("cut does not fragment: {e}"));
+        }
+    }
+}
+
+struct SamplingOverheadLint;
+
+impl Lint for SamplingOverheadLint {
+    fn code(&self) -> LintCode {
+        LintCode::SamplingOverhead
+    }
+    fn description(&self) -> &'static str {
+        "4^K sampling overhead beyond the configured bound"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Cut
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let Some(cut) = ctx.cut else { return };
+        let k = cut.num_cuts();
+        let overhead = 4f64.powi(k as i32);
+        if overhead > ctx.config.max_sampling_overhead {
+            sink.report(
+                self.code(),
+                format!(
+                    "{k} wire cuts carry a 4^{k} = {overhead:.0} sampling \
+                     overhead, above the configured bound of {:.0}; shot \
+                     requirements grow by that factor for the same accuracy",
+                    ctx.config.max_sampling_overhead
+                ),
+            );
+        }
+    }
+}
+
+struct GoldenStructureLint;
+
+impl Lint for GoldenStructureLint {
+    fn code(&self) -> LintCode {
+        LintCode::GoldenStructure
+    }
+    fn description(&self) -> &'static str {
+        "real upstream fragment: golden-Y structure the policy could exploit"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Cut
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let Some(fragments) = ctx.fragments else {
+            return;
+        };
+        if fragments.upstream.circuit.is_real() {
+            sink.report(
+                self.code(),
+                format!(
+                    "the upstream fragment applies only real gates, so every \
+                     state at the {} cut port(s) is real and its Y expectation \
+                     vanishes identically — each cut is a golden-Y candidate; \
+                     GoldenPolicy::detect_exact() or DetectOnline would shrink \
+                     the plan",
+                    fragments.num_cuts
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schedule-layer lints (QA2xx).
+// ---------------------------------------------------------------------
+
+struct BudgetBelowFloorLint;
+
+impl Lint for BudgetBelowFloorLint {
+    fn code(&self) -> LintCode {
+        LintCode::BudgetBelowFloor
+    }
+    fn description(&self) -> &'static str {
+        "budget below the fully-golden floor: no execution path can succeed"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Schedule
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let (Some(plan), Some(allocation)) = (ctx.plan, ctx.allocation) else {
+            return;
+        };
+        let floor = minimal_golden_plan(plan.num_cuts());
+        if let Err(e) = predicted_schedule(&floor, ctx.method, allocation) {
+            sink.report(
+                self.code(),
+                format!(
+                    "the budget cannot cover even the fully-golden minimal \
+                     plan, so no detection outcome can make this run \
+                     schedulable: {e}"
+                ),
+            );
+        }
+    }
+}
+
+struct ZeroShotSettingLint;
+
+impl Lint for ZeroShotSettingLint {
+    fn code(&self) -> LintCode {
+        LintCode::ZeroShotSetting
+    }
+    fn description(&self) -> &'static str {
+        "settings scheduled at zero shots"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Schedule
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let (Some(plan), Some(allocation)) = (ctx.plan, ctx.allocation) else {
+            return;
+        };
+        if let ShotAllocation::Uniform {
+            shots_per_setting: 0,
+        } = allocation
+        {
+            sink.report(
+                self.code(),
+                "the uniform policy schedules zero shots per setting; every \
+                 histogram would be empty and the contraction reads garbage"
+                    .to_string(),
+            );
+            return;
+        }
+        if let Ok(sched) = predicted_schedule(plan, ctx.method, allocation) {
+            if sched.num_settings() > 0 && sched.min_shots() == 0 {
+                sink.report(
+                    self.code(),
+                    "the predicted schedule leaves at least one setting at \
+                     zero shots; its empty histogram would poison the \
+                     contraction"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+struct NeglectCoverageLint;
+
+impl Lint for NeglectCoverageLint {
+    fn code(&self) -> LintCode {
+        LintCode::NeglectCoverage
+    }
+    fn description(&self) -> &'static str {
+        "neglect-coverage report: standard vs fully-golden setting counts"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Schedule
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let (Some(plan), Some(fragments)) = (ctx.plan, ctx.fragments) else {
+            return;
+        };
+        let standard = estimated_settings(plan, ctx.method);
+        let floor = estimated_settings(&minimal_golden_plan(plan.num_cuts()), ctx.method);
+        let golden = if fragments.upstream.circuit.is_real() {
+            "static golden-Y structure present"
+        } else {
+            "no static golden structure detected"
+        };
+        sink.report(
+            self.code(),
+            format!(
+                "plan coverage over {} cut(s): {standard:.0} settings standard, \
+                 {floor:.0} at the fully-golden floor; {golden}",
+                plan.num_cuts()
+            ),
+        );
+    }
+}
+
+struct StandardPlanStarvedLint;
+
+impl Lint for StandardPlanStarvedLint {
+    fn code(&self) -> LintCode {
+        LintCode::StandardPlanStarved
+    }
+    fn description(&self) -> &'static str {
+        "budget starves the standard plan; only a golden shrink can rescue it"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Schedule
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let (Some(plan), Some(allocation)) = (ctx.plan, ctx.allocation) else {
+            return;
+        };
+        // Only meaningful when some plan fits (otherwise QA201 already
+        // denies the workload outright).
+        let floor = minimal_golden_plan(plan.num_cuts());
+        if predicted_schedule(&floor, ctx.method, allocation).is_err() {
+            return;
+        }
+        if let Err(e) = predicted_schedule(plan, ctx.method, allocation) {
+            sink.report(
+                self.code(),
+                format!(
+                    "the budget starves the standard (no-neglect) plan — the \
+                     run fails at allocation time unless golden detection \
+                     shrinks the plan first: {e}"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Graph-layer lints (QA3xx).
+// ---------------------------------------------------------------------
+
+struct ConsumerAliasingLint;
+
+impl Lint for ConsumerAliasingLint {
+    fn code(&self) -> LintCode {
+        LintCode::ConsumerAliasing
+    }
+    fn description(&self) -> &'static str {
+        "one consumer key fed by several distinct circuits"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Graph
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let Some(graph) = ctx.graph else { return };
+        let mut feeders: std::collections::HashMap<crate::jobgraph::ConsumerKey, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, (_, consumers)) in graph.node_jobs().enumerate() {
+            for &(key, _) in consumers {
+                feeders.entry(key).or_default().push(i);
+            }
+        }
+        let mut aliased: Vec<_> = feeders.into_iter().filter(|(_, v)| v.len() > 1).collect();
+        aliased.sort_by_key(|(k, _)| *k);
+        for (key, nodes) in aliased {
+            sink.report(
+                self.code(),
+                format!(
+                    "consumer {key:?} is fed by {} distinct circuits (nodes \
+                     {nodes:?}); their histograms would merge into one stream \
+                     and mix different distributions",
+                    nodes.len()
+                ),
+            );
+        }
+    }
+}
+
+struct OrphanNodeLint;
+
+impl Lint for OrphanNodeLint {
+    fn code(&self) -> LintCode {
+        LintCode::OrphanNode
+    }
+    fn description(&self) -> &'static str {
+        "nodes whose consumers all request zero shots"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Graph
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let Some(graph) = ctx.graph else { return };
+        let orphans: Vec<usize> = graph
+            .node_jobs()
+            .enumerate()
+            .filter(|(_, (_, consumers))| consumers.iter().map(|&(_, s)| s).max().unwrap_or(0) == 0)
+            .map(|(i, _)| i)
+            .collect();
+        if !orphans.is_empty() {
+            sink.report(
+                self.code(),
+                format!(
+                    "{} of {} nodes are orphaned (every consumer requests zero \
+                     shots, e.g. nodes {:?}); they can only deliver empty \
+                     histograms",
+                    orphans.len(),
+                    graph.num_nodes(),
+                    &orphans[..orphans.len().min(5)]
+                ),
+            );
+        }
+    }
+}
+
+struct MissedDedupLint;
+
+impl Lint for MissedDedupLint {
+    fn code(&self) -> LintCode {
+        LintCode::MissedDedup
+    }
+    fn description(&self) -> &'static str {
+        "structurally-hash-equal circuits in distinct nodes"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Graph
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let Some(graph) = ctx.graph else { return };
+        let mut by_hash: std::collections::HashMap<u64, Vec<(usize, &Circuit)>> =
+            std::collections::HashMap::new();
+        for (i, (circuit, _)) in graph.node_jobs().enumerate() {
+            by_hash
+                .entry(circuit.structural_hash())
+                .or_default()
+                .push((i, circuit));
+        }
+        let mut groups: Vec<_> = by_hash.into_values().filter(|g| g.len() > 1).collect();
+        groups.sort_by_key(|g| g[0].0);
+        for group in groups {
+            let indices: Vec<usize> = group.iter().map(|&(i, _)| i).collect();
+            let all_equal = group.windows(2).all(|w| w[0].1 == w[1].1);
+            let message = if all_equal {
+                format!(
+                    "nodes {indices:?} hold structurally identical circuits \
+                     that were not merged (dedup disabled?); each executes \
+                     its shots separately"
+                )
+            } else {
+                format!(
+                    "nodes {indices:?} collide on the 64-bit structural hash \
+                     while holding different circuits; dedup stays sound (it \
+                     confirms equality) but hash-keyed caches must too"
+                )
+            };
+            sink.report(self.code(), message);
+        }
+    }
+}
+
+struct PrefixSharingLint;
+
+impl Lint for PrefixSharingLint {
+    fn code(&self) -> LintCode {
+        LintCode::PrefixSharing
+    }
+    fn description(&self) -> &'static str {
+        "predicted prefix-sharing ratio of the planned batch"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Graph
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let Some(graph) = ctx.graph else { return };
+        if graph.num_nodes() == 0 {
+            return;
+        }
+        let profile = graph.prefix_profile();
+        let saved = profile.gates_saved();
+        let ratio = if profile.gates_naive == 0 {
+            0.0
+        } else {
+            100.0 * saved as f64 / profile.gates_naive as f64
+        };
+        sink.report(
+            self.code(),
+            format!(
+                "planned batch of {} unique jobs: {} naive gate applications \
+                 → {} on a prefix-sharing backend ({ratio:.1}% predicted \
+                 saving)",
+                profile.circuits, profile.gates_naive, profile.gates_shared
+            ),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------
+
+fn run_layer(
+    lints: &[Box<dyn Lint>],
+    layer: Layer,
+    ctx: &AnalysisContext<'_>,
+    sink: &mut Sink<'_>,
+) {
+    for lint in lints.iter().filter(|l| l.layer() == layer) {
+        lint.check(ctx, sink);
+    }
+}
+
+/// Statically analyzes a workload: the circuit, the cut against it, the
+/// predicted shot schedule, and the planned job graph. Pure — nothing
+/// executes, no backend is touched; the planned graph is built with the
+/// same planner the pipeline uses and then only *inspected*.
+///
+/// Layers run in order and stop descending when a premise is broken:
+/// malformed IR (`QA001`) stops before fragmenting, an invalid cut
+/// (`QA101`) stops before scheduling, and an over-budget setting count
+/// ([`AnalysisConfig::max_planned_jobs`]) skips the schedule/graph layers
+/// so analysis stays cheap at large `K`.
+pub fn analyze(circuit: &Circuit, cut: &CutSpec, options: &ExecutionOptions) -> Diagnostics {
+    let config = &options.analysis;
+    let lints = registry();
+    let mut sink = Sink::new(config);
+    let allocation = options.resolved_allocation().normalized();
+
+    let mut ctx = AnalysisContext {
+        circuit: Some(circuit),
+        cut: Some(cut),
+        fragments: None,
+        plan: None,
+        allocation: Some(allocation),
+        method: options.method,
+        dedup: options.dedup,
+        graph: None,
+        config,
+    };
+    run_layer(&lints, Layer::Circuit, &ctx, &mut sink);
+
+    // Malformed IR makes every deeper inspection meaningless (and unsafe
+    // to index) regardless of how QA001's severity is configured.
+    if !invalid_instructions(circuit).is_empty() {
+        return sink.finish();
+    }
+
+    let fragments = Fragmenter::fragment(circuit, cut).ok();
+    ctx.fragments = fragments.as_ref();
+    run_layer(&lints, Layer::Cut, &ctx, &mut sink);
+    let Some(fragments) = fragments.as_ref() else {
+        // QA101 reported the failure; nothing deeper is well-defined.
+        return sink.finish();
+    };
+
+    let plan = BasisPlan::standard(fragments.num_cuts);
+    ctx.plan = Some(&plan);
+    if estimated_settings(&plan, options.method) > config.max_planned_jobs as f64 {
+        // Schedule and graph lints would enumerate the settings; skip them
+        // to keep analysis cheap (QA102 has already flagged the blowup).
+        return sink.finish();
+    }
+    run_layer(&lints, Layer::Schedule, &ctx, &mut sink);
+
+    // Plan (but never execute) the gather graph the pipeline would build.
+    let graph = predicted_schedule(&plan, options.method, allocation)
+        .ok()
+        .map(|sched| {
+            let mut graph = if options.dedup {
+                JobGraph::new()
+            } else {
+                JobGraph::without_dedup()
+            };
+            add_upstream_jobs(&mut graph, fragments, &plan, &sched.upstream);
+            match options.method {
+                ReconstructionMethod::Eigenstate => {
+                    add_downstream_jobs(&mut graph, fragments, &plan, &sched.downstream);
+                }
+                ReconstructionMethod::Sic => {
+                    add_sic_jobs(
+                        &mut graph,
+                        &fragments.downstream,
+                        fragments.num_cuts,
+                        &sched.downstream,
+                    );
+                }
+            }
+            graph
+        });
+    ctx.graph = graph.as_ref();
+    run_layer(&lints, Layer::Graph, &ctx, &mut sink);
+    sink.finish()
+}
+
+/// Runs only the [`Layer::Graph`] lints against an explicit planned graph
+/// — the entry point for callers that build graphs directly on the engine
+/// rather than through [`crate::pipeline::CutExecutor`].
+pub fn lint_graph(graph: &JobGraph, config: &AnalysisConfig) -> Diagnostics {
+    let lints = registry();
+    let ctx = AnalysisContext::for_graph(graph, config);
+    let mut sink = Sink::new(config);
+    run_layer(&lints, Layer::Graph, &ctx, &mut sink);
+    sink.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcut_circuit::ansatz::GoldenAnsatz;
+    use qcut_circuit::circuit::Instruction;
+
+    #[test]
+    fn registry_covers_every_code_once() {
+        let lints = registry();
+        assert_eq!(lints.len(), LintCode::ALL.len());
+        for code in LintCode::ALL {
+            assert_eq!(
+                lints.iter().filter(|l| l.code() == code).count(),
+                1,
+                "{code} must be registered exactly once"
+            );
+            assert!(!lints
+                .iter()
+                .find(|l| l.code() == code)
+                .map(|l| l.description().is_empty())
+                .unwrap_or(true));
+        }
+    }
+
+    #[test]
+    fn codes_display_stably() {
+        assert_eq!(LintCode::OutOfRangeOperand.to_string(), "QA001");
+        assert_eq!(LintCode::PrefixSharing.to_string(), "QA304");
+    }
+
+    #[test]
+    fn overrides_replace_default_severity() {
+        let config = AnalysisConfig::default()
+            .with_override(LintCode::PrefixSharing, Severity::Warn)
+            .with_override(LintCode::IdleQubit, Severity::Allow);
+        assert_eq!(config.severity(LintCode::PrefixSharing), Severity::Warn);
+        assert_eq!(config.severity(LintCode::IdleQubit), Severity::Allow);
+        assert_eq!(config.severity(LintCode::OutOfRangeOperand), Severity::Deny);
+        // Later overrides win.
+        let config = config.with_override(LintCode::IdleQubit, Severity::Deny);
+        assert_eq!(config.severity(LintCode::IdleQubit), Severity::Deny);
+    }
+
+    #[test]
+    fn invalid_instructions_catches_all_three_shapes() {
+        let c = Circuit::from_instructions_unchecked(
+            2,
+            vec![
+                Instruction {
+                    gate: Gate::H,
+                    qubits: vec![5],
+                },
+                Instruction {
+                    gate: Gate::Cx,
+                    qubits: vec![0],
+                },
+                Instruction {
+                    gate: Gate::Cx,
+                    qubits: vec![1, 1],
+                },
+            ],
+        );
+        let bad = invalid_instructions(&c);
+        assert_eq!(bad.len(), 3);
+        assert!(bad[0].1.contains("outside"));
+        assert!(bad[1].1.contains("expects 2"));
+        assert!(bad[2].1.contains("twice"));
+    }
+
+    #[test]
+    fn minimal_golden_plan_is_one_meas_basis_per_cut() {
+        let plan = minimal_golden_plan(2);
+        assert_eq!(plan.all_meas_settings().len(), 1);
+        assert_eq!(plan.all_prep_settings().len(), 4);
+        assert_eq!(
+            estimated_settings(&plan, ReconstructionMethod::Eigenstate),
+            5.0
+        );
+    }
+
+    #[test]
+    fn estimated_settings_matches_enumeration_on_small_plans() {
+        for k in 1..=3usize {
+            let plan = BasisPlan::standard(k);
+            assert_eq!(
+                estimated_settings(&plan, ReconstructionMethod::Eigenstate),
+                plan.total_settings() as f64,
+                "K={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn analyze_is_clean_on_the_golden_ansatz() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 3).build();
+        let diags = analyze(&circuit, &cut, &ExecutionOptions::default());
+        assert!(diags.is_clean(), "unexpected findings: {diags}");
+    }
+
+    #[test]
+    fn diagnostics_display_is_line_per_finding() {
+        let d = Diagnostics {
+            items: vec![
+                Diagnostic {
+                    code: LintCode::IdleQubit,
+                    severity: Severity::Warn,
+                    message: "one".into(),
+                },
+                Diagnostic {
+                    code: LintCode::InvalidCut,
+                    severity: Severity::Deny,
+                    message: "two".into(),
+                },
+            ],
+        };
+        let s = d.to_string();
+        assert!(s.contains("QA002 [warn] one"));
+        assert!(s.contains("QA101 [deny] two"));
+        assert!(d.has_deny());
+        assert_eq!(d.warnings().count(), 1);
+        assert_eq!(Diagnostics::default().to_string(), "no findings");
+    }
+}

@@ -1,6 +1,7 @@
 //! Error type of the cutting pipeline.
 
 use crate::allocation::AllocationError;
+use crate::analysis::Diagnostics;
 use crate::fragment::FragmentError;
 use qcut_circuit::cut::CutError;
 use qcut_device::backend::BackendError;
@@ -10,6 +11,9 @@ use std::fmt;
 /// "here is the reconstructed distribution".
 #[derive(Debug, Clone, PartialEq)]
 pub enum PipelineError {
+    /// Static analysis found deny-level problems; nothing was executed.
+    /// The payload carries every finding (denials and warnings alike).
+    Analysis(Diagnostics),
     /// The cut specification is invalid for this circuit.
     Cut(CutError),
     /// Fragment extraction failed.
@@ -32,6 +36,14 @@ pub enum PipelineError {
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            PipelineError::Analysis(d) => {
+                let denials: Vec<String> = d.deny().map(|x| x.to_string()).collect();
+                write!(
+                    f,
+                    "static analysis rejected the workload before execution: {}",
+                    denials.join("; ")
+                )
+            }
             PipelineError::Cut(e) => write!(f, "cut validation failed: {e}"),
             PipelineError::Fragment(e) => write!(f, "fragmenting failed: {e}"),
             PipelineError::Backend(e) => write!(f, "backend error: {e}"),
@@ -69,6 +81,12 @@ impl From<BackendError> for PipelineError {
 impl From<AllocationError> for PipelineError {
     fn from(e: AllocationError) -> Self {
         PipelineError::Allocation(e)
+    }
+}
+
+impl From<Diagnostics> for PipelineError {
+    fn from(d: Diagnostics) -> Self {
+        PipelineError::Analysis(d)
     }
 }
 

@@ -304,6 +304,16 @@ impl JobGraph {
         self.nodes.iter().map(|n| &n.circuit)
     }
 
+    /// Per-node static view: each unique circuit with its consumer
+    /// fan-out `(key, requested shots)`, in insertion order. What the
+    /// graph-layer lints of [`crate::analysis`] inspect without
+    /// executing anything.
+    pub fn node_jobs(&self) -> impl Iterator<Item = (&Circuit, &[(ConsumerKey, u64)])> + '_ {
+        self.nodes
+            .iter()
+            .map(|n| (&n.circuit, n.consumers.as_slice()))
+    }
+
     /// The prefix metadata of the planned graph: how much of the nodes'
     /// simulation work is shared instruction prefixes, computed by building
     /// the same [`PrefixForest`] a prefix-sharing backend will build over

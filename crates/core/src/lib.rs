@@ -32,6 +32,9 @@
 //! * [`observable`] — Pauli/diagonal observable estimation on top of the
 //!   reconstructed distribution;
 //! * [`report`] — the accounting every run returns ([`report::RunReport`]);
+//! * [`analysis`] — the static lint pass ([`analysis::analyze`]) every
+//!   run is gated on: coded diagnostics over the circuit, the cut, the
+//!   predicted schedule, and the planned job graph, before any shot;
 //! * [`pipeline`] — the one-call API: [`pipeline::CutExecutor`].
 //!
 //! ```
@@ -55,7 +58,10 @@
 //! assert_eq!(run.report.subcircuits_executed, 6); // not 9: Y neglected
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod allocation;
+pub mod analysis;
 pub mod basis;
 pub mod error;
 pub mod execution;
@@ -82,6 +88,10 @@ pub mod prelude {
     pub use crate::allocation::{
         schedule, schedule_for_plan, schedule_sic, usage_counts, AllocationError, ShotAllocation,
         ShotSchedule,
+    };
+    pub use crate::analysis::{
+        analyze, lint_graph, registry, AnalysisConfig, AnalysisContext, Diagnostic, Diagnostics,
+        Layer, Lint, LintCode, Severity,
     };
     pub use crate::basis::{BasisPlan, MeasBasis};
     pub use crate::cut::{CutError, CutLocation, CutSpec};

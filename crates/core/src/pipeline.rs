@@ -29,6 +29,7 @@ use crate::allocation::{
     pilot_schedule, pilot_total, refine_schedule, schedule_for_plan, schedule_sic, ShotAllocation,
     ShotSchedule,
 };
+use crate::analysis::{analyze, AnalysisConfig, Diagnostic};
 use crate::basis::{encode_meas, encode_prep, BasisPlan};
 use crate::error::PipelineError;
 use crate::execution::FragmentData;
@@ -77,7 +78,7 @@ pub enum PostProcess {
 }
 
 /// Knobs for one pipeline run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecutionOptions {
     /// Shots for every subcircuit setting (the paper uses 1 000 for the
     /// runtime experiments and 10 000 for the accuracy experiment). The
@@ -101,6 +102,11 @@ pub struct ExecutionOptions {
     /// engine and reuse online-detection data for the main gather. Off is
     /// the ablation baseline: every planned job executes independently.
     pub dedup: bool,
+    /// The static-analysis gate run before anything executes (see
+    /// [`crate::analysis`]): deny-level findings abort the run as
+    /// [`PipelineError::Analysis`], warnings ride in
+    /// [`RunReport::diagnostics`]. [`AnalysisConfig::disabled`] skips it.
+    pub analysis: AnalysisConfig,
 }
 
 impl Default for ExecutionOptions {
@@ -112,6 +118,7 @@ impl Default for ExecutionOptions {
             postprocess: PostProcess::ClipRenormalize,
             parallel: true,
             dedup: true,
+            analysis: AnalysisConfig::default(),
         }
     }
 }
@@ -193,6 +200,9 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
     }
 
     /// Runs the full pipeline.
+    // By-value `policy` keeps call sites literal-friendly
+    // (`run(.., GoldenPolicy::Disabled, ..)`); the body only borrows it.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn run(
         &self,
         circuit: &Circuit,
@@ -200,6 +210,18 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         policy: GoldenPolicy,
         options: &ExecutionOptions,
     ) -> Result<CutRun, PipelineError> {
+        // Static-analysis gate: lint the workload before a single shot is
+        // spent. Deny-level findings abort the run; warnings are carried
+        // through to the report.
+        let mut diagnostics: Vec<Diagnostic> = Vec::new();
+        if options.analysis.enabled {
+            let diags = analyze(circuit, cut, options);
+            if diags.has_deny() {
+                return Err(PipelineError::Analysis(diags));
+            }
+            diagnostics = diags.into_vec();
+        }
+
         let fragments = Fragmenter::fragment(circuit, cut)?;
 
         // Resolve the golden policy. Online detection runs its sequential
@@ -338,6 +360,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
             reconstruct_seconds,
             detection_shots,
             detection_seconds,
+            diagnostics,
         };
         Ok(CutRun {
             distribution,
@@ -794,6 +817,28 @@ mod tests {
         let bad = CutSpec::single(0, 99);
         let err = exec
             .run(&circuit, &bad, GoldenPolicy::Disabled, &options(100))
+            .unwrap_err();
+        // The static-analysis gate catches the invalid cut (QA101) before
+        // fragmenting even starts.
+        let PipelineError::Analysis(diags) = err else {
+            panic!("expected analysis rejection, got {err:?}");
+        };
+        assert!(diags.contains(crate::analysis::LintCode::InvalidCut));
+    }
+
+    #[test]
+    fn invalid_cut_is_reported_as_fragment_error_when_analysis_is_off() {
+        let (circuit, _) = GoldenAnsatz::new(5, 0).build();
+        let backend = IdealBackend::new(0);
+        let exec = CutExecutor::new(&backend);
+        let bad = CutSpec::single(0, 99);
+        let opts = ExecutionOptions {
+            shots_per_setting: 100,
+            analysis: AnalysisConfig::disabled(),
+            ..Default::default()
+        };
+        let err = exec
+            .run(&circuit, &bad, GoldenPolicy::Disabled, &opts)
             .unwrap_err();
         assert!(matches!(err, PipelineError::Fragment(_)));
     }

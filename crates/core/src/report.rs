@@ -1,6 +1,7 @@
 //! Run reports: everything the paper's figures plot.
 
 use crate::allocation::ShotAllocation;
+use crate::analysis::Diagnostic;
 use qcut_math::Pauli;
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +69,9 @@ pub struct RunReport {
     pub detection_shots: u64,
     /// Host time spent detecting golden points.
     pub detection_seconds: f64,
+    /// Warn-level findings of the pre-execution static analysis pass
+    /// (empty when the workload linted clean or analysis was disabled).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl RunReport {
@@ -145,6 +149,7 @@ mod tests {
             reconstruct_seconds: 0.1,
             detection_shots: 0,
             detection_seconds: 0.0,
+            diagnostics: Vec::new(),
         };
         assert!((r.total_host_seconds() - 0.6).abs() < 1e-12);
         assert_eq!(r.num_golden(), 1);

@@ -229,9 +229,8 @@ mod tests {
     #[test]
     fn job_queue_matches_parallel_run() {
         let b = IdealBackend::new(5);
-        let js = jobs(9);
         let q = JobQueue::new(&b).with_workers(3);
-        let batch = q.run(js.clone());
+        let batch = q.run(jobs(9));
         assert_eq!(batch.results.len(), 9);
         for (i, r) in batch.results.iter().enumerate() {
             assert_eq!(r.as_ref().unwrap().counts.total(), 100 + i as u64);

@@ -25,6 +25,8 @@
 //! assert_eq!(result.counts.total(), 1000);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod backend;
 pub mod executor;
 pub mod ideal;

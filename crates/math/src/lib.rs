@@ -26,6 +26,8 @@
 //! assert!(sum.approx_eq(&rho, 1e-12));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod approx;
 pub mod complex;
 pub mod matrix;

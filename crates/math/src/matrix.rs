@@ -443,7 +443,7 @@ mod tests {
         let a = mat2([1.0, 2.0, 3.0, 4.0]);
         let v = vec![c64(1.0, 0.0), c64(-1.0, 0.5)];
         let got = a.matvec(&v);
-        let as_col = Matrix::from_rows(2, 1, v.clone());
+        let as_col = Matrix::from_rows(2, 1, v);
         let want = a.matmul(&as_col);
         assert!(got[0].approx_eq(want[(0, 0)], 1e-12));
         assert!(got[1].approx_eq(want[(1, 0)], 1e-12));

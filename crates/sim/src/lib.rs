@@ -18,6 +18,8 @@
 //! assert!((sv.probability(0b11) - 0.5).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod basis_change;
 pub mod counts;
 pub mod density;

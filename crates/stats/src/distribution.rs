@@ -150,7 +150,7 @@ impl Distribution {
     pub fn project_to_simplex(&self) -> Distribution {
         let n = self.values.len();
         let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        sorted.sort_by(|a, b| b.total_cmp(a));
         let mut cum = 0.0;
         let mut theta = 0.0;
         let mut found = false;
@@ -207,7 +207,7 @@ impl Distribution {
             .values
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .expect("distribution is non-empty");
         (i as u64, *v)
     }

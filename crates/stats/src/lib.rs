@@ -16,6 +16,8 @@
 //! assert!(d < 0.01);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bounds;
 pub mod ci;
 pub mod distance;

@@ -54,6 +54,8 @@
 //! assert!(d < 0.1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use qcut_circuit as circuit;
 pub use qcut_core as cutting;
 pub use qcut_device as device;
@@ -68,6 +70,9 @@ pub mod prelude {
     pub use qcut_circuit::gate::Gate;
     pub use qcut_circuit::random::{random_circuit, random_real_circuit, RandomCircuitConfig};
     pub use qcut_core::allocation::{ShotAllocation, ShotSchedule};
+    pub use qcut_core::analysis::{
+        analyze, lint_graph, AnalysisConfig, Diagnostic, Diagnostics, LintCode, Severity,
+    };
     pub use qcut_core::basis::MeasBasis;
     pub use qcut_core::cut::{CutLocation, CutSpec};
     pub use qcut_core::fragment::Fragmenter;

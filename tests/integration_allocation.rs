@@ -645,9 +645,44 @@ fn adaptive_without_dedup_still_spends_exactly_its_total() {
 }
 
 /// A pilot fraction that rounds below one-shot-per-setting surfaces as
-/// the typed pilot error, not a panic.
+/// the typed pilot error, not a panic. (The static-analysis gate flags
+/// the same starvation as `QA201` even earlier, so this test disables it
+/// to keep the runtime allocation path covered.)
 #[test]
 fn adaptive_starved_pilot_is_a_typed_error() {
+    use qcut::cutting::analysis::AnalysisConfig;
+    let (circuit, cut) = GoldenAnsatz::new(5, 311).build();
+    let backend = IdealBackend::new(5);
+    let err = CutExecutor::new(&backend)
+        .run(
+            &circuit,
+            &cut,
+            GoldenPolicy::Disabled,
+            &ExecutionOptions {
+                allocation: Some(ShotAllocation::Adaptive {
+                    pilot_fraction: 0.0001,
+                    total: 9_000,
+                }),
+                analysis: AnalysisConfig::disabled(),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            PipelineError::Allocation(AllocationError::PilotBudgetTooSmall { settings: 9, .. })
+        ),
+        "got {err:?}"
+    );
+}
+
+/// With analysis enabled (the default), the same starved pilot is caught
+/// statically before any shot: `QA201` denies the run because not even a
+/// fully-golden plan fits the pilot budget.
+#[test]
+fn adaptive_starved_pilot_is_denied_statically() {
+    use qcut::cutting::analysis::LintCode;
     let (circuit, cut) = GoldenAnsatz::new(5, 311).build();
     let backend = IdealBackend::new(5);
     let err = CutExecutor::new(&backend)
@@ -661,13 +696,10 @@ fn adaptive_starved_pilot_is_a_typed_error() {
             }),
         )
         .unwrap_err();
-    assert!(
-        matches!(
-            err,
-            PipelineError::Allocation(AllocationError::PilotBudgetTooSmall { settings: 9, .. })
-        ),
-        "got {err:?}"
-    );
+    let PipelineError::Analysis(diags) = err else {
+        panic!("expected static rejection, got {err:?}");
+    };
+    assert!(diags.contains(LintCode::BudgetBelowFloor));
 }
 
 /// The engine-seeded refine round is equivalent to gathering the two
