@@ -1,0 +1,262 @@
+//! Cross-run warm-start cache: cold vs warm parameter sweeps.
+//!
+//! The workload is the cache's target scenario: a 10-qubit cut circuit
+//! swept over 8 values of a parameter θ that only appears in the
+//! *downstream suffix*. Two passes over the same sweep:
+//!
+//! 1. **Cold** — a priming sweep with the cache attached (timed honestly,
+//!    store-back costs included) on a backend with tier-2 fork-state
+//!    reuse enabled. The θ-free upstream fragment repeats across points,
+//!    so even the priming pass starts hitting tier 1 after point 0, and
+//!    the downstream settings share their pre-θ prefix, so tier 2 reuses
+//!    simulator states across points.
+//! 2. **Warm** — the identical sweep replayed against the populated
+//!    cache on a *different-seed* backend: every node is fully served,
+//!    zero shots execute, and each reconstruction is bit-identical to
+//!    the cold pass (checked per point).
+//!
+//! Writes `BENCH_warm_cache.json` and asserts the ISSUE 7 acceptance
+//! bar — median per-point cold/warm wall-clock ratio ≥ 5 — at bench
+//! time so the CI smoke run (`cargo bench -- --test`) trips regressions.
+
+use criterion::{criterion_group, Criterion};
+use qcut_cache::{CacheConfig, WarmCache};
+use qcut_circuit::circuit::Circuit;
+use qcut_circuit::cut::CutSpec;
+use qcut_core::golden::GoldenPolicy;
+use qcut_core::pipeline::{CutExecutor, ExecutionOptions};
+use qcut_device::ideal::IdealBackend;
+use std::sync::Arc;
+use std::time::Instant;
+
+const WIDTH: usize = 10;
+const CUT_QUBIT: usize = 4;
+const SHOTS_PER_SETTING: u64 = 20_000;
+const POINTS: usize = 8;
+/// The acceptance bar: warm sweep points must be ≥ 5x faster (median).
+const MIN_MEDIAN_SPEEDUP: f64 = 5.0;
+
+/// The swept parameter values — fixed, evenly spread over [0, 2π).
+fn thetas() -> [f64; POINTS] {
+    let mut t = [0.0; POINTS];
+    for (i, theta) in t.iter_mut().enumerate() {
+        *theta = 0.35 + i as f64 * std::f64::consts::TAU / POINTS as f64;
+    }
+    t
+}
+
+/// One sweep point: upstream (qubits 0..=4) is θ-free and identical at
+/// every point; downstream (qubits 4..10) shares a deep entangling
+/// prefix and diverges only in the final θ-dependent suffix on the last
+/// wire.
+fn sweep_circuit(theta: f64) -> (Circuit, CutSpec) {
+    let mut c = Circuit::new(WIDTH);
+    // Upstream block: RY layer + entangling chain + a second layer.
+    for q in 0..=CUT_QUBIT {
+        c.ry(0.3 + 0.41 * q as f64, q);
+    }
+    for q in 0..CUT_QUBIT {
+        c.cx(q, q + 1);
+    }
+    for q in 0..=CUT_QUBIT {
+        c.ry(1.1 - 0.17 * q as f64, q);
+    }
+    // The cut sits after the last upstream instruction on the shared wire.
+    let cut_pos = c
+        .instructions()
+        .iter()
+        .filter(|i| i.acts_on(CUT_QUBIT))
+        .count()
+        - 1;
+    // Downstream shared prefix: RX layer + two entangling sweeps.
+    for q in CUT_QUBIT..WIDTH {
+        c.rx(0.2 + 0.29 * q as f64, q);
+    }
+    for q in CUT_QUBIT..WIDTH - 1 {
+        c.cx(q, q + 1);
+    }
+    for q in CUT_QUBIT..WIDTH {
+        c.rz(0.9 - 0.05 * q as f64, q);
+    }
+    for q in CUT_QUBIT..WIDTH - 1 {
+        c.cz(q, q + 1);
+    }
+    // θ-dependent suffix: only these instructions differ across points.
+    c.rz(theta, WIDTH - 1);
+    c.rx(theta * 0.5, WIDTH - 1);
+    (c, CutSpec::single(CUT_QUBIT, cut_pos))
+}
+
+fn options(cache: Option<Arc<WarmCache>>) -> ExecutionOptions {
+    ExecutionOptions {
+        shots_per_setting: SHOTS_PER_SETTING,
+        cache,
+        ..Default::default()
+    }
+}
+
+/// Runs the full 8-point sweep once and returns per-point wall-clock
+/// seconds plus the delivered runs (for bit-identity checks and cache
+/// accounting).
+fn run_sweep(
+    backend: &IdealBackend,
+    cache: &Arc<WarmCache>,
+) -> Vec<(f64, qcut_core::pipeline::CutRun)> {
+    let executor = CutExecutor::new(backend);
+    thetas()
+        .iter()
+        .map(|&theta| {
+            let (circuit, cut) = sweep_circuit(theta);
+            let start = Instant::now();
+            let run = executor
+                .run(
+                    &circuit,
+                    &cut,
+                    GoldenPolicy::Disabled,
+                    &options(Some(cache.clone())),
+                )
+                .unwrap();
+            (start.elapsed().as_secs_f64(), run)
+        })
+        .collect()
+}
+
+/// Criterion microbench: a single cold point (fresh cache) vs a single
+/// warm point (pre-populated cache). The full-sweep acceptance numbers
+/// come from `write_summary`.
+fn bench_warm_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warm_cache");
+    group.sample_size(10);
+    let (circuit, cut) = sweep_circuit(thetas()[0]);
+
+    group.bench_function("cold_point", |b| {
+        b.iter(|| {
+            let cache = Arc::new(WarmCache::open(CacheConfig::in_memory()));
+            let backend = IdealBackend::new(17);
+            CutExecutor::new(&backend)
+                .run(
+                    &circuit,
+                    &cut,
+                    GoldenPolicy::Disabled,
+                    &options(Some(cache)),
+                )
+                .unwrap()
+                .report
+                .total_shots
+        })
+    });
+
+    let cache = Arc::new(WarmCache::open(CacheConfig::in_memory()));
+    let prime = IdealBackend::new(17);
+    CutExecutor::new(&prime)
+        .run(
+            &circuit,
+            &cut,
+            GoldenPolicy::Disabled,
+            &options(Some(cache.clone())),
+        )
+        .unwrap();
+    group.bench_function("warm_point", |b| {
+        b.iter(|| {
+            let backend = IdealBackend::new(99);
+            CutExecutor::new(&backend)
+                .run(
+                    &circuit,
+                    &cut,
+                    GoldenPolicy::Disabled,
+                    &options(Some(cache.clone())),
+                )
+                .unwrap()
+                .report
+                .cache_shots_reused
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_warm_cache);
+
+/// Writes the machine-readable summary the acceptance gate reads.
+fn write_summary() {
+    let cache = Arc::new(WarmCache::open(CacheConfig::in_memory()));
+
+    // Cold priming sweep: tier-2 fork-state reuse on, cache being filled.
+    let cold_backend = IdealBackend::new(7).with_state_reuse(64);
+    let cold = run_sweep(&cold_backend, &cache);
+
+    // Warm replay: different backend seed — nothing may execute anyway.
+    let warm_backend = IdealBackend::new(1009);
+    let warm = run_sweep(&warm_backend, &cache);
+
+    let mut entries = Vec::new();
+    let mut ratios = Vec::new();
+    let mut states_reused_cold = 0u64;
+    for (i, (theta, ((cold_s, cold_run), (warm_s, warm_run)))) in thetas()
+        .iter()
+        .zip(cold.iter().zip(warm.iter()))
+        .enumerate()
+    {
+        assert_eq!(
+            warm_run.report.total_shots, 0,
+            "point {i}: a warm sweep point must execute zero shots"
+        );
+        assert_eq!(
+            warm_run.report.cache_shots_reused, warm_run.report.shots_requested,
+            "point {i}: every requested shot must come from the cache"
+        );
+        assert_eq!(
+            warm_run.distribution.values(),
+            cold_run.distribution.values(),
+            "point {i}: warm reconstruction must be bit-identical to cold"
+        );
+        states_reused_cold += cold_run.report.states_reused;
+        let ratio = cold_s / warm_s;
+        ratios.push(ratio);
+        entries.push(format!(
+            "    {{\"theta\": {theta:.6}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \
+             \"speedup\": {ratio:.2}, \
+             \"cold_cache_shots_reused\": {}, \
+             \"cold_states_reused\": {}, \
+             \"warm_cache_shots_reused\": {}, \
+             \"warm_total_shots\": {}}}",
+            cold_s * 1e3,
+            warm_s * 1e3,
+            cold_run.report.cache_shots_reused,
+            cold_run.report.states_reused,
+            warm_run.report.cache_shots_reused,
+            warm_run.report.total_shots,
+        ));
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let median = (ratios[POINTS / 2 - 1] + ratios[POINTS / 2]) / 2.0;
+    // The ISSUE 7 acceptance bar, enforced at bench time so the CI smoke
+    // run trips on regressions.
+    assert!(
+        median >= MIN_MEDIAN_SPEEDUP,
+        "median warm-sweep speedup {median:.2}x is below the {MIN_MEDIAN_SPEEDUP}x bar \
+         (per-point ratios: {ratios:?})"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"warm_cache\",\n  \"workload\": \
+         \"10-qubit single-cut circuit, 8-point downstream-theta sweep, {SHOTS_PER_SETTING} \
+         shots/setting; cold = priming sweep with cache attached (tier-2 state reuse on), \
+         warm = replay against the populated cache on a different-seed backend\",\n  \
+         \"metric\": \"per-point wall-clock cold/warm ratio; warm points are bit-identical \
+         and execute zero shots\",\n  \
+         \"median_speedup\": {median:.2},\n  \
+         \"min_median_speedup\": {MIN_MEDIAN_SPEEDUP},\n  \
+         \"states_reused_cold_total\": {states_reused_cold},\n  \
+         \"cache_entries\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        cache.entries(),
+        entries.join(",\n")
+    );
+    let path = "BENCH_warm_cache.json";
+    std::fs::write(path, &json).expect("write bench summary");
+    println!("wrote {path}:\n{json}");
+}
+
+fn main() {
+    benches();
+    write_summary();
+}

@@ -1,0 +1,229 @@
+//! Tier-1 in-memory store: per-node histograms under LRU/byte-budget
+//! eviction.
+//!
+//! Entries are keyed by [`CacheKey`] and additionally carry the full
+//! circuit, so every hit is confirmed by instruction-level equality — a
+//! 64-bit structural hash alone is not trusted anywhere in the workspace.
+//! Byte accounting uses the exact on-disk encoded size of each entry
+//! (single source of truth with [`crate::disk`]), so a store that fits the
+//! budget in memory also fits it on disk.
+
+use std::collections::HashMap;
+
+use qcut_circuit::circuit::Circuit;
+use qcut_sim::counts::Counts;
+
+use crate::disk;
+use crate::CacheKey;
+
+/// One cached histogram: the circuit it was measured from (collision
+/// guard), the cumulative counts, and LRU bookkeeping.
+pub(crate) struct Slot {
+    pub(crate) circuit: Circuit,
+    pub(crate) counts: Counts,
+    pub(crate) bytes: u64,
+    pub(crate) last_used: u64,
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slot")
+            .field("shots", &self.counts.total())
+            .field("bytes", &self.bytes)
+            .field("last_used", &self.last_used)
+            .finish()
+    }
+}
+
+/// The tier-1 histogram store. See the crate docs for the key schema.
+///
+/// Recency is a logical clock bumped on every hit and insertion; when the
+/// byte budget is exceeded, whole entries are evicted strictly in
+/// least-recently-used order until the store fits again. An entry larger
+/// than the entire budget is itself evicted immediately after insertion —
+/// that pathology (a budget below one node's histogram) is what lint
+/// QA402 warns about.
+#[derive(Debug)]
+pub struct HistogramCache {
+    byte_budget: u64,
+    bytes_used: u64,
+    clock: u64,
+    map: HashMap<CacheKey, Vec<Slot>>,
+}
+
+impl HistogramCache {
+    /// Empty store with the given byte budget.
+    pub fn new(byte_budget: u64) -> Self {
+        HistogramCache {
+            byte_budget,
+            bytes_used: 0,
+            clock: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Number of entries held.
+    pub fn len(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// True when the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Exact encoded bytes currently held.
+    pub fn bytes_used(&self) -> u64 {
+        self.bytes_used
+    }
+
+    /// The eviction budget.
+    pub fn byte_budget(&self) -> u64 {
+        self.byte_budget
+    }
+
+    /// Looks up `circuit` under `key`, confirming circuit equality, and
+    /// touches the entry's recency.
+    pub fn lookup(&mut self, key: &CacheKey, circuit: &Circuit) -> Option<&Counts> {
+        self.clock += 1;
+        let clock = self.clock;
+        let slots = self.map.get_mut(key)?;
+        let slot = slots.iter_mut().find(|s| s.circuit == *circuit)?;
+        slot.last_used = clock;
+        Some(&slot.counts)
+    }
+
+    /// Inserts (or replaces) the cumulative histogram for `(key, circuit)`,
+    /// then evicts least-recently-used entries until the budget holds.
+    pub fn store(&mut self, key: &CacheKey, circuit: &Circuit, counts: Counts) {
+        self.clock += 1;
+        let bytes = disk::entry_encoded_len(circuit, counts.iter().count() as u64);
+        let slots = self.map.entry(*key).or_default();
+        if let Some(slot) = slots.iter_mut().find(|s| s.circuit == *circuit) {
+            self.bytes_used = self.bytes_used - slot.bytes + bytes;
+            slot.counts = counts;
+            slot.bytes = bytes;
+            slot.last_used = self.clock;
+        } else {
+            slots.push(Slot {
+                circuit: circuit.clone(),
+                counts,
+                bytes,
+                last_used: self.clock,
+            });
+            self.bytes_used += bytes;
+        }
+        self.evict_to_budget();
+    }
+
+    fn evict_to_budget(&mut self) {
+        while self.bytes_used > self.byte_budget {
+            let oldest = self
+                .map
+                .iter()
+                .flat_map(|(k, slots)| slots.iter().map(move |s| (*k, s.last_used)))
+                .min_by_key(|&(_, used)| used);
+            let Some((key, used)) = oldest else { return };
+            if let Some(slots) = self.map.get_mut(&key) {
+                if let Some(idx) = slots.iter().position(|s| s.last_used == used) {
+                    let slot = slots.remove(idx);
+                    self.bytes_used -= slot.bytes;
+                }
+                if slots.is_empty() {
+                    self.map.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Entries ordered least- to most-recently used — the persistence
+    /// order, so a reloaded store replays the same recency ranking.
+    pub(crate) fn slots_by_recency(&self) -> Vec<(CacheKey, &Slot)> {
+        let mut all: Vec<(CacheKey, &Slot)> = self
+            .map
+            .iter()
+            .flat_map(|(k, slots)| slots.iter().map(move |s| (*k, s)))
+            .collect();
+        all.sort_by_key(|&(_, s)| s.last_used);
+        all
+    }
+}
+
+/// Estimated encoded bytes of one node's histogram entry: the exact disk
+/// size assuming the histogram realises `min(shots, 2^width)` distinct
+/// outcomes. Used by lint QA402 to detect a thrashing byte budget.
+pub fn estimated_entry_bytes(circuit: &Circuit, shots: u64) -> u64 {
+    let width = circuit.num_qubits().min(63) as u32;
+    let distinct = shots.min(1u64 << width);
+    disk::entry_encoded_len(circuit, distinct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShotDiscipline;
+
+    fn circuit(theta: f64) -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).rz(theta, 0);
+        c
+    }
+
+    fn key_for(c: &Circuit) -> CacheKey {
+        CacheKey::new(c.structural_hash(), 42, ShotDiscipline::Multinomial)
+    }
+
+    fn counts(n: u64) -> Counts {
+        Counts::from_pairs(2, [(0u64, n), (1, n), (2, n), (3, n)])
+    }
+
+    #[test]
+    fn lru_evicts_strictly_by_recency_under_a_byte_cap() {
+        let a = circuit(0.1);
+        let b = circuit(0.2);
+        let c = circuit(0.3);
+        let one = disk::entry_encoded_len(&a, 4);
+        // Budget fits exactly two entries (all three are the same size).
+        let mut cache = HistogramCache::new(2 * one);
+        cache.store(&key_for(&a), &a, counts(10));
+        cache.store(&key_for(&b), &b, counts(10));
+        assert_eq!(cache.len(), 2);
+        // Touch `a`, making `b` the least recently used.
+        assert!(cache.lookup(&key_for(&a), &a).is_some());
+        cache.store(&key_for(&c), &c, counts(10));
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache.lookup(&key_for(&a), &a).is_some(),
+            "recently used survives"
+        );
+        assert!(
+            cache.lookup(&key_for(&c), &c).is_some(),
+            "new entry survives"
+        );
+        assert!(
+            cache.lookup(&key_for(&b), &b).is_none(),
+            "LRU entry evicted"
+        );
+    }
+
+    #[test]
+    fn an_entry_larger_than_the_whole_budget_thrashes_to_empty() {
+        let a = circuit(0.5);
+        let mut cache = HistogramCache::new(8);
+        cache.store(&key_for(&a), &a, counts(10));
+        assert!(cache.is_empty(), "oversized entry cannot be retained");
+        assert_eq!(cache.bytes_used(), 0);
+    }
+
+    #[test]
+    fn replacing_an_entry_adjusts_byte_accounting() {
+        let a = circuit(0.7);
+        let mut cache = HistogramCache::new(u64::MAX);
+        cache.store(&key_for(&a), &a, counts(10));
+        let before = cache.bytes_used();
+        // Fewer distinct outcomes: the entry shrinks.
+        cache.store(&key_for(&a), &a, Counts::from_pairs(2, [(0u64, 40)]));
+        assert!(cache.bytes_used() < before);
+        assert_eq!(cache.len(), 1);
+    }
+}

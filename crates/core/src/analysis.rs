@@ -40,9 +40,11 @@ use crate::fragment::{Fragmenter, Fragments};
 use crate::jobgraph::JobGraph;
 use crate::pipeline::{ExecutionOptions, ReconstructionMethod};
 use crate::planner::{add_downstream_jobs, add_sic_jobs, add_upstream_jobs};
+use qcut_cache::CacheConfig;
 use qcut_circuit::circuit::Circuit;
 use qcut_circuit::cut::CutSpec;
 use qcut_circuit::gate::Gate;
+use qcut_device::backend::Backend;
 use qcut_math::Pauli;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -71,7 +73,8 @@ impl fmt::Display for Severity {
 }
 
 /// The registered diagnostic codes, grouped by layer: `QA0xx` circuit,
-/// `QA1xx` cut, `QA2xx` schedule, `QA3xx` job graph.
+/// `QA1xx` cut, `QA2xx` schedule, `QA3xx` job graph, `QA4xx` warm-start
+/// cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LintCode {
     /// `QA001` — instruction operands out of range, wrong arity, or
@@ -118,11 +121,22 @@ pub enum LintCode {
     MissedDedup,
     /// `QA304` — predicted prefix-sharing ratio of the planned batch.
     PrefixSharing,
+    /// `QA401` — the warm-start cache is enabled but the backend does not
+    /// guarantee deterministic seeding, so cached histograms will not be
+    /// bit-reproducible across processes.
+    CacheNondeterministicSeeding,
+    /// `QA402` — the cache byte budget is below a single planned node's
+    /// histogram entry: every store immediately evicts (thrash) and the
+    /// cache can never serve a warm hit.
+    CacheByteBudgetThrash,
+    /// `QA403` — the configured cache file exists but its header is not a
+    /// loadable current-format cache, so the run degrades to a cold start.
+    CacheDegraded,
 }
 
 impl LintCode {
     /// Every registered code, in code order.
-    pub const ALL: [LintCode; 15] = [
+    pub const ALL: [LintCode; 18] = [
         LintCode::OutOfRangeOperand,
         LintCode::IdleQubit,
         LintCode::IdentityGate,
@@ -138,6 +152,9 @@ impl LintCode {
         LintCode::OrphanNode,
         LintCode::MissedDedup,
         LintCode::PrefixSharing,
+        LintCode::CacheNondeterministicSeeding,
+        LintCode::CacheByteBudgetThrash,
+        LintCode::CacheDegraded,
     ];
 
     /// The stable `QAxxx` code string.
@@ -158,6 +175,9 @@ impl LintCode {
             LintCode::OrphanNode => "QA302",
             LintCode::MissedDedup => "QA303",
             LintCode::PrefixSharing => "QA304",
+            LintCode::CacheNondeterministicSeeding => "QA401",
+            LintCode::CacheByteBudgetThrash => "QA402",
+            LintCode::CacheDegraded => "QA403",
         }
     }
 
@@ -175,7 +195,10 @@ impl LintCode {
             | LintCode::SamplingOverhead
             | LintCode::StandardPlanStarved
             | LintCode::OrphanNode
-            | LintCode::MissedDedup => Severity::Warn,
+            | LintCode::MissedDedup
+            | LintCode::CacheNondeterministicSeeding
+            | LintCode::CacheByteBudgetThrash
+            | LintCode::CacheDegraded => Severity::Warn,
             LintCode::FusibleAdjacent
             | LintCode::GoldenStructure
             | LintCode::NeglectCoverage
@@ -347,6 +370,9 @@ pub enum Layer {
     Schedule,
     /// The planned (unexecuted) job graph.
     Graph,
+    /// The warm-start cache configuration (and, when a backend is known,
+    /// its seeding discipline).
+    Cache,
 }
 
 /// Everything a lint may read. Fields are `Option` because the layers are
@@ -370,6 +396,13 @@ pub struct AnalysisContext<'a> {
     pub dedup: bool,
     /// The planned job graph (never executed by analysis).
     pub graph: Option<&'a JobGraph>,
+    /// The warm-start cache configuration, when one is enabled.
+    pub cache: Option<&'a CacheConfig>,
+    /// Whether the backend guarantees deterministic seeding (known only
+    /// on the [`analyze_with_backend`] path — [`analyze`] stays
+    /// backend-free and leaves this `None`, so backend-dependent cache
+    /// lints skip).
+    pub backend_deterministic: Option<bool>,
     /// The analysis configuration (thresholds, overrides).
     pub config: &'a AnalysisConfig,
 }
@@ -387,6 +420,8 @@ impl<'a> AnalysisContext<'a> {
             method: ReconstructionMethod::Eigenstate,
             dedup: graph.dedup_enabled(),
             graph: Some(graph),
+            cache: None,
+            backend_deterministic: None,
             config,
         }
     }
@@ -457,6 +492,9 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(OrphanNodeLint),
         Box::new(MissedDedupLint),
         Box::new(PrefixSharingLint),
+        Box::new(CacheNondeterministicSeedingLint),
+        Box::new(CacheByteBudgetThrashLint),
+        Box::new(CacheDegradedLint),
     ]
 }
 
@@ -1074,6 +1112,172 @@ impl Lint for PrefixSharingLint {
 }
 
 // ---------------------------------------------------------------------
+// Cache-layer lints (QA4xx).
+// ---------------------------------------------------------------------
+
+struct CacheNondeterministicSeedingLint;
+
+impl Lint for CacheNondeterministicSeedingLint {
+    fn code(&self) -> LintCode {
+        LintCode::CacheNondeterministicSeeding
+    }
+    fn description(&self) -> &'static str {
+        "warm-start cache enabled on a nondeterministically seeded backend"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Cache
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        if ctx.cache.is_none() {
+            return;
+        }
+        // Backend-free analyze() leaves the discipline unknown: skip, don't
+        // guess (a lint must not fire on absent inputs).
+        if ctx.backend_deterministic == Some(false) {
+            sink.report(
+                self.code(),
+                "the warm-start cache is enabled but the backend does not \
+                 guarantee deterministic seeding; cached histograms remain \
+                 statistically valid samples, but warm reruns will not be \
+                 bit-reproducible across processes"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+struct CacheByteBudgetThrashLint;
+
+impl Lint for CacheByteBudgetThrashLint {
+    fn code(&self) -> LintCode {
+        LintCode::CacheByteBudgetThrash
+    }
+    fn description(&self) -> &'static str {
+        "cache byte budget below one planned node's histogram entry"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Graph
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let (Some(cache), Some(graph)) = (ctx.cache, ctx.graph) else {
+            return;
+        };
+        // The worst single entry the planned graph could store: if even one
+        // node's histogram cannot fit, storing it evicts everything and the
+        // cache thrashes without ever serving a warm hit.
+        let worst = graph
+            .node_jobs()
+            .map(|(circuit, consumers)| {
+                let shots = consumers.iter().map(|&(_, s)| s).max().unwrap_or(0);
+                qcut_cache::estimated_entry_bytes(circuit, shots)
+            })
+            .max();
+        if let Some(worst) = worst {
+            if worst > cache.byte_budget {
+                sink.report(
+                    self.code(),
+                    format!(
+                        "the cache byte budget ({} B) is below the largest \
+                         planned node's estimated histogram entry ({worst} B); \
+                         every store of that node immediately evicts it and \
+                         warm runs stay cold",
+                        cache.byte_budget
+                    ),
+                );
+            }
+        }
+    }
+}
+
+struct CacheDegradedLint;
+
+impl Lint for CacheDegradedLint {
+    fn code(&self) -> LintCode {
+        LintCode::CacheDegraded
+    }
+    fn description(&self) -> &'static str {
+        "configured cache file is not a loadable current-format cache"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Cache
+    }
+    // Bounded IO exception to the "analysis is pure" rule: this lint reads
+    // at most the 10-byte header (magic + version) of the one configured
+    // cache file — never the body, never the backend. A missing file is
+    // *not* a finding (a cold start is the normal first run).
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        use std::io::Read as _;
+        let Some(path) = ctx.cache.and_then(|c| c.path.as_ref()) else {
+            return;
+        };
+        let mut header = [0u8; 10];
+        let mut filled = 0usize;
+        match std::fs::File::open(path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return,
+            Err(e) => {
+                sink.report(
+                    self.code(),
+                    format!(
+                        "cache file {} is unreadable ({e}); the run degrades \
+                         to a cold start",
+                        path.display()
+                    ),
+                );
+                return;
+            }
+            Ok(mut file) => loop {
+                match file.read(&mut header[filled..]) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        filled += n;
+                        if filled == header.len() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        sink.report(
+                            self.code(),
+                            format!(
+                                "cache file {} failed to read ({e}); the run \
+                                 degrades to a cold start",
+                                path.display()
+                            ),
+                        );
+                        return;
+                    }
+                }
+            },
+        }
+        let version = if filled == header.len() {
+            u16::from_le_bytes([header[8], header[9]])
+        } else {
+            0
+        };
+        if filled < header.len() || &header[..8] != qcut_cache::disk::MAGIC {
+            sink.report(
+                self.code(),
+                format!(
+                    "cache file {} is not a warm-start cache (bad or \
+                     truncated header); the run degrades to a cold start and \
+                     will not overwrite it until a successful persist",
+                    path.display()
+                ),
+            );
+        } else if version != qcut_cache::disk::VERSION {
+            sink.report(
+                self.code(),
+                format!(
+                    "cache file {} has format version {version}, this build \
+                     reads version {}; the run degrades to a cold start",
+                    path.display(),
+                    qcut_cache::disk::VERSION
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Entry points.
 // ---------------------------------------------------------------------
 
@@ -1089,9 +1293,11 @@ fn run_layer(
 }
 
 /// Statically analyzes a workload: the circuit, the cut against it, the
-/// predicted shot schedule, and the planned job graph. Pure — nothing
-/// executes, no backend is touched; the planned graph is built with the
-/// same planner the pipeline uses and then only *inspected*.
+/// predicted shot schedule, the planned job graph, and the warm-start
+/// cache configuration. Pure up to one bounded exception — nothing
+/// executes, no backend is touched, and the planned graph is built with
+/// the same planner the pipeline uses and then only *inspected*; the sole
+/// IO is `QA403`'s 10-byte header read of a configured cache file.
 ///
 /// Layers run in order and stop descending when a premise is broken:
 /// malformed IR (`QA001`) stops before fragmenting, an invalid cut
@@ -1099,6 +1305,29 @@ fn run_layer(
 /// ([`AnalysisConfig::max_planned_jobs`]) skips the schedule/graph layers
 /// so analysis stays cheap at large `K`.
 pub fn analyze(circuit: &Circuit, cut: &CutSpec, options: &ExecutionOptions) -> Diagnostics {
+    analyze_inner(circuit, cut, options, None)
+}
+
+/// [`analyze`] plus the backend-dependent cache lints: knowing the
+/// backend lets `QA401` check its seeding discipline. Still static — the
+/// backend is only *queried* ([`Backend::deterministic_seeding`]), never
+/// run. This is the entry point [`crate::pipeline::CutExecutor::run`]
+/// gates on.
+pub fn analyze_with_backend<B: Backend + ?Sized>(
+    circuit: &Circuit,
+    cut: &CutSpec,
+    options: &ExecutionOptions,
+    backend: &B,
+) -> Diagnostics {
+    analyze_inner(circuit, cut, options, Some(backend.deterministic_seeding()))
+}
+
+fn analyze_inner(
+    circuit: &Circuit,
+    cut: &CutSpec,
+    options: &ExecutionOptions,
+    backend_deterministic: Option<bool>,
+) -> Diagnostics {
     let config = &options.analysis;
     let lints = registry();
     let mut sink = Sink::new(config);
@@ -1113,8 +1342,14 @@ pub fn analyze(circuit: &Circuit, cut: &CutSpec, options: &ExecutionOptions) -> 
         method: options.method,
         dedup: options.dedup,
         graph: None,
+        cache: options.cache.as_deref().map(qcut_cache::WarmCache::config),
+        backend_deterministic,
         config,
     };
+    // Cache-configuration lints read no circuit state, so they run first
+    // and always — a malformed workload stopping the descent below must
+    // not hide a misconfigured cache.
+    run_layer(&lints, Layer::Cache, &ctx, &mut sink);
     run_layer(&lints, Layer::Circuit, &ctx, &mut sink);
 
     // Malformed IR makes every deeper inspection meaningless (and unsafe
@@ -1209,6 +1444,9 @@ mod tests {
     fn codes_display_stably() {
         assert_eq!(LintCode::OutOfRangeOperand.to_string(), "QA001");
         assert_eq!(LintCode::PrefixSharing.to_string(), "QA304");
+        assert_eq!(LintCode::CacheNondeterministicSeeding.to_string(), "QA401");
+        assert_eq!(LintCode::CacheByteBudgetThrash.to_string(), "QA402");
+        assert_eq!(LintCode::CacheDegraded.to_string(), "QA403");
     }
 
     #[test]
@@ -1278,6 +1516,114 @@ mod tests {
         let (circuit, cut) = GoldenAnsatz::new(5, 3).build();
         let diags = analyze(&circuit, &cut, &ExecutionOptions::default());
         assert!(diags.is_clean(), "unexpected findings: {diags}");
+    }
+
+    /// An ideal backend whose seeding discipline is disavowed — stands in
+    /// for a third-party backend sampling from an OS entropy source.
+    struct NondeterministicBackend(qcut_device::ideal::IdealBackend);
+
+    impl Backend for NondeterministicBackend {
+        fn name(&self) -> &str {
+            "nondet"
+        }
+        fn num_qubits(&self) -> usize {
+            self.0.num_qubits()
+        }
+        fn timing(&self) -> &qcut_device::timing::TimingModel {
+            self.0.timing()
+        }
+        fn run(
+            &self,
+            circuit: &Circuit,
+            shots: u64,
+        ) -> Result<qcut_device::backend::ExecutionResult, qcut_device::backend::BackendError>
+        {
+            self.0.run(circuit, shots)
+        }
+        fn deterministic_seeding(&self) -> bool {
+            false
+        }
+    }
+
+    fn cached_options() -> ExecutionOptions {
+        ExecutionOptions {
+            cache: Some(std::sync::Arc::new(qcut_cache::WarmCache::open(
+                CacheConfig::in_memory(),
+            ))),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn qa401_fires_only_with_cache_on_a_nondeterministic_backend() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 3).build();
+        let nondet = NondeterministicBackend(qcut_device::ideal::IdealBackend::new(1));
+        let options = cached_options();
+
+        let diags = analyze_with_backend(&circuit, &cut, &options, &nondet);
+        assert!(
+            diags.contains(LintCode::CacheNondeterministicSeeding),
+            "cache + nondeterministic backend must warn: {diags}"
+        );
+
+        // Deterministic backend: clean.
+        let ideal = qcut_device::ideal::IdealBackend::new(1);
+        assert!(!analyze_with_backend(&circuit, &cut, &options, &ideal)
+            .contains(LintCode::CacheNondeterministicSeeding));
+        // No cache: clean even on the nondeterministic backend.
+        assert!(
+            !analyze_with_backend(&circuit, &cut, &ExecutionOptions::default(), &nondet)
+                .contains(LintCode::CacheNondeterministicSeeding)
+        );
+        // Backend-free analyze: the discipline is unknown, so skip.
+        assert!(!analyze(&circuit, &cut, &options).contains(LintCode::CacheNondeterministicSeeding));
+    }
+
+    #[test]
+    fn qa402_fires_when_one_entry_cannot_fit_the_byte_budget() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 3).build();
+        let starved = ExecutionOptions {
+            cache: Some(std::sync::Arc::new(qcut_cache::WarmCache::open(
+                CacheConfig::in_memory().with_byte_budget(8),
+            ))),
+            ..Default::default()
+        };
+        let diags = analyze(&circuit, &cut, &starved);
+        assert!(
+            diags.contains(LintCode::CacheByteBudgetThrash),
+            "an 8-byte budget cannot hold any histogram entry: {diags}"
+        );
+        // The default budget comfortably fits the planned entries.
+        assert!(
+            !analyze(&circuit, &cut, &cached_options()).contains(LintCode::CacheByteBudgetThrash)
+        );
+    }
+
+    #[test]
+    fn qa403_static_header_check_flags_foreign_and_accepts_valid_files() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 3).build();
+        let path = std::env::temp_dir().join(format!("qcut-qa403-{}.qwc", std::process::id()));
+        let opts_at = |path: &std::path::Path| ExecutionOptions {
+            cache: Some(std::sync::Arc::new(qcut_cache::WarmCache::open(
+                CacheConfig::at_path(path),
+            ))),
+            ..Default::default()
+        };
+
+        // Missing file: a cold start is the normal first run, not a finding.
+        std::fs::remove_file(&path).ok();
+        assert!(!analyze(&circuit, &cut, &opts_at(&path)).contains(LintCode::CacheDegraded));
+
+        // Foreign bytes: flagged.
+        std::fs::write(&path, b"PNG\x89 or whatever this is").expect("write temp file");
+        assert!(analyze(&circuit, &cut, &opts_at(&path)).contains(LintCode::CacheDegraded));
+
+        // A genuinely persisted cache: clean.
+        let writer = qcut_cache::WarmCache::open(CacheConfig::at_path(&path));
+        writer.take_degradation();
+        writer.persist().expect("persist empty cache");
+        assert!(!analyze(&circuit, &cut, &opts_at(&path)).contains(LintCode::CacheDegraded));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -89,8 +89,13 @@ struct JobNode {
     circuit: Circuit,
     consumers: Vec<(ConsumerKey, u64)>,
     /// Counts already available without executing anything (seeded from an
-    /// earlier stage, e.g. online-detection batches).
+    /// earlier stage, e.g. online-detection batches, or the warm-start
+    /// cache).
     cached: Option<Counts>,
+    /// How many of the `cached` shots came from the *cross-run* warm-start
+    /// cache (vs in-process seeding) — attributed to `cache_shots_reused`
+    /// rather than `shots_saved` in the accounting.
+    cache_seeded: u64,
 }
 
 impl JobNode {
@@ -115,8 +120,20 @@ pub struct GraphStats {
     pub shots_requested: u64,
     /// Shots actually executed on the backend.
     pub shots_executed: u64,
-    /// `shots_requested − shots_executed`: what dedup and cache reuse saved.
+    /// Shots that in-process reuse saved: structural dedup plus seeding
+    /// from earlier stages of the *same* run (detection batches, the
+    /// adaptive pilot round). Excludes warm-start cache reuse, which is
+    /// attributed to `cache_shots_reused`; the exact split is
+    /// `shots_requested = shots_executed + shots_saved + cache_shots_reused`.
     pub shots_saved: u64,
+    /// Nodes whose histogram was served (at least partly) from the
+    /// warm-start cache.
+    pub cache_hits: u64,
+    /// Shots served from warm-start cache entries instead of executing.
+    pub cache_shots_reused: u64,
+    /// Fork states served from the backend's tier-2 state cache (0 when
+    /// the backend has none attached).
+    pub states_reused: u64,
     /// Gate applications the backend performed simulating the batch
     /// (shared circuit prefixes counted once on prefix-sharing backends).
     pub gates_applied: u64,
@@ -138,6 +155,9 @@ impl GraphStats {
         self.shots_requested += other.shots_requested;
         self.shots_executed += other.shots_executed;
         self.shots_saved += other.shots_saved;
+        self.cache_hits += other.cache_hits;
+        self.cache_shots_reused += other.cache_shots_reused;
+        self.states_reused += other.states_reused;
         self.gates_applied += other.gates_applied;
         self.gates_saved += other.gates_saved;
         self.simulated_device_time += other.simulated_device_time;
@@ -293,6 +313,7 @@ impl JobGraph {
             circuit,
             consumers: vec![(consumer, shots)],
             cached: None,
+            cache_seeded: 0,
         });
         self.index.entry(hash).or_default().push(i);
     }
@@ -346,6 +367,32 @@ impl JobGraph {
         }
     }
 
+    /// Like [`Self::seed_counts`], but for counts recovered from the
+    /// *cross-run* warm-start cache. Behaves identically for execution
+    /// planning (the node only runs the shot increment beyond what is
+    /// seeded), but records the seeded amount so [`Self::execute`] can
+    /// attribute the reuse to `cache_shots_reused` instead of
+    /// `shots_saved`. Returns `true` when a node matched; no-op when dedup
+    /// is disabled (cache keys are structural, so serving them without the
+    /// dedup equality confirmation would be unsound).
+    pub fn seed_counts_from_cache(&mut self, circuit: &Circuit, counts: &Counts) -> bool {
+        if !self.dedup {
+            return false;
+        }
+        let hash = circuit.structural_hash();
+        match self.find_node(circuit, hash) {
+            Some(i) => {
+                match &mut self.nodes[i].cached {
+                    Some(c) => c.merge(counts),
+                    slot @ None => *slot = Some(counts.clone()),
+                }
+                self.nodes[i].cache_seeded += counts.total();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Executes the graph as one batched backend submission and fans the
     /// results out to every consumer.
     ///
@@ -393,9 +440,28 @@ impl JobGraph {
             shots_executed: to_run.iter().map(|&(_, s)| s).sum(),
             gates_applied: batch_stats.gates_applied,
             gates_saved: batch_stats.gates_saved(),
+            states_reused: batch_stats.states_reused,
             ..GraphStats::default()
         };
-        stats.shots_saved = stats.shots_requested.saturating_sub(stats.shots_executed);
+        // Split the non-executed shots between in-process reuse
+        // (`shots_saved`: dedup + same-run seeding) and cross-run reuse
+        // (`cache_shots_reused`). Per node the cache can only claim what
+        // was actually *served* (required − executed), capped by how much
+        // of the cached histogram came from the warm-start cache.
+        for node in &self.nodes {
+            let required = node.required_shots();
+            let executed = required.saturating_sub(node.cached_shots());
+            let served = required - executed;
+            let from_cache = node.cache_seeded.min(served);
+            if from_cache > 0 {
+                stats.cache_hits += 1;
+                stats.cache_shots_reused += from_cache;
+            }
+        }
+        stats.shots_saved = stats
+            .shots_requested
+            .saturating_sub(stats.shots_executed)
+            .saturating_sub(stats.cache_shots_reused);
 
         let mut executed: HashMap<usize, Counts> = HashMap::with_capacity(to_run.len());
         for (&(i, _), result) in to_run.iter().zip(results) {
@@ -547,6 +613,66 @@ mod tests {
         assert_eq!(run.stats.jobs_executed, 0);
         assert_eq!(run.stats.shots_executed, 0);
         assert_eq!(run.counts(&(Channel::Detection, 7)).unwrap().total(), 500);
+    }
+
+    #[test]
+    fn cache_seeding_is_attributed_separately_from_in_process_saving() {
+        // 1000 requested; 300 seeded from the warm-start cache, 200 from an
+        // in-process stage. 500 execute; the 500 served shots split 300
+        // cache / 200 saved, and the invariant
+        // requested = executed + saved + cache_reused holds exactly.
+        let backend = IdealBackend::new(11);
+        let from_cache = backend.run(&bell(), 300).unwrap().counts;
+        let from_stage = backend.run(&bell(), 200).unwrap().counts;
+
+        let mut g = JobGraph::new();
+        g.add_job(bell(), (Channel::UpstreamMeas, 0), 1000);
+        assert!(g.seed_counts_from_cache(&bell(), &from_cache));
+        assert!(g.seed_counts(&bell(), &from_stage));
+
+        let run = g.execute(&backend, true).unwrap();
+        assert_eq!(run.stats.shots_requested, 1000);
+        assert_eq!(run.stats.shots_executed, 500);
+        assert_eq!(run.stats.cache_hits, 1);
+        assert_eq!(run.stats.cache_shots_reused, 300);
+        assert_eq!(run.stats.shots_saved, 200);
+        assert_eq!(
+            run.stats.shots_requested,
+            run.stats.shots_executed + run.stats.shots_saved + run.stats.cache_shots_reused
+        );
+        assert_eq!(
+            run.counts(&(Channel::UpstreamMeas, 0)).unwrap().total(),
+            1000
+        );
+    }
+
+    #[test]
+    fn over_seeded_cache_claims_only_what_was_served() {
+        // The cache holds more shots than the run requests: only the served
+        // amount (the full request) is attributed, never more.
+        let backend = IdealBackend::new(12);
+        let from_cache = backend.run(&bell(), 900).unwrap().counts;
+        let mut g = JobGraph::new();
+        g.add_job(bell(), (Channel::UpstreamMeas, 0), 400);
+        g.seed_counts_from_cache(&bell(), &from_cache);
+        let run = g.execute(&backend, false).unwrap();
+        assert_eq!(run.stats.shots_executed, 0);
+        assert_eq!(run.stats.cache_hits, 1);
+        assert_eq!(run.stats.cache_shots_reused, 400);
+        assert_eq!(run.stats.shots_saved, 0);
+    }
+
+    #[test]
+    fn cache_seeding_is_a_noop_without_dedup() {
+        let backend = IdealBackend::new(13);
+        let warm = backend.run(&bell(), 300).unwrap().counts;
+        let mut g = JobGraph::without_dedup();
+        g.add_job(bell(), (Channel::UpstreamMeas, 0), 500);
+        assert!(!g.seed_counts_from_cache(&bell(), &warm));
+        let run = g.execute(&backend, false).unwrap();
+        assert_eq!(run.stats.shots_executed, 500);
+        assert_eq!(run.stats.cache_shots_reused, 0);
+        assert_eq!(run.stats.cache_hits, 0);
     }
 
     #[test]

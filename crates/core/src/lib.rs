@@ -34,8 +34,11 @@
 //! * [`report`] — the accounting every run returns ([`report::RunReport`]);
 //! * [`analysis`] — the static lint pass ([`analysis::analyze`]) every
 //!   run is gated on: coded diagnostics over the circuit, the cut, the
-//!   predicted schedule, and the planned job graph, before any shot;
-//! * [`pipeline`] — the one-call API: [`pipeline::CutExecutor`].
+//!   predicted schedule, the planned job graph, and the warm-start cache
+//!   configuration, before any shot;
+//! * [`pipeline`] — the one-call API: [`pipeline::CutExecutor`], with
+//!   optional cross-run warm-start caching
+//!   ([`pipeline::ExecutionOptions::cache`], backed by `qcut-cache`).
 //!
 //! ```
 //! use qcut_circuit::ansatz::GoldenAnsatz;
@@ -90,8 +93,8 @@ pub mod prelude {
         ShotSchedule,
     };
     pub use crate::analysis::{
-        analyze, lint_graph, registry, AnalysisConfig, AnalysisContext, Diagnostic, Diagnostics,
-        Layer, Lint, LintCode, Severity,
+        analyze, analyze_with_backend, lint_graph, registry, AnalysisConfig, AnalysisContext,
+        Diagnostic, Diagnostics, Layer, Lint, LintCode, Severity,
     };
     pub use crate::basis::{BasisPlan, MeasBasis};
     pub use crate::cut::{CutError, CutLocation, CutSpec};

@@ -29,7 +29,7 @@ use crate::allocation::{
     pilot_schedule, pilot_total, refine_schedule, schedule_for_plan, schedule_sic, ShotAllocation,
     ShotSchedule,
 };
-use crate::analysis::{analyze, AnalysisConfig, Diagnostic};
+use crate::analysis::{analyze_with_backend, AnalysisConfig, Diagnostic, LintCode, Severity};
 use crate::basis::{encode_meas, encode_prep, BasisPlan};
 use crate::error::PipelineError;
 use crate::execution::FragmentData;
@@ -44,13 +44,15 @@ use crate::report::{RunReport, UncutReport};
 use crate::sic::{all_sic_settings, build_sic_circuit, encode_sic, sic_downstream_tensor, SicData};
 use crate::tomography::{build_downstream_circuit, build_upstream_circuit};
 use crate::variance::neyman_scores;
+use qcut_cache::{CacheKey, ShotDiscipline, WarmCache};
 use qcut_circuit::circuit::Circuit;
 use qcut_circuit::cut::CutSpec;
 use qcut_device::backend::Backend;
 use qcut_sim::counts::Counts;
 use qcut_stats::distribution::Distribution;
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Downstream preparation scheme.
@@ -107,6 +109,17 @@ pub struct ExecutionOptions {
     /// [`PipelineError::Analysis`], warnings ride in
     /// [`RunReport::diagnostics`]. [`AnalysisConfig::disabled`] skips it.
     pub analysis: AnalysisConfig,
+    /// Cross-run warm-start cache (see [`qcut_cache`]). `None` — the
+    /// default — is bit-identical to the historical pipeline. `Some`
+    /// seeds every first gather round from persisted per-node histograms
+    /// (the engine executes only each node's shot *increment*, attributed
+    /// to [`RunReport::cache_shots_reused`]) and stores the delivered
+    /// cumulative histograms back after the run. Requires
+    /// [`ExecutionOptions::dedup`] — with dedup off (the ablation
+    /// baseline) the cache is bypassed entirely, because serving
+    /// hash-keyed entries without the engine's equality confirmation
+    /// would be unsound.
+    pub cache: Option<Arc<WarmCache>>,
 }
 
 impl Default for ExecutionOptions {
@@ -119,6 +132,7 @@ impl Default for ExecutionOptions {
             parallel: true,
             dedup: true,
             analysis: AnalysisConfig::default(),
+            cache: None,
         }
     }
 }
@@ -215,11 +229,24 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         // through to the report.
         let mut diagnostics: Vec<Diagnostic> = Vec::new();
         if options.analysis.enabled {
-            let diags = analyze(circuit, cut, options);
+            let diags = analyze_with_backend(circuit, cut, options, self.backend);
             if diags.has_deny() {
                 return Err(PipelineError::Analysis(diags));
             }
             diagnostics = diags.into_vec();
+        }
+
+        // A cache that failed to load (corrupt/truncated/foreign file)
+        // silently became a cold start at open time; surface that as a
+        // typed runtime warning so sweeps notice the lost warm state.
+        if let Some(cache) = self.warm_cache(options) {
+            if let Some(why) = cache.take_degradation() {
+                diagnostics.push(Diagnostic {
+                    code: LintCode::CacheDegraded,
+                    severity: Severity::Warn,
+                    message: format!("warm-start cache degraded to a cold start: {why}"),
+                });
+            }
         }
 
         let fragments = Fragmenter::fragment(circuit, cut)?;
@@ -277,7 +304,14 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
                 ReconstructionMethod::Eigenstate => schedule_for_plan(&plan, effective)?,
                 ReconstructionMethod::Sic => schedule_sic(&plan, effective)?,
             };
-            let round = self.gather_round(&fragments, &plan, options, &sched, &detection_cache)?;
+            let round = self.gather_round(
+                &fragments,
+                &plan,
+                options,
+                &sched,
+                &detection_cache,
+                self.warm_cache(options),
+            )?;
             (round, 0, 1)
         };
         let GatherRound {
@@ -287,6 +321,35 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
             stats: gather_stats,
         } = gather;
         let gather_seconds = gather_started.elapsed().as_secs_f64();
+
+        // Store the delivered cumulative histograms back into the warm
+        // cache so the next run (or sweep point) starts from them, then
+        // persist. Delivered totals already include everything — cached,
+        // detection-seeded, and fresh shots — and `store` replaces, so
+        // re-running never duplicates samples.
+        if let Some(cache) = self.warm_cache(options) {
+            self.store_back(
+                cache,
+                &fragments,
+                &plan,
+                options.method,
+                &upstream,
+                &downstream,
+                &sic_counts,
+            );
+            if cache.config().path.is_some() {
+                if let Err(e) = cache.persist() {
+                    diagnostics.push(Diagnostic {
+                        code: LintCode::CacheDegraded,
+                        severity: Severity::Warn,
+                        message: format!(
+                            "warm-start cache failed to persist ({e}); the next \
+                             run starts cold"
+                        ),
+                    });
+                }
+            }
+        }
 
         let upstream_settings = upstream.len();
         let downstream_settings = downstream.len() + sic_counts.len();
@@ -352,6 +415,9 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
             jobs_planned: engine.jobs_planned,
             jobs_executed: engine.jobs_executed,
             shots_saved: engine.shots_saved,
+            cache_hits: engine.cache_hits,
+            cache_shots_reused: engine.cache_shots_reused,
+            states_reused: engine.states_reused,
             gates_applied: engine.gates_applied,
             gates_saved: engine.gates_saved,
             reconstruction_terms: plan.all_recon_strings().len(),
@@ -368,15 +434,80 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         })
     }
 
+    /// The warm-start cache this run may consult: the configured one, and
+    /// only with dedup on — cache entries are keyed by structural hash,
+    /// and only the dedup engine path confirms true circuit equality
+    /// before merging histograms, so serving them without it would be
+    /// unsound. With dedup off the run is bit-identical to a cache-free
+    /// run by construction.
+    fn warm_cache<'o>(&self, options: &'o ExecutionOptions) -> Option<&'o WarmCache> {
+        options.cache.as_deref().filter(|_| options.dedup)
+    }
+
+    /// Stores each delivered setting histogram back into the warm cache,
+    /// keyed by `(structural hash, backend fingerprint, discipline)`.
+    /// First delivery wins per structural hash: deduplicated settings hand
+    /// back the *same* merged node histogram, which must be stored once.
+    #[allow(clippy::too_many_arguments)]
+    fn store_back(
+        &self,
+        cache: &WarmCache,
+        fragments: &Fragments,
+        plan: &BasisPlan,
+        method: ReconstructionMethod,
+        upstream: &HashMap<u64, Counts>,
+        downstream: &HashMap<u64, Counts>,
+        sic_counts: &HashMap<u64, Counts>,
+    ) {
+        let fingerprint = self.backend.cache_fingerprint();
+        let mut stored: HashSet<u64> = HashSet::new();
+        let mut store = |circuit: Circuit, counts: &Counts| {
+            let hash = circuit.structural_hash();
+            if stored.insert(hash) {
+                let key = CacheKey::new(hash, fingerprint, ShotDiscipline::Multinomial);
+                cache.store(&key, &circuit, counts);
+            }
+        };
+        for setting in plan.all_meas_settings() {
+            if let Some(counts) = upstream.get(&encode_meas(&setting)) {
+                store(
+                    build_upstream_circuit(&fragments.upstream, &setting),
+                    counts,
+                );
+            }
+        }
+        match method {
+            ReconstructionMethod::Eigenstate => {
+                for prep in plan.all_prep_settings() {
+                    if let Some(counts) = downstream.get(&encode_prep(&prep)) {
+                        store(
+                            build_downstream_circuit(&fragments.downstream, &prep),
+                            counts,
+                        );
+                    }
+                }
+            }
+            ReconstructionMethod::Sic => {
+                for states in all_sic_settings(fragments.num_cuts) {
+                    if let Some(counts) = sic_counts.get(&encode_sic(&states)) {
+                        store(build_sic_circuit(&fragments.downstream, &states), counts);
+                    }
+                }
+            }
+        }
+    }
+
     /// Plans and executes one gather round through the engine: builds the
     /// graph for `sched` (eigenstate and SIC are different builder
     /// combinations over the same engine — the SIC path registers
     /// upstream + SIC jobs only, never the eigenstate downstream half),
     /// seeds it with prior measurements (online-detection batches for a
     /// first round, the pilot's histograms for an adaptive refine round),
-    /// and returns the delivered channels plus accounting. The engine
-    /// executes only each node's missing shots, so seeded data counts
-    /// toward the round's budget as `shots_saved`.
+    /// then with any matching `warm` cross-run cache entries, and returns
+    /// the delivered channels plus accounting. The engine executes only
+    /// each node's missing shots, so same-run seeds count toward the
+    /// round's budget as `shots_saved` and warm-cache seeds as
+    /// `cache_shots_reused`.
     fn gather_round(
         &self,
         fragments: &Fragments,
@@ -384,6 +515,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         options: &ExecutionOptions,
         sched: &ShotSchedule,
         seeds: &HashMap<u64, (Circuit, Counts)>,
+        warm: Option<&WarmCache>,
     ) -> Result<GatherRound, PipelineError> {
         let mut graph = if options.dedup {
             JobGraph::new()
@@ -410,6 +542,20 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         }
         for (circuit, counts) in seeds.values() {
             graph.seed_counts(circuit, counts);
+        }
+        if let Some(cache) = warm {
+            let fingerprint = self.backend.cache_fingerprint();
+            let node_circuits: Vec<Circuit> = graph.node_jobs().map(|(c, _)| c.clone()).collect();
+            for circuit in node_circuits {
+                let key = CacheKey::new(
+                    circuit.structural_hash(),
+                    fingerprint,
+                    ShotDiscipline::Multinomial,
+                );
+                if let Some(counts) = cache.lookup(&key, &circuit) {
+                    graph.seed_counts_from_cache(&circuit, &counts);
+                }
+            }
         }
         let mut grun = graph.execute(self.backend, options.parallel)?;
         Ok(GatherRound {
@@ -456,10 +602,21 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         };
 
         // Round 1: the uniform pilot.
+        // The warm cache seeds the pilot only: its histograms become part
+        // of the pilot's delivered data, which already seeds the refine
+        // round below — seeding both rounds would duplicate the samples.
+        // A warm pilot is a *free* pilot (the engine executes only the
+        // increment beyond the cached shots).
         let pilot = pilot_total(pilot_fraction, total);
         let pilot_sched = pilot_schedule(n_up, n_down, pilot)?;
-        let pilot_run =
-            self.gather_round(fragments, plan, options, &pilot_sched, detection_cache)?;
+        let pilot_run = self.gather_round(
+            fragments,
+            plan,
+            options,
+            &pilot_sched,
+            detection_cache,
+            self.warm_cache(options),
+        )?;
 
         // Empirical tensors from the pilot's delivered histograms.
         let pilot_data = FragmentData::from_counts(
@@ -534,7 +691,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
                     }
                 }
             }
-            self.gather_round(fragments, plan, options, &cumulative, &seeds)?
+            self.gather_round(fragments, plan, options, &cumulative, &seeds, None)?
         } else {
             let increments = ShotSchedule {
                 upstream: cumulative
@@ -551,7 +708,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
                     .collect(),
             };
             let mut run =
-                self.gather_round(fragments, plan, options, &increments, &HashMap::new())?;
+                self.gather_round(fragments, plan, options, &increments, &HashMap::new(), None)?;
             merge_channel(&mut run.upstream, pilot_data.upstream);
             merge_channel(&mut run.downstream, pilot_data.downstream);
             merge_channel(&mut run.sic_counts, pilot_run.sic_counts.clone());

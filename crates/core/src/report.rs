@@ -39,7 +39,7 @@ pub struct RunReport {
     /// Shots requested across every engine job of the run (detection
     /// rounds + pilot/gather fan-out edges, before dedup/reuse). The
     /// exact-accounting invariant is `shots_requested = detection_shots +
-    /// pilot_shots + total_shots + shots_saved`.
+    /// pilot_shots + total_shots + shots_saved + cache_shots_reused`.
     pub shots_requested: u64,
     /// Jobs registered on the JobGraph engine across the whole run
     /// (detection rounds + gather fan-out edges).
@@ -48,8 +48,20 @@ pub struct RunReport {
     /// structural dedup and cache reuse (`jobs_executed ≤ jobs_planned`).
     pub jobs_executed: usize,
     /// Shots the engine did *not* have to execute because structurally
-    /// identical jobs were merged or detection data was reused.
+    /// identical jobs were merged or same-run data (detection batches,
+    /// the adaptive pilot) was reused. Cross-run warm-start reuse is
+    /// accounted separately in [`RunReport::cache_shots_reused`].
     pub shots_saved: u64,
+    /// Engine nodes whose histogram was served (at least partly) from the
+    /// cross-run warm-start cache (0 when no cache was configured).
+    pub cache_hits: u64,
+    /// Shots served from persistent warm-start cache entries instead of
+    /// being executed — the cross-run term of the accounting invariant on
+    /// [`RunReport::shots_requested`].
+    pub cache_shots_reused: u64,
+    /// Simulator fork states served from the backend's tier-2 state cache
+    /// across this run's batches (0 when the backend has none attached).
+    pub states_reused: u64,
     /// Gate applications the backend performed simulating all engine
     /// batches of this run (shared circuit prefixes counted once on
     /// prefix-sharing backends).
@@ -69,8 +81,10 @@ pub struct RunReport {
     pub detection_shots: u64,
     /// Host time spent detecting golden points.
     pub detection_seconds: f64,
-    /// Warn-level findings of the pre-execution static analysis pass
-    /// (empty when the workload linted clean or analysis was disabled).
+    /// Warn-level findings of the pre-execution static analysis pass,
+    /// plus runtime cache notices (`QA403` when a configured cache file
+    /// failed to load or persist). Empty when the workload linted clean,
+    /// nothing degraded, and analysis was disabled.
     pub diagnostics: Vec<Diagnostic>,
 }
 
@@ -141,6 +155,9 @@ mod tests {
             jobs_planned: 6,
             jobs_executed: 6,
             shots_saved: 0,
+            cache_hits: 0,
+            cache_shots_reused: 0,
+            states_reused: 0,
             gates_applied: 30,
             gates_saved: 70,
             reconstruction_terms: 3,

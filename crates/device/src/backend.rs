@@ -9,7 +9,7 @@
 use crate::timing::TimingModel;
 use qcut_circuit::circuit::Circuit;
 use qcut_sim::counts::{CdfTable, Counts};
-use qcut_sim::prefix::{ForkState, PrefixForest};
+use qcut_sim::prefix::{ForkState, ForkStateCache, PrefixForest};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -55,6 +55,10 @@ pub struct BatchStats {
     /// Distinct final states sampled from — one CDF table is built per
     /// unique state and reused by every job ending there.
     pub unique_states: u64,
+    /// Trie segments whose end state was served from a warm-start
+    /// fork-state cache instead of being re-simulated (tier 2; 0 when the
+    /// backend has no state cache attached).
+    pub states_reused: u64,
 }
 
 impl BatchStats {
@@ -74,6 +78,7 @@ impl BatchStats {
             gates_naive: gates,
             prefix_nodes: 0,
             unique_states: results.iter().filter(|r| r.is_ok()).count() as u64,
+            states_reused: 0,
         }
     }
 
@@ -88,6 +93,7 @@ impl BatchStats {
         self.gates_naive += other.gates_naive;
         self.prefix_nodes += other.prefix_nodes;
         self.unique_states += other.unique_states;
+        self.states_reused += other.states_reused;
     }
 }
 
@@ -190,6 +196,7 @@ where
 /// still runs every variant), while host time — which sharing genuinely
 /// shrinks — is measured for the whole batch and amortised equally over
 /// the successful jobs.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_batch_forest<S, I, P>(
     counter: &std::sync::atomic::AtomicU64,
     seed: u64,
@@ -198,6 +205,7 @@ pub(crate) fn run_batch_forest<S, I, P>(
     init: I,
     finalize: P,
     timing: &TimingModel,
+    reuse: Option<&std::sync::Mutex<ForkStateCache<S>>>,
 ) -> BatchRun
 where
     S: ForkState,
@@ -214,7 +222,7 @@ where
     let circuits: Vec<&Circuit> = valid.iter().map(|&i| jobs[i].circuit).collect();
 
     let forest = PrefixForest::build(&circuits);
-    let sampled: Vec<Counts> = forest.simulate_with(&init, |state, members| {
+    let visit = |state: &S, members: &[usize]| {
         let width = circuits[members[0]].num_qubits();
         let cdf = CdfTable::from_probs(width, &finalize(state));
         members
@@ -225,12 +233,25 @@ where
                 cdf.sample(jobs[job].shots, &mut rng)
             })
             .collect()
-    });
+    };
+    // The warm tier-2 path swaps `simulate_with` for the reuse-aware walk;
+    // cached states are bit-identical to re-simulated ones (confirmed
+    // prefix equality + deterministic evolution), so the sampled counts —
+    // still seeded purely by batch position — cannot differ between the
+    // two paths.
+    let (sampled, reuse_stats): (Vec<Counts>, _) = match reuse {
+        Some(cache) => forest.simulate_with_reuse(&init, visit, cache),
+        None => (
+            forest.simulate_with(&init, visit),
+            qcut_sim::prefix::ReuseStats::default(),
+        ),
+    };
     let stats = BatchStats {
-        gates_applied: forest.gates_shared(),
+        gates_applied: forest.gates_shared() - reuse_stats.gates_skipped,
         gates_naive: forest.gates_naive(),
         prefix_nodes: forest.num_nodes() as u64,
         unique_states: forest.num_terminal_nodes() as u64,
+        states_reused: reuse_stats.states_reused,
     };
 
     let host_share = started
@@ -304,6 +325,42 @@ pub trait Backend: Sync {
         let results = self.run_batch(jobs);
         let stats = BatchStats::unshared(jobs, &results);
         BatchRun { results, stats }
+    }
+
+    /// A stable fingerprint of everything that makes this backend's
+    /// histograms statistically poolable with another run's: device
+    /// identity, capacity, and noise character — but *not* the RNG seed
+    /// (samples drawn under different seeds from the same device model are
+    /// exchangeable). The warm-start cache folds this into every histogram
+    /// key, so e.g. an ideal backend's measurements are never served to a
+    /// noisy run.
+    ///
+    /// The default hashes the backend's name and capacity; backends with
+    /// configurable noise must override to include it (the workspace's
+    /// `NoisyBackend` folds in `NoiseModel::fingerprint`).
+    fn cache_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for b in self.name().bytes() {
+            mix(b);
+        }
+        for b in (self.num_qubits() as u64).to_le_bytes() {
+            mix(b);
+        }
+        h
+    }
+
+    /// True when the backend assigns per-job RNG streams deterministically
+    /// (by seed and batch position), so equal requests reproduce equal
+    /// histograms. The warm-start cache works with either answer, but
+    /// reproducible warm-vs-cold comparisons need determinism, so lint
+    /// QA401 warns when caching is enabled over a backend that does not
+    /// claim it. Defaults to `false` (unknown third-party backends).
+    fn deterministic_seeding(&self) -> bool {
+        false
     }
 
     /// Validates a job without running it.

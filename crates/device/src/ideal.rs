@@ -12,10 +12,12 @@ use crate::backend::{
 };
 use crate::timing::TimingModel;
 use qcut_circuit::circuit::Circuit;
+use qcut_sim::prefix::ForkStateCache;
 use qcut_sim::statevector::StateVector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Noiseless state-vector backend with shot sampling.
@@ -27,6 +29,9 @@ pub struct IdealBackend {
     job_counter: AtomicU64,
     timing: TimingModel,
     prefix_sharing: bool,
+    /// Warm-start tier 2: fork states kept across batches (and runs) so
+    /// repeated prefixes re-simulate only their divergent suffixes.
+    state_cache: Option<Mutex<ForkStateCache<StateVector>>>,
 }
 
 impl IdealBackend {
@@ -39,6 +44,7 @@ impl IdealBackend {
             job_counter: AtomicU64::new(0),
             timing: TimingModel::instantaneous(),
             prefix_sharing: true,
+            state_cache: None,
         }
     }
 
@@ -61,6 +67,26 @@ impl IdealBackend {
     pub fn with_prefix_sharing(mut self, enabled: bool) -> Self {
         self.prefix_sharing = enabled;
         self
+    }
+
+    /// Attaches a warm-start fork-state cache holding up to `max_states`
+    /// states (tier 2 of the cross-run cache). Batches then resume
+    /// simulation from the deepest prefix any earlier batch — in this run
+    /// or a previous `CutExecutor::run` on the same backend — has already
+    /// evolved. Counts are bit-identical with or without the cache; only
+    /// host time and the `states_reused` accounting change. Requires
+    /// prefix sharing (the default).
+    pub fn with_state_reuse(mut self, max_states: usize) -> Self {
+        self.state_cache = Some(Mutex::new(ForkStateCache::new(max_states)));
+        self
+    }
+
+    /// States currently held by the tier-2 cache (0 without one).
+    pub fn cached_states(&self) -> usize {
+        self.state_cache
+            .as_ref()
+            .map(|c| c.lock().expect("state cache poisoned").len())
+            .unwrap_or(0)
     }
 
     fn next_job_seed(&self) -> u64 {
@@ -128,6 +154,7 @@ impl Backend for IdealBackend {
             StateVector::zero_state,
             |state: &StateVector| state.probabilities(),
             &self.timing,
+            self.state_cache.as_ref(),
         )
     }
 
@@ -136,6 +163,12 @@ impl Backend for IdealBackend {
     /// prefix forest).
     fn run_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<JobResult> {
         self.run_batch_stats(jobs).results
+    }
+
+    /// Per-job sub-seeds are a pure function of (constructor seed, batch
+    /// position): equal requests reproduce equal histograms.
+    fn deterministic_seeding(&self) -> bool {
+        true
     }
 }
 
@@ -292,6 +325,77 @@ mod tests {
         ));
         assert!(results[1].is_ok());
         assert!(matches!(results[2], Err(BackendError::NoShots)));
+    }
+
+    #[test]
+    fn state_reuse_is_bit_identical_and_counts_reused_states() {
+        // Sweep-shaped workload: same fragment, varying final rotation.
+        let mut base = Circuit::new(3);
+        base.h(0).cx(0, 1).ry(0.3, 2).cx(1, 2);
+        let mut a = base.clone();
+        a.rz(0.1, 2);
+        let mut b = base.clone();
+        b.rz(0.2, 2);
+
+        let plain = IdealBackend::new(5);
+        let warm = IdealBackend::new(5).with_state_reuse(64);
+        let jobs_a = [JobSpec::new(&a, 500)];
+        let r_plain_a = plain.run_batch_stats(&jobs_a);
+        let r_warm_a = warm.run_batch_stats(&jobs_a);
+        assert_eq!(r_warm_a.stats.states_reused, 0, "first batch is cold");
+        assert!(warm.cached_states() > 0, "cold batch exports its states");
+
+        let jobs_b = [JobSpec::new(&b, 500), JobSpec::new(&a, 500)];
+        let r_plain_b = plain.run_batch_stats(&jobs_b);
+        let r_warm_b = warm.run_batch_stats(&jobs_b);
+        assert!(
+            r_warm_b.stats.states_reused > 0,
+            "second batch resumes from cached prefixes"
+        );
+        assert!(
+            r_warm_b.stats.gates_applied < r_plain_b.stats.gates_applied,
+            "reused segments drop out of the gate accounting"
+        );
+        for (p, w) in r_plain_a
+            .results
+            .iter()
+            .chain(&r_plain_b.results)
+            .zip(r_warm_a.results.iter().chain(&r_warm_b.results))
+        {
+            assert_eq!(
+                p.as_ref().unwrap().counts,
+                w.as_ref().unwrap().counts,
+                "state reuse must not change a single sampled bit"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_fingerprint_separates_ideal_from_noisy() {
+        use crate::noisy::NoisyBackend;
+        use qcut_sim::noise::NoiseModel;
+        let ideal = IdealBackend::new(1);
+        let noisy = NoisyBackend::new(
+            "fake_lagos",
+            7,
+            NoiseModel::depolarizing(0.01, 0.02, 0.01),
+            TimingModel::instantaneous(),
+            1,
+        );
+        let quieter = NoisyBackend::new(
+            "fake_lagos",
+            7,
+            NoiseModel::depolarizing(0.001, 0.002, 0.001),
+            TimingModel::instantaneous(),
+            99, // seed deliberately differs: it must not matter
+        );
+        assert_ne!(ideal.cache_fingerprint(), noisy.cache_fingerprint());
+        assert_ne!(noisy.cache_fingerprint(), quieter.cache_fingerprint());
+        // Same device model, different seed: same fingerprint (histograms
+        // from different seeds are statistically poolable).
+        let reseeded = IdealBackend::new(123);
+        assert_eq!(ideal.cache_fingerprint(), reseeded.cache_fingerprint());
+        assert!(ideal.deterministic_seeding() && noisy.deterministic_seeding());
     }
 
     #[test]

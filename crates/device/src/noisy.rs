@@ -218,6 +218,10 @@ impl Backend for NoisyBackend {
             },
             |state: &NoisyEvolution<'_>| self.readout_probabilities(&state.dm),
             &self.timing,
+            // No tier-2 state cache: `NoisyEvolution` borrows the backend,
+            // so caching it inside the backend would be self-referential;
+            // density matrices are also the least rewarding states to hold.
+            None,
         )
     }
 
@@ -226,6 +230,31 @@ impl Backend for NoisyBackend {
     /// prefix forest).
     fn run_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<JobResult> {
         self.run_batch_stats(jobs).results
+    }
+
+    /// Folds the noise character into the device fingerprint: histograms
+    /// measured under one noise model must never be pooled with another's
+    /// (nor with an ideal backend's — see the cache-isolation tests).
+    fn cache_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for b in self.name.bytes() {
+            mix(u64::from(b));
+        }
+        mix(self.capacity as u64);
+        mix(self.noise.fingerprint());
+        h
+    }
+
+    /// Per-job sub-seeds are a pure function of (constructor seed, batch
+    /// position): equal requests reproduce equal histograms.
+    fn deterministic_seeding(&self) -> bool {
+        true
     }
 }
 

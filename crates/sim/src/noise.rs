@@ -267,11 +267,87 @@ impl NoiseModel {
             && self.thermal.is_none()
             && self.readout == ReadoutError::none()
     }
+
+    /// Stable fingerprint of the model's *noise character* — every value
+    /// that shapes the output distribution: Kraus operators (element bit
+    /// patterns), thermal parameters, and readout error rates.
+    ///
+    /// The warm-start cache folds this into every histogram key (via
+    /// `Backend::cache_fingerprint`), so measurements taken under one noise
+    /// model are never pooled with measurements taken under another — in
+    /// particular, ideal-backend histograms can never be served to a noisy
+    /// run. Models that compare equal fingerprint equal; distinct noise
+    /// strengths fingerprint apart (up to 64-bit hashing).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        let mix_channel = |slot: &Option<KrausChannel>, mix: &mut dyn FnMut(u64)| match slot {
+            None => mix(0),
+            Some(ch) => {
+                mix(1 + ch.arity() as u64);
+                mix(ch.operators().len() as u64);
+                for op in ch.operators() {
+                    for z in op.as_slice() {
+                        mix(z.re.to_bits());
+                        mix(z.im.to_bits());
+                    }
+                }
+            }
+        };
+        mix_channel(&self.one_qubit, &mut mix);
+        mix_channel(&self.two_qubit, &mut mix);
+        match &self.thermal {
+            None => mix(0),
+            Some(t) => {
+                mix(1);
+                mix(t.t1.to_bits());
+                mix(t.t2.to_bits());
+                mix(t.time_1q.to_bits());
+                mix(t.time_2q.to_bits());
+            }
+        }
+        mix(self.readout.p01.to_bits());
+        mix(self.readout.p10.to_bits());
+        h
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprints_separate_noise_characters() {
+        let ideal = NoiseModel::noiseless();
+        let weak = NoiseModel::depolarizing(0.01, 0.02, 0.01);
+        let strong = NoiseModel::depolarizing(0.05, 0.02, 0.01);
+        let readout_only = NoiseModel::depolarizing(0.0, 0.0, 0.01);
+        let fingerprints = [
+            ideal.fingerprint(),
+            weak.fingerprint(),
+            strong.fingerprint(),
+            readout_only.fingerprint(),
+        ];
+        for (i, a) in fingerprints.iter().enumerate() {
+            for (j, b) in fingerprints.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "models {i} and {j} must fingerprint apart");
+                }
+            }
+        }
+        // Deterministic and equal for equal models.
+        assert_eq!(
+            NoiseModel::depolarizing(0.01, 0.02, 0.01).fingerprint(),
+            weak.fingerprint()
+        );
+    }
 
     #[test]
     fn constructors_satisfy_completeness() {

@@ -34,6 +34,7 @@
 
 use qcut_circuit::circuit::{Circuit, Instruction};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// A simulation state that can be evolved instruction-by-instruction and
@@ -367,6 +368,247 @@ impl<'c> PrefixForest<'c> {
             }),
         }
     }
+
+    /// [`PrefixForest::simulate_with`] with cross-batch fork-state reuse —
+    /// the warm-start cache's tier 2.
+    ///
+    /// Before applying a node's instruction segment the walk asks `cache`
+    /// for the state at the segment's *end* (keyed by the
+    /// [`Circuit::prefix_hash_chain`] link, confirmed by instruction
+    /// equality); a hit replaces the incoming state and skips the segment's
+    /// gate applications. On a miss the freshly evolved state is exported
+    /// back into the cache, so a later batch — in this run or a later
+    /// `CutExecutor::run` of a sweep — resumes from the deepest prefix any
+    /// earlier walk has already evolved and re-simulates only divergent
+    /// suffixes.
+    ///
+    /// Determinism: a cached state is bit-identical to what re-applying the
+    /// (equality-confirmed) prefix to the init state would produce, so
+    /// results are bit-identical to [`PrefixForest::simulate_with`].
+    pub fn simulate_with_reuse<S, I, V, T>(
+        &self,
+        init: I,
+        visit: V,
+        cache: &Mutex<ForkStateCache<S>>,
+    ) -> (Vec<T>, ReuseStats)
+    where
+        S: ForkState,
+        I: Fn(usize) -> S + Sync,
+        V: Fn(&S, &[usize]) -> Vec<T> + Sync,
+        T: Send,
+    {
+        let sink: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(self.circuits.len()));
+        let stats = AtomicReuseStats::default();
+        self.roots.par_iter().for_each(|&r| {
+            self.walk_reuse(r, init(self.nodes[r].width), &visit, &sink, cache, &stats);
+        });
+        let mut slots: Vec<Option<T>> = (0..self.circuits.len()).map(|_| None).collect();
+        for (j, v) in sink.into_inner().expect("forest sink poisoned") {
+            debug_assert!(slots[j].is_none(), "circuit delivered twice");
+            slots[j] = Some(v);
+        }
+        let values = slots
+            .into_iter()
+            .map(|s| s.expect("every circuit terminates at exactly one node"))
+            .collect();
+        (values, stats.snapshot())
+    }
+
+    fn walk_reuse<S, V, T>(
+        &self,
+        idx: usize,
+        mut state: S,
+        visit: &V,
+        sink: &Mutex<Vec<(usize, T)>>,
+        cache: &Mutex<ForkStateCache<S>>,
+        stats: &AtomicReuseStats,
+    ) where
+        S: ForkState,
+        V: Fn(&S, &[usize]) -> Vec<T> + Sync,
+        T: Send,
+    {
+        let node = &self.nodes[idx];
+        // Width-group roots have empty segments; there is nothing to reuse
+        // or export there.
+        if node.end > node.start {
+            let link = self.chains[node.exemplar][node.end];
+            let prefix = &self.circuits[node.exemplar].instructions()[..node.end];
+            let hit = cache
+                .lock()
+                .expect("fork-state cache poisoned")
+                .lookup(node.width, link, prefix);
+            match hit {
+                Some(cached) => {
+                    state = cached;
+                    stats.states_reused.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .gates_skipped
+                        .fetch_add((node.end - node.start) as u64, Ordering::Relaxed);
+                }
+                None => {
+                    for inst in &self.circuits[node.exemplar].instructions()[node.start..node.end] {
+                        state.apply(inst);
+                    }
+                    cache.lock().expect("fork-state cache poisoned").store(
+                        node.width,
+                        link,
+                        prefix,
+                        state.clone(),
+                    );
+                }
+            }
+        }
+        if !node.jobs.is_empty() {
+            let values = visit(&state, &node.jobs);
+            assert_eq!(
+                values.len(),
+                node.jobs.len(),
+                "visit must return one value per terminating circuit"
+            );
+            let mut sink = sink.lock().expect("forest sink poisoned");
+            sink.extend(node.jobs.iter().copied().zip(values));
+        }
+        match node.children.len() {
+            0 => {}
+            1 => self.walk_reuse(node.children[0], state, visit, sink, cache, stats),
+            _ => node.children.par_iter().for_each(|&c| {
+                self.walk_reuse(c, state.clone(), visit, sink, cache, stats);
+            }),
+        }
+    }
+}
+
+/// Reuse counters from one [`PrefixForest::simulate_with_reuse`] walk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Trie segments whose end state was served from the cache.
+    pub states_reused: u64,
+    /// Gate applications those hits skipped.
+    pub gates_skipped: u64,
+}
+
+#[derive(Default)]
+struct AtomicReuseStats {
+    states_reused: AtomicU64,
+    gates_skipped: AtomicU64,
+}
+
+impl AtomicReuseStats {
+    fn snapshot(&self) -> ReuseStats {
+        ReuseStats {
+            states_reused: self.states_reused.load(Ordering::Relaxed),
+            gates_skipped: self.gates_skipped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One cached fork state: the exact instruction prefix that produced it
+/// (hash-collision guard) and LRU bookkeeping.
+struct CachedState<S> {
+    width: usize,
+    prefix: Vec<Instruction>,
+    state: S,
+    last_used: u64,
+}
+
+/// Tier 2 of the warm-start cache: simulator states keyed by
+/// [`Circuit::prefix_hash_chain`] links, held in memory and shared across
+/// batches (and across runs, via whoever owns the `Mutex`).
+///
+/// Lookups confirm the full instruction prefix before serving a state —
+/// the same hash-plus-equality discipline the forest itself uses — so a
+/// 64-bit chain collision can never resume simulation from a wrong state.
+/// Capacity is bounded by an entry count; eviction is strictly
+/// least-recently-used.
+pub struct ForkStateCache<S> {
+    entries: std::collections::HashMap<u64, Vec<CachedState<S>>>,
+    max_states: usize,
+    clock: u64,
+}
+
+impl<S> std::fmt::Debug for ForkStateCache<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForkStateCache")
+            .field("states", &self.len())
+            .field("max_states", &self.max_states)
+            .finish()
+    }
+}
+
+impl<S> ForkStateCache<S> {
+    /// Empty cache holding at most `max_states` states.
+    pub fn new(max_states: usize) -> Self {
+        ForkStateCache {
+            entries: std::collections::HashMap::new(),
+            max_states,
+            clock: 0,
+        }
+    }
+
+    /// States currently held.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<S: Clone> ForkStateCache<S> {
+    /// Returns (a clone of) the state at the end of `prefix`, if cached.
+    /// `link` must be the prefix-hash-chain value at `prefix.len()`; the
+    /// stored prefix is compared instruction-by-instruction before the
+    /// state is served. Touches LRU recency.
+    pub fn lookup(&mut self, width: usize, link: u64, prefix: &[Instruction]) -> Option<S> {
+        self.clock += 1;
+        let clock = self.clock;
+        let slot = self
+            .entries
+            .get_mut(&link)?
+            .iter_mut()
+            .find(|s| s.width == width && s.prefix == prefix)?;
+        slot.last_used = clock;
+        Some(slot.state.clone())
+    }
+
+    /// Exports the state at the end of `prefix` into the cache (replacing
+    /// any previous state for the same prefix), then evicts the
+    /// least-recently-used states above capacity.
+    pub fn store(&mut self, width: usize, link: u64, prefix: &[Instruction], state: S) {
+        self.clock += 1;
+        let clock = self.clock;
+        let slots = self.entries.entry(link).or_default();
+        if let Some(slot) = slots
+            .iter_mut()
+            .find(|s| s.width == width && s.prefix == prefix)
+        {
+            slot.state = state;
+            slot.last_used = clock;
+        } else {
+            slots.push(CachedState {
+                width,
+                prefix: prefix.to_vec(),
+                state,
+                last_used: clock,
+            });
+        }
+        while self.len() > self.max_states {
+            let oldest = self
+                .entries
+                .iter()
+                .flat_map(|(k, slots)| slots.iter().map(move |s| (*k, s.last_used)))
+                .min_by_key(|&(_, used)| used);
+            let Some((link, used)) = oldest else { return };
+            if let Some(slots) = self.entries.get_mut(&link) {
+                slots.retain(|s| s.last_used != used);
+                if slots.is_empty() {
+                    self.entries.remove(&link);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -552,5 +794,111 @@ mod tests {
         assert_eq!(calls.load(Ordering::Relaxed), 1);
         assert_eq!(states.len(), 3);
         assert_eq!(states[0], states[2]);
+    }
+
+    #[test]
+    fn reuse_walk_is_bit_identical_to_the_plain_walk() {
+        let variants = upstream_variants();
+        let refs: Vec<&Circuit> = variants.iter().collect();
+        let forest = PrefixForest::build(&refs);
+        let plain = forest.simulate_with(StateVector::zero_state, |state, members| {
+            members.iter().map(|_| state.clone()).collect()
+        });
+        let cache = Mutex::new(ForkStateCache::new(64));
+        // Cold pass: every segment is a miss but gets exported.
+        let (cold, cold_stats) = forest.simulate_with_reuse(
+            StateVector::zero_state,
+            |state, members| members.iter().map(|_| state.clone()).collect(),
+            &cache,
+        );
+        assert_eq!(cold_stats.states_reused, 0);
+        assert!(!cache.lock().expect("lock").is_empty());
+        // Warm pass over the same batch: every segment is a hit.
+        let (warm, warm_stats) = forest.simulate_with_reuse(
+            StateVector::zero_state,
+            |state, members| members.iter().map(|_| state.clone()).collect(),
+            &cache,
+        );
+        assert_eq!(warm_stats.states_reused as usize, forest.num_nodes() - 1);
+        assert_eq!(warm_stats.gates_skipped, forest.gates_shared());
+        for i in 0..variants.len() {
+            assert_eq!(plain[i], cold[i], "cold pass diverged on circuit {i}");
+            assert_eq!(plain[i], warm[i], "warm pass diverged on circuit {i}");
+        }
+    }
+
+    #[test]
+    fn reuse_crosses_forests_when_only_the_suffix_changes() {
+        // Two "sweep points": same fragment, different final rotation.
+        let mut base = Circuit::new(3);
+        base.h(0).cx(0, 1).ry(0.3, 2).cx(1, 2);
+        let mut point_a = base.clone();
+        point_a.rz(0.1, 2);
+        let mut point_b = base.clone();
+        point_b.rz(0.2, 2);
+
+        let cache = Mutex::new(ForkStateCache::new(64));
+        let refs_a = [&point_a];
+        let (states_a, stats_a) = PrefixForest::build(&refs_a).simulate_with_reuse(
+            StateVector::zero_state,
+            |state: &StateVector, members| members.iter().map(|_| state.clone()).collect(),
+            &cache,
+        );
+        assert_eq!(stats_a.states_reused, 0);
+
+        // The second point's forest is a different trie (one circuit, one
+        // segment), but its prefix states were exported by the first walk…
+        // except the full-length one, which includes the divergent suffix.
+        // Reuse therefore kicks in only at shared *segment ends*; build the
+        // batch with both circuits so the shared fragment is its own node.
+        let refs_ab = [&point_a, &point_b];
+        let (states_ab, stats_ab) = PrefixForest::build(&refs_ab).simulate_with_reuse(
+            StateVector::zero_state,
+            |state: &StateVector, members| members.iter().map(|_| state.clone()).collect(),
+            &cache,
+        );
+        assert!(
+            stats_ab.states_reused >= 1,
+            "the full point_a prefix state must be served from the first walk"
+        );
+        assert_eq!(states_a[0], states_ab[0], "cross-forest reuse is bit-exact");
+        let mut reference = StateVector::zero_state(3);
+        for inst in point_b.instructions() {
+            reference.apply(inst);
+        }
+        assert_eq!(states_ab[1], reference, "unrelated suffix still exact");
+    }
+
+    #[test]
+    fn fork_state_cache_confirms_prefix_equality() {
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1);
+        let mut cache: ForkStateCache<StateVector> = ForkStateCache::new(8);
+        let link = a.prefix_hash_chain()[2];
+        let mut state = StateVector::zero_state(2);
+        for inst in a.instructions() {
+            state.apply(inst);
+        }
+        cache.store(2, link, a.instructions(), state);
+        // Same link, different claimed prefix: must miss.
+        let mut b = Circuit::new(2);
+        b.h(0).cx(1, 0);
+        assert!(cache.lookup(2, link, b.instructions()).is_none());
+        assert!(cache.lookup(2, link, a.instructions()).is_some());
+    }
+
+    #[test]
+    fn fork_state_cache_evicts_least_recently_used() {
+        let mut cache: ForkStateCache<u32> = ForkStateCache::new(2);
+        let inst = |t: f64| vec![Instruction::new(qcut_circuit::gate::Gate::Rz(t), vec![0])];
+        let (pa, pb, pc) = (inst(0.1), inst(0.2), inst(0.3));
+        cache.store(1, 10, &pa, 1);
+        cache.store(1, 20, &pb, 2);
+        assert!(cache.lookup(1, 10, &pa).is_some()); // touch A; B is now LRU
+        cache.store(1, 30, &pc, 3);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(1, 20, &pb).is_none(), "LRU state evicted");
+        assert!(cache.lookup(1, 10, &pa).is_some());
+        assert!(cache.lookup(1, 30, &pc).is_some());
     }
 }

@@ -16,6 +16,8 @@
 //!   with a timing model for wall-clock experiments;
 //! * [`stats`] — distributions, the paper's weighted distance (Eq. 17),
 //!   and confidence intervals;
+//! * [`cache`] — the cross-run warm-start cache: persistent per-node
+//!   histograms and simulator fork-state reuse for parameter sweeps;
 //! * [`cutting`] — the paper's contribution: wire cutting, golden cutting
 //!   point detection and exploitation, tensor reconstruction, the SIC
 //!   variant, and the shot-allocation policies (uniform / weighted /
@@ -56,6 +58,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use qcut_cache as cache;
 pub use qcut_circuit as circuit;
 pub use qcut_core as cutting;
 pub use qcut_device as device;
@@ -65,13 +68,15 @@ pub use qcut_stats as stats;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
+    pub use qcut_cache::{CacheConfig, CacheKey, ShotDiscipline, WarmCache};
     pub use qcut_circuit::ansatz::{three_qubit_example, GoldenAnsatz};
     pub use qcut_circuit::circuit::Circuit;
     pub use qcut_circuit::gate::Gate;
     pub use qcut_circuit::random::{random_circuit, random_real_circuit, RandomCircuitConfig};
     pub use qcut_core::allocation::{ShotAllocation, ShotSchedule};
     pub use qcut_core::analysis::{
-        analyze, lint_graph, AnalysisConfig, Diagnostic, Diagnostics, LintCode, Severity,
+        analyze, analyze_with_backend, lint_graph, AnalysisConfig, Diagnostic, Diagnostics,
+        LintCode, Severity,
     };
     pub use qcut_core::basis::MeasBasis;
     pub use qcut_core::cut::{CutLocation, CutSpec};

@@ -153,7 +153,10 @@ fn weighted_allocation_composes_with_dedup() {
     // twice.
     assert_eq!(
         report.shots_requested,
-        report.detection_shots + report.total_shots + report.shots_saved
+        report.detection_shots
+            + report.total_shots
+            + report.shots_saved
+            + report.cache_shots_reused
     );
     // The gather half of the request is exactly the weighted schedule of
     // the detected plan (detection rounds never dedup among themselves,
@@ -539,7 +542,11 @@ fn adaptive_interior_fraction_runs_two_rounds_and_reconstructs() {
         assert_eq!(report.pilot_shots + report.total_shots, total, "{method:?}");
         assert_eq!(
             report.shots_requested,
-            report.detection_shots + report.pilot_shots + report.total_shots + report.shots_saved,
+            report.detection_shots
+                + report.pilot_shots
+                + report.total_shots
+                + report.shots_saved
+                + report.cache_shots_reused,
             "{method:?}: exact accounting"
         );
         // The refine round re-requests the pilot budget (served from the
@@ -586,7 +593,11 @@ fn adaptive_composes_with_online_detection_and_dedup() {
     assert_eq!(report.rounds, 2);
     assert_eq!(
         report.shots_requested,
-        report.detection_shots + report.pilot_shots + report.total_shots + report.shots_saved,
+        report.detection_shots
+            + report.pilot_shots
+            + report.total_shots
+            + report.shots_saved
+            + report.cache_shots_reused,
         "exact accounting under detection + pilot + refine seeding"
     );
     // Detection data offsets the pilot, and the pilot offsets the refine:
@@ -638,7 +649,11 @@ fn adaptive_without_dedup_still_spends_exactly_its_total() {
     assert_eq!(report.shots_saved, 0);
     assert_eq!(
         report.shots_requested,
-        report.detection_shots + report.pilot_shots + report.total_shots + report.shots_saved
+        report.detection_shots
+            + report.pilot_shots
+            + report.total_shots
+            + report.shots_saved
+            + report.cache_shots_reused
     );
     let d = total_variation_distance(&run.distribution, &truth);
     assert!(d < 0.05, "dedup-off adaptive reconstruction off by {d}");
