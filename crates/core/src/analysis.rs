@@ -40,11 +40,13 @@ use crate::fragment::{Fragmenter, Fragments};
 use crate::jobgraph::JobGraph;
 use crate::pipeline::{ExecutionOptions, ReconstructionMethod};
 use crate::planner::{add_downstream_jobs, add_sic_jobs, add_upstream_jobs};
+use crate::retry::{FailurePolicy, RetryPolicy};
 use qcut_cache::CacheConfig;
 use qcut_circuit::circuit::Circuit;
 use qcut_circuit::cut::CutSpec;
 use qcut_circuit::gate::Gate;
 use qcut_device::backend::Backend;
+use qcut_device::timing::TimingModel;
 use qcut_math::Pauli;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -132,11 +134,24 @@ pub enum LintCode {
     /// `QA403` — the configured cache file exists but its header is not a
     /// loadable current-format cache, so the run degrades to a cold start.
     CacheDegraded,
+    /// `QA501` — the backend injects faults but retries are disabled
+    /// (`max_attempts ≤ 1`): every transient fault is immediately
+    /// permanent.
+    FaultProneNoRetry,
+    /// `QA502` — the per-job timeout is below a planned node's predicted
+    /// device duration: that node can never deliver in time and every
+    /// attempt is wasted device occupation.
+    TimeoutBelowJobDuration,
+    /// `QA503` — `FailurePolicy::Degrade` is configured where losing any
+    /// one setting already makes reconstruction impossible (SIC
+    /// preparations are informationally complete; a cut at two neglects
+    /// has no basis left to drop), so degradation can never salvage.
+    DegradeUnsalvageable,
 }
 
 impl LintCode {
     /// Every registered code, in code order.
-    pub const ALL: [LintCode; 18] = [
+    pub const ALL: [LintCode; 21] = [
         LintCode::OutOfRangeOperand,
         LintCode::IdleQubit,
         LintCode::IdentityGate,
@@ -155,6 +170,9 @@ impl LintCode {
         LintCode::CacheNondeterministicSeeding,
         LintCode::CacheByteBudgetThrash,
         LintCode::CacheDegraded,
+        LintCode::FaultProneNoRetry,
+        LintCode::TimeoutBelowJobDuration,
+        LintCode::DegradeUnsalvageable,
     ];
 
     /// The stable `QAxxx` code string.
@@ -178,6 +196,9 @@ impl LintCode {
             LintCode::CacheNondeterministicSeeding => "QA401",
             LintCode::CacheByteBudgetThrash => "QA402",
             LintCode::CacheDegraded => "QA403",
+            LintCode::FaultProneNoRetry => "QA501",
+            LintCode::TimeoutBelowJobDuration => "QA502",
+            LintCode::DegradeUnsalvageable => "QA503",
         }
     }
 
@@ -198,7 +219,10 @@ impl LintCode {
             | LintCode::MissedDedup
             | LintCode::CacheNondeterministicSeeding
             | LintCode::CacheByteBudgetThrash
-            | LintCode::CacheDegraded => Severity::Warn,
+            | LintCode::CacheDegraded
+            | LintCode::FaultProneNoRetry
+            | LintCode::TimeoutBelowJobDuration
+            | LintCode::DegradeUnsalvageable => Severity::Warn,
             LintCode::FusibleAdjacent
             | LintCode::GoldenStructure
             | LintCode::NeglectCoverage
@@ -373,6 +397,9 @@ pub enum Layer {
     /// The warm-start cache configuration (and, when a backend is known,
     /// its seeding discipline).
     Cache,
+    /// The fault-tolerance configuration: retry policy, failure policy,
+    /// and (when a backend is known) its fault discipline.
+    Execution,
 }
 
 /// Everything a lint may read. Fields are `Option` because the layers are
@@ -403,6 +430,17 @@ pub struct AnalysisContext<'a> {
     /// backend-free and leaves this `None`, so backend-dependent cache
     /// lints skip).
     pub backend_deterministic: Option<bool>,
+    /// The retry policy the engine will honor.
+    pub retry: Option<&'a RetryPolicy>,
+    /// The failure policy of the run.
+    pub failure: Option<FailurePolicy>,
+    /// Whether the backend deliberately injects faults (known only on the
+    /// [`analyze_with_backend`] path, like
+    /// [`AnalysisContext::backend_deterministic`]).
+    pub fault_prone: Option<bool>,
+    /// The backend's timing model, for predicting per-job device
+    /// durations against a configured timeout (backend-known path only).
+    pub timing: Option<&'a TimingModel>,
     /// The analysis configuration (thresholds, overrides).
     pub config: &'a AnalysisConfig,
 }
@@ -422,6 +460,10 @@ impl<'a> AnalysisContext<'a> {
             graph: Some(graph),
             cache: None,
             backend_deterministic: None,
+            retry: None,
+            failure: None,
+            fault_prone: None,
+            timing: None,
             config,
         }
     }
@@ -495,6 +537,9 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(CacheNondeterministicSeedingLint),
         Box::new(CacheByteBudgetThrashLint),
         Box::new(CacheDegradedLint),
+        Box::new(FaultProneNoRetryLint),
+        Box::new(TimeoutBelowJobDurationLint),
+        Box::new(DegradeUnsalvageableLint),
     ]
 }
 
@@ -1278,6 +1323,132 @@ impl Lint for CacheDegradedLint {
 }
 
 // ---------------------------------------------------------------------
+// Execution-layer lints (QA5xx): fault tolerance.
+// ---------------------------------------------------------------------
+
+struct FaultProneNoRetryLint;
+
+impl Lint for FaultProneNoRetryLint {
+    fn code(&self) -> LintCode {
+        LintCode::FaultProneNoRetry
+    }
+    fn description(&self) -> &'static str {
+        "fault-injecting backend with retries disabled"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Execution
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        // Backend-free analyze() leaves the fault discipline unknown:
+        // skip, don't guess.
+        let (Some(true), Some(retry)) = (ctx.fault_prone, ctx.retry) else {
+            return;
+        };
+        if retry.max_attempts <= 1 {
+            sink.report(
+                self.code(),
+                "the backend reports itself fault-prone but retries are \
+                 disabled (max_attempts ≤ 1): every transient fault is \
+                 immediately permanent; set RetryPolicy::max_attempts > 1 \
+                 to ride out the fault schedule"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+struct TimeoutBelowJobDurationLint;
+
+impl Lint for TimeoutBelowJobDurationLint {
+    fn code(&self) -> LintCode {
+        LintCode::TimeoutBelowJobDuration
+    }
+    fn description(&self) -> &'static str {
+        "per-job timeout below a planned node's predicted device duration"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Graph
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let (Some(graph), Some(timing), Some(retry)) = (ctx.graph, ctx.timing, ctx.retry) else {
+            return;
+        };
+        let Some(timeout) = retry.per_job_timeout else {
+            return;
+        };
+        let doomed: Vec<(usize, f64)> = graph
+            .node_jobs()
+            .enumerate()
+            .filter_map(|(i, (circuit, consumers))| {
+                let shots = consumers.iter().map(|&(_, s)| s).max().unwrap_or(0);
+                let predicted = timing.job_duration(circuit, shots);
+                (predicted > timeout.as_secs_f64()).then_some((i, predicted))
+            })
+            .collect();
+        if let Some(&(node, predicted)) = doomed.first() {
+            sink.report(
+                self.code(),
+                format!(
+                    "{} of {} planned node(s) predict a device duration above \
+                     the {:.3} s per-job timeout (e.g. node {node} at \
+                     {predicted:.3} s); those jobs time out on every attempt \
+                     and each attempt still wastes the full device occupation",
+                    doomed.len(),
+                    graph.num_nodes(),
+                    timeout.as_secs_f64(),
+                ),
+            );
+        }
+    }
+}
+
+struct DegradeUnsalvageableLint;
+
+impl Lint for DegradeUnsalvageableLint {
+    fn code(&self) -> LintCode {
+        LintCode::DegradeUnsalvageable
+    }
+    fn description(&self) -> &'static str {
+        "Degrade policy where losing any one setting is unsalvageable"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Execution
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        if ctx.failure != Some(FailurePolicy::Degrade) {
+            return;
+        }
+        if ctx.method == ReconstructionMethod::Sic {
+            sink.report(
+                self.code(),
+                "FailurePolicy::Degrade is configured with SIC preparations, \
+                 but the SIC frame is informationally complete: losing any \
+                 one preparation makes the 4×4 solve singular, so a \
+                 downstream failure can never degrade gracefully — it fails \
+                 exactly like FailurePolicy::Fail"
+                    .to_string(),
+            );
+            return;
+        }
+        let Some(plan) = ctx.plan else { return };
+        let saturated: Vec<usize> = (0..plan.num_cuts())
+            .filter(|&k| plan.neglected()[k].len() >= 2)
+            .collect();
+        if !saturated.is_empty() {
+            sink.report(
+                self.code(),
+                format!(
+                    "FailurePolicy::Degrade is configured but cut(s) \
+                     {saturated:?} already neglect two bases — no further \
+                     basis can be dropped there, so losing one of their \
+                     settings cannot degrade gracefully"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Entry points.
 // ---------------------------------------------------------------------
 
@@ -1305,21 +1476,30 @@ fn run_layer(
 /// ([`AnalysisConfig::max_planned_jobs`]) skips the schedule/graph layers
 /// so analysis stays cheap at large `K`.
 pub fn analyze(circuit: &Circuit, cut: &CutSpec, options: &ExecutionOptions) -> Diagnostics {
-    analyze_inner(circuit, cut, options, None)
+    analyze_inner(circuit, cut, options, None, None, None)
 }
 
-/// [`analyze`] plus the backend-dependent cache lints: knowing the
-/// backend lets `QA401` check its seeding discipline. Still static — the
-/// backend is only *queried* ([`Backend::deterministic_seeding`]), never
-/// run. This is the entry point [`crate::pipeline::CutExecutor::run`]
-/// gates on.
+/// [`analyze`] plus the backend-dependent lints: knowing the backend
+/// lets `QA401` check its seeding discipline, `QA501` its fault
+/// discipline, and `QA502` predict per-job device durations from its
+/// timing model. Still static — the backend is only *queried*
+/// ([`Backend::deterministic_seeding`], [`Backend::is_fault_prone`],
+/// [`Backend::timing`]), never run. This is the entry point
+/// [`crate::pipeline::CutExecutor::run`] gates on.
 pub fn analyze_with_backend<B: Backend + ?Sized>(
     circuit: &Circuit,
     cut: &CutSpec,
     options: &ExecutionOptions,
     backend: &B,
 ) -> Diagnostics {
-    analyze_inner(circuit, cut, options, Some(backend.deterministic_seeding()))
+    analyze_inner(
+        circuit,
+        cut,
+        options,
+        Some(backend.deterministic_seeding()),
+        Some(backend.is_fault_prone()),
+        Some(backend.timing()),
+    )
 }
 
 fn analyze_inner(
@@ -1327,6 +1507,8 @@ fn analyze_inner(
     cut: &CutSpec,
     options: &ExecutionOptions,
     backend_deterministic: Option<bool>,
+    fault_prone: Option<bool>,
+    timing: Option<&TimingModel>,
 ) -> Diagnostics {
     let config = &options.analysis;
     let lints = registry();
@@ -1344,12 +1526,18 @@ fn analyze_inner(
         graph: None,
         cache: options.cache.as_deref().map(qcut_cache::WarmCache::config),
         backend_deterministic,
+        retry: Some(&options.retry),
+        failure: Some(options.failure),
+        fault_prone,
+        timing,
         config,
     };
-    // Cache-configuration lints read no circuit state, so they run first
-    // and always — a malformed workload stopping the descent below must
-    // not hide a misconfigured cache.
+    // Cache-configuration and execution-policy lints read no circuit
+    // state, so they run first and always — a malformed workload stopping
+    // the descent below must not hide a misconfigured cache or a doomed
+    // retry/degrade configuration.
     run_layer(&lints, Layer::Cache, &ctx, &mut sink);
+    run_layer(&lints, Layer::Execution, &ctx, &mut sink);
     run_layer(&lints, Layer::Circuit, &ctx, &mut sink);
 
     // Malformed IR makes every deeper inspection meaningless (and unsafe
@@ -1447,6 +1635,9 @@ mod tests {
         assert_eq!(LintCode::CacheNondeterministicSeeding.to_string(), "QA401");
         assert_eq!(LintCode::CacheByteBudgetThrash.to_string(), "QA402");
         assert_eq!(LintCode::CacheDegraded.to_string(), "QA403");
+        assert_eq!(LintCode::FaultProneNoRetry.to_string(), "QA501");
+        assert_eq!(LintCode::TimeoutBelowJobDuration.to_string(), "QA502");
+        assert_eq!(LintCode::DegradeUnsalvageable.to_string(), "QA503");
     }
 
     #[test]
@@ -1624,6 +1815,179 @@ mod tests {
         writer.persist().expect("persist empty cache");
         assert!(!analyze(&circuit, &cut, &opts_at(&path)).contains(LintCode::CacheDegraded));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn qa501_fires_for_a_fault_prone_backend_without_retries() {
+        use qcut_device::fault::FaultInjectingBackend;
+        let (circuit, cut) = GoldenAnsatz::new(5, 3).build();
+        let flaky = FaultInjectingBackend::new(qcut_device::ideal::IdealBackend::new(1))
+            .with_fault_probability(0.2, 7);
+
+        // Default RetryPolicy is a single attempt: warn.
+        let diags = analyze_with_backend(&circuit, &cut, &ExecutionOptions::default(), &flaky);
+        assert!(
+            diags.contains(LintCode::FaultProneNoRetry),
+            "fault-prone backend + no retries must warn: {diags}"
+        );
+
+        // Retries enabled: clean.
+        let retrying = ExecutionOptions {
+            retry: RetryPolicy::with_attempts(3),
+            ..Default::default()
+        };
+        assert!(!analyze_with_backend(&circuit, &cut, &retrying, &flaky)
+            .contains(LintCode::FaultProneNoRetry));
+
+        // A transparent wrapper (no fault schedule) is not fault-prone.
+        let plain = FaultInjectingBackend::new(qcut_device::ideal::IdealBackend::new(1));
+        assert!(
+            !analyze_with_backend(&circuit, &cut, &ExecutionOptions::default(), &plain)
+                .contains(LintCode::FaultProneNoRetry)
+        );
+
+        // Backend-free analyze: the fault discipline is unknown, so skip.
+        assert!(!analyze(&circuit, &cut, &ExecutionOptions::default())
+            .contains(LintCode::FaultProneNoRetry));
+    }
+
+    #[test]
+    fn qa502_fires_when_the_timeout_undercuts_predicted_job_durations() {
+        use qcut_device::timing::TimingModel;
+        use std::time::Duration;
+        let (circuit, cut) = GoldenAnsatz::new(5, 3).build();
+        let timed = qcut_device::ideal::IdealBackend::new(1).with_timing(TimingModel::ibm_like());
+        let with_timeout = |timeout| ExecutionOptions {
+            retry: RetryPolicy {
+                per_job_timeout: Some(timeout),
+                ..RetryPolicy::with_attempts(2)
+            },
+            ..Default::default()
+        };
+
+        // 1 ns cannot fit any ibm-like job: every planned node is doomed.
+        let diags = analyze_with_backend(
+            &circuit,
+            &cut,
+            &with_timeout(Duration::from_nanos(1)),
+            &timed,
+        );
+        assert!(
+            diags.contains(LintCode::TimeoutBelowJobDuration),
+            "1 ns timeout must flag every planned node: {diags}"
+        );
+
+        // A generous deadline: clean.
+        assert!(!analyze_with_backend(
+            &circuit,
+            &cut,
+            &with_timeout(Duration::from_secs(3600)),
+            &timed
+        )
+        .contains(LintCode::TimeoutBelowJobDuration));
+        // No deadline at all: clean.
+        assert!(
+            !analyze_with_backend(&circuit, &cut, &ExecutionOptions::default(), &timed)
+                .contains(LintCode::TimeoutBelowJobDuration)
+        );
+        // Instantaneous timing model: nothing can exceed the deadline.
+        let instant = qcut_device::ideal::IdealBackend::new(1);
+        assert!(!analyze_with_backend(
+            &circuit,
+            &cut,
+            &with_timeout(Duration::from_nanos(1)),
+            &instant
+        )
+        .contains(LintCode::TimeoutBelowJobDuration));
+        // Backend-free analyze: no timing model, so skip.
+        assert!(
+            !analyze(&circuit, &cut, &with_timeout(Duration::from_nanos(1)))
+                .contains(LintCode::TimeoutBelowJobDuration)
+        );
+    }
+
+    #[test]
+    fn qa503_fires_for_degrade_with_sic_preparations() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 3).build();
+        let sic_degrade = ExecutionOptions {
+            method: ReconstructionMethod::Sic,
+            failure: FailurePolicy::Degrade,
+            ..Default::default()
+        };
+        let diags = analyze(&circuit, &cut, &sic_degrade);
+        assert!(
+            diags.contains(LintCode::DegradeUnsalvageable),
+            "SIC + Degrade must warn: {diags}"
+        );
+
+        // SIC with the default Fail policy: clean.
+        let sic_fail = ExecutionOptions {
+            method: ReconstructionMethod::Sic,
+            ..Default::default()
+        };
+        assert!(!analyze(&circuit, &cut, &sic_fail).contains(LintCode::DegradeUnsalvageable));
+        // Eigenstate + Degrade on the standard plan: salvageable, clean.
+        let eig_degrade = ExecutionOptions {
+            failure: FailurePolicy::Degrade,
+            ..Default::default()
+        };
+        assert!(!analyze(&circuit, &cut, &eig_degrade).contains(LintCode::DegradeUnsalvageable));
+    }
+
+    /// An empty context for exercising single lints directly.
+    fn bare_ctx(config: &AnalysisConfig) -> AnalysisContext<'_> {
+        AnalysisContext {
+            circuit: None,
+            cut: None,
+            fragments: None,
+            plan: None,
+            allocation: None,
+            method: ReconstructionMethod::Eigenstate,
+            dedup: true,
+            graph: None,
+            cache: None,
+            backend_deterministic: None,
+            retry: None,
+            failure: None,
+            fault_prone: None,
+            timing: None,
+            config,
+        }
+    }
+
+    #[test]
+    fn qa503_fires_when_a_cut_already_neglects_two_bases() {
+        // The pipeline always analyzes the standard plan, so the saturated
+        // arm is exercised against a hand-built context, the same way
+        // engine-level callers can lint their own plans.
+        let mut plan = BasisPlan::standard(2);
+        assert!(plan.try_neglect(1, qcut_math::Pauli::X));
+        assert!(plan.try_neglect(1, qcut_math::Pauli::Y));
+        let config = AnalysisConfig::default();
+        let ctx = AnalysisContext {
+            plan: Some(&plan),
+            failure: Some(FailurePolicy::Degrade),
+            ..bare_ctx(&config)
+        };
+        let mut sink = Sink::new(&config);
+        DegradeUnsalvageableLint.check(&ctx, &mut sink);
+        let diags = sink.finish();
+        assert!(
+            diags.contains(LintCode::DegradeUnsalvageable),
+            "a cut at two neglects cannot degrade further: {diags}"
+        );
+        assert!(diags.to_string().contains("[1]"), "names the cut: {diags}");
+
+        // One neglect per cut still leaves room: clean.
+        let roomy = BasisPlan::with_neglected(vec![Some(qcut_math::Pauli::Y), None]);
+        let ctx = AnalysisContext {
+            plan: Some(&roomy),
+            failure: Some(FailurePolicy::Degrade),
+            ..bare_ctx(&config)
+        };
+        let mut sink = Sink::new(&config);
+        DegradeUnsalvageableLint.check(&ctx, &mut sink);
+        assert!(!sink.finish().contains(LintCode::DegradeUnsalvageable));
     }
 
     #[test]

@@ -88,13 +88,34 @@ impl BasisPlan {
     /// Panics on `Pauli::I` (the identity carries the normalisation and can
     /// never be dropped) and when all three bases of a cut would be gone.
     pub fn neglect(&mut self, cut: usize, basis: Pauli) {
-        assert_ne!(basis, Pauli::I, "the identity basis cannot be neglected");
-        let set = &mut self.neglected[cut];
-        if !set.contains(&basis) {
-            assert!(set.len() < 2, "cannot neglect all three bases of cut {cut}");
-            set.push(basis);
-            set.sort_unstable();
+        assert!(
+            self.try_neglect(cut, basis),
+            "cannot neglect {basis} at cut {cut}: the identity basis can never be \
+             dropped, nor all three bases of a cut"
+        );
+    }
+
+    /// Non-panicking [`Self::neglect`]: marks `basis` as negligible at
+    /// `cut` when legal, returning whether the plan now neglects it.
+    /// Illegal requests — dropping the identity, or emptying a cut's last
+    /// surviving pair — leave the plan unchanged and return `false`.
+    /// Degraded-reconstruction salvage uses this to probe which settings a
+    /// damaged run can still drop without making the frame unsolvable.
+    #[must_use]
+    pub fn try_neglect(&mut self, cut: usize, basis: Pauli) -> bool {
+        if basis == Pauli::I || cut >= self.neglected.len() {
+            return false;
         }
+        let set = &mut self.neglected[cut];
+        if set.contains(&basis) {
+            return true;
+        }
+        if set.len() >= 2 {
+            return false;
+        }
+        set.push(basis);
+        set.sort_unstable();
+        true
     }
 
     /// Number of cuts.
@@ -240,6 +261,39 @@ pub fn encode_prep(setting: &[PrepState]) -> u64 {
             };
     }
     key
+}
+
+/// Inverse of [`encode_meas`]: the measurement setting behind a dense key.
+/// Needed when walking backwards from an engine consumer key — e.g. a
+/// failure record — to the basis settings it served.
+pub fn decode_meas(mut key: u64, num_cuts: usize) -> Vec<MeasBasis> {
+    let mut setting = Vec::with_capacity(num_cuts);
+    for _ in 0..num_cuts {
+        setting.push(match key % 3 {
+            0 => MeasBasis::X,
+            1 => MeasBasis::Y,
+            _ => MeasBasis::Z,
+        });
+        key /= 3;
+    }
+    setting
+}
+
+/// Inverse of [`encode_prep`]: the preparation setting behind a dense key.
+pub fn decode_prep(mut key: u64, num_cuts: usize) -> Vec<PrepState> {
+    let mut setting = Vec::with_capacity(num_cuts);
+    for _ in 0..num_cuts {
+        setting.push(match key % 6 {
+            0 => PrepState::Zp,
+            1 => PrepState::Zm,
+            2 => PrepState::Xp,
+            3 => PrepState::Xm,
+            4 => PrepState::Yp,
+            _ => PrepState::Ym,
+        });
+        key /= 6;
+    }
+    setting
 }
 
 /// Dense encoding of a reconstruction Pauli string for map keys.
@@ -393,6 +447,31 @@ mod tests {
             .map(|m| encode_paulis(m))
             .collect();
         assert_eq!(paulis.len(), 64);
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        let plan = BasisPlan::standard(3);
+        for s in plan.all_meas_settings() {
+            assert_eq!(decode_meas(encode_meas(&s), 3), s);
+        }
+        for s in plan.all_prep_settings() {
+            assert_eq!(decode_prep(encode_prep(&s), 3), s);
+        }
+    }
+
+    #[test]
+    fn try_neglect_refuses_what_neglect_panics_on() {
+        let mut plan = BasisPlan::standard(1);
+        assert!(!plan.try_neglect(0, Pauli::I));
+        assert!(plan.try_neglect(0, Pauli::X));
+        assert!(plan.try_neglect(0, Pauli::X), "idempotent re-neglect");
+        assert!(plan.try_neglect(0, Pauli::Y));
+        // The last surviving basis cannot go.
+        assert!(!plan.try_neglect(0, Pauli::Z));
+        assert_eq!(plan.meas_bases(0), vec![MeasBasis::Z]);
+        // Out-of-range cuts are a refusal, not a panic.
+        assert!(!plan.try_neglect(5, Pauli::X));
     }
 
     #[test]

@@ -3,9 +3,26 @@
 use crate::allocation::AllocationError;
 use crate::analysis::Diagnostics;
 use crate::fragment::FragmentError;
+use crate::jobgraph::{ConsumerKey, GraphFailure};
+use crate::report::FailureRecord;
 use qcut_circuit::cut::CutError;
 use qcut_device::backend::BackendError;
 use std::fmt;
+
+/// Permanent execution failure under [`crate::retry::FailurePolicy::Fail`]:
+/// which engine nodes failed (with the error and attempt count of each)
+/// and which consumers *did* receive their counts — so a caller can see
+/// exactly what a `Degrade` rerun would have salvaged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionFailure {
+    /// Per-node failure records, in engine insertion order.
+    pub failed: Vec<FailureRecord>,
+    /// Consumers whose data was delivered before the run was failed.
+    pub succeeded: Vec<ConsumerKey>,
+    /// The first failed node's backend error (the cause chain's next
+    /// link).
+    pub cause: BackendError,
+}
 
 /// Anything that can go wrong between "here is a circuit and a cut" and
 /// "here is the reconstructed distribution".
@@ -20,6 +37,10 @@ pub enum PipelineError {
     Fragment(FragmentError),
     /// A backend job failed.
     Backend(BackendError),
+    /// One or more engine nodes failed permanently (retries exhausted or
+    /// deterministic errors) under [`crate::retry::FailurePolicy::Fail`].
+    /// Names both the failed nodes and the salvaged consumers.
+    Execution(ExecutionFailure),
     /// The shot-allocation policy cannot build a valid schedule (e.g. the
     /// total budget is smaller than the number of settings).
     Allocation(AllocationError),
@@ -47,6 +68,18 @@ impl fmt::Display for PipelineError {
             PipelineError::Cut(e) => write!(f, "cut validation failed: {e}"),
             PipelineError::Fragment(e) => write!(f, "fragmenting failed: {e}"),
             PipelineError::Backend(e) => write!(f, "backend error: {e}"),
+            PipelineError::Execution(e) => {
+                let lost: u64 = e.failed.iter().map(|r| r.shots_lost).sum();
+                write!(
+                    f,
+                    "{} node(s) failed permanently ({}); {} consumer(s) succeeded and \
+                     {lost} shot(s) were lost — FailurePolicy::Degrade would salvage \
+                     the surviving plan",
+                    e.failed.len(),
+                    e.cause,
+                    e.succeeded.len(),
+                )
+            }
             PipelineError::Allocation(e) => write!(f, "shot allocation failed: {e}"),
             PipelineError::DetectionUndecided { cut, shots_spent } => write!(
                 f,
@@ -58,7 +91,23 @@ impl fmt::Display for PipelineError {
     }
 }
 
-impl std::error::Error for PipelineError {}
+impl std::error::Error for PipelineError {
+    /// The underlying cause, so callers can walk `Pipeline → Backend`
+    /// (or `→ Cut` / `→ Fragment` / `→ Allocation`) chains with the
+    /// standard `source()` iteration instead of matching variants.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Cut(e) => Some(e),
+            PipelineError::Fragment(e) => Some(e),
+            PipelineError::Backend(e) => Some(e),
+            PipelineError::Execution(e) => Some(&e.cause),
+            PipelineError::Allocation(e) => Some(e),
+            // Analysis diagnostics and detection verdicts are findings of
+            // this crate itself — there is no deeper cause to expose.
+            PipelineError::Analysis(_) | PipelineError::DetectionUndecided { .. } => None,
+        }
+    }
+}
 
 impl From<CutError> for PipelineError {
     fn from(e: CutError) -> Self {
@@ -87,6 +136,20 @@ impl From<AllocationError> for PipelineError {
 impl From<Diagnostics> for PipelineError {
     fn from(d: Diagnostics) -> Self {
         PipelineError::Analysis(d)
+    }
+}
+
+impl From<Box<GraphFailure>> for PipelineError {
+    fn from(failure: Box<GraphFailure>) -> Self {
+        let cause = failure
+            .first_error()
+            .cloned()
+            .unwrap_or(BackendError::Unavailable);
+        PipelineError::Execution(ExecutionFailure {
+            failed: failure.failures.iter().map(FailureRecord::from).collect(),
+            succeeded: failure.succeeded(),
+            cause,
+        })
     }
 }
 
@@ -125,5 +188,63 @@ mod tests {
             })
         ));
         assert!(e.to_string().contains("shot allocation failed"));
+    }
+
+    #[test]
+    fn source_chains_reach_the_underlying_cause() {
+        use std::error::Error;
+
+        let e = PipelineError::Backend(BackendError::NoShots);
+        let cause = e.source().expect("backend errors have a cause");
+        assert_eq!(cause.to_string(), BackendError::NoShots.to_string());
+        assert!(cause.downcast_ref::<BackendError>().is_some());
+
+        let e = PipelineError::Cut(CutError::Empty);
+        assert!(e
+            .source()
+            .expect("cut")
+            .downcast_ref::<CutError>()
+            .is_some());
+        let e = PipelineError::Allocation(AllocationError::BudgetTooSmall {
+            total: 1,
+            settings: 2,
+        });
+        assert!(e.source().is_some());
+
+        // Findings of this crate itself terminate the chain.
+        let e = PipelineError::DetectionUndecided {
+            cut: 0,
+            shots_spent: 1,
+        };
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn execution_failures_carry_salvage_and_chain_to_the_backend() {
+        use crate::jobgraph::Channel;
+        use std::error::Error;
+
+        let e = PipelineError::Execution(ExecutionFailure {
+            failed: vec![FailureRecord {
+                consumers: vec![(Channel::UpstreamMeas, 2)],
+                error: "transient network fault on attempt 3".to_string(),
+                attempts: 3,
+                shots_lost: 1000,
+            }],
+            succeeded: vec![(Channel::UpstreamMeas, 0), (Channel::DownstreamPrep, 1)],
+            cause: BackendError::Transient {
+                kind: qcut_device::backend::TransientKind::Network,
+                attempt: 3,
+            },
+        });
+        let msg = e.to_string();
+        assert!(msg.contains("1 node(s) failed"), "{msg}");
+        assert!(msg.contains("2 consumer(s) succeeded"), "{msg}");
+        assert!(msg.contains("1000 shot(s)"), "{msg}");
+        let cause = e.source().expect("execution failures have a cause");
+        assert!(matches!(
+            cause.downcast_ref::<BackendError>(),
+            Some(BackendError::Transient { attempt: 3, .. })
+        ));
     }
 }

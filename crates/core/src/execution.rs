@@ -6,9 +6,10 @@
 //! backend submission.
 
 use crate::basis::{encode_meas, encode_prep};
-use crate::jobgraph::{Channel, JobGraph};
+use crate::jobgraph::{Channel, GraphFailure, JobGraph};
+use crate::retry::RetryPolicy;
 use crate::tomography::ExperimentPlan;
-use qcut_device::backend::{Backend, BackendError};
+use qcut_device::backend::Backend;
 use qcut_sim::counts::Counts;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -134,7 +135,7 @@ pub fn gather<B: Backend + ?Sized>(
     plan: &ExperimentPlan,
     shots_per_setting: u64,
     parallel: bool,
-) -> Result<FragmentData, BackendError> {
+) -> Result<FragmentData, Box<GraphFailure>> {
     let schedule = crate::allocation::ShotSchedule::uniform(
         plan.upstream.len(),
         plan.downstream.len(),
@@ -150,7 +151,22 @@ pub fn gather_scheduled<B: Backend + ?Sized>(
     plan: &ExperimentPlan,
     schedule: &crate::allocation::ShotSchedule,
     parallel: bool,
-) -> Result<FragmentData, BackendError> {
+) -> Result<FragmentData, Box<GraphFailure>> {
+    gather_scheduled_with(backend, plan, schedule, parallel, &RetryPolicy::default())
+}
+
+/// Like [`gather_scheduled`] but honoring a [`RetryPolicy`]: transient
+/// backend faults and deterministic per-job timeouts are retried inside
+/// the engine (only failed nodes re-submitted), and what still fails
+/// permanently is returned as a [`GraphFailure`] carrying the salvaged
+/// surviving data.
+pub fn gather_scheduled_with<B: Backend + ?Sized>(
+    backend: &B,
+    plan: &ExperimentPlan,
+    schedule: &crate::allocation::ShotSchedule,
+    parallel: bool,
+    retry: &RetryPolicy,
+) -> Result<FragmentData, Box<GraphFailure>> {
     assert_eq!(
         schedule.upstream.len(),
         plan.upstream.len(),
@@ -177,7 +193,7 @@ pub fn gather_scheduled<B: Backend + ?Sized>(
         );
     }
 
-    let mut run = graph.execute(backend, parallel)?;
+    let mut run = graph.execute_with(backend, parallel, retry)?;
     let upstream = run.take_channel(Channel::UpstreamMeas);
     let downstream = run.take_channel(Channel::DownstreamPrep);
     Ok(FragmentData::from_counts(
@@ -269,10 +285,17 @@ mod tests {
 
     #[test]
     fn capacity_error_propagates() {
+        use qcut_device::backend::BackendError;
         let backend = IdealBackend::new(0).with_capacity(2);
         let plan = plan_for(0, false); // 3-qubit fragments
         let err = gather(&backend, &plan, 10, true).unwrap_err();
-        assert!(matches!(err, BackendError::CircuitTooWide { .. }));
+        assert!(!err.failures.is_empty());
+        assert!(matches!(
+            err.first_error(),
+            Some(BackendError::CircuitTooWide { .. })
+        ));
+        // Every setting sat on a too-wide fragment: nothing salvaged.
+        assert_eq!(err.salvage.stats.shots_executed, 0);
     }
 
     #[test]

@@ -55,17 +55,20 @@
 //! assert_eq!(counts.total(), 800); // never less data than requested
 //! ```
 
+use crate::retry::RetryPolicy;
 use qcut_circuit::circuit::Circuit;
 use qcut_device::backend::{Backend, BackendError, BatchStats, JobSpec};
 use qcut_sim::counts::Counts;
 use qcut_sim::prefix::{PrefixForest, PrefixProfile};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
 use std::time::Duration;
 
 /// Logical result channel a job's counts are delivered to. Together with a
 /// dense per-channel key (see [`crate::basis::encode_meas`] and friends)
 /// this identifies one consumer of execution results.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Channel {
     /// Upstream fragment measured in a basis setting (key: `encode_meas`).
     UpstreamMeas,
@@ -140,10 +143,26 @@ pub struct GraphStats {
     /// Gate applications a per-job simulation would have performed minus
     /// `gates_applied`: what prefix sharing saved (0 on non-sharing paths).
     pub gates_saved: u64,
-    /// Sum of simulated device durations over executed jobs.
+    /// Sum of simulated device durations over executed jobs — including
+    /// attempts that failed a per-job timeout (the device time was spent
+    /// even though the counts were discarded).
     pub simulated_device_time: Duration,
     /// Host CPU time spent inside backend runs.
     pub host_time: Duration,
+    /// Total per-job delivery attempts (`jobs_executed` when nothing was
+    /// retried).
+    pub attempts: u64,
+    /// Job re-submissions after transient faults or timeouts
+    /// (`attempts − jobs_executed`).
+    pub jobs_retried: u64,
+    /// Shots requested from nodes that failed permanently and delivered
+    /// nothing. Extends the accounting split to `shots_requested =
+    /// shots_executed + shots_saved + cache_shots_reused + shots_lost`.
+    pub shots_lost: u64,
+    /// Deterministic backoff accounting: the total delay a wall-clock
+    /// retry loop would have waited between attempts. Never actually
+    /// slept.
+    pub backoff_wait: Duration,
 }
 
 impl GraphStats {
@@ -162,6 +181,82 @@ impl GraphStats {
         self.gates_saved += other.gates_saved;
         self.simulated_device_time += other.simulated_device_time;
         self.host_time += other.host_time;
+        self.attempts += other.attempts;
+        self.jobs_retried += other.jobs_retried;
+        self.shots_lost += other.shots_lost;
+        self.backoff_wait += other.backoff_wait;
+    }
+}
+
+/// One node that failed permanently: its retries (if any) were exhausted
+/// or its error was deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeFailure {
+    /// Node index in graph insertion order.
+    pub node: usize,
+    /// Every consumer this node was serving — i.e. which basis settings
+    /// lost their data.
+    pub consumers: Vec<ConsumerKey>,
+    /// The error of the final attempt.
+    pub error: BackendError,
+    /// Delivery attempts made before giving up.
+    pub attempts: u32,
+    /// Shots this node's consumers requested and never received.
+    pub shots_lost: u64,
+}
+
+/// A graph execution with permanent node failures: the typed error names
+/// the failed nodes *and* carries the salvage — every sibling that did
+/// succeed, with full accounting — so callers never lose delivered data
+/// to an unrelated node's failure.
+#[derive(Debug)]
+pub struct GraphFailure {
+    /// Permanently failed nodes, in graph insertion order.
+    pub failures: Vec<NodeFailure>,
+    /// The surviving run: counts for every consumer whose node succeeded,
+    /// plus the full [`GraphStats`] (including the failures' accounting).
+    pub salvage: GraphRun,
+}
+
+impl GraphFailure {
+    /// The first failed node's error (the conventional cause for
+    /// `std::error::Error::source`).
+    pub fn first_error(&self) -> Option<&BackendError> {
+        self.failures.first().map(|f| &f.error)
+    }
+
+    /// Consumer keys that did receive counts (the salvage state).
+    pub fn succeeded(&self) -> Vec<ConsumerKey> {
+        let mut keys: Vec<ConsumerKey> = self.salvage.counts.keys().copied().collect();
+        keys.sort();
+        keys
+    }
+}
+
+impl fmt::Display for GraphFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let first = self
+            .failures
+            .first()
+            .map(|n| n.error.to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+        write!(
+            f,
+            "{} node(s) failed permanently (first: node {} after {} attempt(s): {first}); \
+             salvaged {} consumer(s), lost {} shot(s)",
+            self.failures.len(),
+            self.failures.first().map(|n| n.node).unwrap_or(0),
+            self.failures.first().map(|n| n.attempts).unwrap_or(0),
+            self.salvage.counts.len(),
+            self.salvage.stats.shots_lost,
+        )
+    }
+}
+
+impl std::error::Error for GraphFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.first_error()
+            .map(|e| e as &(dyn std::error::Error + 'static))
     }
 }
 
@@ -401,54 +496,142 @@ impl JobGraph {
     /// consumer receives the node's full merged histogram. `parallel`
     /// selects the backend's native batched dispatch vs a sequential loop;
     /// on the workspace backends both produce bit-identical counts.
+    ///
+    /// Runs under the default [`RetryPolicy`] (one attempt, no deadline).
+    /// On permanent node failure the error is a [`GraphFailure`] naming
+    /// the failed nodes *and* carrying the salvage — the counts of every
+    /// sibling that succeeded — instead of discarding them.
     pub fn execute<B: Backend + ?Sized>(
         &self,
         backend: &B,
         parallel: bool,
-    ) -> Result<GraphRun, BackendError> {
-        let mut to_run: Vec<(usize, u64)> = Vec::new();
+    ) -> Result<GraphRun, Box<GraphFailure>> {
+        self.execute_with(backend, parallel, &RetryPolicy::default())
+    }
+
+    /// [`Self::execute`] under an explicit [`RetryPolicy`].
+    ///
+    /// Each attempt submits only the still-pending nodes as one batch:
+    /// successful siblings are salvaged immediately and never re-run, and
+    /// counts already seeded into a node keep offsetting its retry, so no
+    /// delivered shot is ever re-bought. A job whose result arrives with
+    /// `simulated_duration` over `per_job_timeout` counts as a
+    /// [`BackendError::Timeout`] — its device time is accrued as waste,
+    /// its counts are discarded, and it retries like any transient fault.
+    /// Backoff between attempts is deterministic accounting
+    /// ([`GraphStats::backoff_wait`]), never an actual sleep. With the
+    /// default policy this is structurally the single-submission engine
+    /// of previous revisions — the fault-free path is bit-identical.
+    pub fn execute_with<B: Backend + ?Sized>(
+        &self,
+        backend: &B,
+        parallel: bool,
+        retry: &RetryPolicy,
+    ) -> Result<GraphRun, Box<GraphFailure>> {
+        let mut pending: Vec<(usize, u64)> = Vec::new();
         for (i, node) in self.nodes.iter().enumerate() {
             let missing = node.required_shots().saturating_sub(node.cached_shots());
             if missing > 0 {
-                to_run.push((i, missing));
+                pending.push((i, missing));
             }
         }
-        let specs: Vec<JobSpec<'_>> = to_run
-            .iter()
-            .map(|&(i, shots)| JobSpec::new(&self.nodes[i].circuit, shots))
-            .collect();
-        let (results, batch_stats) = if parallel {
-            let run = backend.run_batch_stats(&specs);
-            (run.results, run.stats)
-        } else {
-            let results: Vec<_> = specs
-                .iter()
-                .map(|j| backend.run(j.circuit, j.shots))
-                .collect();
-            let stats = BatchStats::unshared(&specs, &results);
-            (results, stats)
-        };
 
         let mut stats = GraphStats {
             jobs_planned: self.jobs_planned,
-            jobs_executed: specs.len(),
+            jobs_executed: pending.len(),
             shots_requested: self
                 .nodes
                 .iter()
                 .flat_map(|n| n.consumers.iter().map(|&(_, s)| s))
                 .sum(),
-            shots_executed: to_run.iter().map(|&(_, s)| s).sum(),
-            gates_applied: batch_stats.gates_applied,
-            gates_saved: batch_stats.gates_saved(),
-            states_reused: batch_stats.states_reused,
             ..GraphStats::default()
         };
+        let mut delivered: HashMap<usize, Counts> = HashMap::with_capacity(pending.len());
+        let mut permanent: Vec<NodeFailure> = Vec::new();
+
+        let max_attempts = retry.max_attempts.max(1);
+        for attempt in 1..=max_attempts {
+            if pending.is_empty() {
+                break;
+            }
+            if attempt > 1 {
+                stats.jobs_retried += pending.len() as u64;
+                stats.backoff_wait += retry.backoff.delay(attempt - 1);
+            }
+            stats.attempts += pending.len() as u64;
+            let specs: Vec<JobSpec<'_>> = pending
+                .iter()
+                .map(|&(i, shots)| JobSpec::new(&self.nodes[i].circuit, shots))
+                .collect();
+            let (results, batch_stats) = if parallel {
+                let run = backend.run_batch_stats(&specs);
+                (run.results, run.stats)
+            } else {
+                let results: Vec<_> = specs
+                    .iter()
+                    .map(|j| backend.run(j.circuit, j.shots))
+                    .collect();
+                let batch_stats = BatchStats::unshared(&specs, &results);
+                (results, batch_stats)
+            };
+            stats.gates_applied += batch_stats.gates_applied;
+            stats.gates_saved += batch_stats.gates_saved();
+            stats.states_reused += batch_stats.states_reused;
+
+            let last_round = attempt == max_attempts;
+            let mut still_pending: Vec<(usize, u64)> = Vec::new();
+            for (&(i, shots), result) in pending.iter().zip(results) {
+                match result {
+                    Ok(r) => {
+                        stats.simulated_device_time += r.simulated_duration;
+                        stats.host_time += r.host_duration;
+                        match retry.per_job_timeout {
+                            Some(deadline) if r.simulated_duration > deadline => {
+                                // The deadline passed before the data
+                                // arrived: device time spent, counts lost.
+                                if last_round {
+                                    permanent.push(self.node_failure(
+                                        i,
+                                        BackendError::Timeout {
+                                            elapsed: r.simulated_duration,
+                                        },
+                                        attempt,
+                                    ));
+                                } else {
+                                    still_pending.push((i, shots));
+                                }
+                            }
+                            _ => {
+                                stats.shots_executed += shots;
+                                delivered.insert(i, r.counts);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        if e.is_transient() && !last_round {
+                            still_pending.push((i, shots));
+                        } else {
+                            permanent.push(self.node_failure(i, e, attempt));
+                        }
+                    }
+                }
+            }
+            pending = still_pending;
+        }
+
+        permanent.sort_by_key(|f| f.node);
+        let failed: Vec<usize> = permanent.iter().map(|f| f.node).collect();
+        stats.shots_lost = permanent.iter().map(|f| f.shots_lost).sum();
         // Split the non-executed shots between in-process reuse
         // (`shots_saved`: dedup + same-run seeding) and cross-run reuse
         // (`cache_shots_reused`). Per node the cache can only claim what
         // was actually *served* (required − executed), capped by how much
-        // of the cached histogram came from the warm-start cache.
-        for node in &self.nodes {
+        // of the cached histogram came from the warm-start cache. Failed
+        // nodes served nothing — their whole demand is `shots_lost`.
+        for (i, node) in self.nodes.iter().enumerate() {
+            if failed.binary_search(&i).is_ok() {
+                continue;
+            }
             let required = node.required_shots();
             let executed = required.saturating_sub(node.cached_shots());
             let served = required - executed;
@@ -461,23 +644,22 @@ impl JobGraph {
         stats.shots_saved = stats
             .shots_requested
             .saturating_sub(stats.shots_executed)
-            .saturating_sub(stats.cache_shots_reused);
+            .saturating_sub(stats.cache_shots_reused)
+            .saturating_sub(stats.shots_lost);
 
-        let mut executed: HashMap<usize, Counts> = HashMap::with_capacity(to_run.len());
-        for (&(i, _), result) in to_run.iter().zip(results) {
-            let r = result?;
-            stats.simulated_device_time += r.simulated_duration;
-            stats.host_time += r.host_duration;
-            executed.insert(i, r.counts);
-        }
-
+        // Fan-out. Failed nodes deliver nothing — not even partial cached
+        // counts — so a consumer either receives its full merged histogram
+        // or is named in a failure record, never a silent under-delivery.
         let mut counts: HashMap<ConsumerKey, Counts> = HashMap::new();
         for (i, node) in self.nodes.iter().enumerate() {
+            if failed.binary_search(&i).is_ok() {
+                continue;
+            }
             let mut merged = match &node.cached {
                 Some(c) => c.clone(),
                 None => Counts::new(node.circuit.num_qubits()),
             };
-            if let Some(fresh) = executed.get(&i) {
+            if let Some(fresh) = delivered.get(&i) {
                 merged.merge(fresh);
             }
             for &(key, _) in &node.consumers {
@@ -487,7 +669,29 @@ impl JobGraph {
                     .or_insert_with(|| merged.clone());
             }
         }
-        Ok(GraphRun { counts, stats })
+        let run = GraphRun { counts, stats };
+        if permanent.is_empty() {
+            Ok(run)
+        } else {
+            Err(Box::new(GraphFailure {
+                failures: permanent,
+                salvage: run,
+            }))
+        }
+    }
+
+    /// Builds the failure record of one permanently failed node.
+    fn node_failure(&self, node: usize, error: BackendError, attempts: u32) -> NodeFailure {
+        let mut consumers: Vec<ConsumerKey> =
+            self.nodes[node].consumers.iter().map(|&(k, _)| k).collect();
+        consumers.sort();
+        NodeFailure {
+            node,
+            consumers,
+            error,
+            attempts,
+            shots_lost: self.nodes[node].consumers.iter().map(|&(_, s)| s).sum(),
+        }
     }
 }
 
@@ -798,13 +1002,214 @@ mod tests {
 
     #[test]
     fn errors_propagate() {
+        // A failing node errors the run — but the error names the failed
+        // node and carries the salvage: the sibling that fit the device
+        // keeps its delivered counts.
+        let mut g = JobGraph::new();
+        g.add_job(ghz(), (Channel::Uncut, 0), 100);
+        g.add_job(bell(), (Channel::UpstreamMeas, 3), 250);
+        let tiny = IdealBackend::new(0).with_capacity(2);
+        let failure = g.execute(&tiny, true).unwrap_err();
+        assert_eq!(failure.failures.len(), 1);
+        let f = &failure.failures[0];
+        assert!(matches!(f.error, BackendError::CircuitTooWide { .. }));
+        assert_eq!(f.consumers, vec![(Channel::Uncut, 0)]);
+        assert_eq!(f.attempts, 1);
+        assert_eq!(f.shots_lost, 100);
+        // Salvage: the bell sibling's 250 shots were not discarded.
+        assert_eq!(failure.succeeded(), vec![(Channel::UpstreamMeas, 3)]);
+        let kept = failure.salvage.counts(&(Channel::UpstreamMeas, 3)).unwrap();
+        assert_eq!(kept.total(), 250);
+        assert_eq!(failure.salvage.stats.shots_lost, 100);
+        assert_eq!(failure.salvage.stats.shots_executed, 250);
+        // The message names the damage, and the cause chain reaches the
+        // backend error.
+        let msg = failure.to_string();
+        assert!(msg.contains("failed permanently"), "{msg}");
+        assert!(std::error::Error::source(failure.as_ref()).is_some());
+    }
+
+    #[test]
+    fn transient_faults_recover_bit_identically_under_retry() {
+        use crate::retry::RetryPolicy;
+        use qcut_device::fault::FaultInjectingBackend;
+
+        let build = || {
+            let mut g = JobGraph::new();
+            g.add_job(bell(), (Channel::UpstreamMeas, 0), 400);
+            g.add_job(ghz(), (Channel::DownstreamPrep, 1), 300);
+            g
+        };
+        let clean = build().execute(&IdealBackend::new(17), true).unwrap();
+
+        // Every node fails its first two delivery attempts; with three
+        // attempts allowed the run recovers — and because failed attempts
+        // never consume inner-backend seeds, the recovered counts are the
+        // fault-free counts, bit for bit.
+        let flaky = FaultInjectingBackend::new(IdealBackend::new(17)).fail_first(2);
+        let run = build()
+            .execute_with(&flaky, true, &RetryPolicy::with_attempts(3))
+            .unwrap();
+        for key in [(Channel::UpstreamMeas, 0), (Channel::DownstreamPrep, 1)] {
+            assert_eq!(run.counts(&key), clean.counts(&key), "{key:?}");
+        }
+        assert_eq!(run.stats.jobs_executed, 2);
+        assert_eq!(run.stats.attempts, 6); // 2 jobs × 3 attempts
+        assert_eq!(run.stats.jobs_retried, 4);
+        assert_eq!(run.stats.shots_executed, 700);
+        assert_eq!(run.stats.shots_lost, 0);
+    }
+
+    #[test]
+    fn only_failed_nodes_are_resubmitted() {
+        use crate::retry::RetryPolicy;
+        use qcut_device::fault::FaultInjectingBackend;
+
+        let ghz_c = ghz();
+        let flaky = FaultInjectingBackend::new(IdealBackend::new(4)).fail_circuit(&ghz_c, 1);
+        let mut g = JobGraph::new();
+        g.add_job(bell(), (Channel::UpstreamMeas, 0), 200);
+        g.add_job(ghz_c.clone(), (Channel::DownstreamPrep, 0), 300);
+        let run = g
+            .execute_with(&flaky, true, &RetryPolicy::with_attempts(2))
+            .unwrap();
+        // The bell node succeeded first try and was not re-bought: one
+        // retry total, for the ghz node only.
+        assert_eq!(run.stats.jobs_retried, 1);
+        assert_eq!(run.stats.attempts, 3);
+        assert_eq!(flaky.attempts_for(&bell()), 1);
+        assert_eq!(flaky.attempts_for(&ghz_c), 2);
+        assert_eq!(run.stats.shots_executed, 500);
+    }
+
+    #[test]
+    fn retries_exhausted_is_a_permanent_failure_with_salvage() {
+        use crate::retry::RetryPolicy;
+        use qcut_device::fault::FaultInjectingBackend;
+
+        let ghz_c = ghz();
+        let flaky = FaultInjectingBackend::new(IdealBackend::new(4)).fail_circuit(&ghz_c, 10);
+        let mut g = JobGraph::new();
+        g.add_job(bell(), (Channel::UpstreamMeas, 0), 200);
+        g.add_job(ghz_c, (Channel::DownstreamPrep, 5), 300);
+        let failure = g
+            .execute_with(&flaky, true, &RetryPolicy::with_attempts(3))
+            .unwrap_err();
+        let f = &failure.failures[0];
+        assert_eq!(f.attempts, 3);
+        assert_eq!(f.consumers, vec![(Channel::DownstreamPrep, 5)]);
+        assert!(matches!(
+            f.error,
+            BackendError::Transient { attempt: 3, .. }
+        ));
+        assert_eq!(failure.salvage.stats.shots_lost, 300);
+        assert_eq!(failure.salvage.stats.shots_executed, 200);
+        // Invariant with losses: requested = executed + saved + cached + lost.
+        let s = &failure.salvage.stats;
+        assert_eq!(
+            s.shots_requested,
+            s.shots_executed + s.shots_saved + s.cache_shots_reused + s.shots_lost
+        );
+    }
+
+    #[test]
+    fn deterministic_errors_never_retry() {
+        use crate::retry::RetryPolicy;
         let mut g = JobGraph::new();
         g.add_job(ghz(), (Channel::Uncut, 0), 100);
         let tiny = IdealBackend::new(0).with_capacity(2);
-        assert!(matches!(
-            g.execute(&tiny, true),
-            Err(BackendError::CircuitTooWide { .. })
-        ));
+        let failure = g
+            .execute_with(&tiny, false, &RetryPolicy::with_attempts(5))
+            .unwrap_err();
+        // CircuitTooWide is not transient: one attempt, not five.
+        assert_eq!(failure.failures[0].attempts, 1);
+        assert_eq!(failure.salvage.stats.attempts, 1);
+        assert_eq!(failure.salvage.stats.jobs_retried, 0);
+    }
+
+    #[test]
+    fn per_job_timeout_is_deterministic_and_wastes_device_time() {
+        use crate::retry::RetryPolicy;
+        use qcut_device::timing::TimingModel;
+
+        let slow = TimingModel {
+            gate_1q: 0.0,
+            gate_2q: 0.0,
+            readout: 0.0,
+            rep_delay: 0.0,
+            job_overhead: 2.0,
+        };
+        let backend = IdealBackend::new(3).with_timing(slow);
+        let mut g = JobGraph::new();
+        g.add_job(bell(), (Channel::Uncut, 0), 100);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            per_job_timeout: Some(Duration::from_secs(1)),
+            ..RetryPolicy::default()
+        };
+        let failure = g.execute_with(&backend, true, &policy).unwrap_err();
+        let f = &failure.failures[0];
+        assert!(matches!(f.error, BackendError::Timeout { .. }));
+        assert_eq!(f.attempts, 2);
+        // Both timed-out attempts spent their (simulated) device time.
+        let s = &failure.salvage.stats;
+        assert!((s.simulated_device_time.as_secs_f64() - 4.0).abs() < 1e-9);
+        assert_eq!(s.shots_executed, 0);
+        assert_eq!(s.shots_lost, 100);
+        // A generous deadline lets the same job through.
+        let lenient = RetryPolicy {
+            per_job_timeout: Some(Duration::from_secs(3)),
+            ..RetryPolicy::default()
+        };
+        assert!(g.execute_with(&backend, true, &lenient).is_ok());
+    }
+
+    #[test]
+    fn backoff_is_accounted_but_never_slept() {
+        use crate::retry::{Backoff, RetryPolicy};
+        use qcut_device::fault::FaultInjectingBackend;
+
+        let flaky = FaultInjectingBackend::new(IdealBackend::new(1)).fail_first(2);
+        let mut g = JobGraph::new();
+        g.add_job(bell(), (Channel::Uncut, 0), 100);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff: Backoff::Exponential {
+                base: Duration::from_secs(10),
+                factor: 2,
+                cap: Duration::from_secs(60),
+            },
+            per_job_timeout: None,
+        };
+        let started = std::time::Instant::now();
+        let run = g.execute_with(&flaky, false, &policy).unwrap();
+        // 10 s before retry 1 + 20 s before retry 2, accounted not slept.
+        assert_eq!(run.stats.backoff_wait, Duration::from_secs(30));
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn seeded_counts_still_offset_the_retried_request() {
+        // A node with 400 seeded shots retries only its 600-shot increment:
+        // the seeded data is never re-bought, even through a fault.
+        use crate::retry::RetryPolicy;
+        use qcut_device::fault::FaultInjectingBackend;
+
+        let seeder = IdealBackend::new(9);
+        let warmup = seeder.run(&bell(), 400).unwrap();
+        let flaky = FaultInjectingBackend::new(IdealBackend::new(9)).fail_first(1);
+        let mut g = JobGraph::new();
+        g.add_job(bell(), (Channel::UpstreamMeas, 0), 1000);
+        g.seed_counts(&bell(), &warmup.counts);
+        let run = g
+            .execute_with(&flaky, true, &RetryPolicy::with_attempts(2))
+            .unwrap();
+        assert_eq!(run.stats.shots_executed, 600);
+        assert_eq!(run.stats.shots_saved, 400);
+        assert_eq!(
+            run.counts(&(Channel::UpstreamMeas, 0)).unwrap().total(),
+            1000
+        );
     }
 
     #[test]

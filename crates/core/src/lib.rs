@@ -31,6 +31,10 @@
 //! * [`sic`] — the SIC-basis preparation alternative discussed in §II-B;
 //! * [`observable`] — Pauli/diagonal observable estimation on top of the
 //!   reconstructed distribution;
+//! * [`retry`] — fault-tolerance policies: [`retry::RetryPolicy`]
+//!   (attempts / deterministic backoff / per-job timeout, honored inside
+//!   the engine) and [`retry::FailurePolicy`] (fail with a typed salvage
+//!   error vs degrade to a renormalized surviving plan);
 //! * [`report`] — the accounting every run returns ([`report::RunReport`]);
 //! * [`analysis`] — the static lint pass ([`analysis::analyze`]) every
 //!   run is gated on: coded diagnostics over the circuit, the cut, the
@@ -76,6 +80,7 @@ pub mod pipeline;
 pub mod planner;
 pub mod reconstruction;
 pub mod report;
+pub mod retry;
 pub mod sic;
 pub mod tomography;
 pub mod variance;
@@ -98,13 +103,15 @@ pub mod prelude {
     };
     pub use crate::basis::{BasisPlan, MeasBasis};
     pub use crate::cut::{CutError, CutLocation, CutSpec};
-    pub use crate::error::PipelineError;
-    pub use crate::execution::{gather, gather_scheduled, FragmentData};
+    pub use crate::error::{ExecutionFailure, PipelineError};
+    pub use crate::execution::{gather, gather_scheduled, gather_scheduled_with, FragmentData};
     pub use crate::fragment::{Fragment, FragmentError, FragmentRole, Fragmenter, Fragments};
     pub use crate::golden::{
         ExactDetector, GoldenPolicy, GoldenVerdict, OnlineConfig, OnlineDetector,
     };
-    pub use crate::jobgraph::{Channel, ConsumerKey, GraphRun, GraphStats, JobGraph};
+    pub use crate::jobgraph::{
+        Channel, ConsumerKey, GraphFailure, GraphRun, GraphStats, JobGraph, NodeFailure,
+    };
     pub use crate::observable::{
         diagonalize_pauli, pauli_expectation, DiagonalObservable, PauliSumObservable,
     };
@@ -116,8 +123,9 @@ pub mod prelude {
         contract, downstream_tensor, exact_reconstruct, reconstruct, upstream_tensor,
         CoefficientTensor,
     };
-    pub use crate::report::{RunReport, UncutReport};
-    pub use crate::sic::{gather_sic, sic_downstream_tensor, SicData, SicFrame};
+    pub use crate::report::{FailureRecord, RunReport, UncutReport};
+    pub use crate::retry::{Backoff, FailurePolicy, RetryPolicy};
+    pub use crate::sic::{gather_sic, gather_sic_with, sic_downstream_tensor, SicData, SicFrame};
     pub use crate::tomography::ExperimentPlan;
     pub use crate::variance::{
         empirical_variance, reconstruction_variance, variance_from_schedule, variance_from_tensors,

@@ -30,24 +30,25 @@ use crate::allocation::{
     ShotSchedule,
 };
 use crate::analysis::{analyze_with_backend, AnalysisConfig, Diagnostic, LintCode, Severity};
-use crate::basis::{encode_meas, encode_prep, BasisPlan};
-use crate::error::PipelineError;
+use crate::basis::{decode_meas, decode_prep, encode_meas, encode_prep, BasisPlan};
+use crate::error::{ExecutionFailure, PipelineError};
 use crate::execution::FragmentData;
 use crate::fragment::{Fragmenter, Fragments};
 use crate::golden::{
     resolve_static_policy, GoldenPolicy, GoldenVerdict, OnlineConfig, OnlineDetector,
 };
-use crate::jobgraph::{Channel, GraphStats, JobGraph};
+use crate::jobgraph::{Channel, ConsumerKey, GraphFailure, GraphStats, JobGraph, NodeFailure};
 use crate::planner::{add_downstream_jobs, add_sic_jobs, add_upstream_jobs, uncut_graph};
 use crate::reconstruction::{contract, downstream_tensor, upstream_tensor};
-use crate::report::{RunReport, UncutReport};
+use crate::report::{FailureRecord, RunReport, UncutReport};
+use crate::retry::{FailurePolicy, RetryPolicy};
 use crate::sic::{all_sic_settings, build_sic_circuit, encode_sic, sic_downstream_tensor, SicData};
 use crate::tomography::{build_downstream_circuit, build_upstream_circuit};
 use crate::variance::neyman_scores;
 use qcut_cache::{CacheKey, ShotDiscipline, WarmCache};
 use qcut_circuit::circuit::Circuit;
 use qcut_circuit::cut::CutSpec;
-use qcut_device::backend::Backend;
+use qcut_device::backend::{Backend, BackendError};
 use qcut_sim::counts::Counts;
 use qcut_stats::distribution::Distribution;
 use std::collections::hash_map::Entry;
@@ -120,6 +121,22 @@ pub struct ExecutionOptions {
     /// hash-keyed entries without the engine's equality confirmation
     /// would be unsound.
     pub cache: Option<Arc<WarmCache>>,
+    /// Retry policy honored inside every engine submission of the run
+    /// (detection batches, pilot, gather rounds): transient backend
+    /// faults and deterministic per-job timeouts re-submit only the
+    /// failed nodes, up to [`RetryPolicy::max_attempts`] total attempts
+    /// each. The default (one attempt, no backoff, no timeout) is
+    /// bit-identical to the historical engine.
+    pub retry: RetryPolicy,
+    /// What to do when a node still fails after every retry:
+    /// [`FailurePolicy::Fail`] (default) aborts with a typed
+    /// [`PipelineError::Execution`] naming both the failed nodes and the
+    /// consumers that succeeded; [`FailurePolicy::Degrade`] drops the
+    /// affected basis settings from the plan (when the frame stays
+    /// solvable), renormalizes the reconstruction over the surviving
+    /// terms, and returns a [`RunReport`] with [`RunReport::degraded`]
+    /// set and the damage itemised in [`RunReport::failures`].
+    pub failure: FailurePolicy,
 }
 
 impl Default for ExecutionOptions {
@@ -133,6 +150,8 @@ impl Default for ExecutionOptions {
             dedup: true,
             analysis: AnalysisConfig::default(),
             cache: None,
+            retry: RetryPolicy::default(),
+            failure: FailurePolicy::default(),
         }
     }
 }
@@ -207,6 +226,97 @@ fn merge_channel(into: &mut HashMap<u64, Counts>, from: HashMap<u64, Counts>) {
     }
 }
 
+/// Attempts to shrink `plan` so that no permanently failed consumer is
+/// needed anymore: each lost measurement setting (or preparation) is
+/// covered by greedily neglecting the corresponding Pauli at the first
+/// cut where [`BasisPlan::try_neglect`] still allows it. Returns `None`
+/// when the damage cannot be absorbed:
+///
+/// * a SIC preparation was lost — the SIC frame is informationally
+///   complete, so losing any preparation makes the 4×4 solve singular;
+/// * an uncut reference job was lost — there is nothing to renormalize;
+/// * every cut position of a lost setting already neglects two bases
+///   (dropping the last surviving pair would orphan the identity).
+///
+/// Detection-channel failures are resolved upstream (the affected cut
+/// falls back to `NotGolden`) and are skipped here.
+fn degrade_plan(plan: &BasisPlan, failures: &[NodeFailure]) -> Option<BasisPlan> {
+    let num_cuts = plan.num_cuts();
+    let mut salvaged = plan.clone();
+    for failure in failures {
+        for &(channel, key) in &failure.consumers {
+            match channel {
+                Channel::Detection => continue,
+                Channel::Uncut | Channel::SicPrep => return None,
+                Channel::UpstreamMeas => {
+                    let setting = decode_meas(key, num_cuts);
+                    // An earlier neglect may already have dropped this
+                    // setting from the surviving plan.
+                    let needed = setting
+                        .iter()
+                        .enumerate()
+                        .all(|(c, b)| !salvaged.neglected()[c].contains(&b.pauli()));
+                    if !needed {
+                        continue;
+                    }
+                    if !setting
+                        .iter()
+                        .enumerate()
+                        .any(|(c, b)| salvaged.try_neglect(c, b.pauli()))
+                    {
+                        return None;
+                    }
+                }
+                Channel::DownstreamPrep => {
+                    let prep = decode_prep(key, num_cuts);
+                    let needed = prep
+                        .iter()
+                        .enumerate()
+                        .all(|(c, s)| !salvaged.neglected()[c].contains(&s.pauli()));
+                    if !needed {
+                        continue;
+                    }
+                    if !prep
+                        .iter()
+                        .enumerate()
+                        .any(|(c, s)| salvaged.try_neglect(c, s.pauli()))
+                    {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+    Some(salvaged)
+}
+
+/// Builds the typed [`PipelineError::Execution`] for a run that cannot
+/// (or must not) be salvaged: every failed node plus the sorted consumer
+/// keys whose data *was* delivered.
+fn execution_failure(
+    failures: &[NodeFailure],
+    upstream: &HashMap<u64, Counts>,
+    downstream: &HashMap<u64, Counts>,
+    sic_counts: &HashMap<u64, Counts>,
+) -> PipelineError {
+    let mut succeeded: Vec<ConsumerKey> = upstream
+        .keys()
+        .map(|&k| (Channel::UpstreamMeas, k))
+        .chain(downstream.keys().map(|&k| (Channel::DownstreamPrep, k)))
+        .chain(sic_counts.keys().map(|&k| (Channel::SicPrep, k)))
+        .collect();
+    succeeded.sort_unstable();
+    let cause = failures
+        .first()
+        .map(|f| f.error.clone())
+        .unwrap_or(BackendError::Unavailable);
+    PipelineError::Execution(ExecutionFailure {
+        failed: failures.iter().map(FailureRecord::from).collect(),
+        succeeded,
+        cause,
+    })
+}
+
 impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
     /// Binds an executor to a backend.
     pub fn new(backend: &'b B) -> Self {
@@ -257,6 +367,10 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         let detect_started = Instant::now();
         let mut detection_cache: HashMap<u64, (Circuit, Counts)> = HashMap::new();
         let mut detection_stats = GraphStats::default();
+        // Permanent node failures tolerated so far (only ever non-empty
+        // under FailurePolicy::Degrade — the Fail policy aborts at the
+        // first failed engine submission).
+        let mut failures: Vec<NodeFailure> = Vec::new();
         let plan = match resolve_static_policy(&policy, &fragments.upstream, fragments.num_cuts) {
             Some(plan) => plan,
             None => {
@@ -269,6 +383,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
                     options,
                     &mut detection_cache,
                     &mut detection_stats,
+                    &mut failures,
                 )?
             }
         };
@@ -298,6 +413,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
                 pilot_fraction,
                 total,
                 &detection_cache,
+                &mut failures,
             )?
         } else {
             let sched = match options.method {
@@ -311,6 +427,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
                 &sched,
                 &detection_cache,
                 self.warm_cache(options),
+                &mut failures,
             )?;
             (round, 0, 1)
         };
@@ -350,6 +467,53 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
                 }
             }
         }
+
+        // Graceful degradation: when nodes failed permanently under
+        // FailurePolicy::Degrade, shrink the plan until no lost consumer
+        // is needed (greedy extra neglects), then verify the surviving
+        // plan is fully covered by delivered data. Runs whose damage
+        // cannot be absorbed — a lost SIC preparation (informationally
+        // complete frame), or a cut already at two neglects — fail with
+        // the same typed error the Fail policy raises.
+        let planned_terms = plan.all_recon_strings().len();
+        let mut degraded = false;
+        let plan = if failures.is_empty() {
+            plan
+        } else {
+            let salvaged = degrade_plan(&plan, &failures)
+                .ok_or_else(|| execution_failure(&failures, &upstream, &downstream, &sic_counts))?;
+            let covered = salvaged
+                .all_meas_settings()
+                .iter()
+                .all(|s| upstream.contains_key(&encode_meas(s)))
+                && match options.method {
+                    ReconstructionMethod::Eigenstate => salvaged
+                        .all_prep_settings()
+                        .iter()
+                        .all(|p| downstream.contains_key(&encode_prep(p))),
+                    ReconstructionMethod::Sic => all_sic_settings(fragments.num_cuts)
+                        .iter()
+                        .all(|s| sic_counts.contains_key(&encode_sic(s))),
+                };
+            if !covered {
+                return Err(execution_failure(
+                    &failures,
+                    &upstream,
+                    &downstream,
+                    &sic_counts,
+                ));
+            }
+            degraded = true;
+            salvaged
+        };
+        let surviving_terms = plan.all_recon_strings().len();
+        let variance_inflation = if degraded {
+            planned_terms as f64 / surviving_terms.max(1) as f64
+        } else {
+            1.0
+        };
+        let failure_records: Vec<FailureRecord> =
+            failures.iter().map(FailureRecord::from).collect();
 
         let upstream_settings = upstream.len();
         let downstream_settings = downstream.len() + sic_counts.len();
@@ -420,12 +584,19 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
             states_reused: engine.states_reused,
             gates_applied: engine.gates_applied,
             gates_saved: engine.gates_saved,
-            reconstruction_terms: plan.all_recon_strings().len(),
+            reconstruction_terms: surviving_terms,
             simulated_device_seconds: engine.simulated_device_time.as_secs_f64(),
             gather_seconds,
             reconstruct_seconds,
             detection_shots,
             detection_seconds,
+            attempts: engine.attempts,
+            jobs_retried: engine.jobs_retried,
+            shots_lost: engine.shots_lost,
+            backoff_seconds: engine.backoff_wait.as_secs_f64(),
+            degraded,
+            failures: failure_records,
+            variance_inflation,
             diagnostics,
         };
         Ok(CutRun {
@@ -508,6 +679,12 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
     /// each node's missing shots, so same-run seeds count toward the
     /// round's budget as `shots_saved` and warm-cache seeds as
     /// `cache_shots_reused`.
+    ///
+    /// The engine honors [`ExecutionOptions::retry`]; what still fails
+    /// permanently either aborts the round
+    /// ([`FailurePolicy::Fail`]) or is pushed onto `failures` while the
+    /// salvaged sibling data is delivered ([`FailurePolicy::Degrade`]).
+    #[allow(clippy::too_many_arguments)]
     fn gather_round(
         &self,
         fragments: &Fragments,
@@ -516,6 +693,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         sched: &ShotSchedule,
         seeds: &HashMap<u64, (Circuit, Counts)>,
         warm: Option<&WarmCache>,
+        failures: &mut Vec<NodeFailure>,
     ) -> Result<GatherRound, PipelineError> {
         let mut graph = if options.dedup {
             JobGraph::new()
@@ -557,7 +735,20 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
                 }
             }
         }
-        let mut grun = graph.execute(self.backend, options.parallel)?;
+        let mut grun = match graph.execute_with(self.backend, options.parallel, &options.retry) {
+            Ok(run) => run,
+            Err(failure) => match options.failure {
+                FailurePolicy::Fail => return Err(failure.into()),
+                FailurePolicy::Degrade => {
+                    let GraphFailure {
+                        failures: failed,
+                        salvage,
+                    } = *failure;
+                    failures.extend(failed);
+                    salvage
+                }
+            },
+        };
         Ok(GatherRound {
             upstream: grun.take_channel(Channel::UpstreamMeas),
             downstream: grun.take_channel(Channel::DownstreamPrep),
@@ -585,6 +776,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
     ///
     /// Returns the final round's channels (cumulative histograms), the
     /// pilot's fresh shot count, and the round count (2).
+    #[allow(clippy::too_many_arguments)]
     fn gather_adaptive(
         &self,
         fragments: &Fragments,
@@ -593,6 +785,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         pilot_fraction: f64,
         total: u64,
         detection_cache: &HashMap<u64, (Circuit, Counts)>,
+        failures: &mut Vec<NodeFailure>,
     ) -> Result<(GatherRound, u64, usize), PipelineError> {
         let num_cuts = fragments.num_cuts;
         let n_up = plan.all_meas_settings().len();
@@ -609,6 +802,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         // increment beyond the cached shots).
         let pilot = pilot_total(pilot_fraction, total);
         let pilot_sched = pilot_schedule(n_up, n_down, pilot)?;
+        let failures_before_pilot = failures.len();
         let pilot_run = self.gather_round(
             fragments,
             plan,
@@ -616,36 +810,47 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
             &pilot_sched,
             detection_cache,
             self.warm_cache(options),
+            failures,
         )?;
+        let pilot_degraded = failures.len() > failures_before_pilot;
 
-        // Empirical tensors from the pilot's delivered histograms.
+        // Empirical tensors from the pilot's delivered histograms. A
+        // degraded pilot (some settings permanently undelivered under
+        // FailurePolicy::Degrade) cannot be scored — the tensors would
+        // read absent histograms — so the refine round falls back to the
+        // uniform split; the final replan after the gather decides what
+        // the reconstruction can still salvage.
         let pilot_data = FragmentData::from_counts(
             pilot_run.upstream.clone(),
             pilot_run.downstream.clone(),
             pilot_run.stats.simulated_device_time,
             pilot_run.stats.host_time,
         );
-        let up = upstream_tensor(&fragments.upstream, plan, &pilot_data);
-        let (up_scores, down_scores) = match options.method {
-            ReconstructionMethod::Eigenstate => {
-                let down = downstream_tensor(&fragments.downstream, plan, &pilot_data);
-                let scores = neyman_scores(fragments, plan, &up, &down);
-                (scores.upstream, scores.downstream)
-            }
-            ReconstructionMethod::Sic => {
-                let sic_shots: u64 = pilot_run.sic_counts.values().map(|c| c.total()).sum();
-                let sic = SicData {
-                    subcircuits: pilot_run.sic_counts.len(),
-                    shots_per_setting: sic_shots / (pilot_run.sic_counts.len().max(1) as u64),
-                    counts: pilot_run.sic_counts.clone(),
-                    simulated_device_time: Duration::ZERO,
-                };
-                let down = sic_downstream_tensor(&fragments.downstream, plan, &sic);
-                let scores = neyman_scores(fragments, plan, &up, &down);
-                // SIC preparations are informationally complete and read
-                // uniformly through the frame solve, so only the upstream
-                // half is adaptively skewed (same rule as WeightedByUsage).
-                (scores.upstream, vec![1.0; n_down])
+        let (up_scores, down_scores) = if pilot_degraded {
+            (vec![1.0; n_up], vec![1.0; n_down])
+        } else {
+            let up = upstream_tensor(&fragments.upstream, plan, &pilot_data);
+            match options.method {
+                ReconstructionMethod::Eigenstate => {
+                    let down = downstream_tensor(&fragments.downstream, plan, &pilot_data);
+                    let scores = neyman_scores(fragments, plan, &up, &down);
+                    (scores.upstream, scores.downstream)
+                }
+                ReconstructionMethod::Sic => {
+                    let sic_shots: u64 = pilot_run.sic_counts.values().map(|c| c.total()).sum();
+                    let sic = SicData {
+                        subcircuits: pilot_run.sic_counts.len(),
+                        shots_per_setting: sic_shots / (pilot_run.sic_counts.len().max(1) as u64),
+                        counts: pilot_run.sic_counts.clone(),
+                        simulated_device_time: Duration::ZERO,
+                    };
+                    let down = sic_downstream_tensor(&fragments.downstream, plan, &sic);
+                    let scores = neyman_scores(fragments, plan, &up, &down);
+                    // SIC preparations are informationally complete and read
+                    // uniformly through the frame solve, so only the upstream
+                    // half is adaptively skewed (same rule as WeightedByUsage).
+                    (scores.upstream, vec![1.0; n_down])
+                }
             }
         };
 
@@ -660,38 +865,52 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         // exactly `total` fresh shots.
         let cumulative = refine_schedule(&pilot_sched, &up_scores, &down_scores, total - pilot);
         let mut refine_run = if options.dedup {
+            // `get` (not index) throughout: a degraded pilot delivered
+            // nothing for its failed settings, which then simply have no
+            // seed to ride.
             let mut seeds: HashMap<u64, (Circuit, Counts)> = HashMap::new();
             for setting in plan.all_meas_settings() {
-                let counts = &pilot_run.upstream[&encode_meas(&setting)];
-                seed_once(
-                    &mut seeds,
-                    build_upstream_circuit(&fragments.upstream, &setting),
-                    counts,
-                );
+                if let Some(counts) = pilot_run.upstream.get(&encode_meas(&setting)) {
+                    seed_once(
+                        &mut seeds,
+                        build_upstream_circuit(&fragments.upstream, &setting),
+                        counts,
+                    );
+                }
             }
             match options.method {
                 ReconstructionMethod::Eigenstate => {
                     for prep in plan.all_prep_settings() {
-                        let counts = &pilot_run.downstream[&encode_prep(&prep)];
-                        seed_once(
-                            &mut seeds,
-                            build_downstream_circuit(&fragments.downstream, &prep),
-                            counts,
-                        );
+                        if let Some(counts) = pilot_run.downstream.get(&encode_prep(&prep)) {
+                            seed_once(
+                                &mut seeds,
+                                build_downstream_circuit(&fragments.downstream, &prep),
+                                counts,
+                            );
+                        }
                     }
                 }
                 ReconstructionMethod::Sic => {
                     for states in all_sic_settings(num_cuts) {
-                        let counts = &pilot_run.sic_counts[&encode_sic(&states)];
-                        seed_once(
-                            &mut seeds,
-                            build_sic_circuit(&fragments.downstream, &states),
-                            counts,
-                        );
+                        if let Some(counts) = pilot_run.sic_counts.get(&encode_sic(&states)) {
+                            seed_once(
+                                &mut seeds,
+                                build_sic_circuit(&fragments.downstream, &states),
+                                counts,
+                            );
+                        }
                     }
                 }
             }
-            self.gather_round(fragments, plan, options, &cumulative, &seeds, None)?
+            self.gather_round(
+                fragments,
+                plan,
+                options,
+                &cumulative,
+                &seeds,
+                None,
+                failures,
+            )?
         } else {
             let increments = ShotSchedule {
                 upstream: cumulative
@@ -707,8 +926,15 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
                     .map(|(&c, &p)| c - p)
                     .collect(),
             };
-            let mut run =
-                self.gather_round(fragments, plan, options, &increments, &HashMap::new(), None)?;
+            let mut run = self.gather_round(
+                fragments,
+                plan,
+                options,
+                &increments,
+                &HashMap::new(),
+                None,
+                failures,
+            )?;
             merge_channel(&mut run.upstream, pilot_data.upstream);
             merge_channel(&mut run.downstream, pilot_data.downstream);
             merge_channel(&mut run.sic_counts, pilot_run.sic_counts.clone());
@@ -725,9 +951,22 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
     /// Runs the uncut circuit directly (the reference arm of Fig. 3),
     /// routed through the engine like every other execution.
     pub fn run_uncut(&self, circuit: &Circuit, shots: u64) -> Result<UncutRun, PipelineError> {
+        self.run_uncut_with(circuit, shots, &RetryPolicy::default())
+    }
+
+    /// Like [`CutExecutor::run_uncut`] but honoring a [`RetryPolicy`].
+    /// There is no degraded mode for the reference arm — the single
+    /// histogram either arrives or the run fails with the typed
+    /// [`PipelineError::Execution`].
+    pub fn run_uncut_with(
+        &self,
+        circuit: &Circuit,
+        shots: u64,
+        retry: &RetryPolicy,
+    ) -> Result<UncutRun, PipelineError> {
         let started = Instant::now();
         let graph = uncut_graph(circuit, shots);
-        let mut run = graph.execute(self.backend, false)?;
+        let mut run = graph.execute_with(self.backend, false, retry)?;
         let counts = run
             .take_channel(Channel::Uncut)
             .remove(&0)
@@ -747,6 +986,10 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
     /// are executed as one engine batch; all measurements accumulate in
     /// `cache` (keyed by circuit structural hash) so the main gather can
     /// reuse them, and `stats` absorbs the engine accounting.
+    /// Under [`FailurePolicy::Degrade`], a detection batch that fails
+    /// permanently (after retries) downgrades the affected cut to
+    /// `NotGolden` — the safe verdict: the full basis set stays scheduled
+    /// and the failure is itemised in the report — instead of aborting.
     fn detect_online(
         &self,
         fragments: &Fragments,
@@ -754,6 +997,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         options: &ExecutionOptions,
         cache: &mut HashMap<u64, (Circuit, Counts)>,
         stats: &mut GraphStats,
+        failures: &mut Vec<NodeFailure>,
     ) -> Result<BasisPlan, PipelineError> {
         let num_cuts = fragments.num_cuts;
         let mut plan = BasisPlan::standard(num_cuts);
@@ -790,7 +1034,27 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
                                 config.batch_shots,
                             );
                         }
-                        let mut grun = graph.execute(self.backend, options.parallel)?;
+                        let mut grun = match graph.execute_with(
+                            self.backend,
+                            options.parallel,
+                            &options.retry,
+                        ) {
+                            Ok(run) => run,
+                            Err(failure) => match options.failure {
+                                FailurePolicy::Fail => return Err(failure.into()),
+                                FailurePolicy::Degrade => {
+                                    let GraphFailure {
+                                        failures: failed,
+                                        salvage,
+                                    } = *failure;
+                                    failures.extend(failed);
+                                    stats.absorb(&salvage.stats);
+                                    // NotGolden fallback: keep the full
+                                    // basis set for this cut.
+                                    break;
+                                }
+                            },
+                        };
                         let mut batch = grun.take_channel(Channel::Detection);
                         stats.absorb(&grun.stats);
                         for (setting, circuit) in settings.iter().zip(circuits) {
@@ -998,6 +1262,124 @@ mod tests {
             .run(&circuit, &bad, GoldenPolicy::Disabled, &opts)
             .unwrap_err();
         assert!(matches!(err, PipelineError::Fragment(_)));
+    }
+
+    #[test]
+    fn fault_free_default_run_has_clean_fault_accounting() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 1).build();
+        let backend = IdealBackend::new(3);
+        let run = CutExecutor::new(&backend)
+            .run(&circuit, &cut, GoldenPolicy::Disabled, &options(2000))
+            .unwrap();
+        assert_eq!(run.report.attempts, run.report.jobs_executed as u64);
+        assert_eq!(run.report.jobs_retried, 0);
+        assert_eq!(run.report.shots_lost, 0);
+        assert_eq!(run.report.backoff_seconds, 0.0);
+        assert!(!run.report.degraded);
+        assert!(run.report.failures.is_empty());
+        assert_eq!(run.report.variance_inflation, 1.0);
+    }
+
+    #[test]
+    fn transient_faults_retry_to_a_bit_identical_run() {
+        use crate::retry::Backoff;
+        use qcut_device::fault::FaultInjectingBackend;
+        let (circuit, cut) = GoldenAnsatz::new(5, 1).build();
+        // Every subcircuit fails its first two submissions, then recovers.
+        let flaky = FaultInjectingBackend::new(IdealBackend::new(3)).fail_first(2);
+        let opts = ExecutionOptions {
+            shots_per_setting: 5000,
+            retry: RetryPolicy {
+                max_attempts: 4,
+                backoff: Backoff::Fixed(Duration::from_millis(10)),
+                per_job_timeout: None,
+            },
+            ..Default::default()
+        };
+        let run = CutExecutor::new(&flaky)
+            .run(&circuit, &cut, GoldenPolicy::Disabled, &opts)
+            .unwrap();
+
+        let clean = IdealBackend::new(3);
+        let reference = CutExecutor::new(&clean)
+            .run(&circuit, &cut, GoldenPolicy::Disabled, &options(5000))
+            .unwrap();
+        let d = total_variation_distance(&run.distribution, &reference.distribution);
+        assert_eq!(d, 0.0, "recovered run must be bit-identical, off by {d}");
+
+        assert!(!run.report.degraded);
+        assert!(run.report.failures.is_empty());
+        assert_eq!(run.report.variance_inflation, 1.0);
+        // 9 nodes × (2 failures + 1 success): 27 attempts, 18 of them retries.
+        assert_eq!(run.report.jobs_retried, 18);
+        assert_eq!(run.report.attempts, 27);
+        assert_eq!(run.report.shots_lost, 0);
+        // Backoff is accounting, never slept: two retry rounds × 10 ms
+        // (failed nodes re-submit together, one delay per round).
+        assert!((run.report.backoff_seconds - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrade_salvages_a_permanently_failed_meas_setting() {
+        use crate::basis::MeasBasis;
+        use crate::tomography::build_upstream_circuit;
+        use qcut_device::fault::FaultInjectingBackend;
+        let (circuit, cut) = GoldenAnsatz::new(5, 1).build();
+        let frags = Fragmenter::fragment(&circuit, &cut).unwrap();
+        let y_circuit = build_upstream_circuit(&frags.upstream, &[MeasBasis::Y]);
+        // The Y-measurement subcircuit fails on every attempt.
+        let backend =
+            FaultInjectingBackend::new(IdealBackend::new(3)).fail_circuit(&y_circuit, u32::MAX);
+        let opts = ExecutionOptions {
+            shots_per_setting: 20_000,
+            retry: RetryPolicy::with_attempts(2),
+            failure: FailurePolicy::Degrade,
+            ..Default::default()
+        };
+        let run = CutExecutor::new(&backend)
+            .run(&circuit, &cut, GoldenPolicy::Disabled, &opts)
+            .unwrap();
+
+        assert!(run.report.degraded);
+        assert_eq!(run.report.failures.len(), 1);
+        assert_eq!(run.report.failures[0].attempts, 2);
+        assert!(run.report.shots_lost > 0);
+        // The lost setting was neglected and the reconstruction
+        // renormalized over the survivors: 4 → 3 terms, variance ×4/3.
+        assert!(run.report.neglected[0].contains(&Pauli::Y));
+        assert_eq!(run.report.reconstruction_terms, 3);
+        assert!((run.report.variance_inflation - 4.0 / 3.0).abs() < 1e-12);
+        // The ansatz is golden at Y, so dropping it is exact in the limit.
+        let d = total_variation_distance(&run.distribution, &truth(&circuit));
+        assert!(d < 0.05, "degraded reconstruction off by {d}");
+    }
+
+    #[test]
+    fn fail_policy_raises_a_typed_execution_error() {
+        use crate::basis::MeasBasis;
+        use crate::tomography::build_upstream_circuit;
+        use qcut_device::fault::FaultInjectingBackend;
+        let (circuit, cut) = GoldenAnsatz::new(5, 1).build();
+        let frags = Fragmenter::fragment(&circuit, &cut).unwrap();
+        let y_circuit = build_upstream_circuit(&frags.upstream, &[MeasBasis::Y]);
+        let backend =
+            FaultInjectingBackend::new(IdealBackend::new(3)).fail_circuit(&y_circuit, u32::MAX);
+        let opts = ExecutionOptions {
+            shots_per_setting: 2000,
+            retry: RetryPolicy::with_attempts(3),
+            ..Default::default()
+        };
+        let err = CutExecutor::new(&backend)
+            .run(&circuit, &cut, GoldenPolicy::Disabled, &opts)
+            .unwrap_err();
+        let PipelineError::Execution(failure) = err else {
+            panic!("expected a typed execution failure, got {err:?}");
+        };
+        assert_eq!(failure.failed.len(), 1);
+        assert_eq!(failure.failed[0].attempts, 3);
+        // The 8 surviving subcircuits are named as salvaged consumers.
+        assert_eq!(failure.succeeded.len(), 8);
+        assert!(matches!(failure.cause, BackendError::Transient { .. }));
     }
 
     #[test]

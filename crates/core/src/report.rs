@@ -2,8 +2,37 @@
 
 use crate::allocation::ShotAllocation;
 use crate::analysis::Diagnostic;
+use crate::jobgraph::{Channel, NodeFailure};
 use qcut_math::Pauli;
 use serde::{Deserialize, Serialize};
+
+/// One permanently failed engine node, as reported to callers: which
+/// consumers (channel + setting key) lost their data, what the final
+/// error was, and what it cost. Serializable so degraded runs can be
+/// archived and audited like any other report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// The consumers this node was serving — i.e. which basis settings
+    /// lost their data.
+    pub consumers: Vec<(Channel, u64)>,
+    /// Rendered backend error of the final attempt.
+    pub error: String,
+    /// Delivery attempts made before giving up.
+    pub attempts: u32,
+    /// Shots requested from this node and never delivered.
+    pub shots_lost: u64,
+}
+
+impl From<&NodeFailure> for FailureRecord {
+    fn from(f: &NodeFailure) -> Self {
+        FailureRecord {
+            consumers: f.consumers.clone(),
+            error: f.error.to_string(),
+            attempts: f.attempts,
+            shots_lost: f.shots_lost,
+        }
+    }
+}
 
 /// Accounting of one cut-circuit execution.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -39,7 +68,8 @@ pub struct RunReport {
     /// Shots requested across every engine job of the run (detection
     /// rounds + pilot/gather fan-out edges, before dedup/reuse). The
     /// exact-accounting invariant is `shots_requested = detection_shots +
-    /// pilot_shots + total_shots + shots_saved + cache_shots_reused`.
+    /// pilot_shots + total_shots + shots_saved + cache_shots_reused +
+    /// shots_lost`.
     pub shots_requested: u64,
     /// Jobs registered on the JobGraph engine across the whole run
     /// (detection rounds + gather fan-out edges).
@@ -81,6 +111,32 @@ pub struct RunReport {
     pub detection_shots: u64,
     /// Host time spent detecting golden points.
     pub detection_seconds: f64,
+    /// Total per-job delivery attempts across every engine submission of
+    /// the run (`jobs_executed` when nothing was retried).
+    pub attempts: u64,
+    /// Job re-submissions after transient faults or timeouts.
+    pub jobs_retried: u64,
+    /// Shots requested from permanently failed nodes and never delivered
+    /// — the loss term of the [`RunReport::shots_requested`] invariant.
+    pub shots_lost: u64,
+    /// Deterministic backoff accounting in seconds: what a wall-clock
+    /// retry loop would have waited between attempts (never slept).
+    pub backoff_seconds: f64,
+    /// True when permanent node failures were salvaged under
+    /// [`crate::retry::FailurePolicy::Degrade`]: the affected basis
+    /// settings were dropped, the reconstruction was renormalized over
+    /// the surviving plan, and [`RunReport::failures`] itemises the
+    /// damage.
+    pub degraded: bool,
+    /// Per-node failure records of a degraded run (empty when
+    /// [`RunReport::degraded`] is false).
+    pub failures: Vec<FailureRecord>,
+    /// How much wider the degraded reconstruction's variance should be
+    /// read: the ratio of the originally planned reconstruction terms to
+    /// the surviving ones (`1.0` on clean runs). A heuristic inflation —
+    /// fewer surviving terms means fewer independent estimates averaged
+    /// into the same distribution.
+    pub variance_inflation: f64,
     /// Warn-level findings of the pre-execution static analysis pass,
     /// plus runtime cache notices (`QA403` when a configured cache file
     /// failed to load or persist). Empty when the workload linted clean,
@@ -166,11 +222,38 @@ mod tests {
             reconstruct_seconds: 0.1,
             detection_shots: 0,
             detection_seconds: 0.0,
+            attempts: 6,
+            jobs_retried: 0,
+            shots_lost: 0,
+            backoff_seconds: 0.0,
+            degraded: false,
+            failures: Vec::new(),
+            variance_inflation: 1.0,
             diagnostics: Vec::new(),
         };
         assert!((r.total_host_seconds() - 0.6).abs() < 1e-12);
         assert_eq!(r.num_golden(), 1);
         assert_eq!(r.dedup_ratio(), 0.0);
         assert!((r.prefix_sharing_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_records_render_node_failures() {
+        use qcut_device::backend::{BackendError, TransientKind};
+        let node = NodeFailure {
+            node: 3,
+            consumers: vec![(Channel::UpstreamMeas, 1), (Channel::DownstreamPrep, 7)],
+            error: BackendError::Transient {
+                kind: TransientKind::Network,
+                attempt: 2,
+            },
+            attempts: 2,
+            shots_lost: 1500,
+        };
+        let rec = FailureRecord::from(&node);
+        assert_eq!(rec.consumers, node.consumers);
+        assert_eq!(rec.attempts, 2);
+        assert_eq!(rec.shots_lost, 1500);
+        assert!(rec.error.contains("network"), "{}", rec.error);
     }
 }

@@ -14,10 +14,11 @@
 
 use crate::basis::{encode_paulis, BasisPlan};
 use crate::fragment::{Fragment, FragmentRole, Fragments};
-use crate::jobgraph::{Channel, JobGraph};
+use crate::jobgraph::{Channel, GraphFailure, JobGraph};
 use crate::reconstruction::{contract, extract_bits, CoefficientTensor};
+use crate::retry::RetryPolicy;
 use qcut_circuit::circuit::Circuit;
-use qcut_device::backend::{Backend, BackendError};
+use qcut_device::backend::Backend;
 use qcut_math::{solve_real, Pauli, SicState};
 use qcut_sim::basis_change::sic_prep_circuit;
 use qcut_sim::counts::Counts;
@@ -146,10 +147,34 @@ pub fn gather_sic<B: Backend + ?Sized>(
     num_cuts: usize,
     shots_per_setting: u64,
     parallel: bool,
-) -> Result<SicData, BackendError> {
+) -> Result<SicData, Box<GraphFailure>> {
+    gather_sic_with(
+        backend,
+        fragment,
+        num_cuts,
+        shots_per_setting,
+        parallel,
+        &RetryPolicy::default(),
+    )
+}
+
+/// Like [`gather_sic`] but honoring a [`RetryPolicy`] inside the engine.
+///
+/// SIC preparations are informationally complete, not overcomplete: a
+/// permanently failed preparation makes the 4×4 frame system singular, so
+/// there is no degraded salvage for SIC data — callers must either retry
+/// until delivery or fail the run.
+pub fn gather_sic_with<B: Backend + ?Sized>(
+    backend: &B,
+    fragment: &Fragment,
+    num_cuts: usize,
+    shots_per_setting: u64,
+    parallel: bool,
+    retry: &RetryPolicy,
+) -> Result<SicData, Box<GraphFailure>> {
     let mut graph = JobGraph::new();
     crate::planner::add_sic_jobs(&mut graph, fragment, num_cuts, &[shots_per_setting]);
-    let mut run = graph.execute(backend, parallel)?;
+    let mut run = graph.execute_with(backend, parallel, retry)?;
     let counts = run.take_channel(Channel::SicPrep);
     Ok(SicData {
         subcircuits: counts.len(),

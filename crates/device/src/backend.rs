@@ -119,6 +119,30 @@ pub struct ExecutionResult {
     pub host_duration: Duration,
 }
 
+/// What kind of transient fault a backend reported. Real fleets surface
+/// these as HTTP 429/5xx, queue evictions, or mid-job recalibrations; the
+/// vocabulary here is deliberately coarse — the retry engine only needs to
+/// know the failure is worth re-submitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransientKind {
+    /// The service rejected the submission under load (retry after backoff).
+    Throttled,
+    /// The submission was lost in transit (network partition, dropped job).
+    Network,
+    /// The device went into recalibration mid-queue and evicted the job.
+    Calibration,
+}
+
+impl fmt::Display for TransientKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransientKind::Throttled => write!(f, "throttled"),
+            TransientKind::Network => write!(f, "network"),
+            TransientKind::Calibration => write!(f, "calibration"),
+        }
+    }
+}
+
 /// Errors a backend can raise.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BackendError {
@@ -131,6 +155,38 @@ pub enum BackendError {
     },
     /// Zero shots requested.
     NoShots,
+    /// A transient fault: the job failed for a reason that does not
+    /// implicate the job itself, so re-submitting it may succeed.
+    Transient {
+        /// What failed.
+        kind: TransientKind,
+        /// Which delivery attempt this was (1-based, as counted by the
+        /// failing backend).
+        attempt: u32,
+    },
+    /// The job ran longer than the caller's per-job deadline. `elapsed` is
+    /// *simulated* device time (from the backend's [`TimingModel`]), so
+    /// timeout behaviour is deterministic and wall-clock-free in tests.
+    Timeout {
+        /// Simulated time the job had consumed when the deadline passed.
+        elapsed: Duration,
+    },
+    /// The backend is (temporarily) not accepting work at all.
+    Unavailable,
+}
+
+impl BackendError {
+    /// True for failures worth re-submitting: the job itself is fine, the
+    /// delivery failed. `CircuitTooWide` and `NoShots` are deterministic
+    /// misconfigurations — retrying them can only fail identically.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            BackendError::Transient { .. }
+                | BackendError::Timeout { .. }
+                | BackendError::Unavailable
+        )
+    }
 }
 
 impl fmt::Display for BackendError {
@@ -142,6 +198,15 @@ impl fmt::Display for BackendError {
                  (this is exactly the situation circuit cutting addresses)"
             ),
             BackendError::NoShots => write!(f, "shots must be positive"),
+            BackendError::Transient { kind, attempt } => {
+                write!(f, "transient {kind} fault on attempt {attempt}")
+            }
+            BackendError::Timeout { elapsed } => write!(
+                f,
+                "job exceeded its per-job timeout after {:.3} s of simulated device time",
+                elapsed.as_secs_f64()
+            ),
+            BackendError::Unavailable => write!(f, "backend is not accepting work"),
         }
     }
 }
@@ -351,6 +416,16 @@ pub trait Backend: Sync {
             mix(b);
         }
         h
+    }
+
+    /// True when the backend is expected to raise transient faults
+    /// ([`BackendError::is_transient`]) during normal operation — real
+    /// cloud devices, or a [`crate::fault::FaultInjectingBackend`] with a
+    /// fault schedule configured. Lint QA501 warns when such a backend is
+    /// driven with retries disabled. Defaults to `false` (the workspace
+    /// simulators never fail transiently).
+    fn is_fault_prone(&self) -> bool {
+        false
     }
 
     /// True when the backend assigns per-job RNG streams deterministically

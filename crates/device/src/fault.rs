@@ -1,0 +1,469 @@
+//! Deterministic fault injection for testing the fault-tolerance stack.
+//!
+//! [`FaultInjectingBackend`] wraps any [`Backend`] and interposes a *seeded
+//! fault schedule* between the caller and the device: fail-the-first-N
+//! delivery attempts (globally or per structural hash), probabilistic
+//! failure driven by a seeded RNG, injected latency from a [`TimingModel`]
+//! (to trip per-job timeouts without a wall clock), and an optional
+//! corrupt-counts mode. Every scenario is a pure function of the wrapper's
+//! configuration and the sequence of submissions, so the exact same
+//! failures replay on every run — which is what lets the retry and
+//! degradation tests assert bit-identical recovery.
+//!
+//! Fault decisions are made **before** the inner backend sees the job: a
+//! job scheduled to fail never reaches the wrapped device, so it never
+//! advances the inner backend's job counter. When a whole submission fails
+//! (e.g. uniform fail-first-N) the retry re-submits the identical batch and
+//! the inner backend's per-job seeds are exactly what the fault-free run
+//! would have used — recovery is bit-identical, not merely statistically
+//! equivalent.
+
+use crate::backend::{
+    mix_seed, Backend, BackendError, BatchRun, BatchStats, ExecutionResult, JobResult, JobSpec,
+    TransientKind,
+};
+use crate::timing::TimingModel;
+use qcut_circuit::circuit::Circuit;
+use qcut_sim::counts::Counts;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A [`Backend`] wrapper with a deterministic, seeded fault schedule.
+///
+/// ```
+/// use qcut_device::fault::FaultInjectingBackend;
+/// use qcut_device::ideal::IdealBackend;
+/// use qcut_device::backend::{Backend, BackendError};
+/// use qcut_circuit::circuit::Circuit;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let flaky = FaultInjectingBackend::new(IdealBackend::new(7)).fail_first(1);
+/// let first = flaky.run(&bell, 100).unwrap_err();
+/// assert!(first.is_transient());
+/// // The second delivery attempt of the same circuit succeeds.
+/// assert_eq!(flaky.run(&bell, 100).unwrap().counts.total(), 100);
+/// ```
+#[derive(Debug)]
+pub struct FaultInjectingBackend<B> {
+    inner: B,
+    /// Fail the first N delivery attempts of *every* distinct circuit.
+    fail_first: u32,
+    /// Fail the first N delivery attempts of specific circuits
+    /// (structural hash → N); takes precedence over `fail_first`.
+    fail_per_circuit: HashMap<u64, u32>,
+    /// Probability that any given delivery attempt fails, decided by a
+    /// seeded hash of (circuit, attempt) — reproducible across runs.
+    fault_probability: f64,
+    fault_seed: u64,
+    /// Extra simulated device time added to every successful job (and
+    /// reported by [`Backend::timing`]), for tripping per-job timeouts.
+    latency: Option<TimingModel>,
+    /// Deterministically corrupt returned histograms (rotate every
+    /// bitstring by +1, preserving totals).
+    corrupt: bool,
+    /// Report injected faults as [`BackendError::Unavailable`] instead of
+    /// [`BackendError::Transient`].
+    unavailable: bool,
+    kind: TransientKind,
+    /// Delivery attempts seen so far, per structural hash. A `Mutex` and
+    /// not an atomic map because fault decisions are made sequentially in
+    /// submission order (determinism requires it).
+    attempts: Mutex<HashMap<u64, u32>>,
+}
+
+impl<B: Backend> FaultInjectingBackend<B> {
+    /// Wraps `inner` with an empty fault schedule (a transparent proxy).
+    pub fn new(inner: B) -> Self {
+        FaultInjectingBackend {
+            inner,
+            fail_first: 0,
+            fail_per_circuit: HashMap::new(),
+            fault_probability: 0.0,
+            fault_seed: 0,
+            latency: None,
+            corrupt: false,
+            unavailable: false,
+            kind: TransientKind::Network,
+            attempts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Fails the first `n` delivery attempts of every distinct circuit.
+    pub fn fail_first(mut self, n: u32) -> Self {
+        self.fail_first = n;
+        self
+    }
+
+    /// Fails the first `n` delivery attempts of this specific circuit
+    /// (matched by structural hash). Overrides [`Self::fail_first`] for
+    /// that circuit.
+    pub fn fail_circuit(mut self, circuit: &Circuit, n: u32) -> Self {
+        self.fail_per_circuit.insert(circuit.structural_hash(), n);
+        self
+    }
+
+    /// Fails each delivery attempt independently with probability `p`,
+    /// decided by a seeded hash of (circuit, attempt number) so the
+    /// schedule is identical on every run.
+    pub fn with_fault_probability(mut self, p: f64, seed: u64) -> Self {
+        self.fault_probability = p.clamp(0.0, 1.0);
+        self.fault_seed = seed;
+        self
+    }
+
+    /// Adds `latency.job_duration` of simulated device time to every
+    /// successful job, and reports `latency` as the wrapper's timing model
+    /// — the deterministic way to push a job past a per-job timeout.
+    pub fn with_latency(mut self, latency: TimingModel) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Deterministically corrupts every returned histogram: each observed
+    /// bitstring is rotated by +1 (mod 2^bits). Totals are preserved, so
+    /// shot accounting stays intact while the distribution is garbage.
+    pub fn corrupt_counts(mut self) -> Self {
+        self.corrupt = true;
+        self
+    }
+
+    /// Reports injected faults as [`BackendError::Unavailable`] instead of
+    /// [`BackendError::Transient`].
+    pub fn report_unavailable(mut self) -> Self {
+        self.unavailable = true;
+        self
+    }
+
+    /// Sets the [`TransientKind`] carried by injected transient faults.
+    pub fn with_kind(mut self, kind: TransientKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Shared reference to the wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Delivery attempts recorded so far for `circuit`.
+    pub fn attempts_for(&self, circuit: &Circuit) -> u32 {
+        let attempts = self.attempts.lock().unwrap_or_else(|e| e.into_inner());
+        attempts
+            .get(&circuit.structural_hash())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn injects_faults(&self) -> bool {
+        self.fail_first > 0 || !self.fail_per_circuit.is_empty() || self.fault_probability > 0.0
+    }
+
+    /// Decides the fate of one delivery attempt — called sequentially in
+    /// submission order, *before* the inner backend is involved. Returns
+    /// the injected error, if any, for this attempt.
+    fn decide(&self, circuit: &Circuit) -> Option<BackendError> {
+        if !self.injects_faults() {
+            return None;
+        }
+        let hash = circuit.structural_hash();
+        let attempt = {
+            let mut attempts = self.attempts.lock().unwrap_or_else(|e| e.into_inner());
+            let slot = attempts.entry(hash).or_insert(0);
+            *slot += 1;
+            *slot
+        };
+        let deadline = self
+            .fail_per_circuit
+            .get(&hash)
+            .copied()
+            .unwrap_or(self.fail_first);
+        let scheduled = attempt <= deadline;
+        let probabilistic = self.fault_probability > 0.0 && {
+            // SplitMix64 of (seed, hash ⊕ spread(attempt)) → uniform in
+            // [0, 1): a pure function of the configuration and the
+            // attempt, never of thread timing.
+            let mixed = mix_seed(
+                self.fault_seed,
+                hash ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let unit = (mixed >> 11) as f64 / (1u64 << 53) as f64;
+            unit < self.fault_probability
+        };
+        if scheduled || probabilistic {
+            Some(if self.unavailable {
+                BackendError::Unavailable
+            } else {
+                BackendError::Transient {
+                    kind: self.kind,
+                    attempt,
+                }
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Applies the latency and corruption transforms to a successful
+    /// result.
+    fn transform(&self, job: JobSpec<'_>, mut result: ExecutionResult) -> ExecutionResult {
+        if let Some(latency) = &self.latency {
+            result.simulated_duration += latency.job_duration_as_duration(job.circuit, job.shots);
+        }
+        if self.corrupt {
+            result.counts = rotate_counts(&result.counts);
+        }
+        result
+    }
+}
+
+/// Rotates every observed bitstring by +1 (mod 2^bits), preserving the
+/// per-entry counts and the total.
+fn rotate_counts(counts: &Counts) -> Counts {
+    let wrap = 1u64 << counts.num_bits();
+    Counts::from_pairs(
+        counts.num_bits(),
+        counts.iter().map(|(bits, n)| ((bits + 1) % wrap, n)),
+    )
+}
+
+impl<B: Backend> Backend for FaultInjectingBackend<B> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.inner.num_qubits()
+    }
+
+    fn timing(&self) -> &TimingModel {
+        self.latency.as_ref().unwrap_or_else(|| self.inner.timing())
+    }
+
+    fn run(&self, circuit: &Circuit, shots: u64) -> Result<ExecutionResult, BackendError> {
+        self.check(circuit, shots)?;
+        if let Some(err) = self.decide(circuit) {
+            return Err(err);
+        }
+        let result = self.inner.run(circuit, shots)?;
+        Ok(self.transform(JobSpec::new(circuit, shots), result))
+    }
+
+    /// Kept in lockstep with [`Backend::run_batch_stats`], like every
+    /// workspace backend.
+    fn run_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<JobResult> {
+        self.run_batch_stats(jobs).results
+    }
+
+    /// Fault decisions are made sequentially in submission order *before*
+    /// the surviving jobs are forwarded to the inner backend as one
+    /// (smaller) batch — so a job scheduled to fail never consumes an
+    /// inner-backend job seed, and a retried batch that matches the
+    /// original submission reproduces the fault-free counts exactly.
+    fn run_batch_stats(&self, jobs: &[JobSpec<'_>]) -> BatchRun {
+        let mut slots: Vec<Option<JobResult>> = jobs
+            .iter()
+            .map(|j| match self.check(j.circuit, j.shots) {
+                Err(e) => Some(Err(e)),
+                Ok(()) => self.decide(j.circuit).map(Err),
+            })
+            .collect();
+        let survivors: Vec<usize> = (0..jobs.len()).filter(|&i| slots[i].is_none()).collect();
+        let forwarded: Vec<JobSpec<'_>> = survivors.iter().map(|&i| jobs[i]).collect();
+        let inner_run = if forwarded.is_empty() {
+            BatchRun {
+                results: Vec::new(),
+                stats: BatchStats::default(),
+            }
+        } else {
+            self.inner.run_batch_stats(&forwarded)
+        };
+        for (&i, result) in survivors.iter().zip(inner_run.results) {
+            slots[i] = Some(result.map(|r| self.transform(jobs[i], r)));
+        }
+        BatchRun {
+            results: slots
+                .into_iter()
+                .map(|r| r.unwrap_or(Err(BackendError::Unavailable)))
+                .collect(),
+            stats: inner_run.stats,
+        }
+    }
+
+    /// Corrupted histograms must never pool with clean ones in the warm
+    /// cache, so the corrupt flag is folded into the fingerprint; latency
+    /// and fault scheduling do not change what a *successful* clean job
+    /// measures, so they leave the fingerprint alone.
+    fn cache_fingerprint(&self) -> u64 {
+        let base = self.inner.cache_fingerprint();
+        if self.corrupt {
+            base ^ 0x5bd1_e995_7b93_afd7
+        } else {
+            base
+        }
+    }
+
+    fn is_fault_prone(&self) -> bool {
+        self.injects_faults()
+    }
+
+    fn deterministic_seeding(&self) -> bool {
+        self.inner.deterministic_seeding()
+    }
+
+    fn check(&self, circuit: &Circuit, shots: u64) -> Result<(), BackendError> {
+        self.inner.check(circuit, shots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal::IdealBackend;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c
+    }
+
+    fn ghz() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        c
+    }
+
+    #[test]
+    fn transparent_without_fault_schedule() {
+        let plain = IdealBackend::new(9);
+        let wrapped = FaultInjectingBackend::new(IdealBackend::new(9));
+        let r1 = plain.run(&bell(), 500).unwrap();
+        let r2 = wrapped.run(&bell(), 500).unwrap();
+        assert_eq!(r1.counts, r2.counts);
+        assert!(!wrapped.is_fault_prone());
+        assert_eq!(wrapped.cache_fingerprint(), plain.cache_fingerprint());
+    }
+
+    #[test]
+    fn fail_first_n_then_recover_bit_identically() {
+        let plain = IdealBackend::new(3);
+        let flaky = FaultInjectingBackend::new(IdealBackend::new(3)).fail_first(2);
+        for attempt in 1..=2u32 {
+            let err = flaky.run(&bell(), 100).unwrap_err();
+            assert_eq!(
+                err,
+                BackendError::Transient {
+                    kind: TransientKind::Network,
+                    attempt,
+                }
+            );
+            assert!(err.is_transient());
+        }
+        // Third attempt reaches the inner backend, whose job counter was
+        // never advanced by the failures — same counts as the first
+        // fault-free run.
+        let recovered = flaky.run(&bell(), 100).unwrap();
+        assert_eq!(recovered.counts, plain.run(&bell(), 100).unwrap().counts);
+    }
+
+    #[test]
+    fn per_circuit_schedule_targets_one_circuit() {
+        let bell_c = bell();
+        let ghz_c = ghz();
+        let flaky = FaultInjectingBackend::new(IdealBackend::new(0)).fail_circuit(&bell_c, 1);
+        assert!(flaky.run(&bell_c, 10).is_err());
+        assert!(flaky.run(&ghz_c, 10).is_ok());
+        assert!(flaky.run(&bell_c, 10).is_ok());
+        assert_eq!(flaky.attempts_for(&bell_c), 2);
+    }
+
+    #[test]
+    fn batch_failures_skip_inner_seeds_for_failed_jobs() {
+        // A batch where every job fails must leave the inner counter
+        // untouched, so the retried batch is bit-identical to a fault-free
+        // submission.
+        let bell_c = bell();
+        let ghz_c = ghz();
+        let jobs = [JobSpec::new(&bell_c, 300), JobSpec::new(&ghz_c, 400)];
+        let flaky = FaultInjectingBackend::new(IdealBackend::new(21)).fail_first(1);
+        let first = flaky.run_batch_stats(&jobs);
+        assert!(first.results.iter().all(|r| r.is_err()));
+        assert_eq!(first.stats, BatchStats::default());
+        let retry = flaky.run_batch_stats(&jobs);
+        let clean = IdealBackend::new(21).run_batch_stats(&jobs);
+        for (r, c) in retry.results.iter().zip(&clean.results) {
+            assert_eq!(
+                r.as_ref().unwrap().counts,
+                c.as_ref().unwrap().counts,
+                "retried batch must reproduce the fault-free stream"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilistic_schedule_is_reproducible() {
+        let make =
+            || FaultInjectingBackend::new(IdealBackend::new(5)).with_fault_probability(0.5, 1234);
+        let observe = |b: &FaultInjectingBackend<IdealBackend>| {
+            (0..20)
+                .map(|_| b.run(&bell(), 10).is_err())
+                .collect::<Vec<_>>()
+        };
+        let a = observe(&make());
+        let b = observe(&make());
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn latency_injection_inflates_simulated_duration() {
+        let slow = TimingModel {
+            gate_1q: 0.0,
+            gate_2q: 0.0,
+            readout: 0.0,
+            rep_delay: 0.0,
+            job_overhead: 2.5,
+        };
+        let b = FaultInjectingBackend::new(IdealBackend::new(0)).with_latency(slow);
+        let r = b.run(&bell(), 10).unwrap();
+        assert!((r.simulated_duration.as_secs_f64() - 2.5).abs() < 1e-9);
+        assert!((b.timing().job_overhead - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupt_counts_preserves_totals_but_not_values() {
+        let clean = IdealBackend::new(11).run(&bell(), 1000).unwrap();
+        let bad = FaultInjectingBackend::new(IdealBackend::new(11))
+            .corrupt_counts()
+            .run(&bell(), 1000)
+            .unwrap();
+        assert_eq!(bad.counts.total(), 1000);
+        assert_ne!(bad.counts, clean.counts);
+        // Bell histogram {00, 11} rotates to {01, 00}.
+        assert_eq!(bad.counts.get(0b01), clean.counts.get(0b00));
+        assert_eq!(bad.counts.get(0b00), clean.counts.get(0b11));
+        // And the fingerprint diverges so the warm cache never pools them.
+        let plain = FaultInjectingBackend::new(IdealBackend::new(11));
+        let corrupted = FaultInjectingBackend::new(IdealBackend::new(11)).corrupt_counts();
+        assert_ne!(plain.cache_fingerprint(), corrupted.cache_fingerprint());
+    }
+
+    #[test]
+    fn unavailable_mode_changes_the_error_shape() {
+        let b = FaultInjectingBackend::new(IdealBackend::new(0))
+            .fail_first(1)
+            .report_unavailable();
+        assert_eq!(b.run(&bell(), 10).unwrap_err(), BackendError::Unavailable);
+    }
+
+    #[test]
+    fn deterministic_errors_stay_permanent() {
+        // Misconfigurations pass through un-retried and do not consume a
+        // fault-schedule attempt.
+        let b = FaultInjectingBackend::new(IdealBackend::new(0).with_capacity(1)).fail_first(1);
+        let err = b.run(&bell(), 10).unwrap_err();
+        assert!(matches!(err, BackendError::CircuitTooWide { .. }));
+        assert!(!err.is_transient());
+        assert_eq!(b.attempts_for(&bell()), 0);
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`noisy::NoisyBackend`] — density-matrix backend with depolarizing +
 //!   thermal + readout noise and an IBM-like timing model (the substitute
 //!   for the paper's 5- and 7-qubit IBM devices \[28\], see DESIGN.md §4);
+//! * [`fault::FaultInjectingBackend`] — deterministic fault-injection
+//!   wrapper (seeded failure schedules, injected latency, corrupt counts)
+//!   for exercising the retry and degradation machinery;
 //! * [`presets`] — ready-made `ibm_5q` / `ibm_7q` / `aer_like` devices;
 //! * [`executor`] — parallel fan-out of tomography jobs (rayon) and a
 //!   crossbeam worker-pool dispatch queue.
@@ -29,6 +32,7 @@
 
 pub mod backend;
 pub mod executor;
+pub mod fault;
 pub mod ideal;
 pub mod noisy;
 pub mod presets;
@@ -38,8 +42,10 @@ pub mod timing;
 pub mod prelude {
     pub use crate::backend::{
         Backend, BackendError, BatchRun, BatchStats, ExecutionResult, JobResult, JobSpec,
+        TransientKind,
     };
     pub use crate::executor::{run_parallel, run_sequential, BatchResult, Job, JobQueue};
+    pub use crate::fault::FaultInjectingBackend;
     pub use crate::ideal::IdealBackend;
     pub use crate::noisy::NoisyBackend;
     pub use crate::presets::{aer_like, ibm_5q, ibm_7q, very_noisy};

@@ -80,10 +80,13 @@ pub mod prelude {
     };
     pub use qcut_core::basis::MeasBasis;
     pub use qcut_core::cut::{CutLocation, CutSpec};
+    pub use qcut_core::error::{ExecutionFailure, PipelineError};
     pub use qcut_core::fragment::Fragmenter;
     pub use qcut_core::golden::{ExactDetector, GoldenPolicy, OnlineDetector};
     pub use qcut_core::pipeline::{CutExecutor, ExecutionOptions, ReconstructionMethod};
+    pub use qcut_core::retry::{Backoff, FailurePolicy, RetryPolicy};
     pub use qcut_device::backend::Backend;
+    pub use qcut_device::fault::FaultInjectingBackend;
     pub use qcut_device::ideal::IdealBackend;
     pub use qcut_device::noisy::NoisyBackend;
     pub use qcut_device::presets;

@@ -272,4 +272,51 @@ proptest! {
         };
         prop_assert_eq!(run(true).distribution.values(), run(false).distribution.values());
     }
+
+    /// Transient faults that retries outlast are invisible: a backend
+    /// failing every job's first `fails` submissions under
+    /// `max_attempts > fails` produces a bit-identical run to the
+    /// fault-free backend — across both downstream schemes and with a
+    /// warm-start cache attached (a retried node must seed the cache the
+    /// same bytes a clean one does).
+    #[test]
+    fn retries_recover_bit_identically(seed in 0u64..2000, fails in 1u32..3) {
+        use std::sync::Arc;
+        let (circuit, cut) = GoldenAnsatz::new(5, seed).build();
+        let method = if seed % 2 == 0 {
+            ReconstructionMethod::Eigenstate
+        } else {
+            ReconstructionMethod::Sic
+        };
+        let with_cache = seed % 3 == 0;
+        let run = |flaky: bool| {
+            let inner = IdealBackend::new(seed ^ 0xFA);
+            let opts = ExecutionOptions {
+                shots_per_setting: 256,
+                method,
+                retry: RetryPolicy::with_attempts(fails + 1),
+                cache: with_cache
+                    .then(|| Arc::new(WarmCache::open(CacheConfig::in_memory()))),
+                ..Default::default()
+            };
+            if flaky {
+                let backend = FaultInjectingBackend::new(inner).fail_first(fails);
+                CutExecutor::new(&backend)
+                    .run(&circuit, &cut, GoldenPolicy::Disabled, &opts)
+                    .unwrap()
+            } else {
+                CutExecutor::new(&inner)
+                    .run(&circuit, &cut, GoldenPolicy::Disabled, &opts)
+                    .unwrap()
+            }
+        };
+        let recovered = run(true);
+        let clean = run(false);
+        prop_assert_eq!(recovered.distribution.values(), clean.distribution.values());
+        prop_assert_eq!(recovered.report.total_shots, clean.report.total_shots);
+        prop_assert_eq!(recovered.report.shots_lost, 0);
+        prop_assert!(!recovered.report.degraded);
+        prop_assert!(recovered.report.jobs_retried > 0);
+        prop_assert_eq!(clean.report.jobs_retried, 0);
+    }
 }
