@@ -177,9 +177,9 @@ fn write_summary() {
          \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
-    let path = "BENCH_adaptive_allocation.json";
-    std::fs::write(path, &json).expect("write bench summary");
-    println!("wrote {path}:\n{json}");
+    let path = qcut_bench::artifact_path("BENCH_adaptive_allocation.json");
+    std::fs::write(&path, &json).expect("write bench summary");
+    println!("wrote {}:\n{json}", path.display());
 }
 
 fn main() {

@@ -120,9 +120,9 @@ fn write_summary(test_mode: bool) {
          \"iterations\": {iters},\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
-    let path = "BENCH_prefix_sharing.json";
-    std::fs::write(path, &json).expect("write bench summary");
-    println!("wrote {path}:\n{json}");
+    let path = qcut_bench::artifact_path("BENCH_prefix_sharing.json");
+    std::fs::write(&path, &json).expect("write bench summary");
+    println!("wrote {}:\n{json}", path.display());
 }
 
 fn main() {

@@ -251,9 +251,9 @@ fn write_summary() {
         cache.entries(),
         entries.join(",\n")
     );
-    let path = "BENCH_warm_cache.json";
-    std::fs::write(path, &json).expect("write bench summary");
-    println!("wrote {path}:\n{json}");
+    let path = qcut_bench::artifact_path("BENCH_warm_cache.json");
+    std::fs::write(&path, &json).expect("write bench summary");
+    println!("wrote {}:\n{json}", path.display());
 }
 
 fn main() {

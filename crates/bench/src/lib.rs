@@ -102,6 +102,16 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
+/// Workspace-root path for a `BENCH_*.json` artifact. Cargo runs bench
+/// binaries with the *package* directory as cwd, so a bare relative write
+/// would land in `crates/bench/` — CI's schema checks (and the README's
+/// "written to the repo root" contract) expect the workspace root.
+pub fn artifact_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

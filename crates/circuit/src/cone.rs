@@ -1,0 +1,296 @@
+//! Light-cone abstract domain: instruction reachability over wire edges.
+//!
+//! The forward cone of instruction `i` is every instruction its output
+//! wires can influence (including `i` itself); the backward cone is every
+//! instruction that can influence its inputs. Wire edges always point from
+//! a lower instruction index to a higher one ([`CircuitDag`] builds them
+//! from consecutive timeline entries), so each cone family is computed in
+//! a single pass over the instruction list.
+//!
+//! On top of the cones, [`dead_instructions`] derives two whole-circuit
+//! dead-gate facts a single-gate identity check cannot see:
+//!
+//! * **prep-dead** — a diagonal gate whose relevant operands are still in
+//!   their initial `|0>` state acts only by a global phase;
+//! * **measure-dead** — a diagonal gate whose entire strict forward cone
+//!   is diagonal commutes to the end of the circuit, where diagonal
+//!   unitaries cannot change computational-basis outcome probabilities.
+
+use crate::circuit::{Circuit, Instruction};
+use crate::dag::CircuitDag;
+
+/// Forward/backward instruction-reachability sets for one circuit.
+#[derive(Clone, Debug)]
+pub struct LightCones {
+    forward: Vec<Vec<bool>>,
+    backward: Vec<Vec<bool>>,
+}
+
+impl LightCones {
+    /// Computes both cone families from a wire-edge DAG.
+    pub fn new(dag: &CircuitDag) -> Self {
+        let n = dag.num_instructions();
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in dag.wire_edges() {
+            successors[e.from].push(e.to);
+            predecessors[e.to].push(e.from);
+        }
+        // Edges point strictly forward, so a right-to-left pass closes the
+        // forward relation and a left-to-right pass closes the backward one.
+        let mut forward = vec![vec![false; n]; n];
+        for i in (0..n).rev() {
+            forward[i][i] = true;
+            for &t in &successors[i] {
+                let (head, tail) = forward.split_at_mut(t);
+                let (dst, src) = (&mut head[i], &tail[0]);
+                for (d, &v) in dst.iter_mut().zip(src.iter()) {
+                    *d |= v;
+                }
+            }
+        }
+        let mut backward = vec![vec![false; n]; n];
+        for i in 0..n {
+            backward[i][i] = true;
+            for &t in &predecessors[i] {
+                let (head, tail) = backward.split_at_mut(i);
+                let (src, dst) = (&head[t], &mut tail[0]);
+                for (d, &v) in dst.iter_mut().zip(src.iter()) {
+                    *d |= v;
+                }
+            }
+        }
+        LightCones { forward, backward }
+    }
+
+    /// Convenience constructor straight from a circuit.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        LightCones::new(&CircuitDag::new(circuit))
+    }
+
+    /// The forward cone of instruction `i` as a membership vector
+    /// (`cone[j]` — can `i` influence `j`?). Contains `i` itself.
+    pub fn forward(&self, i: usize) -> &[bool] {
+        &self.forward[i]
+    }
+
+    /// The backward cone of instruction `i` (`cone[j]` — can `j`
+    /// influence `i`?). Contains `i` itself.
+    pub fn backward(&self, i: usize) -> &[bool] {
+        &self.backward[i]
+    }
+
+    /// Whether instruction `i` can influence instruction `j`.
+    pub fn reaches(&self, i: usize, j: usize) -> bool {
+        self.forward[i][j]
+    }
+}
+
+/// Why an instruction is dead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeadGateKind {
+    /// Acts by a global phase because its relevant operands are still in
+    /// the initial `|0>` state.
+    PrepDead,
+    /// Diagonal with an all-diagonal strict forward cone: commutes to the
+    /// final computational-basis measurement, which it cannot affect.
+    MeasureDead,
+}
+
+/// One dead-instruction fact: the instruction index and the argument.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadGate {
+    /// Instruction index in program order.
+    pub index: usize,
+    /// Which argument proves it dead.
+    pub kind: DeadGateKind,
+}
+
+/// Finds instructions that provably cannot affect the final
+/// computational-basis distribution, by the prep-side freshness argument
+/// and the measure-side all-diagonal-cone argument. Single-gate effective
+/// identities ([`crate::gate::Gate::is_effective_identity`]) are also dead,
+/// of course — callers that want only the *whole-circuit* facts should
+/// filter those out.
+pub fn dead_instructions(circuit: &Circuit) -> Vec<DeadGate> {
+    let cones = LightCones::from_circuit(circuit);
+    let insts = circuit.instructions();
+    let mut dead = Vec::new();
+
+    // Prep side: track which qubits are still exactly |0>. Diagonal gates
+    // preserve freshness (they never move amplitude off the fresh branch);
+    // anything else consumes it.
+    let mut fresh = vec![true; circuit.num_qubits()];
+    for (i, inst) in insts.iter().enumerate() {
+        if inst.gate.is_diagonal() {
+            if prep_dead(inst, &fresh) {
+                dead.push(DeadGate {
+                    index: i,
+                    kind: DeadGateKind::PrepDead,
+                });
+            }
+        } else {
+            for &q in &inst.qubits {
+                fresh[q] = false;
+            }
+        }
+    }
+
+    // Measure side: a diagonal gate whose strict forward cone is all
+    // diagonal commutes to the end.
+    for (i, inst) in insts.iter().enumerate() {
+        if !inst.gate.is_diagonal() {
+            continue;
+        }
+        let cone = cones.forward(i);
+        let all_diagonal = insts
+            .iter()
+            .enumerate()
+            .skip(i + 1)
+            .all(|(j, other)| !cone[j] || other.gate.is_diagonal());
+        if all_diagonal && !dead.iter().any(|d| d.index == i) {
+            dead.push(DeadGate {
+                index: i,
+                kind: DeadGateKind::MeasureDead,
+            });
+        }
+    }
+    dead.sort_by_key(|d| d.index);
+    dead
+}
+
+/// Whether a *diagonal* instruction acts as a global phase given the
+/// freshness map. A 1-qubit diagonal gate on a fresh qubit always does.
+/// A 2-qubit diagonal gate with a fresh operand does iff its diagonal,
+/// restricted to that operand's `|0>` subspace, is proportional to the
+/// identity — e.g. `Cz` is dead when either operand is fresh, `Crz` only
+/// when its control is.
+fn prep_dead(inst: &Instruction, fresh: &[bool]) -> bool {
+    const TOL: f64 = 1e-9;
+    match inst.qubits.len() {
+        1 => fresh[inst.qubits[0]],
+        2 => {
+            let m = inst.gate.matrix();
+            for (op, other) in [(0usize, 1usize), (1, 0)] {
+                if !fresh[inst.qubits[op]] {
+                    continue;
+                }
+                // Diagonal indices with operand `op`'s bit clear; the
+                // remaining 2×2 block acts on the other operand.
+                let (a, b) = if op == 0 { (0, 2) } else { (0, 1) };
+                if (m[(a, a)] - m[(b, b)]).abs() < TOL {
+                    return true;
+                }
+                // Keep the stronger fact when only `other` is fresh too.
+                let _ = other;
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn cones_follow_wire_edges_transitively() {
+        // 0: h q0, 1: cx q0 q1, 2: x q2, 3: cx q1 q2
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.x(2);
+        c.cx(1, 2);
+        let cones = LightCones::from_circuit(&c);
+        assert!(cones.reaches(0, 1));
+        assert!(cones.reaches(0, 3), "transitively via the first CX");
+        assert!(!cones.reaches(0, 2), "X on q2 is causally disconnected");
+        assert!(cones.reaches(2, 3));
+        assert!(!cones.reaches(1, 0), "forward cones never point back");
+        assert!(cones.backward(3)[0]);
+        assert!(cones.backward(3)[2]);
+        assert!(!cones.backward(1)[2]);
+    }
+
+    #[test]
+    fn cones_contain_self() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        let cones = LightCones::from_circuit(&c);
+        for i in 0..2 {
+            assert!(cones.reaches(i, i));
+            assert!(cones.backward(i)[i]);
+        }
+    }
+
+    #[test]
+    fn s_on_fresh_qubit_is_prep_dead() {
+        let mut c = Circuit::new(2);
+        c.s(0);
+        c.h(0);
+        c.h(1);
+        let dead = dead_instructions(&c);
+        assert!(dead
+            .iter()
+            .any(|d| d.index == 0 && d.kind == DeadGateKind::PrepDead));
+        assert!(!dead.iter().any(|d| d.index == 1 || d.index == 2));
+    }
+
+    #[test]
+    fn s_after_h_is_not_prep_dead() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.s(0);
+        c.h(0);
+        let dead = dead_instructions(&c);
+        assert!(dead.is_empty(), "{dead:?}");
+    }
+
+    #[test]
+    fn cz_is_dead_when_either_operand_is_fresh_but_crz_needs_its_control() {
+        // q0 made non-fresh by H; q1 stays fresh.
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.push(Gate::Cz, &[0, 1]);
+        c.push(Gate::Crz(0.7), &[0, 1]); // control q0 not fresh
+        c.push(Gate::Crz(0.7), &[1, 0]); // control q1 fresh
+        c.h(1);
+        c.h(0);
+        let dead = dead_instructions(&c);
+        let prep: Vec<usize> = dead
+            .iter()
+            .filter(|d| d.kind == DeadGateKind::PrepDead)
+            .map(|d| d.index)
+            .collect();
+        assert_eq!(prep, vec![1, 3], "{dead:?}");
+    }
+
+    #[test]
+    fn trailing_diagonal_gates_are_measure_dead() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        c.s(0);
+        c.rz(0.4, 1);
+        c.push(Gate::Cz, &[0, 1]);
+        let dead = dead_instructions(&c);
+        let measure: Vec<usize> = dead
+            .iter()
+            .filter(|d| d.kind == DeadGateKind::MeasureDead)
+            .map(|d| d.index)
+            .collect();
+        assert_eq!(measure, vec![2, 3, 4], "{dead:?}");
+    }
+
+    #[test]
+    fn diagonal_gate_before_a_hadamard_is_not_measure_dead() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.s(0);
+        c.h(0);
+        assert!(dead_instructions(&c).is_empty());
+    }
+}

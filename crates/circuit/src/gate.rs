@@ -10,7 +10,7 @@
 //! gate applied to `(a, b)` uses `a` as bit 0 and `b` as bit 1 of its 4×4
 //! matrix index.
 
-use qcut_math::{c64, Complex, Matrix};
+use qcut_math::{c64, Complex, Matrix, Pauli, PauliString};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -278,6 +278,75 @@ impl Gate {
         }
     }
 
+    /// Whether the gate's matrix is diagonal in the computational basis.
+    /// Diagonal gates commute with each other and with computational-basis
+    /// measurement, and act on `|0…0>` only by a global phase — the facts
+    /// behind the dataflow pass's dead-gate detection. Structural for the
+    /// parameterless/rotation families; a numeric off-diagonal check
+    /// (tolerance `1e-9`) for `U3`/`Unitary1`/`Unitary2`.
+    pub fn is_diagonal(&self) -> bool {
+        match self {
+            Gate::I
+            | Gate::Z
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::Rz(_)
+            | Gate::Phase(_)
+            | Gate::Cz
+            | Gate::Crz(_)
+            | Gate::CPhase(_) => true,
+            Gate::U3(..) | Gate::Unitary1(_) | Gate::Unitary2(_) => {
+                matrix_is_diagonal(&self.matrix(), 1e-9)
+            }
+            _ => false,
+        }
+    }
+
+    /// The gate's action on Hermitian Pauli strings by conjugation, if it
+    /// is a Clifford gate: `Some(action)` with `U P U† = ±P'` tabulated for
+    /// every string `P` over the operands, `None` otherwise.
+    ///
+    /// Computed numerically (tolerance `1e-9`): each conjugated string is
+    /// decomposed over the Pauli basis via `tr(Q·UPU†)/2^n`, and the gate
+    /// qualifies only when every image has exactly one `±1` coefficient.
+    /// This keeps parameterised gates honest — `Rz(π/2)` is recognised as
+    /// Clifford just like `S`, while `Rz(0.3)` is not. The stabilizer
+    /// tableau widens over gates that return `None`.
+    pub fn clifford_action(&self) -> Option<CliffordAction> {
+        const TOL: f64 = 1e-9;
+        let n = self.arity();
+        let u = self.matrix();
+        let udag = u.adjoint();
+        let dim = f64::from(1 << n);
+        let strings: Vec<PauliString> = PauliString::enumerate(n).collect();
+        let mut images = Vec::with_capacity(strings.len());
+        for p in &strings {
+            let m = u.matmul(&p.matrix()).matmul(&udag);
+            // Hermitian image ⟹ real coefficients; a Clifford image has
+            // exactly one of magnitude 1 and the rest 0.
+            let mut hit: Option<(bool, Vec<Pauli>)> = None;
+            for q in &strings {
+                let c = q.matrix().trace_product(&m);
+                let (re, im) = (c.re / dim, c.im / dim);
+                if im.abs() > TOL {
+                    return None;
+                }
+                if (re.abs() - 1.0).abs() < TOL {
+                    if hit.is_some() {
+                        return None;
+                    }
+                    hit = Some((re < 0.0, q.paulis().to_vec()));
+                } else if re.abs() > TOL {
+                    return None;
+                }
+            }
+            images.push(hit?);
+        }
+        Some(CliffordAction { arity: n, images })
+    }
+
     /// Short mnemonic for diagrams and reports.
     pub fn name(&self) -> String {
         match self {
@@ -315,6 +384,61 @@ impl fmt::Display for Gate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.name())
     }
+}
+
+/// The conjugation action of a Clifford gate on Hermitian Pauli strings,
+/// tabulated over all `4^arity` inputs. Since the inputs and outputs are
+/// signed Hermitian strings (`±⊗_j W_j` with `W_j ∈ {I,X,Y,Z}`), there is
+/// no residual `i^k` phase to track: [`CliffordAction::image`] returns a
+/// sign bit and the image string, nothing more. Built by
+/// [`Gate::clifford_action`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliffordAction {
+    arity: usize,
+    /// `images[idx]` is `(negative, paulis)` for the input string with
+    /// index `idx = Σ_j 4^j · code(p_j)` (`code`: I=0, X=1, Y=2, Z=3 —
+    /// the [`PauliString::enumerate`] order).
+    images: Vec<(bool, Vec<Pauli>)>,
+}
+
+impl CliffordAction {
+    /// Number of operand qubits (1 or 2).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Image of the Hermitian string `⊗_j paulis[j]` under conjugation:
+    /// `U (⊗ paulis) U† = sign · (⊗ image)` with `sign = -1` iff the
+    /// returned flag is true. `paulis[j]` is the factor on operand `j`.
+    pub fn image(&self, paulis: &[Pauli]) -> (bool, Vec<Pauli>) {
+        assert_eq!(paulis.len(), self.arity, "operand count mismatch");
+        let idx = paulis
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (j, p)| acc + (pauli_code(*p) << (2 * j)));
+        self.images[idx].clone()
+    }
+}
+
+fn pauli_code(p: Pauli) -> usize {
+    match p {
+        Pauli::I => 0,
+        Pauli::X => 1,
+        Pauli::Y => 2,
+        Pauli::Z => 3,
+    }
+}
+
+/// Whether every off-diagonal entry of `m` is below `tol` in magnitude.
+fn matrix_is_diagonal(m: &Matrix, tol: f64) -> bool {
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            if i != j && m[(i, j)].abs() > tol {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// Builds `|0><0| ⊗ I + |1><1| ⊗ U` with control = bit 0, target = bit 1.
@@ -474,6 +598,117 @@ mod tests {
             if g.is_real() {
                 assert!(g.matrix().is_real(1e-12), "{g} claims real but is not");
             }
+        }
+    }
+
+    #[test]
+    fn clifford_action_exists_exactly_for_clifford_gates() {
+        let cliffords = [
+            Gate::I,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::Sx,
+            Gate::Cx,
+            Gate::Cy,
+            Gate::Cz,
+            Gate::Swap,
+            Gate::Rz(std::f64::consts::FRAC_PI_2), // S up to phase
+        ];
+        for g in cliffords {
+            assert!(g.clifford_action().is_some(), "{g} should be Clifford");
+        }
+        let non_cliffords = [
+            Gate::T,
+            Gate::Tdg,
+            Gate::Rx(0.3),
+            Gate::Ry(0.3),
+            Gate::Rz(0.3),
+            Gate::Ch,
+            Gate::Crz(0.7),
+            Gate::CPhase(1.1),
+        ];
+        for g in non_cliffords {
+            assert!(g.clifford_action().is_none(), "{g} should not be Clifford");
+        }
+    }
+
+    #[test]
+    fn clifford_action_matches_textbook_conjugations() {
+        let h = Gate::H.clifford_action().expect("H is Clifford");
+        assert_eq!(h.image(&[Pauli::Z]), (false, vec![Pauli::X]));
+        assert_eq!(h.image(&[Pauli::X]), (false, vec![Pauli::Z]));
+        assert_eq!(h.image(&[Pauli::Y]), (true, vec![Pauli::Y]));
+
+        let s = Gate::S.clifford_action().expect("S is Clifford");
+        assert_eq!(s.image(&[Pauli::X]), (false, vec![Pauli::Y]));
+        assert_eq!(s.image(&[Pauli::Y]), (true, vec![Pauli::X]));
+        assert_eq!(s.image(&[Pauli::Z]), (false, vec![Pauli::Z]));
+
+        let x = Gate::X.clifford_action().expect("X is Clifford");
+        assert_eq!(x.image(&[Pauli::Z]), (true, vec![Pauli::Z]));
+        assert_eq!(x.image(&[Pauli::X]), (false, vec![Pauli::X]));
+
+        // CX with control = operand 0, target = operand 1:
+        // Z⊗I ↦ Z⊗I, X⊗I ↦ X⊗X, I⊗X ↦ I⊗X, I⊗Z ↦ Z⊗Z.
+        let cx = Gate::Cx.clifford_action().expect("CX is Clifford");
+        assert_eq!(
+            cx.image(&[Pauli::Z, Pauli::I]),
+            (false, vec![Pauli::Z, Pauli::I])
+        );
+        assert_eq!(
+            cx.image(&[Pauli::X, Pauli::I]),
+            (false, vec![Pauli::X, Pauli::X])
+        );
+        assert_eq!(
+            cx.image(&[Pauli::I, Pauli::X]),
+            (false, vec![Pauli::I, Pauli::X])
+        );
+        assert_eq!(
+            cx.image(&[Pauli::I, Pauli::Z]),
+            (false, vec![Pauli::Z, Pauli::Z])
+        );
+    }
+
+    #[test]
+    fn clifford_action_identity_string_is_fixed() {
+        for g in all_fixed_gates() {
+            if let Some(a) = g.clifford_action() {
+                let id = vec![Pauli::I; a.arity()];
+                assert_eq!(a.image(&id), (false, id.clone()), "{g}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_gate_classification() {
+        assert!(Gate::Z.is_diagonal());
+        assert!(Gate::S.is_diagonal());
+        assert!(Gate::T.is_diagonal());
+        assert!(Gate::Rz(0.3).is_diagonal());
+        assert!(Gate::Cz.is_diagonal());
+        assert!(Gate::Crz(0.8).is_diagonal());
+        assert!(Gate::CPhase(1.2).is_diagonal());
+        assert!(!Gate::H.is_diagonal());
+        assert!(!Gate::X.is_diagonal());
+        assert!(!Gate::Cx.is_diagonal());
+        assert!(!Gate::Swap.is_diagonal());
+        // Numeric fallback: U3(0, φ, λ) is diagonal, generic U3 is not.
+        assert!(Gate::U3(0.0, 0.4, 1.3).is_diagonal());
+        assert!(!Gate::U3(0.5, 0.4, 1.3).is_diagonal());
+        assert!(Gate::Unitary2(Gate::Cz.matrix()).is_diagonal());
+    }
+
+    #[test]
+    fn diagonal_gates_have_diagonal_matrices() {
+        for g in all_fixed_gates() {
+            let m = g.matrix();
+            let structurally_diagonal =
+                (0..m.rows()).all(|i| (0..m.cols()).all(|j| i == j || m[(i, j)].abs() < 1e-12));
+            assert_eq!(g.is_diagonal(), structurally_diagonal, "{g}");
         }
     }
 

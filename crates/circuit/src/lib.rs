@@ -28,25 +28,29 @@
 
 pub mod ansatz;
 pub mod circuit;
+pub mod cone;
 pub mod cut;
 pub mod dag;
 pub mod diagram;
 pub mod gate;
 pub mod qasm;
 pub mod random;
+pub mod tableau;
 
 /// Common re-exports.
 pub mod prelude {
     pub use crate::ansatz::{three_qubit_example, GoldenAnsatz, MultiCutAnsatz};
     pub use crate::circuit::{Circuit, Instruction};
+    pub use crate::cone::{dead_instructions, DeadGate, DeadGateKind, LightCones};
     pub use crate::cut::{CutError, CutLocation, CutSpec};
     pub use crate::dag::{CircuitDag, WireEdge};
     pub use crate::diagram::{render, render_with_cuts};
-    pub use crate::gate::Gate;
+    pub use crate::gate::{CliffordAction, Gate};
     pub use crate::qasm::{to_qasm, QasmError};
     pub use crate::random::{
         random_circuit, random_real_circuit, rx_layer, ry_layer, RandomCircuitConfig,
     };
+    pub use crate::tableau::{StabilizerGenerator, StabilizerTableau};
 }
 
 pub use prelude::*;

@@ -1,0 +1,263 @@
+//! Stabilizer tableau abstract domain.
+//!
+//! A [`StabilizerTableau`] tracks a set of *stabilizer generators* of the
+//! state produced by a circuit prefix: signed Hermitian Pauli strings
+//! `±W_1⊗…⊗W_n` with `g|ψ> = |ψ>`. The initial state `|0…0>` is stabilized
+//! by `Z_q` on every qubit. Clifford instructions transform generators
+//! exactly via [`crate::gate::Gate::clifford_action`]; non-Clifford instructions
+//! **widen**: every generator whose support touches the instruction's
+//! operands is dropped. The surviving set is always a sound
+//! under-approximation — each remaining generator really does stabilize
+//! the concrete state, because its support is disjoint from every widened
+//! region (the non-Clifford unitary acts on other qubits and commutes with
+//! it).
+//!
+//! The dataflow pass in `qcut-core` consumes the tableau at each cut to
+//! *prove* Pauli coefficients zero: any Pauli string `Q` that anticommutes
+//! with a surviving stabilizer has `<Q> = 0` exactly.
+//!
+//! Masks are `u64`, so the domain supports circuits up to 64 qubits —
+//! far beyond anything the statevector paths here can touch.
+
+use crate::circuit::{Circuit, Instruction};
+use qcut_math::Pauli;
+
+/// Maximum width the bit-mask representation supports.
+pub const MAX_TABLEAU_QUBITS: usize = 64;
+
+/// One stabilizer generator `sign · ⊗_q W_q`: qubit `q` carries `X` iff
+/// bit `q` of `x` is set, `Z` iff bit `q` of `z` is set, `Y` iff both,
+/// `I` iff neither. `negative` is the sign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StabilizerGenerator {
+    /// X-component bit mask (bit `q` = qubit `q`).
+    pub x: u64,
+    /// Z-component bit mask.
+    pub z: u64,
+    /// True for a `-1` sign.
+    pub negative: bool,
+}
+
+impl StabilizerGenerator {
+    /// The Pauli factor on qubit `q`.
+    pub fn pauli_at(&self, q: usize) -> Pauli {
+        match ((self.x >> q) & 1, (self.z >> q) & 1) {
+            (0, 0) => Pauli::I,
+            (1, 0) => Pauli::X,
+            (1, 1) => Pauli::Y,
+            _ => Pauli::Z,
+        }
+    }
+
+    /// Whether the generator acts non-trivially on any qubit in `mask`.
+    pub fn touches(&self, mask: u64) -> bool {
+        (self.x | self.z) & mask != 0
+    }
+}
+
+/// The abstract state: a (possibly depleted) stabilizer generator set.
+///
+/// Invariant: generators always commute pairwise and are independent —
+/// both properties are preserved by Clifford conjugation and by dropping
+/// generators, the only two transformers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StabilizerTableau {
+    num_qubits: usize,
+    gens: Vec<StabilizerGenerator>,
+    widened: bool,
+}
+
+impl StabilizerTableau {
+    /// The tableau of `|0…0>` on `n` qubits: one `Z_q` generator per qubit.
+    ///
+    /// # Panics
+    /// If `n` exceeds [`MAX_TABLEAU_QUBITS`].
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n <= MAX_TABLEAU_QUBITS,
+            "stabilizer tableau supports at most {MAX_TABLEAU_QUBITS} qubits"
+        );
+        StabilizerTableau {
+            num_qubits: n,
+            gens: (0..n)
+                .map(|q| StabilizerGenerator {
+                    x: 0,
+                    z: 1u64 << q,
+                    negative: false,
+                })
+                .collect(),
+            widened: false,
+        }
+    }
+
+    /// Propagates the whole circuit from `|0…0>`.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut t = StabilizerTableau::new(circuit.num_qubits());
+        for inst in circuit.instructions() {
+            t.apply(inst);
+        }
+        t
+    }
+
+    /// Number of qubits the tableau describes.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The surviving generators.
+    pub fn generators(&self) -> &[StabilizerGenerator] {
+        &self.gens
+    }
+
+    /// Whether any widening happened (the set may be incomplete). When
+    /// false, the generator set is a *full-rank* description of the state —
+    /// the prover can then argue exactness, not just soundness.
+    pub fn is_widened(&self) -> bool {
+        self.widened
+    }
+
+    /// Abstract transformer for one instruction: exact Clifford
+    /// conjugation when [`crate::gate::Gate::clifford_action`] exists, otherwise
+    /// widening over the operand qubits.
+    pub fn apply(&mut self, inst: &Instruction) {
+        let Some(action) = inst.gate.clifford_action() else {
+            self.widen(&inst.qubits);
+            return;
+        };
+        for g in &mut self.gens {
+            let locals: Vec<Pauli> = inst.qubits.iter().map(|&q| g.pauli_at(q)).collect();
+            if locals.iter().all(|p| *p == Pauli::I) {
+                continue;
+            }
+            let (neg, image) = action.image(&locals);
+            g.negative ^= neg;
+            for (&q, p) in inst.qubits.iter().zip(&image) {
+                let bit = 1u64 << q;
+                let (xb, zb) = match p {
+                    Pauli::I => (0, 0),
+                    Pauli::X => (bit, 0),
+                    Pauli::Y => (bit, bit),
+                    Pauli::Z => (0, bit),
+                };
+                g.x = (g.x & !bit) | xb;
+                g.z = (g.z & !bit) | zb;
+            }
+        }
+    }
+
+    /// Widening (⊤ on the given qubits): drops every generator whose
+    /// support intersects `qubits`. Sound because the unknown unitary is
+    /// supported on `qubits` only, so it commutes with — and preserves —
+    /// every disjoint-support generator.
+    pub fn widen(&mut self, qubits: &[usize]) {
+        let mask = qubits.iter().fold(0u64, |m, &q| m | (1u64 << q));
+        let before = self.gens.len();
+        self.gens.retain(|g| !g.touches(mask));
+        if self.gens.len() < before || !qubits.is_empty() {
+            self.widened = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_of(t: &StabilizerTableau, i: usize) -> StabilizerGenerator {
+        t.generators()[i]
+    }
+
+    #[test]
+    fn initial_state_is_all_z() {
+        let t = StabilizerTableau::new(3);
+        assert_eq!(t.generators().len(), 3);
+        for (q, g) in t.generators().iter().enumerate() {
+            assert_eq!(g.pauli_at(q), Pauli::Z);
+            assert!(!g.negative);
+            assert_eq!(g.x, 0);
+        }
+        assert!(!t.is_widened());
+    }
+
+    #[test]
+    fn hadamard_turns_z_into_x() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        let t = StabilizerTableau::from_circuit(&c);
+        assert_eq!(gen_of(&t, 0).pauli_at(0), Pauli::X);
+        assert_eq!(gen_of(&t, 1).pauli_at(1), Pauli::Z);
+        assert!(!t.is_widened());
+    }
+
+    #[test]
+    fn ghz_state_has_the_textbook_stabilizers() {
+        // H(0); CX(0,1); CX(1,2) → stabilizers XXX, ZZI, IZZ.
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        let t = StabilizerTableau::from_circuit(&c);
+        let labels: Vec<String> = t
+            .generators()
+            .iter()
+            .map(|g| (0..3).map(|q| g.pauli_at(q).label()).collect())
+            .collect();
+        assert!(labels.contains(&"XXX".to_string()), "{labels:?}");
+        assert_eq!(
+            t.generators().iter().filter(|g| g.x == 0).count(),
+            2,
+            "two pure-Z generators: {labels:?}"
+        );
+        for g in t.generators() {
+            assert!(!g.negative);
+        }
+    }
+
+    #[test]
+    fn x_flips_the_sign_of_z() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let t = StabilizerTableau::from_circuit(&c);
+        assert_eq!(gen_of(&t, 0).pauli_at(0), Pauli::Z);
+        assert!(gen_of(&t, 0).negative, "X|0> = |1> is stabilized by -Z");
+    }
+
+    #[test]
+    fn non_clifford_gate_widens_only_its_support() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.t(0);
+        let t = StabilizerTableau::from_circuit(&c);
+        assert!(t.is_widened());
+        assert_eq!(t.generators().len(), 2, "X_0 dropped, Z_1 and Z_2 live");
+        for g in t.generators() {
+            assert_eq!(g.pauli_at(0), Pauli::I);
+        }
+    }
+
+    #[test]
+    fn widening_is_transitive_through_entanglement() {
+        // CX entangles 0-1, then T on qubit 1 kills both joint generators.
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        c.t(1);
+        let t = StabilizerTableau::from_circuit(&c);
+        // After CX: XX and ZZ — both touch qubit 1, both dropped.
+        assert!(t.generators().is_empty());
+        assert!(t.is_widened());
+    }
+
+    #[test]
+    fn clifford_only_circuits_stay_full_rank() {
+        let mut c = Circuit::new(4);
+        c.h(0);
+        c.cx(0, 1);
+        c.s(2);
+        c.cz(2, 3);
+        c.x(3);
+        let t = StabilizerTableau::from_circuit(&c);
+        assert_eq!(t.generators().len(), 4);
+        assert!(!t.is_widened());
+    }
+}

@@ -51,6 +51,8 @@ use qcut_math::Pauli;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+pub use crate::dataflow::{cut_report, CutCandidate, CutReport};
+
 /// How a finding is acted on (see the module docs for the semantics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Severity {
@@ -76,7 +78,7 @@ impl fmt::Display for Severity {
 
 /// The registered diagnostic codes, grouped by layer: `QA0xx` circuit,
 /// `QA1xx` cut, `QA2xx` schedule, `QA3xx` job graph, `QA4xx` warm-start
-/// cache.
+/// cache, `QA5xx` fault tolerance, `QA6xx` dataflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LintCode {
     /// `QA001` — instruction operands out of range, wrong arity, or
@@ -147,11 +149,24 @@ pub enum LintCode {
     /// preparations are informationally complete; a cut at two neglects
     /// has no basis left to drop), so degradation can never salvage.
     DegradeUnsalvageable,
+    /// `QA601` — the chosen cut is Pareto-dominated by another wire edge
+    /// under the dataflow cost model (at least as many proven-golden
+    /// bases, no more settings, no more entangling crossings, better
+    /// somewhere).
+    DominatedCutPlacement,
+    /// `QA602` — a whole-circuit dead gate the light-cone domain proves
+    /// cannot affect the final distribution (prep-dead or measure-dead);
+    /// single-gate effective identities stay `QA003`'s turf.
+    OutOfConeDeadGate,
+    /// `QA603` — the stabilizer prover certifies golden bases the
+    /// configured plan is not neglecting; `GoldenPolicy::ProveStatic`
+    /// would bank them with zero detection shots.
+    ProvableGoldenUndetected,
 }
 
 impl LintCode {
     /// Every registered code, in code order.
-    pub const ALL: [LintCode; 21] = [
+    pub const ALL: [LintCode; 24] = [
         LintCode::OutOfRangeOperand,
         LintCode::IdleQubit,
         LintCode::IdentityGate,
@@ -173,6 +188,9 @@ impl LintCode {
         LintCode::FaultProneNoRetry,
         LintCode::TimeoutBelowJobDuration,
         LintCode::DegradeUnsalvageable,
+        LintCode::DominatedCutPlacement,
+        LintCode::OutOfConeDeadGate,
+        LintCode::ProvableGoldenUndetected,
     ];
 
     /// The stable `QAxxx` code string.
@@ -199,6 +217,9 @@ impl LintCode {
             LintCode::FaultProneNoRetry => "QA501",
             LintCode::TimeoutBelowJobDuration => "QA502",
             LintCode::DegradeUnsalvageable => "QA503",
+            LintCode::DominatedCutPlacement => "QA601",
+            LintCode::OutOfConeDeadGate => "QA602",
+            LintCode::ProvableGoldenUndetected => "QA603",
         }
     }
 
@@ -226,7 +247,10 @@ impl LintCode {
             LintCode::FusibleAdjacent
             | LintCode::GoldenStructure
             | LintCode::NeglectCoverage
-            | LintCode::PrefixSharing => Severity::Allow,
+            | LintCode::PrefixSharing
+            | LintCode::DominatedCutPlacement
+            | LintCode::OutOfConeDeadGate
+            | LintCode::ProvableGoldenUndetected => Severity::Allow,
         }
     }
 }
@@ -400,6 +424,9 @@ pub enum Layer {
     /// The fault-tolerance configuration: retry policy, failure policy,
     /// and (when a backend is known) its fault discipline.
     Execution,
+    /// The dataflow facts: stabilizer-domain golden proofs, light-cone
+    /// dead gates, and the wire-edge cut cost model.
+    Dataflow,
 }
 
 /// Everything a lint may read. Fields are `Option` because the layers are
@@ -540,6 +567,9 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(FaultProneNoRetryLint),
         Box::new(TimeoutBelowJobDurationLint),
         Box::new(DegradeUnsalvageableLint),
+        Box::new(DominatedCutPlacementLint),
+        Box::new(OutOfConeDeadGateLint),
+        Box::new(ProvableGoldenUndetectedLint),
     ]
 }
 
@@ -1449,6 +1479,163 @@ impl Lint for DegradeUnsalvageableLint {
 }
 
 // ---------------------------------------------------------------------
+// Dataflow-layer lints (QA6xx).
+// ---------------------------------------------------------------------
+
+struct DominatedCutPlacementLint;
+
+impl Lint for DominatedCutPlacementLint {
+    fn code(&self) -> LintCode {
+        LintCode::DominatedCutPlacement
+    }
+    fn description(&self) -> &'static str {
+        "the chosen cut is Pareto-dominated under the dataflow cost model"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Dataflow
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        // Scoring every wire edge fragments the circuit per edge — too much
+        // work for a finding the default (allow) severity would drop anyway.
+        if ctx.config.severity(self.code()) == Severity::Allow {
+            return;
+        }
+        let (Some(circuit), Some(cut)) = (ctx.circuit, ctx.cut) else {
+            return;
+        };
+        if cut.num_cuts() != 1 {
+            return;
+        }
+        let loc = cut.cuts()[0];
+        // Static facts only (no statevector simulation inside a lint).
+        let report = crate::dataflow::cut_report(circuit, &AnalysisConfig::disabled());
+        let Some(chosen) = report
+            .candidates
+            .iter()
+            .find(|c| c.qubit == loc.qubit && c.position == loc.after_op)
+        else {
+            return;
+        };
+        let dominating = report.candidates.iter().find(|d| {
+            d.feasible
+                && (d.qubit, d.position) != (chosen.qubit, chosen.position)
+                && d.proven_golden.len() >= chosen.proven_golden.len()
+                && d.settings <= chosen.settings
+                && d.entangling_crossings <= chosen.entangling_crossings
+                && (d.proven_golden.len() > chosen.proven_golden.len()
+                    || d.settings < chosen.settings
+                    || d.entangling_crossings < chosen.entangling_crossings)
+        });
+        if let Some(d) = dominating {
+            sink.report(
+                self.code(),
+                format!(
+                    "the cut at qubit {} position {} is dominated by the wire \
+                     edge at qubit {} position {}: {} vs {} proven-golden \
+                     bases, {} vs {} settings, {} vs {} entangling crossings",
+                    loc.qubit,
+                    loc.after_op,
+                    d.qubit,
+                    d.position,
+                    d.proven_golden.len(),
+                    chosen.proven_golden.len(),
+                    d.settings,
+                    chosen.settings,
+                    d.entangling_crossings,
+                    chosen.entangling_crossings,
+                ),
+            );
+        }
+    }
+}
+
+struct OutOfConeDeadGateLint;
+
+impl Lint for OutOfConeDeadGateLint {
+    fn code(&self) -> LintCode {
+        LintCode::OutOfConeDeadGate
+    }
+    fn description(&self) -> &'static str {
+        "light-cone-proven dead gates (prep-dead or measure-dead)"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Dataflow
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        if ctx.config.severity(self.code()) == Severity::Allow {
+            return;
+        }
+        let Some(circuit) = ctx.circuit else { return };
+        let insts = circuit.instructions();
+        for dead in qcut_circuit::cone::dead_instructions(circuit) {
+            let inst = &insts[dead.index];
+            // Single-gate effective identities are QA003's finding.
+            if inst.gate.is_effective_identity() {
+                continue;
+            }
+            let why = match dead.kind {
+                qcut_circuit::cone::DeadGateKind::PrepDead => {
+                    "acts by a global phase on the still-|0> operands"
+                }
+                qcut_circuit::cone::DeadGateKind::MeasureDead => {
+                    "its forward light cone is all diagonal, so it commutes \
+                     to the final measurement it cannot affect"
+                }
+            };
+            sink.report(
+                self.code(),
+                format!(
+                    "instruction #{} ({inst}) cannot affect the final \
+                     distribution: {why}",
+                    dead.index
+                ),
+            );
+        }
+    }
+}
+
+struct ProvableGoldenUndetectedLint;
+
+impl Lint for ProvableGoldenUndetectedLint {
+    fn code(&self) -> LintCode {
+        LintCode::ProvableGoldenUndetected
+    }
+    fn description(&self) -> &'static str {
+        "statically-provable golden bases the plan is not neglecting"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Dataflow
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        if ctx.config.severity(self.code()) == Severity::Allow {
+            return;
+        }
+        let (Some(fragments), Some(plan)) = (ctx.fragments, ctx.plan) else {
+            return;
+        };
+        let proofs = crate::dataflow::prove_golden_bases(&fragments.upstream, fragments.num_cuts);
+        for (cut, proven) in proofs.iter().enumerate() {
+            let missed: Vec<Pauli> = proven
+                .iter()
+                .copied()
+                .filter(|p| !plan.neglected()[cut].contains(p))
+                .collect();
+            if !missed.is_empty() {
+                sink.report(
+                    self.code(),
+                    format!(
+                        "cut {cut}: the stabilizer prover certifies {missed:?} \
+                         golden but the plan still measures them; \
+                         GoldenPolicy::ProveStatic would neglect them with \
+                         zero detection shots"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Entry points.
 // ---------------------------------------------------------------------
 
@@ -1556,6 +1743,9 @@ fn analyze_inner(
 
     let plan = BasisPlan::standard(fragments.num_cuts);
     ctx.plan = Some(&plan);
+    // Dataflow lints read the circuit, the cut, the fragments and the
+    // standard plan — all present once the cut validated.
+    run_layer(&lints, Layer::Dataflow, &ctx, &mut sink);
     if estimated_settings(&plan, options.method) > config.max_planned_jobs as f64 {
         // Schedule and graph lints would enumerate the settings; skip them
         // to keep analysis cheap (QA102 has already flagged the blowup).
@@ -1638,6 +1828,9 @@ mod tests {
         assert_eq!(LintCode::FaultProneNoRetry.to_string(), "QA501");
         assert_eq!(LintCode::TimeoutBelowJobDuration.to_string(), "QA502");
         assert_eq!(LintCode::DegradeUnsalvageable.to_string(), "QA503");
+        assert_eq!(LintCode::DominatedCutPlacement.to_string(), "QA601");
+        assert_eq!(LintCode::OutOfConeDeadGate.to_string(), "QA602");
+        assert_eq!(LintCode::ProvableGoldenUndetected.to_string(), "QA603");
     }
 
     #[test]
@@ -1988,6 +2181,85 @@ mod tests {
         let mut sink = Sink::new(&config);
         DegradeUnsalvageableLint.check(&ctx, &mut sink);
         assert!(!sink.finish().contains(LintCode::DegradeUnsalvageable));
+    }
+
+    #[test]
+    fn qa601_flags_a_dominated_cut_and_accepts_the_dominant_one() {
+        // Cutting after the T leaves a widened (proof-free) 9-setting cut;
+        // cutting qubit 1 after the CX is provably golden in two bases with
+        // zero remaining entangling crossings — strictly better everywhere.
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.t(0);
+        c.cx(0, 1);
+        c.h(1);
+        let promoted = ExecutionOptions {
+            analysis: AnalysisConfig::default()
+                .with_override(LintCode::DominatedCutPlacement, Severity::Warn),
+            ..Default::default()
+        };
+        let diags = analyze(&c, &CutSpec::single(0, 1), &promoted);
+        assert!(
+            diags.contains(LintCode::DominatedCutPlacement),
+            "the post-T cut is dominated: {diags}"
+        );
+        assert!(
+            !analyze(&c, &CutSpec::single(1, 0), &promoted)
+                .contains(LintCode::DominatedCutPlacement),
+            "nothing dominates the proven-golden zero-crossing cut"
+        );
+        // Default severity is allow: the finding is suppressed (and the
+        // lint body never runs).
+        assert!(
+            !analyze(&c, &CutSpec::single(0, 1), &ExecutionOptions::default())
+                .contains(LintCode::DominatedCutPlacement)
+        );
+    }
+
+    #[test]
+    fn qa602_reports_cone_dead_gates_but_not_effective_identities() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        c.s(0); // measure-dead: nothing after it on any wire
+        c.rz(0.0, 1); // dead too, but as a single-gate identity (QA003)
+        let config =
+            AnalysisConfig::default().with_override(LintCode::OutOfConeDeadGate, Severity::Warn);
+        let ctx = AnalysisContext {
+            circuit: Some(&c),
+            ..bare_ctx(&config)
+        };
+        let mut sink = Sink::new(&config);
+        OutOfConeDeadGateLint.check(&ctx, &mut sink);
+        let diags = sink.finish();
+        assert!(diags.contains(LintCode::OutOfConeDeadGate));
+        let rendered = diags.to_string();
+        assert!(rendered.contains("instruction #2"), "{rendered}");
+        assert!(
+            !rendered.contains("instruction #3"),
+            "effective identities stay QA003's turf: {rendered}"
+        );
+    }
+
+    #[test]
+    fn qa603_recommends_prove_static_for_provable_golden_bases() {
+        // The golden ansatz is real (not Clifford): the real-component
+        // argument proves Y, which the standard plan measures anyway.
+        let (circuit, cut) = GoldenAnsatz::new(5, 3).build();
+        let promoted = ExecutionOptions {
+            analysis: AnalysisConfig::default()
+                .with_override(LintCode::ProvableGoldenUndetected, Severity::Warn),
+            ..Default::default()
+        };
+        let diags = analyze(&circuit, &cut, &promoted);
+        assert!(
+            diags.contains(LintCode::ProvableGoldenUndetected),
+            "provable Y left undetected must surface: {diags}"
+        );
+        assert!(
+            diags.to_string().contains("ProveStatic"),
+            "the finding names the fix: {diags}"
+        );
     }
 
     #[test]

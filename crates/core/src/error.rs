@@ -58,12 +58,9 @@ impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PipelineError::Analysis(d) => {
-                let denials: Vec<String> = d.deny().map(|x| x.to_string()).collect();
-                write!(
-                    f,
-                    "static analysis rejected the workload before execution: {}",
-                    denials.join("; ")
-                )
+                writeln!(f, "static analysis rejected the workload before execution:")?;
+                // One finding per line, via the Diagnostics renderer.
+                write!(f, "{d}")
             }
             PipelineError::Cut(e) => write!(f, "cut validation failed: {e}"),
             PipelineError::Fragment(e) => write!(f, "fragmenting failed: {e}"),
@@ -167,6 +164,34 @@ mod tests {
         assert!(s.contains("cut 2"));
         assert!(s.contains("9000"));
         assert!(s.contains("max_shots"));
+    }
+
+    #[test]
+    fn analysis_rejections_render_one_finding_per_line() {
+        use crate::analysis::{analyze, AnalysisConfig};
+        use crate::pipeline::ExecutionOptions;
+        use qcut_circuit::circuit::Circuit;
+        use qcut_circuit::cut::CutSpec;
+
+        // An idle qubit and an invalid cut: two findings.
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        let opts = ExecutionOptions {
+            analysis: AnalysisConfig::default(),
+            ..Default::default()
+        };
+        let diags = analyze(&c, &CutSpec::single(2, 5), &opts);
+        assert!(diags.len() >= 2, "{diags}");
+        let e = PipelineError::Analysis(diags.clone());
+        let msg = e.to_string();
+        assert!(msg.starts_with("static analysis rejected the workload"));
+        assert_eq!(
+            msg.lines().count(),
+            1 + diags.len(),
+            "header plus one line per finding: {msg}"
+        );
+        assert!(msg.contains("QA101"), "{msg}");
     }
 
     #[test]

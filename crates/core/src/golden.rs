@@ -15,6 +15,10 @@
 //! * **Online detection** — the paper's §IV proposal: estimate the
 //!   coefficients from sequential batches of real measurements and decide
 //!   with a concentration bound (Hoeffding), without ever simulating.
+//! * **Static proof** — the dataflow engine's symbolic route
+//!   ([`crate::dataflow`]): propagate a stabilizer tableau through the
+//!   upstream fragment and *prove* coefficients zero over GF(2), spending
+//!   neither shots nor statevector memory.
 
 use crate::basis::{encode_meas, BasisPlan, MeasBasis};
 use crate::fragment::Fragment;
@@ -42,6 +46,11 @@ pub enum GoldenPolicy {
     /// Detect negligible bases online from measurement batches
     /// (paper §IV).
     DetectOnline(OnlineConfig),
+    /// Prove negligible bases symbolically with the stabilizer-domain
+    /// dataflow engine ([`crate::dataflow::proven_plan`]) — zero detection
+    /// shots, zero simulation. Complete on Clifford upstream fragments;
+    /// sound (possibly conservative) everywhere else.
+    ProveStatic,
 }
 
 impl GoldenPolicy {
@@ -314,6 +323,7 @@ pub fn resolve_static_policy(
             Some(detector.detect(upstream, num_cuts))
         }
         GoldenPolicy::DetectOnline(_) => None,
+        GoldenPolicy::ProveStatic => Some(crate::dataflow::proven_plan(upstream, num_cuts)),
     }
 }
 
@@ -429,6 +439,11 @@ mod tests {
         assert_eq!(known.num_golden(), 1);
         let exact = resolve_static_policy(&GoldenPolicy::detect_exact(), &frag, 1).unwrap();
         assert!(exact.neglected()[0].contains(&Pauli::Y));
+        // The static prover resolves without a backend too; on the (real
+        // but non-Clifford) golden ansatz it still proves Y via the
+        // real-component argument.
+        let proven = resolve_static_policy(&GoldenPolicy::ProveStatic, &frag, 1).unwrap();
+        assert!(proven.neglected()[0].contains(&Pauli::Y));
         assert!(resolve_static_policy(
             &GoldenPolicy::DetectOnline(OnlineConfig::default()),
             &frag,

@@ -26,8 +26,13 @@
 //! * [`variance`] — shot-noise propagation through the contraction:
 //!   error bars, schedule scoring, and the adaptive policy's Neyman
 //!   weights;
-//! * [`golden`] — a-priori, exact, and online golden-point detection
-//!   (the latter realising the paper's §IV future work);
+//! * [`golden`] — a-priori, exact, online, and statically-proven
+//!   golden-point detection (online realises the paper's §IV future work);
+//! * [`dataflow`] — abstract interpretation over the circuit DAG: the
+//!   stabilizer-tableau domain behind
+//!   [`golden::GoldenPolicy::ProveStatic`]'s zero-shot symbolic golden
+//!   proofs, and the light-cone domain behind the wire-edge cut adviser
+//!   ([`dataflow::cut_report`]);
 //! * [`sic`] — the SIC-basis preparation alternative discussed in §II-B;
 //! * [`observable`] — Pauli/diagonal observable estimation on top of the
 //!   reconstructed distribution;
@@ -70,6 +75,7 @@
 pub mod allocation;
 pub mod analysis;
 pub mod basis;
+pub mod dataflow;
 pub mod error;
 pub mod execution;
 pub mod fragment;
@@ -103,6 +109,9 @@ pub mod prelude {
     };
     pub use crate::basis::{BasisPlan, MeasBasis};
     pub use crate::cut::{CutError, CutLocation, CutSpec};
+    pub use crate::dataflow::{
+        cut_report, prove_golden_bases, proven_plan, CutCandidate, CutReport,
+    };
     pub use crate::error::{ExecutionFailure, PipelineError};
     pub use crate::execution::{gather, gather_scheduled, gather_scheduled_with, FragmentData};
     pub use crate::fragment::{Fragment, FragmentError, FragmentRole, Fragmenter, Fragments};

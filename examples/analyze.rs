@@ -33,7 +33,24 @@ fn main() {
     }
     println!();
 
-    // 3. A starved budget: 4 shots fund the fully-golden floor (3
+    // 3. The dataflow layer (QA6xx) is informational too: promote it to
+    //    see light-cone dead gates and statically-provable golden bases
+    //    the configured policy is leaving on the table.
+    let mut sloppy = circuit.clone();
+    sloppy.s(0); // trailing diagonal gate: measure-dead
+    let dataflow = ExecutionOptions {
+        analysis: AnalysisConfig::default()
+            .with_override(LintCode::OutOfConeDeadGate, Severity::Warn)
+            .with_override(LintCode::ProvableGoldenUndetected, Severity::Warn),
+        ..Default::default()
+    };
+    println!("dataflow findings:");
+    for d in analyze(&sloppy, &cut, &dataflow).iter() {
+        println!("  {d}");
+    }
+    println!();
+
+    // 4. A starved budget: 4 shots fund the fully-golden floor (3
     //    settings for one cut) but starve the 9-setting standard plan —
     //    QA204 warns that only golden detection can save the run.
     let starved = ExecutionOptions::with_allocation(ShotAllocation::TotalBudget { total: 4 });
@@ -43,7 +60,7 @@ fn main() {
     }
     println!();
 
-    // 4. Deny-level findings gate the pipeline: the run is rejected as a
+    // 5. Deny-level findings gate the pipeline: the run is rejected as a
     //    typed error before any backend interaction.
     let backend = IdealBackend::new(7);
     let executor = CutExecutor::new(&backend);
@@ -62,7 +79,7 @@ fn main() {
     }
     println!();
 
-    // 5. Warnings do not block execution; they ride in the run report.
+    // 6. Warnings do not block execution; they ride in the run report.
     let run = executor
         .run(
             &circuit,

@@ -19,9 +19,12 @@
 //! * [`cache`] — the cross-run warm-start cache: persistent per-node
 //!   histograms and simulator fork-state reuse for parameter sweeps;
 //! * [`cutting`] — the paper's contribution: wire cutting, golden cutting
-//!   point detection and exploitation, tensor reconstruction, the SIC
-//!   variant, and the shot-allocation policies (uniform / weighted /
-//!   two-round variance-adaptive) scheduled through the JobGraph engine.
+//!   point detection and exploitation (a-priori / exact / online /
+//!   statically proven via stabilizer dataflow), tensor reconstruction,
+//!   the SIC variant, the light-cone cut adviser
+//!   (`cutting::dataflow::cut_report`), and the shot-allocation policies
+//!   (uniform / weighted / two-round variance-adaptive) scheduled through
+//!   the JobGraph engine.
 //!
 //! See `ARCHITECTURE.md` at the repository root for the crate layering,
 //! the JobGraph execution seam, the PrefixForest, and the allocation
@@ -71,8 +74,10 @@ pub mod prelude {
     pub use qcut_cache::{CacheConfig, CacheKey, ShotDiscipline, WarmCache};
     pub use qcut_circuit::ansatz::{three_qubit_example, GoldenAnsatz};
     pub use qcut_circuit::circuit::Circuit;
-    pub use qcut_circuit::gate::Gate;
+    pub use qcut_circuit::cone::{dead_instructions, DeadGate, DeadGateKind, LightCones};
+    pub use qcut_circuit::gate::{CliffordAction, Gate};
     pub use qcut_circuit::random::{random_circuit, random_real_circuit, RandomCircuitConfig};
+    pub use qcut_circuit::tableau::{StabilizerGenerator, StabilizerTableau};
     pub use qcut_core::allocation::{ShotAllocation, ShotSchedule};
     pub use qcut_core::analysis::{
         analyze, analyze_with_backend, lint_graph, AnalysisConfig, Diagnostic, Diagnostics,
@@ -80,6 +85,9 @@ pub mod prelude {
     };
     pub use qcut_core::basis::MeasBasis;
     pub use qcut_core::cut::{CutLocation, CutSpec};
+    pub use qcut_core::dataflow::{
+        cut_report, prove_golden_bases, proven_plan, CutCandidate, CutReport,
+    };
     pub use qcut_core::error::{ExecutionFailure, PipelineError};
     pub use qcut_core::fragment::Fragmenter;
     pub use qcut_core::golden::{ExactDetector, GoldenPolicy, OnlineDetector};

@@ -168,3 +168,49 @@ fn doubly_golden_bell_cut_runs_end_to_end() {
     let d = total_variation_distance(&run.distribution, &truth);
     assert!(d < 0.05, "doubly-golden run off by {d}");
 }
+
+#[test]
+fn prove_static_is_free_and_bit_identical_to_the_oracle() {
+    // Clifford upstream: the stabilizer dataflow pass proves the golden
+    // bases symbolically — no detection shots, no detection simulation —
+    // and the run is bit-identical to an a-priori oracle handed the same
+    // bases with an equally-seeded backend.
+    let mut c = Circuit::new(4);
+    c.h(0).cx(0, 1).s(0).h(2).cz(1, 2);
+    let pos = c.instructions().iter().filter(|i| i.acts_on(2)).count() - 1;
+    c.cx(2, 3).ry(0.7, 3);
+    let cut = CutSpec::single(2, pos);
+
+    let frags = Fragmenter::fragment(&c, &cut).unwrap();
+    let proven = prove_golden_bases(&frags.upstream, 1);
+    assert!(!proven[0].is_empty(), "workload must have provable bases");
+
+    let options = ExecutionOptions {
+        shots_per_setting: 8192,
+        ..Default::default()
+    };
+    let run = |policy| {
+        let backend = IdealBackend::new(911);
+        CutExecutor::new(&backend)
+            .run(&c, &cut, policy, &options)
+            .unwrap()
+    };
+    let static_run = run(GoldenPolicy::ProveStatic);
+    let oracle = run(GoldenPolicy::KnownAPriori(
+        static_run.report.neglected[0]
+            .iter()
+            .map(|p| (0, *p))
+            .collect(),
+    ));
+
+    assert_eq!(static_run.report.detection_shots, 0);
+    assert_eq!(static_run.report.neglected, oracle.report.neglected);
+    assert_eq!(
+        static_run.distribution.values(),
+        oracle.distribution.values()
+    );
+    assert_eq!(static_run.report.total_shots, oracle.report.total_shots);
+    let truth = Distribution::from_values(4, StateVector::from_circuit(&c).probabilities());
+    let d = total_variation_distance(&static_run.distribution, &truth);
+    assert!(d < 0.05, "statically-proven run off by {d}");
+}

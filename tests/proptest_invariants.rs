@@ -64,6 +64,70 @@ fn cuttable_circuit(
     (c, CutSpec::single(cut_qubit, cut_pos))
 }
 
+/// A random *Clifford* cuttable circuit with the same layout as
+/// [`cuttable_circuit`]: entangling chains keep each side connected, the
+/// cut sits after the last upstream touch of the cut wire. On Clifford
+/// upstream fragments the stabilizer prover is complete, so
+/// `proven_plan` must reproduce `ExactDetector` exactly.
+fn clifford_cuttable_circuit(
+    n: usize,
+    cut_qubit: usize,
+    seed: u64,
+    depth: usize,
+) -> (Circuit, CutSpec) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    let up: Vec<usize> = (0..=cut_qubit).collect();
+    let down: Vec<usize> = (cut_qubit..n).collect();
+    for w in up.windows(2) {
+        c.cx(w[0], w[1]);
+    }
+    random_clifford_block(&mut c, &up, depth, &mut rng);
+    let cut_pos = c
+        .instructions()
+        .iter()
+        .filter(|i| i.acts_on(cut_qubit))
+        .count()
+        - 1;
+    for w in down.windows(2) {
+        c.cx(w[0], w[1]);
+    }
+    random_clifford_block(&mut c, &down, depth, &mut rng);
+    (c, CutSpec::single(cut_qubit, cut_pos))
+}
+
+/// Appends `depth * qubits.len()` random gates drawn from the Clifford
+/// alphabet {H, S, S†, X, Y, Z, √X, CX, CZ, CY, SWAP} on `qubits`.
+fn random_clifford_block(c: &mut Circuit, qubits: &[usize], depth: usize, rng: &mut StdRng) {
+    use rand::Rng;
+    for _ in 0..depth * qubits.len() {
+        if qubits.len() >= 2 && rng.gen_bool(0.4) {
+            let a = qubits[rng.gen_range(0..qubits.len())];
+            let mut b = a;
+            while b == a {
+                b = qubits[rng.gen_range(0..qubits.len())];
+            }
+            match rng.gen_range(0..4) {
+                0 => c.cx(a, b),
+                1 => c.cz(a, b),
+                2 => c.push(Gate::Cy, &[a, b]),
+                _ => c.swap(a, b),
+            };
+        } else {
+            let q = qubits[rng.gen_range(0..qubits.len())];
+            match rng.gen_range(0..7) {
+                0 => c.h(q),
+                1 => c.s(q),
+                2 => c.sdg(q),
+                3 => c.x(q),
+                4 => c.y(q),
+                5 => c.z(q),
+                _ => c.push(Gate::Sx, &[q]),
+            };
+        }
+    }
+}
+
 fn truth_of(circuit: &Circuit) -> Distribution {
     Distribution::from_values(
         circuit.num_qubits(),
@@ -198,6 +262,37 @@ proptest! {
         }
     }
 
+    /// On Clifford upstream fragments the stabilizer prover is *complete*:
+    /// `proven_plan` derives symbolically exactly the plan `ExactDetector`
+    /// finds by simulation — it never proves a basis whose coefficient is
+    /// nonzero, and it never misses one that is identically zero. The
+    /// proven plan also reconstructs exactly.
+    #[test]
+    fn prove_static_is_exact_on_clifford_upstreams(
+        n in 3usize..6,
+        seed in 0u64..5000,
+        depth in 1usize..4,
+    ) {
+        let cut_qubit = (n / 2).max(1);
+        let (circuit, cut) = clifford_cuttable_circuit(n, cut_qubit, seed, depth);
+        let frags = Fragmenter::fragment(&circuit, &cut).unwrap();
+        let proven = proven_plan(&frags.upstream, 1);
+        let detected = ExactDetector::default().detect(&frags.upstream, 1);
+        prop_assert_eq!(&proven, &detected, "seed {}", seed);
+        // Soundness against ground truth: every proven basis has an
+        // exactly-zero upstream coefficient family.
+        let up = exact_upstream_tensor(&frags.upstream, &BasisPlan::standard(1));
+        for p in &proven.neglected()[0] {
+            prop_assert!(
+                up.max_abs(&[*p]) < 1e-9,
+                "proved {:?} but |A| = {} (seed {})", p, up.max_abs(&[*p]), seed
+            );
+        }
+        let recon = exact_reconstruct(&frags, &proven);
+        let d = total_variation_distance(&recon, &truth_of(&circuit));
+        prop_assert!(d < 1e-8, "proven-plan TVD {d} (seed {seed})");
+    }
+
     /// Random circuits preserve state norm (simulator unitarity).
     #[test]
     fn simulator_preserves_norm(n in 1usize..7, seed in 0u64..3000, depth in 1usize..6) {
@@ -271,6 +366,32 @@ proptest! {
                 .unwrap()
         };
         prop_assert_eq!(run(true).distribution.values(), run(false).distribution.values());
+    }
+
+    /// `GoldenPolicy::ProveStatic` resolves its plan symbolically — zero
+    /// detection shots — and, because the golden-ansatz upstream is real,
+    /// the real-component argument proves Y, so the run is bit-identical
+    /// to a `KnownAPriori` oracle handed the same basis at equal budget.
+    #[test]
+    fn prove_static_runs_bit_identical_to_the_oracle(seed in 0u64..2000) {
+        let (circuit, cut) = GoldenAnsatz::new(5, seed).build();
+        let run = |policy: GoldenPolicy| {
+            let backend = IdealBackend::new(seed ^ 0x5A);
+            CutExecutor::new(&backend)
+                .run(
+                    &circuit,
+                    &cut,
+                    policy,
+                    &ExecutionOptions { shots_per_setting: 256, ..Default::default() },
+                )
+                .unwrap()
+        };
+        let proven = run(GoldenPolicy::ProveStatic);
+        let oracle = run(GoldenPolicy::KnownAPriori(vec![(0, Pauli::Y)]));
+        prop_assert_eq!(proven.report.detection_shots, 0);
+        prop_assert_eq!(&proven.report.neglected, &oracle.report.neglected);
+        prop_assert_eq!(proven.distribution.values(), oracle.distribution.values());
+        prop_assert_eq!(proven.report.total_shots, oracle.report.total_shots);
     }
 
     /// Transient faults that retries outlast are invisible: a backend

@@ -5,12 +5,12 @@
 //! sources (`crates/*/src`, the facade `src`, and `xtask/src` itself; the
 //! vendored stubs under `vendor/` are exempt). It denies
 //!
-//! * `.unwrap()`, `panic!(`, and `dbg!(` outside `#[cfg(test)]` code —
-//!   library paths must return typed errors or `expect` an invariant;
-//!   the justified remainder is pinned, with an exact count, in
-//!   `xtask/lint-allow.txt` (a ratchet: new sites fail, and removing a
-//!   site without updating the allowlist fails too, so the list can only
-//!   shrink deliberately);
+//! * `.unwrap()`, `panic!(`, `dbg!(`, `todo!(`, and `unimplemented!(`
+//!   outside `#[cfg(test)]` code — library paths must return typed errors
+//!   or `expect` an invariant, and no placeholder may ship; the justified
+//!   remainder is pinned, with an exact count, in `xtask/lint-allow.txt`
+//!   (a ratchet: new sites fail, and removing a site without updating the
+//!   allowlist fails too, so the list can only shrink deliberately);
 //! * crate roots missing `#![forbid(unsafe_code)]`.
 //!
 //! Doc comments, line comments, and string-literal contents are masked
@@ -26,7 +26,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Tokens denied in non-test library code.
-const FORBIDDEN: [&str; 3] = [".unwrap()", "panic!(", "dbg!("];
+const FORBIDDEN: [&str; 5] = [".unwrap()", "panic!(", "dbg!(", "todo!(", "unimplemented!("];
 
 /// The attribute every crate root must carry.
 const FORBID_UNSAFE: &str = "#![forbid(unsafe_code)]";
@@ -381,6 +381,15 @@ mod tests {
         let src = "fn f() {\n    let x = y.unwrap();\n    panic!(\"no\");\n    dbg!(x);\n}\n";
         let hits = scan_source(src);
         assert_eq!(hits, vec![(2, ".unwrap()"), (3, "panic!("), (4, "dbg!(")]);
+    }
+
+    #[test]
+    fn finds_placeholder_macros() {
+        let src = "fn f() {\n    todo!(\"later\");\n}\nfn g() {\n    unimplemented!()\n}\n";
+        // `unimplemented!()` without arguments still starts with the
+        // `unimplemented!(` token.
+        let hits = scan_source(src);
+        assert_eq!(hits, vec![(2, "todo!("), (5, "unimplemented!(")]);
     }
 
     #[test]
