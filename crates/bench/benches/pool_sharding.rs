@@ -1,0 +1,149 @@
+//! Multi-backend sharding: single device vs a 4-member homogeneous pool.
+//!
+//! The workload is the paper's 5-qubit golden ansatz under the standard
+//! (9-subcircuit) protocol on IBM-like timing, where per-job overhead
+//! dominates — exactly the regime of Fig. 5, so the gather makespan is
+//! proportional to the per-device job count. A 4-member pool shards the
+//! 9-job fan-out round-robin (3/2/2/2), so its makespan — the slowest
+//! member's simulated device time — must undercut the single device's
+//! total by the job-count ratio (≈ 3x here).
+//!
+//! Writes `BENCH_pool_sharding.json` and asserts the acceptance bar —
+//! sharded makespan speedup ≥ 2 at 4 homogeneous members — at bench
+//! time so the CI smoke run (`cargo bench -- --test`) trips regressions.
+
+use criterion::{criterion_group, Criterion};
+use qcut_circuit::ansatz::GoldenAnsatz;
+use qcut_core::golden::GoldenPolicy;
+use qcut_core::pipeline::{CutExecutor, CutRun, ExecutionOptions};
+use qcut_device::ideal::IdealBackend;
+use qcut_device::pool::{BackendPool, PlacementPolicy};
+use qcut_device::timing::TimingModel;
+
+const MEMBERS: usize = 4;
+const SHOTS_PER_SETTING: u64 = 1000;
+/// The acceptance bar: the pool's sharded makespan must be ≥ 2x shorter.
+const MIN_SPEEDUP: f64 = 2.0;
+
+fn options() -> ExecutionOptions {
+    ExecutionOptions {
+        shots_per_setting: SHOTS_PER_SETTING,
+        ..Default::default()
+    }
+}
+
+fn member(seed: u64) -> IdealBackend {
+    IdealBackend::new(seed).with_timing(TimingModel::ibm_like())
+}
+
+fn pool(members: usize) -> BackendPool {
+    let mut p = BackendPool::new(PlacementPolicy::RoundRobin);
+    for seed in 0..members as u64 {
+        p = p.with_backend(member(1000 + seed));
+    }
+    p
+}
+
+fn run_single() -> CutRun {
+    let (circuit, cut) = GoldenAnsatz::new(5, 11).build();
+    let backend = member(1000);
+    CutExecutor::new(&backend)
+        .run(&circuit, &cut, GoldenPolicy::Disabled, &options())
+        .unwrap()
+}
+
+fn run_pool(members: usize) -> CutRun {
+    let (circuit, cut) = GoldenAnsatz::new(5, 11).build();
+    let p = pool(members);
+    CutExecutor::new(&p)
+        .run(&circuit, &cut, GoldenPolicy::Disabled, &options())
+        .unwrap()
+}
+
+/// Criterion microbench: host-side cost of the sharded gather vs the
+/// single-device gather (the simulated makespan numbers come from
+/// `write_summary`).
+fn bench_pool_sharding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_sharding");
+    group.sample_size(10);
+    group.bench_function("single_device", |b| {
+        b.iter(|| run_single().report.total_shots)
+    });
+    group.bench_function("pool_4_members", |b| {
+        b.iter(|| run_pool(MEMBERS).report.total_shots)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_sharding);
+
+/// Writes the machine-readable summary the acceptance gate reads.
+fn write_summary() {
+    let single = run_single();
+    let sharded = run_pool(MEMBERS);
+
+    // The pool must not change the physics or the shot bill.
+    assert_eq!(
+        sharded.report.total_shots, single.report.total_shots,
+        "sharding must not change the executed shot total"
+    );
+    assert_eq!(sharded.report.jobs_executed, single.report.jobs_executed);
+    assert_eq!(
+        sharded.report.jobs_per_member.iter().sum::<u64>(),
+        sharded.report.jobs_executed as u64,
+        "per-member deliveries must sum to the executed jobs"
+    );
+
+    // Makespans: the single device serialises every job; the pool's
+    // wall-clock is its slowest member.
+    let makespan_single = single.report.simulated_device_seconds;
+    let makespan_pool = sharded
+        .report
+        .member_makespan_seconds
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
+    assert!(makespan_pool > 0.0, "pool accounting must be populated");
+    let speedup = makespan_single / makespan_pool;
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "sharded makespan speedup {speedup:.2}x at {MEMBERS} members is below \
+         the {MIN_SPEEDUP}x bar (single {makespan_single:.2}s, pool {makespan_pool:.2}s, \
+         jobs per member {:?})",
+        sharded.report.jobs_per_member
+    );
+
+    let per_member: Vec<String> = sharded
+        .report
+        .jobs_per_member
+        .iter()
+        .zip(&sharded.report.member_makespan_seconds)
+        .map(|(jobs, secs)| format!("    {{\"jobs\": {jobs}, \"makespan_s\": {secs:.3}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"pool_sharding\",\n  \"workload\": \
+         \"5-qubit golden ansatz, standard 9-subcircuit protocol, {SHOTS_PER_SETTING} \
+         shots/setting on IBM-like timing; single device vs a {MEMBERS}-member \
+         homogeneous round-robin pool\",\n  \
+         \"metric\": \"simulated gather makespan: single device total vs slowest pool member\",\n  \
+         \"members\": {MEMBERS},\n  \
+         \"jobs_total\": {},\n  \
+         \"makespan_single_s\": {makespan_single:.3},\n  \
+         \"makespan_pool_s\": {makespan_pool:.3},\n  \
+         \"speedup\": {speedup:.2},\n  \
+         \"min_speedup\": {MIN_SPEEDUP},\n  \
+         \"pool_parallel_ratio\": {:.2},\n  \
+         \"per_member\": [\n{}\n  ]\n}}\n",
+        sharded.report.jobs_executed,
+        sharded.report.pool_parallel_ratio,
+        per_member.join(",\n")
+    );
+    let path = qcut_bench::artifact_path("BENCH_pool_sharding.json");
+    std::fs::write(&path, &json).expect("write bench summary");
+    println!("wrote {}:\n{json}", path.display());
+}
+
+fn main() {
+    benches();
+    write_summary();
+}

@@ -46,6 +46,7 @@ use qcut_circuit::circuit::Circuit;
 use qcut_circuit::cut::CutSpec;
 use qcut_circuit::gate::Gate;
 use qcut_device::backend::Backend;
+use qcut_device::pool::MemberInfo;
 use qcut_device::timing::TimingModel;
 use qcut_math::Pauli;
 use serde::{Deserialize, Serialize};
@@ -78,7 +79,8 @@ impl fmt::Display for Severity {
 
 /// The registered diagnostic codes, grouped by layer: `QA0xx` circuit,
 /// `QA1xx` cut, `QA2xx` schedule, `QA3xx` job graph, `QA4xx` warm-start
-/// cache, `QA5xx` fault tolerance, `QA6xx` dataflow.
+/// cache, `QA5xx` fault tolerance, `QA6xx` dataflow, `QA7xx` backend
+/// pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LintCode {
     /// `QA001` — instruction operands out of range, wrong arity, or
@@ -162,11 +164,24 @@ pub enum LintCode {
     /// configured plan is not neglecting; `GoldenPolicy::ProveStatic`
     /// would bank them with zero detection shots.
     ProvableGoldenUndetected,
+    /// `QA701` — a planned node's circuit is wider than every pool
+    /// member's qubit capacity: no placement can seat it and it fails
+    /// before a single shot is submitted.
+    PoolCapacityInfeasible,
+    /// `QA702` — a warm-start cache is attached to a pool whose members
+    /// carry distinct cache fingerprints: the reconstruction merges
+    /// histograms measured under different fingerprints, and a failed-over
+    /// node's histogram is stored under its *assigned* member's key even
+    /// though a sibling measured it.
+    PoolFingerprintMixing,
+    /// `QA703` — the pool has more members than the planned graph has
+    /// unique nodes, so some members necessarily sit idle every round.
+    PoolIdleMember,
 }
 
 impl LintCode {
     /// Every registered code, in code order.
-    pub const ALL: [LintCode; 24] = [
+    pub const ALL: [LintCode; 27] = [
         LintCode::OutOfRangeOperand,
         LintCode::IdleQubit,
         LintCode::IdentityGate,
@@ -191,6 +206,9 @@ impl LintCode {
         LintCode::DominatedCutPlacement,
         LintCode::OutOfConeDeadGate,
         LintCode::ProvableGoldenUndetected,
+        LintCode::PoolCapacityInfeasible,
+        LintCode::PoolFingerprintMixing,
+        LintCode::PoolIdleMember,
     ];
 
     /// The stable `QAxxx` code string.
@@ -220,6 +238,9 @@ impl LintCode {
             LintCode::DominatedCutPlacement => "QA601",
             LintCode::OutOfConeDeadGate => "QA602",
             LintCode::ProvableGoldenUndetected => "QA603",
+            LintCode::PoolCapacityInfeasible => "QA701",
+            LintCode::PoolFingerprintMixing => "QA702",
+            LintCode::PoolIdleMember => "QA703",
         }
     }
 
@@ -231,7 +252,8 @@ impl LintCode {
             | LintCode::InvalidCut
             | LintCode::BudgetBelowFloor
             | LintCode::ZeroShotSetting
-            | LintCode::ConsumerAliasing => Severity::Deny,
+            | LintCode::ConsumerAliasing
+            | LintCode::PoolCapacityInfeasible => Severity::Deny,
             LintCode::IdleQubit
             | LintCode::IdentityGate
             | LintCode::SamplingOverhead
@@ -243,14 +265,16 @@ impl LintCode {
             | LintCode::CacheDegraded
             | LintCode::FaultProneNoRetry
             | LintCode::TimeoutBelowJobDuration
-            | LintCode::DegradeUnsalvageable => Severity::Warn,
+            | LintCode::DegradeUnsalvageable
+            | LintCode::PoolFingerprintMixing => Severity::Warn,
             LintCode::FusibleAdjacent
             | LintCode::GoldenStructure
             | LintCode::NeglectCoverage
             | LintCode::PrefixSharing
             | LintCode::DominatedCutPlacement
             | LintCode::OutOfConeDeadGate
-            | LintCode::ProvableGoldenUndetected => Severity::Allow,
+            | LintCode::ProvableGoldenUndetected
+            | LintCode::PoolIdleMember => Severity::Allow,
         }
     }
 }
@@ -468,6 +492,10 @@ pub struct AnalysisContext<'a> {
     /// The backend's timing model, for predicting per-job device
     /// durations against a configured timeout (backend-known path only).
     pub timing: Option<&'a TimingModel>,
+    /// The members of the bound [`qcut_device::pool::BackendPool`], when
+    /// the backend is one (backend-known path only; `None` on bare
+    /// backends, `Some(empty)` on an empty pool).
+    pub pool: Option<Vec<MemberInfo>>,
     /// The analysis configuration (thresholds, overrides).
     pub config: &'a AnalysisConfig,
 }
@@ -491,6 +519,7 @@ impl<'a> AnalysisContext<'a> {
             failure: None,
             fault_prone: None,
             timing: None,
+            pool: None,
             config,
         }
     }
@@ -570,6 +599,9 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(DominatedCutPlacementLint),
         Box::new(OutOfConeDeadGateLint),
         Box::new(ProvableGoldenUndetectedLint),
+        Box::new(PoolCapacityInfeasibleLint),
+        Box::new(PoolFingerprintMixingLint),
+        Box::new(PoolIdleMemberLint),
     ]
 }
 
@@ -1636,6 +1668,120 @@ impl Lint for ProvableGoldenUndetectedLint {
 }
 
 // ---------------------------------------------------------------------
+// Pool-layer lints (QA7xx): multi-backend sharding.
+// ---------------------------------------------------------------------
+
+struct PoolCapacityInfeasibleLint;
+
+impl Lint for PoolCapacityInfeasibleLint {
+    fn code(&self) -> LintCode {
+        LintCode::PoolCapacityInfeasible
+    }
+    fn description(&self) -> &'static str {
+        "a planned node is wider than every pool member's capacity"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Graph
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let (Some(graph), Some(members)) = (ctx.graph, ctx.pool.as_deref()) else {
+            return;
+        };
+        let ceiling = members.iter().map(|m| m.capacity).max().unwrap_or(0);
+        let doomed: Vec<(usize, usize)> = graph
+            .node_jobs()
+            .enumerate()
+            .filter_map(|(i, (circuit, _))| {
+                let width = circuit.num_qubits();
+                (width > ceiling).then_some((i, width))
+            })
+            .collect();
+        if let Some(&(node, width)) = doomed.first() {
+            sink.report(
+                self.code(),
+                format!(
+                    "{} of {} planned node(s) exceed every pool member's \
+                     capacity (e.g. node {node} at {width} qubits vs a \
+                     {ceiling}-qubit ceiling across {} member(s)); no \
+                     placement can seat them and they fail before submission",
+                    doomed.len(),
+                    graph.num_nodes(),
+                    members.len(),
+                ),
+            );
+        }
+    }
+}
+
+struct PoolFingerprintMixingLint;
+
+impl Lint for PoolFingerprintMixingLint {
+    fn code(&self) -> LintCode {
+        LintCode::PoolFingerprintMixing
+    }
+    fn description(&self) -> &'static str {
+        "warm cache on a pool whose members carry distinct fingerprints"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Cache
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let (Some(_), Some(members)) = (ctx.cache, ctx.pool.as_deref()) else {
+            return;
+        };
+        let distinct: std::collections::HashSet<u64> =
+            members.iter().map(|m| m.fingerprint).collect();
+        if distinct.len() > 1 {
+            sink.report(
+                self.code(),
+                format!(
+                    "the warm-start cache is enabled on a pool whose {} \
+                     members carry {} distinct cache fingerprints; the \
+                     reconstruction merges histograms measured under \
+                     different fingerprints, and a failed-over node's \
+                     histogram is stored under its assigned member's key \
+                     even though a sibling measured it",
+                    members.len(),
+                    distinct.len(),
+                ),
+            );
+        }
+    }
+}
+
+struct PoolIdleMemberLint;
+
+impl Lint for PoolIdleMemberLint {
+    fn code(&self) -> LintCode {
+        LintCode::PoolIdleMember
+    }
+    fn description(&self) -> &'static str {
+        "more pool members than unique planned jobs: members sit idle"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Graph
+    }
+    fn check(&self, ctx: &AnalysisContext<'_>, sink: &mut Sink<'_>) {
+        let (Some(graph), Some(members)) = (ctx.graph, ctx.pool.as_deref()) else {
+            return;
+        };
+        let nodes = graph.num_nodes();
+        if nodes > 0 && members.len() > nodes {
+            sink.report(
+                self.code(),
+                format!(
+                    "the pool has {} members but the planned graph holds only \
+                     {nodes} unique node(s); at least {} member(s) sit idle \
+                     every round regardless of the placement policy",
+                    members.len(),
+                    members.len() - nodes,
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Entry points.
 // ---------------------------------------------------------------------
 
@@ -1663,15 +1809,17 @@ fn run_layer(
 /// ([`AnalysisConfig::max_planned_jobs`]) skips the schedule/graph layers
 /// so analysis stays cheap at large `K`.
 pub fn analyze(circuit: &Circuit, cut: &CutSpec, options: &ExecutionOptions) -> Diagnostics {
-    analyze_inner(circuit, cut, options, None, None, None)
+    analyze_inner(circuit, cut, options, None, None, None, None)
 }
 
 /// [`analyze`] plus the backend-dependent lints: knowing the backend
 /// lets `QA401` check its seeding discipline, `QA501` its fault
-/// discipline, and `QA502` predict per-job device durations from its
-/// timing model. Still static — the backend is only *queried*
-/// ([`Backend::deterministic_seeding`], [`Backend::is_fault_prone`],
-/// [`Backend::timing`]), never run. This is the entry point
+/// discipline, `QA502` predict per-job device durations from its
+/// timing model, and the `QA70x` pool lints read its member roster when
+/// it is a [`qcut_device::pool::BackendPool`]. Still static — the
+/// backend is only *queried* ([`Backend::deterministic_seeding`],
+/// [`Backend::is_fault_prone`], [`Backend::timing`],
+/// [`Backend::as_pool`]), never run. This is the entry point
 /// [`crate::pipeline::CutExecutor::run`] gates on.
 pub fn analyze_with_backend<B: Backend + ?Sized>(
     circuit: &Circuit,
@@ -1686,6 +1834,7 @@ pub fn analyze_with_backend<B: Backend + ?Sized>(
         Some(backend.deterministic_seeding()),
         Some(backend.is_fault_prone()),
         Some(backend.timing()),
+        backend.as_pool().map(|p| p.member_info()),
     )
 }
 
@@ -1696,6 +1845,7 @@ fn analyze_inner(
     backend_deterministic: Option<bool>,
     fault_prone: Option<bool>,
     timing: Option<&TimingModel>,
+    pool: Option<Vec<MemberInfo>>,
 ) -> Diagnostics {
     let config = &options.analysis;
     let lints = registry();
@@ -1717,6 +1867,7 @@ fn analyze_inner(
         failure: Some(options.failure),
         fault_prone,
         timing,
+        pool,
         config,
     };
     // Cache-configuration and execution-policy lints read no circuit
@@ -1831,6 +1982,9 @@ mod tests {
         assert_eq!(LintCode::DominatedCutPlacement.to_string(), "QA601");
         assert_eq!(LintCode::OutOfConeDeadGate.to_string(), "QA602");
         assert_eq!(LintCode::ProvableGoldenUndetected.to_string(), "QA603");
+        assert_eq!(LintCode::PoolCapacityInfeasible.to_string(), "QA701");
+        assert_eq!(LintCode::PoolFingerprintMixing.to_string(), "QA702");
+        assert_eq!(LintCode::PoolIdleMember.to_string(), "QA703");
     }
 
     #[test]
@@ -2144,6 +2298,7 @@ mod tests {
             failure: None,
             fault_prone: None,
             timing: None,
+            pool: None,
             config,
         }
     }
@@ -2259,6 +2414,100 @@ mod tests {
         assert!(
             diags.to_string().contains("ProveStatic"),
             "the finding names the fix: {diags}"
+        );
+    }
+
+    fn pool_of(members: usize, capacity: usize) -> qcut_device::pool::BackendPool {
+        use qcut_device::pool::{BackendPool, PlacementPolicy};
+        let mut pool = BackendPool::new(PlacementPolicy::RoundRobin);
+        for i in 0..members {
+            pool = pool.with_backend(
+                qcut_device::ideal::IdealBackend::new(i as u64 + 1).with_capacity(capacity),
+            );
+        }
+        pool
+    }
+
+    #[test]
+    fn qa701_denies_nodes_wider_than_every_pool_member() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 3).build();
+        let cramped = pool_of(2, 2);
+        let diags = analyze_with_backend(&circuit, &cut, &ExecutionOptions::default(), &cramped);
+        assert!(
+            diags.contains(LintCode::PoolCapacityInfeasible),
+            "2-qubit members cannot seat the planned fragments: {diags}"
+        );
+        assert!(diags.has_deny(), "QA701 denies by default: {diags}");
+
+        // Roomy members: clean.
+        assert!(!analyze_with_backend(
+            &circuit,
+            &cut,
+            &ExecutionOptions::default(),
+            &pool_of(2, 32)
+        )
+        .contains(LintCode::PoolCapacityInfeasible));
+        // A bare backend has no member roster: skip, even when cramped.
+        let bare = qcut_device::ideal::IdealBackend::new(1).with_capacity(2);
+        assert!(
+            !analyze_with_backend(&circuit, &cut, &ExecutionOptions::default(), &bare)
+                .contains(LintCode::PoolCapacityInfeasible)
+        );
+    }
+
+    #[test]
+    fn qa702_warns_for_a_cached_pool_with_distinct_fingerprints() {
+        use qcut_device::pool::{BackendPool, PlacementPolicy};
+        let (circuit, cut) = GoldenAnsatz::new(5, 3).build();
+        // Different capacities → different default fingerprints.
+        let hetero = BackendPool::new(PlacementPolicy::RoundRobin)
+            .with_backend(qcut_device::ideal::IdealBackend::new(1))
+            .with_backend(qcut_device::ideal::IdealBackend::new(2).with_capacity(16));
+        let diags = analyze_with_backend(&circuit, &cut, &cached_options(), &hetero);
+        assert!(
+            diags.contains(LintCode::PoolFingerprintMixing),
+            "cache + mixed fingerprints must warn: {diags}"
+        );
+
+        // Homogeneous members share one fingerprint: clean.
+        assert!(
+            !analyze_with_backend(&circuit, &cut, &cached_options(), &pool_of(2, 32))
+                .contains(LintCode::PoolFingerprintMixing)
+        );
+        // No cache: nothing to mix.
+        let hetero = BackendPool::new(PlacementPolicy::RoundRobin)
+            .with_backend(qcut_device::ideal::IdealBackend::new(1))
+            .with_backend(qcut_device::ideal::IdealBackend::new(2).with_capacity(16));
+        assert!(
+            !analyze_with_backend(&circuit, &cut, &ExecutionOptions::default(), &hetero)
+                .contains(LintCode::PoolFingerprintMixing)
+        );
+    }
+
+    #[test]
+    fn qa703_reports_idle_members_when_promoted() {
+        let (circuit, cut) = GoldenAnsatz::new(5, 3).build();
+        let promoted = ExecutionOptions {
+            analysis: AnalysisConfig::default()
+                .with_override(LintCode::PoolIdleMember, Severity::Warn),
+            ..Default::default()
+        };
+        let crowded = pool_of(16, 32);
+        let diags = analyze_with_backend(&circuit, &cut, &promoted, &crowded);
+        assert!(
+            diags.contains(LintCode::PoolIdleMember),
+            "16 members over a handful of nodes must report idleness: {diags}"
+        );
+
+        // Two members over the standard plan's nodes: everyone works.
+        assert!(
+            !analyze_with_backend(&circuit, &cut, &promoted, &pool_of(2, 32))
+                .contains(LintCode::PoolIdleMember)
+        );
+        // Default severity is allow: suppressed.
+        assert!(
+            !analyze_with_backend(&circuit, &cut, &ExecutionOptions::default(), &crowded)
+                .contains(LintCode::PoolIdleMember)
         );
     }
 

@@ -58,6 +58,7 @@
 use crate::retry::RetryPolicy;
 use qcut_circuit::circuit::Circuit;
 use qcut_device::backend::{Backend, BackendError, BatchStats, JobSpec};
+use qcut_device::pool::BackendPool;
 use qcut_sim::counts::Counts;
 use qcut_sim::prefix::{PrefixForest, PrefixProfile};
 use serde::{Deserialize, Serialize};
@@ -113,7 +114,7 @@ impl JobNode {
 }
 
 /// Dedup and batching accounting for one [`JobGraph::execute`] call.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct GraphStats {
     /// Jobs registered by callers (one per `add_job`).
     pub jobs_planned: usize,
@@ -163,9 +164,41 @@ pub struct GraphStats {
     /// retry loop would have waited between attempts. Never actually
     /// slept.
     pub backoff_wait: Duration,
+    /// Jobs *delivered* by each pool member, indexed by member position
+    /// (empty on single-backend runs). A job that failed over counts for
+    /// the sibling that actually delivered it.
+    pub jobs_per_member: Vec<u64>,
+    /// Shots delivered by each pool member (empty on single-backend runs).
+    pub shots_per_member: Vec<u64>,
+    /// Simulated device time each pool member spent — including attempts
+    /// that timed out (the device time was consumed even though the counts
+    /// were discarded). The run's sharded wall-clock is the max entry;
+    /// empty on single-backend runs.
+    pub member_makespan: Vec<Duration>,
+    /// Jobs a transiently failing member handed to a healthy sibling that
+    /// then delivered them (pool runs only).
+    pub jobs_failed_over: u64,
 }
 
 impl GraphStats {
+    /// How well the pool's members shared the load: Σ member makespans /
+    /// max member makespan — `N` when `N` members split the device time
+    /// perfectly evenly, `1.0` when one member did everything (and on
+    /// single-backend runs, which have no member accounting).
+    pub fn pool_parallel_ratio(&self) -> f64 {
+        let max = self
+            .member_makespan
+            .iter()
+            .map(Duration::as_secs_f64)
+            .fold(0.0f64, f64::max);
+        if max > 0.0 {
+            let total: f64 = self.member_makespan.iter().map(Duration::as_secs_f64).sum();
+            total / max
+        } else {
+            1.0
+        }
+    }
+
     /// Folds another execution's accounting into this one (used to combine
     /// detection rounds with the main gather).
     pub fn absorb(&mut self, other: &GraphStats) {
@@ -185,6 +218,34 @@ impl GraphStats {
         self.jobs_retried += other.jobs_retried;
         self.shots_lost += other.shots_lost;
         self.backoff_wait += other.backoff_wait;
+        self.jobs_failed_over += other.jobs_failed_over;
+        // Per-member vectors add element-wise; runs against pools of
+        // different sizes (or a pooled gather absorbed into a pool-less
+        // detection round) widen to the larger member set.
+        if self.jobs_per_member.len() < other.jobs_per_member.len() {
+            self.jobs_per_member.resize(other.jobs_per_member.len(), 0);
+        }
+        for (a, b) in self.jobs_per_member.iter_mut().zip(&other.jobs_per_member) {
+            *a += b;
+        }
+        if self.shots_per_member.len() < other.shots_per_member.len() {
+            self.shots_per_member
+                .resize(other.shots_per_member.len(), 0);
+        }
+        for (a, b) in self
+            .shots_per_member
+            .iter_mut()
+            .zip(&other.shots_per_member)
+        {
+            *a += b;
+        }
+        if self.member_makespan.len() < other.member_makespan.len() {
+            self.member_makespan
+                .resize(other.member_makespan.len(), Duration::ZERO);
+        }
+        for (a, b) in self.member_makespan.iter_mut().zip(&other.member_makespan) {
+            *a += *b;
+        }
     }
 }
 
@@ -528,6 +589,12 @@ impl JobGraph {
         parallel: bool,
         retry: &RetryPolicy,
     ) -> Result<GraphRun, Box<GraphFailure>> {
+        if let Some(pool) = backend.as_pool() {
+            // Pool-aware path: per-member sharding, per-member accounting,
+            // and same-round sibling failover. The `parallel` flag is
+            // moot here — each member batch is one native submission.
+            return self.execute_pool(pool, retry);
+        }
         let mut pending: Vec<(usize, u64)> = Vec::new();
         for (i, node) in self.nodes.iter().enumerate() {
             let missing = node.required_shots().saturating_sub(node.cached_shots());
@@ -618,7 +685,239 @@ impl JobGraph {
             }
             pending = still_pending;
         }
+        self.finalize(stats, &delivered, permanent)
+    }
 
+    /// Pool-aware execution: shards the still-pending nodes across the
+    /// members of `pool` under its
+    /// [`PlacementPolicy`](qcut_device::pool::PlacementPolicy), executes
+    /// one batch per member per retry round
+    /// (nodes in graph insertion order within each member — so on
+    /// seed-deterministic members a single-member pool is bit-identical to
+    /// the bare backend), and merges the fan-out into one [`GraphRun`]
+    /// with per-member accounting.
+    ///
+    /// Differences from the single-backend path:
+    ///
+    /// * **Placement** is computed once, over *all* nodes at their full
+    ///   required budgets — deliberately independent of cache seeding, so
+    ///   the pipeline's per-member warm-cache keying (which places before
+    ///   seeding) sees the identical assignment.
+    /// * **Infeasible nodes** — ones no member's capacity fits — fail
+    ///   before anything is submitted ([`NodeFailure::attempts`] is 0) and
+    ///   are carried as salvageable [`GraphFailure`] entries like any
+    ///   other permanent failure.
+    /// * **Failover**: a node whose assigned member raises a transient
+    ///   fault (or trips the per-job timeout) is re-submitted *within the
+    ///   same retry round* to the next feasible sibling before the round
+    ///   counts as lost; only if the sibling also fails does the node wait
+    ///   for the next [`RetryPolicy`] round (back on its assigned member).
+    ///   Each failover submission counts toward [`GraphStats::attempts`];
+    ///   deliveries by a sibling count toward
+    ///   [`GraphStats::jobs_failed_over`] and the *sibling's* member
+    ///   accounting.
+    pub fn execute_pool(
+        &self,
+        pool: &BackendPool,
+        retry: &RetryPolicy,
+    ) -> Result<GraphRun, Box<GraphFailure>> {
+        let members = pool.len();
+        let placement_specs: Vec<JobSpec<'_>> = self
+            .nodes
+            .iter()
+            .map(|n| JobSpec::new(&n.circuit, n.required_shots()))
+            .collect();
+        let placement = pool.place(&placement_specs);
+
+        let mut pending: Vec<(usize, u64)> = Vec::new();
+        let mut permanent: Vec<NodeFailure> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let missing = node.required_shots().saturating_sub(node.cached_shots());
+            if missing == 0 {
+                continue;
+            }
+            if placement.assignment[i].is_some() {
+                pending.push((i, missing));
+            } else {
+                let error = if members == 0 {
+                    BackendError::Unavailable
+                } else {
+                    BackendError::CircuitTooWide {
+                        circuit: node.circuit.num_qubits(),
+                        device: pool.num_qubits(),
+                    }
+                };
+                permanent.push(self.node_failure(i, error, 0));
+            }
+        }
+
+        let mut stats = GraphStats {
+            jobs_planned: self.jobs_planned,
+            jobs_executed: pending.len(),
+            shots_requested: self
+                .nodes
+                .iter()
+                .flat_map(|n| n.consumers.iter().map(|&(_, s)| s))
+                .sum(),
+            jobs_per_member: vec![0; members],
+            shots_per_member: vec![0; members],
+            member_makespan: vec![Duration::ZERO; members],
+            ..GraphStats::default()
+        };
+        let mut delivered: HashMap<usize, Counts> = HashMap::with_capacity(pending.len());
+
+        let max_attempts = retry.max_attempts.max(1);
+        for attempt in 1..=max_attempts {
+            if pending.is_empty() {
+                break;
+            }
+            if attempt > 1 {
+                stats.jobs_retried += pending.len() as u64;
+                stats.backoff_wait += retry.backoff.delay(attempt - 1);
+            }
+            stats.attempts += pending.len() as u64;
+            let last_round = attempt == max_attempts;
+
+            // Primary phase: one batch per member, in member-index order,
+            // each preserving graph insertion order.
+            let mut failover: Vec<(usize, u64, usize, BackendError)> = Vec::new();
+            let mut still_pending: Vec<(usize, u64)> = Vec::new();
+            for m in 0..members {
+                let mine: Vec<(usize, u64)> = pending
+                    .iter()
+                    .copied()
+                    .filter(|&(i, _)| placement.assignment[i] == Some(m))
+                    .collect();
+                if mine.is_empty() {
+                    continue;
+                }
+                let specs: Vec<JobSpec<'_>> = mine
+                    .iter()
+                    .map(|&(i, shots)| JobSpec::new(&self.nodes[i].circuit, shots))
+                    .collect();
+                let run = pool.member(m).run_batch_stats(&specs);
+                stats.gates_applied += run.stats.gates_applied;
+                stats.gates_saved += run.stats.gates_saved();
+                stats.states_reused += run.stats.states_reused;
+                for (&(i, shots), result) in mine.iter().zip(run.results) {
+                    match result {
+                        Ok(r) => {
+                            stats.simulated_device_time += r.simulated_duration;
+                            stats.host_time += r.host_duration;
+                            stats.member_makespan[m] += r.simulated_duration;
+                            match retry.per_job_timeout {
+                                Some(deadline) if r.simulated_duration > deadline => {
+                                    failover.push((
+                                        i,
+                                        shots,
+                                        m,
+                                        BackendError::Timeout {
+                                            elapsed: r.simulated_duration,
+                                        },
+                                    ));
+                                }
+                                _ => {
+                                    stats.shots_executed += shots;
+                                    stats.jobs_per_member[m] += 1;
+                                    stats.shots_per_member[m] += shots;
+                                    delivered.insert(i, r.counts);
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            if e.is_transient() {
+                                failover.push((i, shots, m, e));
+                            } else {
+                                permanent.push(self.node_failure(i, e, attempt));
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Failover phase, same round: each transiently failed node
+            // goes once to its next feasible sibling. Grouped per sibling
+            // (graph order preserved) so the sibling sees one batch.
+            let mut by_sibling: Vec<Vec<(usize, u64, BackendError)>> = vec![Vec::new(); members];
+            for (i, shots, m, error) in failover {
+                match pool.failover_sibling(m, self.nodes[i].circuit.num_qubits()) {
+                    Some(s) => by_sibling[s].push((i, shots, error)),
+                    None if last_round => {
+                        permanent.push(self.node_failure(i, error, attempt));
+                    }
+                    None => still_pending.push((i, shots)),
+                }
+            }
+            for (s, batch) in by_sibling.into_iter().enumerate() {
+                if batch.is_empty() {
+                    continue;
+                }
+                stats.attempts += batch.len() as u64;
+                let specs: Vec<JobSpec<'_>> = batch
+                    .iter()
+                    .map(|&(i, shots, _)| JobSpec::new(&self.nodes[i].circuit, shots))
+                    .collect();
+                let run = pool.member(s).run_batch_stats(&specs);
+                stats.gates_applied += run.stats.gates_applied;
+                stats.gates_saved += run.stats.gates_saved();
+                stats.states_reused += run.stats.states_reused;
+                for (&(i, shots, _), result) in batch.iter().zip(run.results) {
+                    match result {
+                        Ok(r) => {
+                            stats.simulated_device_time += r.simulated_duration;
+                            stats.host_time += r.host_duration;
+                            stats.member_makespan[s] += r.simulated_duration;
+                            match retry.per_job_timeout {
+                                Some(deadline) if r.simulated_duration > deadline => {
+                                    if last_round {
+                                        permanent.push(self.node_failure(
+                                            i,
+                                            BackendError::Timeout {
+                                                elapsed: r.simulated_duration,
+                                            },
+                                            attempt,
+                                        ));
+                                    } else {
+                                        still_pending.push((i, shots));
+                                    }
+                                }
+                                _ => {
+                                    stats.shots_executed += shots;
+                                    stats.jobs_per_member[s] += 1;
+                                    stats.shots_per_member[s] += shots;
+                                    stats.jobs_failed_over += 1;
+                                    delivered.insert(i, r.counts);
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            if e.is_transient() && !last_round {
+                                still_pending.push((i, shots));
+                            } else {
+                                permanent.push(self.node_failure(i, e, attempt));
+                            }
+                        }
+                    }
+                }
+            }
+            // The next round re-submits in graph order, back on the
+            // assigned members.
+            still_pending.sort_by_key(|&(i, _)| i);
+            pending = still_pending;
+        }
+        self.finalize(stats, &delivered, permanent)
+    }
+
+    /// The shared tail of every execute path: sorts the permanent
+    /// failures, splits the non-executed shots between in-process reuse
+    /// and warm-cache reuse, fans the merged histograms out to consumers,
+    /// and wraps failures (with their salvage) into a [`GraphFailure`].
+    fn finalize(
+        &self,
+        mut stats: GraphStats,
+        delivered: &HashMap<usize, Counts>,
+        mut permanent: Vec<NodeFailure>,
+    ) -> Result<GraphRun, Box<GraphFailure>> {
         permanent.sort_by_key(|f| f.node);
         let failed: Vec<usize> = permanent.iter().map(|f| f.node).collect();
         stats.shots_lost = permanent.iter().map(|f| f.shots_lost).sum();
@@ -1210,6 +1509,178 @@ mod tests {
             run.counts(&(Channel::UpstreamMeas, 0)).unwrap().total(),
             1000
         );
+    }
+
+    #[test]
+    fn pool_execution_shards_and_accounts_per_member() {
+        use qcut_device::pool::{BackendPool, PlacementPolicy};
+
+        let pool = BackendPool::new(PlacementPolicy::RoundRobin)
+            .with_backend(IdealBackend::new(1))
+            .with_backend(IdealBackend::new(2));
+        let mut g = JobGraph::new();
+        for i in 0..4 {
+            g.add_job(bell(), (Channel::UpstreamMeas, i), 100 + i);
+        }
+        g.add_job(ghz(), (Channel::DownstreamPrep, 0), 300);
+        // 5 planned, 2 unique nodes (bell merged at max budget 103).
+        let run = g.execute(&pool, true).unwrap();
+        assert_eq!(run.stats.jobs_executed, 2);
+        assert_eq!(run.stats.jobs_per_member, vec![1, 1]);
+        assert_eq!(run.stats.shots_per_member, vec![103, 300]);
+        assert_eq!(run.stats.jobs_failed_over, 0);
+        // Shot invariant extends across members: per-member deliveries sum
+        // to the executed total.
+        assert_eq!(
+            run.stats.shots_per_member.iter().sum::<u64>(),
+            run.stats.shots_executed
+        );
+        assert_eq!(
+            run.stats.shots_requested,
+            run.stats.shots_executed + run.stats.shots_saved + run.stats.shots_lost
+        );
+        for i in 0..4 {
+            assert_eq!(
+                run.counts(&(Channel::UpstreamMeas, i)).unwrap().total(),
+                103
+            );
+        }
+    }
+
+    #[test]
+    fn single_member_pool_is_bit_identical_to_the_bare_backend() {
+        use qcut_device::pool::{BackendPool, PlacementPolicy};
+
+        let build = || {
+            let mut g = JobGraph::new();
+            for i in 0..3 {
+                g.add_job(bell(), (Channel::UpstreamMeas, i), 200 + i);
+            }
+            g.add_job(ghz(), (Channel::DownstreamPrep, 0), 150);
+            g
+        };
+        let bare = build().execute(&IdealBackend::new(42), true).unwrap();
+        let pool =
+            BackendPool::new(PlacementPolicy::LeastLoaded).with_backend(IdealBackend::new(42));
+        let pooled = build().execute(&pool, true).unwrap();
+        for key in [
+            (Channel::UpstreamMeas, 0),
+            (Channel::UpstreamMeas, 1),
+            (Channel::UpstreamMeas, 2),
+            (Channel::DownstreamPrep, 0),
+        ] {
+            assert_eq!(pooled.counts(&key), bare.counts(&key), "{key:?}");
+        }
+        assert_eq!(pooled.stats.shots_executed, bare.stats.shots_executed);
+        assert_eq!(pooled.stats.gates_applied, bare.stats.gates_applied);
+        assert_eq!(pooled.stats.jobs_per_member, vec![2]);
+        assert!((pooled.stats.pool_parallel_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_member_fails_over_to_a_sibling_in_the_same_round() {
+        use qcut_device::fault::FaultInjectingBackend;
+        use qcut_device::pool::{BackendPool, PlacementPolicy};
+
+        let bell_c = bell();
+        // Member 0 fails the bell node once; everything is pinned to
+        // member 0, so the bell node must be absorbed by sibling 1 —
+        // within the default single-attempt policy (failover happens
+        // before the round counts as lost).
+        let pool = BackendPool::new(PlacementPolicy::Pinned(vec![0]))
+            .with_backend(FaultInjectingBackend::new(IdealBackend::new(5)).fail_circuit(&bell_c, 1))
+            .with_backend(IdealBackend::new(77));
+        let mut g = JobGraph::new();
+        g.add_job(bell_c.clone(), (Channel::UpstreamMeas, 0), 400);
+        g.add_job(ghz(), (Channel::DownstreamPrep, 0), 300);
+        let run = g.execute(&pool, true).unwrap();
+        assert_eq!(run.stats.jobs_failed_over, 1);
+        assert_eq!(run.stats.jobs_per_member, vec![1, 1]);
+        assert_eq!(run.stats.shots_per_member, vec![300, 400]);
+        assert_eq!(run.stats.attempts, 3); // 2 primary + 1 failover
+        assert_eq!(run.stats.shots_lost, 0);
+
+        // Equivalence: the failover run is bit-identical to a fault-free
+        // pool that pinned the bell node to member 1 outright — the
+        // sibling sees the identical batch at the identical counter base.
+        let reference = BackendPool::new(PlacementPolicy::Pinned(vec![1, 0]))
+            .with_backend(IdealBackend::new(5))
+            .with_backend(IdealBackend::new(77));
+        let mut g2 = JobGraph::new();
+        g2.add_job(bell_c, (Channel::UpstreamMeas, 0), 400);
+        g2.add_job(ghz(), (Channel::DownstreamPrep, 0), 300);
+        let want = g2.execute(&reference, true).unwrap();
+        for key in [(Channel::UpstreamMeas, 0), (Channel::DownstreamPrep, 0)] {
+            assert_eq!(run.counts(&key), want.counts(&key), "{key:?}");
+        }
+    }
+
+    #[test]
+    fn infeasible_pool_node_fails_before_submission_with_salvage() {
+        use qcut_device::pool::{BackendPool, PlacementPolicy};
+
+        let pool = BackendPool::new(PlacementPolicy::LeastLoaded)
+            .with_backend(IdealBackend::new(1).with_capacity(2))
+            .with_backend(IdealBackend::new(2).with_capacity(2));
+        let mut g = JobGraph::new();
+        g.add_job(ghz(), (Channel::Uncut, 0), 100); // fits no member
+        g.add_job(bell(), (Channel::UpstreamMeas, 0), 250);
+        let failure = g.execute(&pool, true).unwrap_err();
+        let f = &failure.failures[0];
+        assert!(matches!(
+            f.error,
+            BackendError::CircuitTooWide {
+                circuit: 3,
+                device: 2
+            }
+        ));
+        assert_eq!(f.attempts, 0, "nothing was ever submitted for it");
+        assert_eq!(f.shots_lost, 100);
+        // The feasible sibling was executed and salvaged.
+        assert_eq!(failure.succeeded(), vec![(Channel::UpstreamMeas, 0)]);
+        let s = &failure.salvage.stats;
+        assert_eq!(s.shots_executed, 250);
+        assert_eq!(
+            s.shots_requested,
+            s.shots_executed + s.shots_saved + s.cache_shots_reused + s.shots_lost
+        );
+    }
+
+    #[test]
+    fn pool_parallel_ratio_reflects_member_balance() {
+        let balanced = GraphStats {
+            member_makespan: vec![Duration::from_secs(4); 4],
+            ..GraphStats::default()
+        };
+        assert!((balanced.pool_parallel_ratio() - 4.0).abs() < 1e-12);
+        let lopsided = GraphStats {
+            member_makespan: vec![Duration::from_secs(8), Duration::ZERO],
+            ..GraphStats::default()
+        };
+        assert!((lopsided.pool_parallel_ratio() - 1.0).abs() < 1e-12);
+        assert!((GraphStats::default().pool_parallel_ratio() - 1.0).abs() < 1e-12);
+
+        // absorb widens and adds the member vectors.
+        let mut a = GraphStats {
+            jobs_per_member: vec![2],
+            shots_per_member: vec![100],
+            member_makespan: vec![Duration::from_secs(1)],
+            ..GraphStats::default()
+        };
+        a.absorb(&GraphStats {
+            jobs_per_member: vec![1, 3],
+            shots_per_member: vec![50, 70],
+            member_makespan: vec![Duration::from_secs(2), Duration::from_secs(5)],
+            jobs_failed_over: 1,
+            ..GraphStats::default()
+        });
+        assert_eq!(a.jobs_per_member, vec![3, 3]);
+        assert_eq!(a.shots_per_member, vec![150, 70]);
+        assert_eq!(
+            a.member_makespan,
+            vec![Duration::from_secs(3), Duration::from_secs(5)]
+        );
+        assert_eq!(a.jobs_failed_over, 1);
     }
 
     #[test]

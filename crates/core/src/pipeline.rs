@@ -48,7 +48,7 @@ use crate::variance::neyman_scores;
 use qcut_cache::{CacheKey, ShotDiscipline, WarmCache};
 use qcut_circuit::circuit::Circuit;
 use qcut_circuit::cut::CutSpec;
-use qcut_device::backend::{Backend, BackendError};
+use qcut_device::backend::{Backend, BackendError, JobSpec};
 use qcut_sim::counts::Counts;
 use qcut_stats::distribution::Distribution;
 use std::collections::hash_map::Entry;
@@ -204,6 +204,12 @@ struct GatherRound {
     downstream: HashMap<u64, Counts>,
     sic_counts: HashMap<u64, Counts>,
     stats: GraphStats,
+    /// Structural hash → cache fingerprint of the pool member the round's
+    /// placement assigned each node to (empty on single-backend runs).
+    /// Store-back keys each delivered histogram by the member that
+    /// measured it, never the pool aggregate — histograms must not cross
+    /// member fingerprints.
+    member_fingerprints: HashMap<u64, u64>,
 }
 
 /// Records one round's delivered histogram into a structural-hash-keyed
@@ -436,6 +442,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
             downstream,
             sic_counts,
             stats: gather_stats,
+            member_fingerprints,
         } = gather;
         let gather_seconds = gather_started.elapsed().as_secs_f64();
 
@@ -453,6 +460,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
                 &upstream,
                 &downstream,
                 &sic_counts,
+                &member_fingerprints,
             );
             if cache.config().path.is_some() {
                 if let Err(e) = cache.persist() {
@@ -562,6 +570,7 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         // Accounting: engine numbers unify detection and gather.
         let mut engine = detection_stats;
         engine.absorb(&gather_stats);
+        let pool_parallel_ratio = engine.pool_parallel_ratio();
         let report = RunReport {
             num_cuts: fragments.num_cuts,
             neglected: plan.neglected().to_vec(),
@@ -594,6 +603,14 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
             jobs_retried: engine.jobs_retried,
             shots_lost: engine.shots_lost,
             backoff_seconds: engine.backoff_wait.as_secs_f64(),
+            jobs_per_member: engine.jobs_per_member,
+            member_makespan_seconds: engine
+                .member_makespan
+                .into_iter()
+                .map(|d| d.as_secs_f64())
+                .collect(),
+            pool_parallel_ratio,
+            jobs_failed_over: engine.jobs_failed_over,
             degraded,
             failures: failure_records,
             variance_inflation,
@@ -619,6 +636,12 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
     /// keyed by `(structural hash, backend fingerprint, discipline)`.
     /// First delivery wins per structural hash: deduplicated settings hand
     /// back the *same* merged node histogram, which must be stored once.
+    ///
+    /// On a [`qcut_device::pool::BackendPool`] backend the fingerprint is
+    /// the *assigned member's* (`member_fingerprints`), never the pool
+    /// aggregate — so a later run against any one member (or a re-shuffled
+    /// pool) only ever warm-starts from histograms that member's
+    /// fingerprint actually measured.
     #[allow(clippy::too_many_arguments)]
     fn store_back(
         &self,
@@ -629,13 +652,18 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         upstream: &HashMap<u64, Counts>,
         downstream: &HashMap<u64, Counts>,
         sic_counts: &HashMap<u64, Counts>,
+        member_fingerprints: &HashMap<u64, u64>,
     ) {
         let fingerprint = self.backend.cache_fingerprint();
         let mut stored: HashSet<u64> = HashSet::new();
         let mut store = |circuit: Circuit, counts: &Counts| {
             let hash = circuit.structural_hash();
             if stored.insert(hash) {
-                let key = CacheKey::new(hash, fingerprint, ShotDiscipline::Multinomial);
+                let member = member_fingerprints
+                    .get(&hash)
+                    .copied()
+                    .unwrap_or(fingerprint);
+                let key = CacheKey::new(hash, member, ShotDiscipline::Multinomial);
                 cache.store(&key, &circuit, counts);
             }
         };
@@ -721,15 +749,23 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
         for (circuit, counts) in seeds.values() {
             graph.seed_counts(circuit, counts);
         }
+        // On a pool backend, cache keys are per *member*: reproduce the
+        // placement `execute_pool` will compute (same node order, same
+        // max-consumer-demand shots, so the assignment is identical) and
+        // key each node by its assigned member's fingerprint. Seeding is
+        // shot-accounting only, so the placement the engine computes at
+        // execute time is unaffected by what the cache serves here.
+        let member_fingerprints = self.member_fingerprints(&graph);
         if let Some(cache) = warm {
             let fingerprint = self.backend.cache_fingerprint();
             let node_circuits: Vec<Circuit> = graph.node_jobs().map(|(c, _)| c.clone()).collect();
             for circuit in node_circuits {
-                let key = CacheKey::new(
-                    circuit.structural_hash(),
-                    fingerprint,
-                    ShotDiscipline::Multinomial,
-                );
+                let hash = circuit.structural_hash();
+                let member = member_fingerprints
+                    .get(&hash)
+                    .copied()
+                    .unwrap_or(fingerprint);
+                let key = CacheKey::new(hash, member, ShotDiscipline::Multinomial);
                 if let Some(counts) = cache.lookup(&key, &circuit) {
                     graph.seed_counts_from_cache(&circuit, &counts);
                 }
@@ -754,7 +790,45 @@ impl<'b, B: Backend + ?Sized> CutExecutor<'b, B> {
             downstream: grun.take_channel(Channel::DownstreamPrep),
             sic_counts: grun.take_channel(Channel::SicPrep),
             stats: grun.stats,
+            member_fingerprints,
         })
+    }
+
+    /// Structural hash → member cache fingerprint for every node of a
+    /// planned graph when the bound backend is a
+    /// [`qcut_device::pool::BackendPool`] (empty map otherwise). Runs the
+    /// pool's placement over the same specs `JobGraph::execute_pool` will
+    /// build — every node at its maximum consumer demand, in insertion
+    /// order — so the assignment here and the one at execute time agree
+    /// exactly. Nodes the placement cannot seat (over-capacity) fall back
+    /// to the pool's aggregate fingerprint; they fail before submission
+    /// anyway, so no histogram is ever stored under it.
+    fn member_fingerprints(&self, graph: &JobGraph) -> HashMap<u64, u64> {
+        let Some(pool) = self.backend.as_pool() else {
+            return HashMap::new();
+        };
+        let jobs: Vec<(&Circuit, u64)> = graph
+            .node_jobs()
+            .map(|(circuit, consumers)| {
+                let required = consumers.iter().map(|&(_, shots)| shots).max().unwrap_or(0);
+                (circuit, required)
+            })
+            .collect();
+        let specs: Vec<JobSpec<'_>> = jobs
+            .iter()
+            .map(|&(circuit, shots)| JobSpec::new(circuit, shots))
+            .collect();
+        let placement = pool.place(&specs);
+        jobs.iter()
+            .zip(&placement.assignment)
+            .map(|(&(circuit, _), &member)| {
+                let fingerprint = match member {
+                    Some(m) => pool.member(m).cache_fingerprint(),
+                    None => pool.cache_fingerprint(),
+                };
+                (circuit.structural_hash(), fingerprint)
+            })
+            .collect()
     }
 
     /// The two-round adaptive gather (`ShotAllocation::Adaptive` with an

@@ -122,6 +122,22 @@ pub struct RunReport {
     /// Deterministic backoff accounting in seconds: what a wall-clock
     /// retry loop would have waited between attempts (never slept).
     pub backoff_seconds: f64,
+    /// Jobs delivered by each [`qcut_device::pool::BackendPool`] member
+    /// across the run's engine submissions, indexed by member position.
+    /// Empty on single-backend runs. A job that failed over counts for
+    /// the sibling that delivered it.
+    pub jobs_per_member: Vec<u64>,
+    /// Simulated device seconds each pool member spent (including
+    /// timed-out attempts). The sharded wall-clock of the gather is the
+    /// max entry; empty on single-backend runs.
+    pub member_makespan_seconds: Vec<f64>,
+    /// Σ member makespans / max member makespan: how evenly the pool's
+    /// members shared the device time — `N` for a perfect `N`-way split,
+    /// `1.0` on single-backend runs.
+    pub pool_parallel_ratio: f64,
+    /// Jobs a transiently failing pool member handed to a healthy sibling
+    /// that then delivered them (0 on single-backend runs).
+    pub jobs_failed_over: u64,
     /// True when permanent node failures were salvaged under
     /// [`crate::retry::FailurePolicy::Degrade`]: the affected basis
     /// settings were dropped, the reconstruction was renormalized over
@@ -226,6 +242,10 @@ mod tests {
             jobs_retried: 0,
             shots_lost: 0,
             backoff_seconds: 0.0,
+            jobs_per_member: Vec::new(),
+            member_makespan_seconds: Vec::new(),
+            pool_parallel_ratio: 1.0,
+            jobs_failed_over: 0,
             degraded: false,
             failures: Vec::new(),
             variance_inflation: 1.0,

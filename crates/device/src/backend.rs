@@ -6,6 +6,7 @@
 //! simulated IBM device). Backends are `Sync` so fragment tomography can
 //! fan out over a rayon pool.
 
+use crate::pool::BackendPool;
 use crate::timing::TimingModel;
 use qcut_circuit::circuit::Circuit;
 use qcut_sim::counts::{CdfTable, Counts};
@@ -438,6 +439,25 @@ pub trait Backend: Sync {
         false
     }
 
+    /// A scalar noise figure of merit for placement: 0.0 means ideal,
+    /// larger means noisier. [`crate::pool::PlacementPolicy::NoiseAware`]
+    /// uses it to pin noise-sensitive wide fragments to the cleanest
+    /// members. The scale is only compared *within* one pool, so any
+    /// monotone measure works; the workspace's `NoisyBackend` reports the
+    /// total-variation distance its noise model inflicts on a Bell-state
+    /// probe. Defaults to `0.0` (noiseless).
+    fn noise_score(&self) -> f64 {
+        0.0
+    }
+
+    /// Downcast seam for the engine: a [`crate::pool::BackendPool`]
+    /// returns `Some(self)` so the JobGraph execute path can route pooled
+    /// backends through its sharding/failover engine while every other
+    /// backend takes the single-device path. Defaults to `None`.
+    fn as_pool(&self) -> Option<&BackendPool> {
+        None
+    }
+
     /// Validates a job without running it.
     fn check(&self, circuit: &Circuit, shots: u64) -> Result<(), BackendError> {
         if circuit.num_qubits() > self.num_qubits() {
@@ -450,6 +470,95 @@ pub trait Backend: Sync {
             return Err(BackendError::NoShots);
         }
         Ok(())
+    }
+}
+
+/// Full delegation for borrowed backends. Without this, a `&B` passed
+/// where an `impl Backend` is expected would re-derive every *default*
+/// method body — most damagingly `run_batch_stats`, which would silently
+/// replace the inner backend's prefix-sharing accounting (and
+/// batch-position seeding guarantees) with the naive fallback.
+impl<B: Backend + ?Sized> Backend for &B {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn num_qubits(&self) -> usize {
+        (**self).num_qubits()
+    }
+    fn timing(&self) -> &TimingModel {
+        (**self).timing()
+    }
+    fn run(&self, circuit: &Circuit, shots: u64) -> Result<ExecutionResult, BackendError> {
+        (**self).run(circuit, shots)
+    }
+    fn run_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<JobResult> {
+        (**self).run_batch(jobs)
+    }
+    fn run_batch_stats(&self, jobs: &[JobSpec<'_>]) -> BatchRun {
+        (**self).run_batch_stats(jobs)
+    }
+    fn cache_fingerprint(&self) -> u64 {
+        (**self).cache_fingerprint()
+    }
+    fn is_fault_prone(&self) -> bool {
+        (**self).is_fault_prone()
+    }
+    fn deterministic_seeding(&self) -> bool {
+        (**self).deterministic_seeding()
+    }
+    fn noise_score(&self) -> f64 {
+        (**self).noise_score()
+    }
+    fn as_pool(&self) -> Option<&BackendPool> {
+        (**self).as_pool()
+    }
+    fn check(&self, circuit: &Circuit, shots: u64) -> Result<(), BackendError> {
+        (**self).check(circuit, shots)
+    }
+}
+
+/// Full delegation for owned trait objects — what [`crate::pool::
+/// BackendPool`] members are. The latent gap this closes: `Box<dyn
+/// Backend>` previously had no `Backend` impl at all, so generic wrappers
+/// had to deref manually, and any blanket impl that forwarded only the
+/// required methods would have dropped `run_batch_stats` down to the
+/// stats-losing default (see `boxed_member_keeps_prefix_sharing_stats`).
+impl<B: Backend + ?Sized> Backend for Box<B> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn num_qubits(&self) -> usize {
+        (**self).num_qubits()
+    }
+    fn timing(&self) -> &TimingModel {
+        (**self).timing()
+    }
+    fn run(&self, circuit: &Circuit, shots: u64) -> Result<ExecutionResult, BackendError> {
+        (**self).run(circuit, shots)
+    }
+    fn run_batch(&self, jobs: &[JobSpec<'_>]) -> Vec<JobResult> {
+        (**self).run_batch(jobs)
+    }
+    fn run_batch_stats(&self, jobs: &[JobSpec<'_>]) -> BatchRun {
+        (**self).run_batch_stats(jobs)
+    }
+    fn cache_fingerprint(&self) -> u64 {
+        (**self).cache_fingerprint()
+    }
+    fn is_fault_prone(&self) -> bool {
+        (**self).is_fault_prone()
+    }
+    fn deterministic_seeding(&self) -> bool {
+        (**self).deterministic_seeding()
+    }
+    fn noise_score(&self) -> f64 {
+        (**self).noise_score()
+    }
+    fn as_pool(&self) -> Option<&BackendPool> {
+        (**self).as_pool()
+    }
+    fn check(&self, circuit: &Circuit, shots: u64) -> Result<(), BackendError> {
+        (**self).check(circuit, shots)
     }
 }
 
@@ -506,6 +615,49 @@ mod tests {
         assert_eq!(run.results[0].as_ref().unwrap().counts.get(0), 7);
         assert_eq!(run.stats.gates_applied, run.stats.gates_naive);
         assert_eq!(run.stats.unique_states, 1);
+    }
+
+    #[test]
+    fn boxed_member_keeps_prefix_sharing_stats() {
+        // The latent-gap regression: wrapping a prefix-sharing backend in
+        // a Box (as pool members are) must preserve run_batch_stats —
+        // gate-saving accounting, batch-position seeding, and all. A
+        // delegation that fell back to the trait default would report
+        // gates_applied == gates_naive here.
+        use crate::ideal::IdealBackend;
+        let mut base = Circuit::new(3);
+        base.h(0).cx(0, 1).ry(0.3, 2).cx(1, 2);
+        let mut variant = base.clone();
+        variant.h(2);
+        let jobs = [JobSpec::new(&base, 300), JobSpec::new(&variant, 300)];
+
+        let bare = IdealBackend::new(11);
+        let boxed: Box<dyn Backend> = Box::new(IdealBackend::new(11));
+        let borrowed_backend = IdealBackend::new(11);
+        let borrowed: &dyn Backend = &borrowed_backend;
+
+        let want = bare.run_batch_stats(&jobs);
+        assert!(
+            want.stats.gates_saved() > 0,
+            "workload must exercise prefix sharing"
+        );
+        for (label, got) in [
+            ("Box<dyn Backend>", boxed.run_batch_stats(&jobs)),
+            ("&dyn Backend", borrowed.run_batch_stats(&jobs)),
+        ] {
+            assert_eq!(got.stats, want.stats, "{label} lost batch accounting");
+            for (a, b) in want.results.iter().zip(&got.results) {
+                assert_eq!(
+                    a.as_ref().unwrap().counts,
+                    b.as_ref().unwrap().counts,
+                    "{label} changed sampled counts"
+                );
+            }
+        }
+        // Identity methods delegate too.
+        assert_eq!(boxed.cache_fingerprint(), bare.cache_fingerprint());
+        assert!(boxed.deterministic_seeding());
+        assert!(boxed.as_pool().is_none());
     }
 
     #[test]

@@ -311,6 +311,20 @@ impl<B: Backend> Backend for FaultInjectingBackend<B> {
         self.inner.deterministic_seeding()
     }
 
+    /// Fault injection does not change what a successful clean job
+    /// measures, so the wrapper inherits the inner backend's score —
+    /// except in corrupt-counts mode, where every histogram is garbage and
+    /// the member must rank below any honest device a noise-aware
+    /// placement could choose instead.
+    fn noise_score(&self) -> f64 {
+        let base = self.inner.noise_score();
+        if self.corrupt {
+            base + 1.0
+        } else {
+            base
+        }
+    }
+
     fn check(&self, circuit: &Circuit, shots: u64) -> Result<(), BackendError> {
         self.inner.check(circuit, shots)
     }

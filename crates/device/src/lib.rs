@@ -13,6 +13,10 @@
 //! * [`fault::FaultInjectingBackend`] — deterministic fault-injection
 //!   wrapper (seeded failure schedules, injected latency, corrupt counts)
 //!   for exercising the retry and degradation machinery;
+//! * [`pool::BackendPool`] — multi-backend sharding: a set of heterogeneous
+//!   members behind one `Backend` facade, with capacity- and noise-aware
+//!   placement policies (round-robin, least-loaded makespan balancing,
+//!   noise-aware tiering) and failover-sibling lookup for the retry engine;
 //! * [`presets`] — ready-made `ibm_5q` / `ibm_7q` / `aer_like` devices;
 //! * [`executor`] — parallel fan-out of tomography jobs (rayon) and a
 //!   crossbeam worker-pool dispatch queue.
@@ -35,6 +39,7 @@ pub mod executor;
 pub mod fault;
 pub mod ideal;
 pub mod noisy;
+pub mod pool;
 pub mod presets;
 pub mod timing;
 
@@ -48,6 +53,7 @@ pub mod prelude {
     pub use crate::fault::FaultInjectingBackend;
     pub use crate::ideal::IdealBackend;
     pub use crate::noisy::NoisyBackend;
+    pub use crate::pool::{BackendPool, MemberInfo, Placement, PlacementPolicy};
     pub use crate::presets::{aer_like, ibm_5q, ibm_7q, very_noisy};
     pub use crate::timing::TimingModel;
 }

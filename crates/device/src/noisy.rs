@@ -256,6 +256,27 @@ impl Backend for NoisyBackend {
     fn deterministic_seeding(&self) -> bool {
         true
     }
+
+    /// Deterministic Bell-probe figure of merit: the total-variation
+    /// distance between this backend's exact noisy output distribution on
+    /// a 2-qubit Bell circuit and the noiseless one. Zero for a noiseless
+    /// model; grows monotonically with depolarizing/readout strength —
+    /// exactly the ordering `PlacementPolicy::NoiseAware` needs.
+    fn noise_score(&self) -> f64 {
+        if self.noise.is_noiseless() {
+            return 0.0;
+        }
+        let probe_width = self.capacity.clamp(1, 2);
+        let mut probe = Circuit::new(probe_width);
+        probe.h(0);
+        if probe_width > 1 {
+            probe.cx(0, 1);
+        }
+        tvd(
+            &self.exact_probabilities(&probe),
+            &ideal_probabilities(&probe),
+        )
+    }
 }
 
 /// A helper used by tests: the exact (infinite-shot) distribution of the

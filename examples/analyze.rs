@@ -79,7 +79,32 @@ fn main() {
     }
     println!();
 
-    // 6. Warnings do not block execution; they ride in the run report.
+    // 6. The pool layer (QA7xx) lints placement feasibility against the
+    //    actual member fleet: a pool of 2-qubit devices can never fit the
+    //    3-qubit fragments (QA701, deny), and an oversized fleet leaves
+    //    members provably idle (QA703, informational until promoted).
+    let cramped = BackendPool::new(PlacementPolicy::RoundRobin)
+        .with_backend(IdealBackend::new(1).with_capacity(2))
+        .with_backend(IdealBackend::new(2).with_capacity(2));
+    println!("cramped pool:");
+    for d in analyze_with_backend(&circuit, &cut, &options, &cramped).iter() {
+        println!("  {d}");
+    }
+    let mut oversized = BackendPool::new(PlacementPolicy::LeastLoaded);
+    for seed in 0..16u64 {
+        oversized = oversized.with_backend(IdealBackend::new(seed));
+    }
+    let idle_aware = ExecutionOptions {
+        analysis: AnalysisConfig::default().with_override(LintCode::PoolIdleMember, Severity::Warn),
+        ..Default::default()
+    };
+    println!("oversized pool (QA703 promoted):");
+    for d in analyze_with_backend(&circuit, &cut, &idle_aware, &oversized).iter() {
+        println!("  {d}");
+    }
+    println!();
+
+    // 7. Warnings do not block execution; they ride in the run report.
     let run = executor
         .run(
             &circuit,

@@ -13,7 +13,8 @@
 //!   ansatz and a Qiskit-style `random_circuit` generator;
 //! * [`sim`] — state-vector and density-matrix simulators with Kraus noise;
 //! * [`device`] — simulated backends (ideal and noisy IBM-like presets)
-//!   with a timing model for wall-clock experiments;
+//!   with a timing model for wall-clock experiments, plus multi-backend
+//!   sharding pools with capacity- and noise-aware placement;
 //! * [`stats`] — distributions, the paper's weighted distance (Eq. 17),
 //!   and confidence intervals;
 //! * [`cache`] — the cross-run warm-start cache: persistent per-node
@@ -97,7 +98,9 @@ pub mod prelude {
     pub use qcut_device::fault::FaultInjectingBackend;
     pub use qcut_device::ideal::IdealBackend;
     pub use qcut_device::noisy::NoisyBackend;
+    pub use qcut_device::pool::{BackendPool, MemberInfo, Placement, PlacementPolicy};
     pub use qcut_device::presets;
+    pub use qcut_device::timing::TimingModel;
     pub use qcut_math::{c64, Complex, Matrix, Pauli, PauliString, PrepState};
     pub use qcut_sim::counts::Counts;
     pub use qcut_sim::statevector::StateVector;

@@ -9,6 +9,7 @@ use proptest::prelude::*;
 use qcut::circuit::ansatz::MultiCutAnsatz;
 use qcut::circuit::random::{random_circuit_with, random_real_circuit_with, RandomCircuitConfig};
 use qcut::cutting::basis::BasisPlan;
+use qcut::cutting::jobgraph::{Channel, JobGraph};
 use qcut::cutting::reconstruction::{exact_reconstruct, exact_upstream_tensor};
 use qcut::prelude::*;
 use rand::rngs::StdRng;
@@ -300,6 +301,62 @@ proptest! {
         let sv = StateVector::from_circuit(&c);
         prop_assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
     }
+
+    /// Appending gates never shortens a circuit's critical path: the
+    /// timing model the pool's load-balancing placement relies on is
+    /// monotone in circuit growth (and non-negative).
+    #[test]
+    fn circuit_duration_is_monotone_under_appended_gates(
+        n in 1usize..5,
+        depth in 1usize..6,
+        seed in 0u64..3000,
+        extra in 1usize..6,
+    ) {
+        let base = random_circuit(n, RandomCircuitConfig { depth, two_qubit_prob: 0.5 }, seed);
+        let mut longer = base.clone();
+        for i in 0..extra {
+            longer.h(i % n);
+        }
+        for t in [
+            TimingModel::ibm_like(),
+            TimingModel { gate_1q: 4e-8, gate_2q: 6e-7, readout: 2e-6, rep_delay: 1e-4, job_overhead: 0.5 },
+        ] {
+            let short = t.circuit_duration(&base);
+            let long = t.circuit_duration(&longer);
+            prop_assert!(short >= 0.0);
+            prop_assert!(long >= short, "appending gates shortened {short} -> {long}");
+        }
+    }
+
+    /// `job_duration` is affine in the shot count — overhead plus a
+    /// per-shot slope — which is what makes the greedy least-loaded
+    /// placement's accumulated-load bookkeeping additive.
+    #[test]
+    fn job_duration_is_affine_in_shots(
+        seed in 0u64..3000,
+        a in 1u64..10_000,
+        b in 1u64..10_000,
+        rep_delay in 0.0f64..1e-3,
+        job_overhead in 0.0f64..2.0,
+    ) {
+        let c = random_circuit(3, RandomCircuitConfig { depth: 3, two_qubit_prob: 0.5 }, seed);
+        let t = TimingModel {
+            gate_1q: 35e-9,
+            gate_2q: 300e-9,
+            readout: 5e-6,
+            rep_delay,
+            job_overhead,
+        };
+        let f0 = t.job_duration(&c, 0);
+        prop_assert!((f0 - t.job_overhead).abs() < 1e-12, "zero shots cost exactly the overhead");
+        let fa = t.job_duration(&c, a);
+        let fb = t.job_duration(&c, b);
+        let fab = t.job_duration(&c, a + b);
+        // Affinity: f(a+b) = f(a) + f(b) - f(0).
+        prop_assert!((fab - (fa + fb - f0)).abs() <= 1e-9 * fab.max(1.0), "f({a}+{b}) = {fab}, f({a})+f({b})-f(0) = {}", fa + fb - f0);
+        // The slope is non-negative: more shots never run faster.
+        prop_assert!(fa >= f0 && fab >= fa.max(fb));
+    }
 }
 
 // JobGraph engine invariants: full pipeline runs, so fewer cases with a
@@ -439,5 +496,103 @@ proptest! {
         prop_assert!(!recovered.report.degraded);
         prop_assert!(recovered.report.jobs_retried > 0);
         prop_assert_eq!(clean.report.jobs_retried, 0);
+    }
+
+    /// Wrapping any backend — ideal or noisy — in a single-member pool is
+    /// invisible to the full pipeline: bit-identical distribution and shot
+    /// accounting, plus the pool's (trivial) member itemisation.
+    #[test]
+    fn single_member_pool_pipeline_is_bit_identical(seed in 0u64..2000) {
+        let (circuit, cut) = GoldenAnsatz::new(5, seed).build();
+        let noisy = seed % 2 == 1;
+        let member = |s: u64| -> Box<dyn Backend> {
+            if noisy {
+                Box::new(presets::ibm_5q(s))
+            } else {
+                Box::new(IdealBackend::new(s))
+            }
+        };
+        let opts = ExecutionOptions { shots_per_setting: 256, ..Default::default() };
+        let bare = member(seed ^ 0x91);
+        let bare_run = CutExecutor::new(bare.as_ref())
+            .run(&circuit, &cut, GoldenPolicy::Disabled, &opts)
+            .unwrap();
+        let pool = BackendPool::new(PlacementPolicy::RoundRobin).with_member(member(seed ^ 0x91));
+        let pool_run = CutExecutor::new(&pool)
+            .run(&circuit, &cut, GoldenPolicy::Disabled, &opts)
+            .unwrap();
+        prop_assert_eq!(pool_run.distribution.values(), bare_run.distribution.values());
+        prop_assert_eq!(pool_run.report.total_shots, bare_run.report.total_shots);
+        prop_assert_eq!(pool_run.report.jobs_executed, bare_run.report.jobs_executed);
+        prop_assert_eq!(
+            pool_run.report.jobs_per_member.iter().sum::<u64>(),
+            pool_run.report.jobs_executed as u64
+        );
+    }
+
+    /// Same-round sibling failover is bit-identical to never having
+    /// faulted: a pool whose pinned member transiently drops one node is
+    /// indistinguishable from a fault-free pool that pinned that node to
+    /// the sibling outright — the sibling sees the identical batch at the
+    /// identical seed-counter base. Holds over ideal and noisy members
+    /// and any failing-node position.
+    #[test]
+    fn pool_failover_is_bit_identical_to_the_fault_free_reference(
+        seed in 0u64..2000,
+        k in 2usize..5,
+        p_raw in 0usize..5,
+        noisy_raw in 0u8..2,
+    ) {
+        let p = p_raw % k;
+        let noisy = noisy_raw == 1;
+        // k structurally distinct 3-qubit circuits (distinct rotation
+        // angles), so node order is exactly insertion order.
+        let nodes: Vec<Circuit> = (0..k)
+            .map(|i| {
+                let mut c = Circuit::new(3);
+                c.h(0).cx(0, 1).rz(0.1 + i as f64 * 0.37, 2);
+                c
+            })
+            .collect();
+        let member = |s: u64| -> Box<dyn Backend> {
+            if noisy {
+                Box::new(presets::ibm_5q(s))
+            } else {
+                Box::new(IdealBackend::new(s))
+            }
+        };
+        let build = |nodes: &[Circuit]| {
+            let mut g = JobGraph::new();
+            for (i, c) in nodes.iter().enumerate() {
+                g.add_job(c.clone(), (Channel::UpstreamMeas, i as u64), 200 + i as u64);
+            }
+            g
+        };
+
+        // Everything pins to member 0, which fails node p once: the
+        // engine must hand node p to sibling 1 within the round.
+        let faulty = BackendPool::new(PlacementPolicy::Pinned(vec![0]))
+            .with_backend(FaultInjectingBackend::new(member(seed)).fail_circuit(&nodes[p], 1))
+            .with_member(member(seed ^ 0xBEEF));
+        let run = build(&nodes).execute(&faulty, true).unwrap();
+        prop_assert_eq!(run.stats.jobs_failed_over, 1);
+        prop_assert_eq!(run.stats.shots_lost, 0);
+
+        // Fault-free reference: node p pinned to member 1 outright.
+        let pins: Vec<usize> = (0..k).map(|i| usize::from(i == p)).collect();
+        let reference = BackendPool::new(PlacementPolicy::Pinned(pins))
+            .with_member(member(seed))
+            .with_member(member(seed ^ 0xBEEF));
+        let want = build(&nodes).execute(&reference, true).unwrap();
+        prop_assert_eq!(want.stats.jobs_failed_over, 0);
+        for i in 0..k as u64 {
+            prop_assert_eq!(
+                run.counts(&(Channel::UpstreamMeas, i)),
+                want.counts(&(Channel::UpstreamMeas, i)),
+                "node {} differs (failing node {})", i, p
+            );
+        }
+        prop_assert_eq!(run.stats.shots_executed, want.stats.shots_executed);
+        prop_assert_eq!(run.stats.jobs_per_member, want.stats.jobs_per_member);
     }
 }
